@@ -1,0 +1,497 @@
+// Package activerbac is an event-driven authorization engine: a Go
+// reproduction of "Active Authorization Rules for Enforcing Role-Based
+// Access Control and its Extensions" (Adaikkalavan & Chakravarthy, ICDE
+// 2005).
+//
+// A System is built from a high-level policy specification (the .acp
+// language). The policy compiles into an access specification graph and
+// from it into a pool of OWTE (On-When-Then-Else) active authorization
+// rules running on a Sentinel+-style event engine. Every request —
+// session creation, role activation, access check — is an event; the
+// generated rules evaluate the NIST RBAC standard (core, hierarchies,
+// static and dynamic separation of duty) plus the paper's extensions
+// (GTRBAC temporal constraints, control-flow dependencies, privacy-aware
+// RBAC) and vote on a decision. Active-security rules watch the outcome
+// stream and react to attack patterns without operator intervention.
+//
+// Basic use:
+//
+//	sys, err := activerbac.Open(policySource, nil)
+//	sid, err := sys.CreateSession("bob")
+//	err = sys.AddActiveRole("bob", sid, "PC")
+//	ok  := sys.CheckAccess(sid, activerbac.Permission{Operation: "write", Object: "po.dat"})
+//
+// Policy changes go through ApplyPolicy, which regenerates exactly the
+// affected rules (the paper's central manageability claim).
+package activerbac
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"activerbac/internal/clock"
+	"activerbac/internal/core"
+	"activerbac/internal/event"
+	"activerbac/internal/policy"
+	"activerbac/internal/rbac"
+	"activerbac/internal/rulegen"
+	"activerbac/internal/security"
+	"activerbac/internal/sentinel"
+	"activerbac/internal/store"
+)
+
+// Re-exported identifier types, so callers need no internal imports.
+type (
+	// UserID identifies a user.
+	UserID = rbac.UserID
+	// RoleID identifies a role.
+	RoleID = rbac.RoleID
+	// SessionID identifies a session.
+	SessionID = rbac.SessionID
+	// Permission is an operation on an object.
+	Permission = rbac.Permission
+	// RuleInfo is a read-only view of one generated rule.
+	RuleInfo = core.RuleInfo
+	// Alert is one fired active-security alert.
+	Alert = security.Alert
+	// Report summarizes an incremental policy regeneration.
+	Report = rulegen.Report
+	// SystemReport is one periodic monitoring snapshot (the `report`
+	// policy statement).
+	SystemReport = rulegen.SystemReport
+	// Clock abstracts time; pass a simulated clock in tests.
+	Clock = clock.Clock
+	// Params carries event parameters for external events.
+	Params = event.Params
+)
+
+// Sentinel errors re-exported for errors.Is classification.
+var (
+	ErrDenied      = rbac.ErrDenied
+	ErrNotFound    = rbac.ErrNotFound
+	ErrExists      = rbac.ErrExists
+	ErrSSD         = rbac.ErrSSD
+	ErrDSD         = rbac.ErrDSD
+	ErrCardinality = rbac.ErrCardinality
+	ErrUserLocked  = rbac.ErrUserLocked
+)
+
+// NewSimClock returns a deterministic simulated clock started at the
+// given instant; the returned *clock.Sim satisfies Clock and exposes
+// Advance/AdvanceTo for driving time in tests and experiments.
+func NewSimClock(start time.Time) *clock.Sim { return clock.NewSim(start) }
+
+// DenialError is returned by state-changing calls when the rule pool
+// denies the request; Reason carries the alternative-action message
+// (e.g. "Access Denied Cannot Activate").
+type DenialError struct {
+	// Op names the denied operation.
+	Op string
+	// Reason is the rule's error message.
+	Reason string
+}
+
+// Error implements error.
+func (e *DenialError) Error() string {
+	return fmt.Sprintf("activerbac: %s denied: %s", e.Op, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrDenied) true.
+func (e *DenialError) Unwrap() error { return ErrDenied }
+
+// Options configures Open.
+type Options struct {
+	// Clock drives all temporal behaviour; defaults to the real clock.
+	Clock Clock
+	// AuditPath, when set, opens an append-only audit log recording
+	// every rule firing and alert.
+	AuditPath string
+}
+
+// System is the assembled authorization engine. All methods are safe
+// for concurrent use.
+type System struct {
+	gen    *rulegen.Generator
+	source string
+	audit  *store.AuditLog
+}
+
+// Open parses a policy, builds the engine and generates the rule pool.
+func Open(policySource string, opts *Options) (*System, error) {
+	spec, err := policy.ParseString(policySource)
+	if err != nil {
+		return nil, err
+	}
+	return openSpec(spec, policySource, opts)
+}
+
+// OpenFile is Open reading the policy from a file.
+func OpenFile(path string, opts *Options) (*System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(string(data), opts)
+}
+
+func openSpec(spec *policy.Spec, source string, opts *Options) (*System, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	eng := sentinel.NewEngine(clk)
+	gen, err := rulegen.New(eng)
+	if err != nil {
+		return nil, err
+	}
+	if err := gen.Load(spec); err != nil {
+		return nil, err
+	}
+	sys := &System{gen: gen, source: source}
+	if opts.AuditPath != "" {
+		audit, err := store.OpenAudit(opts.AuditPath)
+		if err != nil {
+			return nil, err
+		}
+		sys.audit = audit
+		eng.Pool().OnOutcome(func(o core.Outcome) {
+			detail := o.FailedCond
+			if o.CondErr != nil {
+				detail = o.CondErr.Error()
+			}
+			user, _ := o.Event.Params["user"].(string)
+			_, _ = audit.Append(store.AuditRecord{
+				At: o.At, Kind: "decision", Rule: o.Rule, Event: o.Event.Event,
+				User: user, Allowed: o.Allowed, Detail: detail,
+			})
+		})
+		gen.Security().OnAlert(func(a security.Alert) {
+			_, _ = audit.Append(store.AuditRecord{
+				At: a.At, Kind: "alert", User: a.Subject, Allowed: false,
+				Detail: a.String(),
+			})
+		})
+	}
+	return sys, nil
+}
+
+// Close releases resources (the audit log, if any).
+func (s *System) Close() error {
+	if s.audit != nil {
+		return s.audit.Close()
+	}
+	return nil
+}
+
+// PolicySource returns the currently loaded policy text.
+func (s *System) PolicySource() string { return s.source }
+
+// ---------------------------------------------------------------------------
+// Enforcement API (implements the baseline.Enforcer request surface)
+
+// decide routes a request event through the rule pool.
+func (s *System) decide(op, ev string, p event.Params) error {
+	dec, err := s.gen.Engine().Decide(ev, p)
+	if err != nil {
+		return err
+	}
+	if !dec.Allowed() {
+		return &DenialError{Op: op, Reason: dec.Reason()}
+	}
+	return nil
+}
+
+// CreateSession creates a session for the user through the
+// administrative rule (denied for unknown or locked users).
+func (s *System) CreateSession(user UserID) (SessionID, error) {
+	dec, err := s.gen.Engine().Decide(rulegen.EvCreateSession, event.Params{"user": string(user)})
+	if err != nil {
+		return "", err
+	}
+	if !dec.Allowed() {
+		return "", &DenialError{Op: "createSession", Reason: dec.Reason()}
+	}
+	sid, _ := dec.Result().(string)
+	return SessionID(sid), nil
+}
+
+// DeleteSession ends a session.
+func (s *System) DeleteSession(sid SessionID) error {
+	return s.decide("deleteSession", rulegen.EvDeleteSession, event.Params{"session": string(sid)})
+}
+
+// AddActiveRole activates a role in a session; the generated AAR rule
+// variant for the role enforces every applicable constraint.
+func (s *System) AddActiveRole(user UserID, sid SessionID, role RoleID) error {
+	return s.decide("addActiveRole", rulegen.EvAddActiveRole(role),
+		event.Params{"user": string(user), "session": string(sid)})
+}
+
+// DropActiveRole deactivates a role in a session.
+func (s *System) DropActiveRole(user UserID, sid SessionID, role RoleID) error {
+	return s.decide("dropActiveRole", rulegen.EvDropActiveRole(role),
+		event.Params{"user": string(user), "session": string(sid)})
+}
+
+// CheckAccess asks whether the session may perform the operation; the
+// rule CA1 decides, and denials feed the active-security monitors.
+func (s *System) CheckAccess(sid SessionID, p Permission) bool {
+	user, _ := s.gen.Engine().Store().SessionUser(sid)
+	dec, err := s.gen.Engine().Decide(rulegen.EvCheckAccess, event.Params{
+		"user": string(user), "session": string(sid),
+		"operation": p.Operation, "object": p.Object,
+	})
+	return err == nil && dec.Allowed()
+}
+
+// Vote is one rule's verdict within a decision.
+type Vote = sentinel.Vote
+
+// Explanation is the full account of one access decision: the aggregate
+// verdict, the deny reason (if any), and every rule vote in firing
+// order — the audit-grade answer to "why was this allowed/denied?".
+type Explanation struct {
+	Allowed bool
+	Reason  string
+	Votes   []Vote
+}
+
+// ExplainAccess runs the same decision as CheckAccess but returns the
+// rule-by-rule account instead of a bare verdict.
+func (s *System) ExplainAccess(sid SessionID, p Permission) Explanation {
+	user, _ := s.gen.Engine().Store().SessionUser(sid)
+	dec, err := s.gen.Engine().Decide(rulegen.EvCheckAccess, event.Params{
+		"user": string(user), "session": string(sid),
+		"operation": p.Operation, "object": p.Object,
+	})
+	if err != nil {
+		return Explanation{Reason: err.Error()}
+	}
+	ex := Explanation{Allowed: dec.Allowed(), Votes: dec.Votes()}
+	if !ex.Allowed {
+		ex.Reason = dec.Reason()
+	}
+	return ex
+}
+
+// CheckAccessForPurpose is the privacy-aware decision (rule CAP1): core
+// RBAC plus purpose bindings and consent.
+func (s *System) CheckAccessForPurpose(sid SessionID, p Permission, purpose string) bool {
+	user, _ := s.gen.Engine().Store().SessionUser(sid)
+	dec, err := s.gen.Engine().Decide(rulegen.EvCheckPurposeAccess, event.Params{
+		"user": string(user), "session": string(sid),
+		"operation": p.Operation, "object": p.Object, "purpose": purpose,
+	})
+	return err == nil && dec.Allowed()
+}
+
+// AssignUser assigns a role through the administrative rule (static SoD
+// enforced).
+func (s *System) AssignUser(user UserID, role RoleID) error {
+	return s.decide("assignUser", rulegen.EvAssignUser,
+		event.Params{"user": string(user), "role": string(role)})
+}
+
+// DeassignUser removes an assignment.
+func (s *System) DeassignUser(user UserID, role RoleID) error {
+	return s.decide("deassignUser", rulegen.EvDeassignUser,
+		event.Params{"user": string(user), "role": string(role)})
+}
+
+// EnableRole enables a role (administrator action).
+func (s *System) EnableRole(role RoleID) error {
+	return s.decide("enableRole", rulegen.EvEnableRole(role), nil)
+}
+
+// DisableRole disables a role, subject to disabling-time SoD.
+func (s *System) DisableRole(role RoleID) error {
+	return s.decide("disableRole", rulegen.EvDisableRole(role), nil)
+}
+
+// AddUser registers a user at runtime (outside the policy file).
+func (s *System) AddUser(user UserID) error {
+	return s.gen.Engine().Store().AddUser(user)
+}
+
+// GrantConsent records data-subject consent for an object and purpose.
+func (s *System) GrantConsent(object, purpose string) error {
+	return s.gen.Privacy().GrantConsent(object, purpose)
+}
+
+// RevokeConsent withdraws consent.
+func (s *System) RevokeConsent(object, purpose string) error {
+	return s.gen.Privacy().RevokeConsent(object, purpose)
+}
+
+// SetContext reports an environmental change (a sensor reading, a
+// network-state probe) as a context-update event: the value is stored
+// and every role whose context requirement stops holding is deactivated
+// across all sessions, within the same cascade.
+func (s *System) SetContext(key, value string) error {
+	return s.decide("setContext", rulegen.EvContextUpdate,
+		event.Params{"key": key, "value": value})
+}
+
+// GetContext reads the current value of an environmental key.
+func (s *System) GetContext(key string) (string, bool) {
+	return s.gen.Engine().Env().Get(key)
+}
+
+// RaiseExternal injects an external (sensor) event; the event must have
+// been registered with RegisterExternal.
+func (s *System) RaiseExternal(name string, p Params) error {
+	return s.gen.Engine().Monitor().Inject(name, p)
+}
+
+// RegisterExternal declares an external event source.
+func (s *System) RegisterExternal(name string) error {
+	return s.gen.Engine().Monitor().Register(name)
+}
+
+// ---------------------------------------------------------------------------
+// Policy lifecycle
+
+// ApplyPolicy transitions to a new policy, regenerating exactly the
+// affected rules, and returns what changed.
+func (s *System) ApplyPolicy(policySource string) (Report, error) {
+	spec, err := policy.ParseString(policySource)
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := s.gen.Apply(spec)
+	if err != nil {
+		return rep, err
+	}
+	s.source = policySource
+	return rep, nil
+}
+
+// CheckPolicy validates a policy without loading it and returns the
+// findings as strings (errors first).
+func CheckPolicy(policySource string) ([]string, error) {
+	spec, err := policy.ParseString(policySource)
+	if err != nil {
+		return nil, err
+	}
+	issues := policy.Check(spec)
+	out := make([]string, len(issues))
+	for i, is := range issues {
+		out[i] = is.String()
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// OnReport registers a listener for periodic monitoring reports
+// (`report NAME every DUR` statements). Listeners run on the engine's
+// drain goroutine and must not block.
+func (s *System) OnReport(fn func(SystemReport)) { s.gen.OnReport(fn) }
+
+// Rules returns a snapshot of the generated rule pool, sorted by name.
+func (s *System) Rules() []RuleInfo { return s.gen.Engine().Pool().Snapshot() }
+
+// Alerts returns every active-security alert fired so far.
+func (s *System) Alerts() []Alert { return s.gen.Security().Alerts() }
+
+// SessionRoles lists the active roles of a session.
+func (s *System) SessionRoles(sid SessionID) ([]RoleID, error) {
+	return s.gen.Engine().Store().SessionRoles(sid)
+}
+
+// AssignedRoles lists a user's directly assigned roles.
+func (s *System) AssignedRoles(user UserID) ([]RoleID, error) {
+	return s.gen.Engine().Store().AssignedRoles(user)
+}
+
+// AuthorizedRoles lists every role a user may activate (assignments
+// plus hierarchy).
+func (s *System) AuthorizedRoles(user UserID) ([]RoleID, error) {
+	return s.gen.Engine().Store().AuthorizedRoles(user)
+}
+
+// UserLocked reports whether active security has locked the user.
+func (s *System) UserLocked(user UserID) bool {
+	return s.gen.Engine().Store().UserLocked(user)
+}
+
+// UnlockUser clears an active-security lock.
+func (s *System) UnlockUser(user UserID) error {
+	return s.gen.Engine().Store().SetUserLocked(user, false)
+}
+
+// RoleEnabled reports GTRBAC enabling state.
+func (s *System) RoleEnabled(role RoleID) bool {
+	return s.gen.Engine().Store().RoleEnabled(role)
+}
+
+// CheckInvariants audits the underlying RBAC state; a healthy system
+// returns nil.
+func (s *System) CheckInvariants() []error {
+	return s.gen.Engine().Store().CheckInvariants()
+}
+
+// VerifyRules audits the generated rule pool against the loaded policy
+// (the paper's future-work item): a healthy system returns nil; a
+// non-nil result means the pool no longer matches the policy.
+func (s *System) VerifyRules() []error { return s.gen.Verify() }
+
+// SaveState writes a snapshot (state + policy source) to path.
+func (s *System) SaveState(path string) error {
+	return store.SaveSnapshot(path, s.source, s.gen.Engine().Store().Snapshot())
+}
+
+// OpenSnapshot rebuilds a System from a snapshot file: the policy
+// regenerates the rule pool, then the state (assignments made at
+// runtime, sessions, locks) is restored over it.
+func OpenSnapshot(path string, opts *Options) (*System, error) {
+	f, err := store.LoadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := Open(f.Policy, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.gen.Engine().Store().Restore(f.State); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	if errs := sys.CheckInvariants(); len(errs) != 0 {
+		sys.Close()
+		return nil, errors.Join(errs...)
+	}
+	return sys, nil
+}
+
+// Stats summarizes the engine for dashboards.
+type Stats struct {
+	Rules      int
+	Events     int
+	Users      int
+	Roles      int
+	Sessions   int
+	Detections uint64
+	Denials    uint64
+	Alerts     int
+}
+
+// Stats returns engine counters.
+func (s *System) Stats() Stats {
+	eng := s.gen.Engine()
+	es := eng.Detector().Stats()
+	c := eng.Store().Count()
+	return Stats{
+		Rules: eng.Pool().Len(), Events: es.Events,
+		Users: c.Users, Roles: c.Roles, Sessions: c.Sessions,
+		Detections: es.Detected,
+		Denials:    s.gen.Security().Denials(),
+		Alerts:     len(s.gen.Security().Alerts()),
+	}
+}

@@ -1,0 +1,433 @@
+// Command bench regenerates every experiment in DESIGN.md (F1, E1-E9)
+// and prints paper-style result tables. It is the human-readable
+// counterpart of `go test -bench=.`: the same code paths, but with
+// derived metrics (ratios, rule counts, touched-role counts) that the
+// EXPERIMENTS.md write-up quotes.
+//
+// Usage:
+//
+//	bench [-exp all|F1|E1|E2|E3|E4|E5|E6|E7|E8|E9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"activerbac"
+	"activerbac/internal/baseline"
+	"activerbac/internal/clock"
+	"activerbac/internal/conformance"
+	"activerbac/internal/event"
+	"activerbac/internal/policy"
+	"activerbac/internal/security"
+	"activerbac/internal/workload"
+)
+
+var epoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, F1, E1..E9)")
+	flag.Parse()
+	run := func(name string, fn func()) {
+		if *exp == "all" || strings.EqualFold(*exp, name) {
+			fn()
+		}
+	}
+	run("F1", f1)
+	run("E1", e1)
+	run("E2", e2)
+	run("E3", e3)
+	run("E4", e4)
+	run("E5", e5)
+	run("E6", e6)
+	run("E7", e7)
+	run("E8", e8)
+	run("E9", e9)
+}
+
+func header(id, title string) {
+	fmt.Printf("\n=== %s: %s ===\n", id, title)
+}
+
+func nsPerOp(fn func(b *testing.B)) float64 {
+	r := testing.Benchmark(fn)
+	return float64(r.NsPerOp())
+}
+
+func open(src string) *activerbac.System {
+	sys, err := activerbac.Open(src, &activerbac.Options{Clock: clock.NewSim(epoch)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	return sys
+}
+
+// ---------------------------------------------------------------------------
+
+// f1 reproduces Figure 1: the enterprise XYZ policy, its graph flags
+// and the generated rule inventory.
+func f1() {
+	header("F1", "enterprise XYZ policy -> access specification graph -> rule pool (Figure 1)")
+	spec := workload.XYZ()
+	graph, err := policy.BuildGraph(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("graph:")
+	for _, role := range graph.Roles() {
+		n, _ := graph.Node(role)
+		fmt.Printf("  %-6s hierarchy=%-5v ssd=%-5v ssd-inherited=%-5v cardinality=%d\n",
+			role, n.Hierarchy, n.StaticSoD, n.InheritedStaticSoD, n.Cardinality)
+	}
+	sys := open(policy.Format(spec))
+	defer sys.Close()
+	counts := map[string]int{}
+	for _, r := range sys.Rules() {
+		kind := strings.SplitN(r.Name, ".", 2)[0]
+		counts[kind]++
+	}
+	fmt.Printf("generated rules: %d total\n", len(sys.Rules()))
+	for _, k := range []string{"AAR2", "DAR", "ENB", "TSOD1", "CC1", "CA1", "CAP1", "ADM", "CTX"} {
+		fmt.Printf("  %-6s %d\n", k, counts[k])
+	}
+	// The paper's Section 5 claim in action: PM inherits PC's conflict.
+	if err := sys.AssignUser("alice", "AM"); err != nil {
+		fmt.Printf("SSD inheritance verified: alice(PM) + AM -> %v\n", err)
+	}
+	gen := nsPerOp(func(b *testing.B) {
+		src := policy.Format(spec)
+		for i := 0; i < b.N; i++ {
+			s := open(src)
+			s.Close()
+		}
+	})
+	fmt.Printf("full generation time: %.0f us\n", gen/1e3)
+}
+
+// e1: CheckAccess latency vs role count, OWTE vs baseline.
+func e1() {
+	header("E1", "CheckAccess latency vs enterprise size (OWTE vs direct baseline)")
+	fmt.Printf("%-8s %12s %12s %8s\n", "roles", "owte ns/op", "base ns/op", "ratio")
+	for _, roles := range []int{8, 64, 256} {
+		cfg := workload.EnterpriseConfig{
+			Roles: roles, Shape: workload.XYZShape, Branch: 4,
+			SSDFraction: 0.3, Users: 64, PermsPerRole: 3, Seed: 1,
+		}
+		spec := workload.MustEnterprise(cfg)
+		measure := func(owte bool) float64 {
+			return nsPerOp(func(b *testing.B) {
+				sim := clock.NewSim(epoch)
+				var enf baseline.Enforcer
+				if owte {
+					sys := open(policy.Format(spec))
+					defer sys.Close()
+					enf = sys
+				} else {
+					eng, err := baseline.New(sim, spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					enf = eng
+				}
+				drv := workload.NewDriver(enf)
+				if err := drv.Run(workload.Stream(spec, workload.ActivateHeavyMix, 4*len(spec.Users), 2)); err != nil {
+					b.Fatal(err)
+				}
+				reqs := workload.Stream(spec, workload.CheckOnlyMix, 4096, 3)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := drv.Do(reqs[i%len(reqs)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		o, base := measure(true), measure(false)
+		fmt.Printf("%-8d %12.0f %12.0f %7.1fx\n", roles, o, base, o/base)
+	}
+}
+
+// e2: operator detection throughput.
+func e2() {
+	header("E2", "composite event detection cost per operator and consumption mode")
+	fmt.Printf("%-10s %10s %10s %10s %10s  (ns/op)\n", "operator", "recent", "chronicle", "continuous", "cumulative")
+	ops := []struct{ name, expr string }{
+		{"SEQ", "SEQ(a, b)"}, {"AND", "AND(a, b)"}, {"OR", "OR(a, b)"},
+		{"NOT", "NOT(a, x, b)"}, {"APERIODIC", "APERIODIC(a, b, x)"},
+	}
+	for _, op := range ops {
+		row := make([]float64, 0, 4)
+		for _, mode := range []event.Mode{event.Recent, event.Chronicle, event.Continuous, event.Cumulative} {
+			row = append(row, nsPerOp(func(b *testing.B) {
+				sim := clock.NewSim(epoch)
+				det := event.New(sim)
+				det.MustPrimitive("a")
+				det.MustPrimitive("b")
+				det.MustPrimitive("x")
+				det.MustDefine("c", event.WithMode(event.MustParse(op.expr), mode))
+				if _, err := det.Subscribe("c", func(*event.Occurrence) {}); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sim.Advance(time.Second)
+					// Balanced stream keeps buffers bounded (steady
+					// state) across the accumulating modes.
+					switch i % 3 {
+					case 0:
+						det.MustRaise("a", nil)
+					case 1:
+						det.MustRaise("b", nil)
+					default:
+						det.MustRaise("x", nil)
+					}
+				}
+			}))
+		}
+		fmt.Printf("%-10s %10.0f %10.0f %10.0f %10.0f\n", op.name, row[0], row[1], row[2], row[3])
+	}
+}
+
+// e3: rule generation vs enterprise size.
+func e3() {
+	header("E3", "rule generation time and pool size vs enterprise size")
+	fmt.Printf("%-8s %-6s %10s %12s\n", "roles", "ssd", "rules", "gen time")
+	for _, roles := range []int{10, 50, 100, 400} {
+		for _, ssd := range []float64{0, 0.3} {
+			cfg := workload.EnterpriseConfig{
+				Roles: roles, Shape: workload.XYZShape, Branch: 8,
+				SSDFraction: ssd, Users: roles, PermsPerRole: 2, Seed: 4,
+			}
+			src := policy.Format(workload.MustEnterprise(cfg))
+			sys := open(src)
+			rules := len(sys.Rules())
+			sys.Close()
+			ns := nsPerOp(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := open(src)
+					s.Close()
+				}
+			})
+			fmt.Printf("%-8d %-6.1f %10d %10.2fms\n", roles, ssd, rules, ns/1e6)
+		}
+	}
+}
+
+// e4: regeneration cost, incremental vs full rebuild.
+func e4() {
+	header("E4", "policy-change cost: incremental regeneration vs full rebuild (shift change on 1 role)")
+	fmt.Printf("%-8s %12s %12s %8s %14s\n", "roles", "incr", "full", "speedup", "roles touched")
+	for _, roles := range []int{10, 100, 400} {
+		cfg := workload.EnterpriseConfig{
+			Roles: roles, Shape: workload.XYZShape, Branch: 8,
+			SSDFraction: 0.3, Users: roles, PermsPerRole: 2, Seed: 4,
+		}
+		base := policy.Format(workload.MustEnterprise(cfg))
+		v1 := base + "shift r001 08:00:00-16:00:00\n"
+		v2 := base + "shift r001 09:00:00-17:00:00\n"
+		var touched int
+		incr := nsPerOp(func(b *testing.B) {
+			sys := open(v1)
+			defer sys.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next := v2
+				if i%2 == 1 {
+					next = v1
+				}
+				rep, err := sys.ApplyPolicy(next)
+				if err != nil {
+					b.Fatal(err)
+				}
+				touched = rep.Touched()
+			}
+		})
+		full := nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := v2
+				if i%2 == 1 {
+					src = v1
+				}
+				s := open(src)
+				s.Close()
+			}
+		})
+		fmt.Printf("%-8d %10.2fms %10.2fms %7.1fx %8d of %d\n",
+			roles, incr/1e6, full/1e6, full/incr, touched, roles)
+	}
+}
+
+// e5: active security detection timeliness and overhead.
+func e5() {
+	header("E5", "active security: detection timeliness and monitor overhead")
+	// Timeliness: the alert fires on exactly the k-th denial.
+	sim := clock.NewSim(epoch)
+	mon := security.NewMonitor(sim)
+	_ = mon.AddThreshold("burst", 5, 10*time.Minute, "lock-user")
+	var firedAt int
+	for i := 1; i <= 10 && firedAt == 0; i++ {
+		sim.Advance(time.Second)
+		if len(mon.RecordDenial("mallory")) > 0 {
+			firedAt = i
+		}
+	}
+	fmt.Printf("threshold k=5 fired on denial #%d (want exactly 5)\n", firedAt)
+	fmt.Printf("%-14s %12s\n", "thresholds", "ns/denial")
+	for _, n := range []int{0, 1, 8, 64} {
+		ns := nsPerOp(func(b *testing.B) {
+			s := clock.NewSim(epoch)
+			m := security.NewMonitor(s)
+			for i := 0; i < n; i++ {
+				_ = m.AddThreshold(fmt.Sprintf("t%d", i), 1000, time.Minute, "alert")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Advance(time.Millisecond)
+				m.RecordDenial(fmt.Sprintf("u%d", i%32))
+			}
+		})
+		fmt.Printf("%-14d %12.0f\n", n, ns)
+	}
+}
+
+// e6: activation throughput per AAR variant.
+func e6() {
+	header("E6", "activation cost per AAR rule variant (Rules 3-4)")
+	variants := []struct{ name, src, role string }{
+		{"AAR1 core", "role R\nuser u: R\n", "R"},
+		{"AAR2 hierarchy", "role Top\nrole R\nhierarchy Top > R\nuser u: Top\n", "R"},
+		{"AAR3 dsd", "role R\nrole S\ndsd d 2: R, S\nuser u: R\n", "R"},
+		{"AAR4 dsd+hier", "role Top\nrole R\nrole S\nhierarchy Top > R\ndsd d 2: R, S\nuser u: Top\n", "R"},
+		{"+cardinality", "role R\nuser u: R\ncardinality R 5\n", "R"},
+	}
+	fmt.Printf("%-16s %14s\n", "variant", "ns/act+deact")
+	for _, v := range variants {
+		ns := nsPerOp(func(b *testing.B) {
+			sys := open(v.src)
+			defer sys.Close()
+			sid, err := sys.CreateSession("u")
+			if err != nil {
+				b.Fatal(err)
+			}
+			role := activerbac.RoleID(v.role)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.AddActiveRole("u", sid, role); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.DropActiveRole("u", sid, role); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fmt.Printf("%-16s %14.0f\n", v.name, ns)
+	}
+}
+
+// e7: temporal machinery in simulated time.
+func e7() {
+	header("E7", "temporal constraints under simulated time (Rules 6-7)")
+	// Correctness: a 2h duration bound in a simulated day.
+	src := "role Nurse\nuser n: Nurse\nduration * Nurse 2h\n"
+	sim := clock.NewSim(epoch)
+	sys, err := activerbac.Open(src, &activerbac.Options{Clock: sim})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	sid, _ := sys.CreateSession("n")
+	_ = sys.AddActiveRole("n", sid, "Nurse")
+	sim.Advance(2*time.Hour + time.Second)
+	roles, _ := sys.SessionRoles(sid)
+	fmt.Printf("duration bound: active roles after 2h+1s = %d (want 0)\n", len(roles))
+	sys.Close()
+
+	fmt.Printf("%-16s %14s\n", "pending timers", "ns/act+deact")
+	for _, pending := range []int{100, 1000, 10000} {
+		ns := nsPerOp(func(b *testing.B) {
+			policySrc := "role R\nduration * R 1h\n"
+			for i := 0; i < pending; i++ {
+				policySrc += fmt.Sprintf("user u%04d: R\n", i)
+			}
+			s := open(policySrc)
+			defer s.Close()
+			for i := 0; i < pending; i++ {
+				u := activerbac.UserID(fmt.Sprintf("u%04d", i))
+				sid, err := s.CreateSession(u)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.AddActiveRole(u, sid, "R"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sid, err := s.CreateSession("u0000")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.AddActiveRole("u0000", sid, "R"); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.DropActiveRole("u0000", sid, "R"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fmt.Printf("%-16d %14.0f\n", pending, ns)
+	}
+}
+
+// e8: CFD coupling overhead.
+func e8() {
+	header("E8", "control-flow dependency coupling (Rule 8): enable/disable round trip")
+	for _, tc := range []struct {
+		name string
+		src  string
+	}{
+		{"coupled", "role A\nrole B\ncouple A -> B\n"},
+		{"uncoupled", "role A\nrole B\n"},
+	} {
+		ns := nsPerOp(func(b *testing.B) {
+			sys := open(tc.src)
+			defer sys.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.DisableRole("B"); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.EnableRole("A"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fmt.Printf("%-12s %12.0f ns/op\n", tc.name, ns)
+	}
+	// Correctness: both-or-neither invariant.
+	sys := open("role SysAdmin\nrole SysAudit\ncouple SysAdmin -> SysAudit\n")
+	defer sys.Close()
+	_ = sys.DisableRole("SysAudit")
+	fmt.Printf("after disabling SysAudit: SysAdmin enabled = %v (want false)\n",
+		sys.RoleEnabled("SysAdmin"))
+}
+
+// e9: the conformance matrix (Section 6 comparisons as executable
+// claims).
+func e9() {
+	header("E9", "feature conformance matrix (paper Section 6 comparisons)")
+	fmt.Printf("%-58s %-9s %s\n", "feature", "status", "systems lacking it (per paper)")
+	for _, f := range conformance.Matrix() {
+		status := "PASS"
+		if !f.Supported {
+			status = "FAIL: " + f.Detail
+		}
+		fmt.Printf("%-58s %-9s %s\n", f.Name, status, f.MissingIn)
+	}
+}

@@ -1,0 +1,148 @@
+// Command policyc is the policy compiler: it parses an .acp policy,
+// runs the consistency checker, instantiates the access specification
+// graph and prints the OWTE rule inventory the policy generates — the
+// paper's Figure 1 pipeline as a command.
+//
+// Usage:
+//
+//	policyc [-check] [-graph] [-rules] [-format] policy.acp
+//
+// With no mode flags, policyc runs all of check, graph and rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"activerbac"
+	"activerbac/internal/clock"
+	"activerbac/internal/policy"
+)
+
+func main() {
+	checkOnly := flag.Bool("check", false, "only run the consistency checker")
+	showGraph := flag.Bool("graph", false, "print the access specification graph")
+	showRules := flag.Bool("rules", false, "print the generated rule inventory")
+	format := flag.Bool("format", false, "print the canonical form of the policy")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: policyc [-check] [-graph] [-rules] [-format] policy.acp\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *checkOnly, *showGraph, *showRules, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "policyc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, checkOnly, showGraph, showRules, format bool) error {
+	spec, err := policy.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	all := !checkOnly && !showGraph && !showRules && !format
+
+	issues := policy.Check(spec)
+	for _, is := range issues {
+		fmt.Println(is)
+	}
+	if policy.HasErrors(issues) {
+		return fmt.Errorf("policy %q has errors", spec.Name)
+	}
+	fmt.Printf("policy %q: consistent (%d roles, %d users)\n", spec.Name, len(spec.Roles), len(spec.Users))
+	if checkOnly {
+		return nil
+	}
+
+	if format {
+		fmt.Print(policy.Format(spec))
+		return nil
+	}
+
+	if showGraph || all {
+		graph, err := policy.BuildGraph(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\naccess specification graph:")
+		for _, role := range graph.Roles() {
+			n, _ := graph.Node(role)
+			var flags []string
+			if n.Hierarchy {
+				flags = append(flags, "hierarchy")
+			}
+			if n.StaticSoD {
+				flags = append(flags, "ssd")
+			}
+			if n.InheritedStaticSoD {
+				flags = append(flags, "ssd(inherited)")
+			}
+			if n.DynamicSoD {
+				flags = append(flags, "dsd")
+			}
+			if n.InheritedDynamicSoD {
+				flags = append(flags, "dsd(inherited)")
+			}
+			if n.Cardinality > 0 {
+				flags = append(flags, fmt.Sprintf("cardinality=%d", n.Cardinality))
+			}
+			if n.Temporal {
+				flags = append(flags, "temporal")
+			}
+			if n.CFD {
+				flags = append(flags, "cfd")
+			}
+			parents := make([]string, 0, len(n.Parents))
+			for _, p := range n.Parents {
+				parents = append(parents, p.Role)
+			}
+			line := "  " + role
+			if len(parents) > 0 {
+				line += " -> parents(" + strings.Join(parents, ", ") + ")"
+			}
+			if len(flags) > 0 {
+				line += " [" + strings.Join(flags, ", ") + "]"
+			}
+			fmt.Println(line)
+		}
+	}
+
+	if showRules || all {
+		sys, err := activerbac.Open(policy.Format(spec), &activerbac.Options{
+			Clock: clock.NewSim(time.Now()),
+		})
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		if errs := sys.VerifyRules(); len(errs) != 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, e)
+			}
+			return fmt.Errorf("generated rule pool failed verification")
+		}
+		rules := sys.Rules()
+		fmt.Printf("\ngenerated rules (%d, verified):\n", len(rules))
+		for _, r := range rules {
+			fmt.Printf("  %-22s ON %-32s %s/%s tags=%v\n",
+				r.Name, r.On, r.Class, r.Granularity, r.Tags)
+			for _, c := range r.Conditions {
+				fmt.Printf("      WHEN %s\n", c)
+			}
+			for _, a := range r.Then {
+				fmt.Printf("      THEN %s\n", a)
+			}
+			for _, a := range r.Else {
+				fmt.Printf("      ELSE %s\n", a)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writePolicy(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.acp")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodPolicy = `
+policy "test"
+role PM
+role PC
+hierarchy PM > PC
+user bob: PC
+cardinality PM 1
+`
+
+func TestRunAllModes(t *testing.T) {
+	path := writePolicy(t, goodPolicy)
+	// All-mode (default) must succeed: check + graph + rules.
+	if err := run(path, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsInconsistentPolicy(t *testing.T) {
+	path := writePolicy(t, "role A\nrole A\n")
+	if err := run(path, true, false, false, false); err == nil {
+		t.Fatal("inconsistent policy accepted")
+	}
+}
+
+func TestRunRejectsBadSyntax(t *testing.T) {
+	path := writePolicy(t, "bogus statement\n")
+	if err := run(path, false, false, false, false); err == nil {
+		t.Fatal("bad syntax accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "none.acp"), false, false, false, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,207 @@
+// Command rbacctl is the command-line client for rbacd.
+//
+// Usage:
+//
+//	rbacctl [-server http://localhost:8180] <command> [args]
+//
+// Commands:
+//
+//	session new <user>                      create a session
+//	session end <session>                   end a session
+//	activate <user> <session> <role>        activate a role
+//	deactivate <user> <session> <role>      deactivate a role
+//	check <session> <operation> <object> [purpose]
+//	assign <user> <role>                    assign a role
+//	deassign <user> <role>                  remove an assignment
+//	user add <user>                         register a user
+//	role enable <role> | role disable <role>
+//	context set <key> <value>               report an environmental change
+//	context get <key>                       read an environmental value
+//	verify                                  audit the rule pool against the policy
+//	rules                                   print the rule inventory
+//	stats                                   print engine counters
+//	alerts                                  print active-security alerts
+//	policy get                              print the loaded policy
+//	policy apply <file.acp>                 swap the policy (regenerates rules)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	server := "http://localhost:8180"
+	if len(args) >= 2 && args[0] == "-server" {
+		server = args[1]
+		args = args[2:]
+	}
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimSuffix(server, "/")}
+	if err := c.dispatch(args); err != nil {
+		fmt.Fprintln(os.Stderr, "rbacctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] <command> [args]
+commands: session new|end, activate, deactivate, check, assign, deassign,
+          user add, role enable|disable, context set|get, verify,
+          rules, stats, alerts, policy get|apply`)
+}
+
+type client struct {
+	base string
+}
+
+func (c *client) dispatch(args []string) error {
+	cmd := args[0]
+	rest := args[1:]
+	switch cmd {
+	case "session":
+		if len(rest) == 2 && rest[0] == "new" {
+			return c.post("/v1/sessions", map[string]string{"user": rest[1]})
+		}
+		if len(rest) == 2 && rest[0] == "end" {
+			return c.do("DELETE", "/v1/sessions", map[string]string{"session": rest[1]})
+		}
+	case "activate":
+		if len(rest) == 3 {
+			return c.post("/v1/activate", map[string]string{"user": rest[0], "session": rest[1], "role": rest[2]})
+		}
+	case "deactivate":
+		if len(rest) == 3 {
+			return c.post("/v1/deactivate", map[string]string{"user": rest[0], "session": rest[1], "role": rest[2]})
+		}
+	case "check":
+		if len(rest) == 3 || len(rest) == 4 {
+			q := url.Values{"session": {rest[0]}, "operation": {rest[1]}, "object": {rest[2]}}
+			if len(rest) == 4 {
+				q.Set("purpose", rest[3])
+			}
+			return c.get("/v1/check?" + q.Encode())
+		}
+	case "assign":
+		if len(rest) == 2 {
+			return c.post("/v1/assign", map[string]string{"user": rest[0], "role": rest[1]})
+		}
+	case "deassign":
+		if len(rest) == 2 {
+			return c.post("/v1/deassign", map[string]string{"user": rest[0], "role": rest[1]})
+		}
+	case "user":
+		if len(rest) == 2 && rest[0] == "add" {
+			return c.post("/v1/users", map[string]string{"user": rest[1]})
+		}
+	case "role":
+		if len(rest) == 2 && (rest[0] == "enable" || rest[0] == "disable") {
+			return c.post("/v1/roles/"+rest[0], map[string]string{"role": rest[1]})
+		}
+	case "context":
+		if len(rest) == 3 && rest[0] == "set" {
+			return c.post("/v1/context", map[string]string{"key": rest[1], "value": rest[2]})
+		}
+		if len(rest) == 2 && rest[0] == "get" {
+			return c.get("/v1/context?" + url.Values{"key": {rest[1]}}.Encode())
+		}
+	case "verify":
+		return c.get("/v1/verify")
+	case "rules":
+		return c.get("/v1/rules")
+	case "stats":
+		return c.get("/v1/stats")
+	case "alerts":
+		return c.get("/v1/alerts")
+	case "policy":
+		if len(rest) == 1 && rest[0] == "get" {
+			return c.getRaw("/v1/policy")
+		}
+		if len(rest) == 2 && rest[0] == "apply" {
+			data, err := os.ReadFile(rest[1])
+			if err != nil {
+				return err
+			}
+			return c.postRaw("/v1/policy", data)
+		}
+	}
+	usage()
+	return fmt.Errorf("unknown or malformed command %q", strings.Join(args, " "))
+}
+
+func (c *client) post(path string, body map[string]string) error {
+	return c.do("POST", path, body)
+}
+
+func (c *client) do(method, path string, body map[string]string) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.send(req)
+}
+
+func (c *client) get(path string) error {
+	req, err := http.NewRequest("GET", c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.send(req)
+}
+
+func (c *client) getRaw(path string) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c *client) postRaw(path string, data []byte) error {
+	req, err := http.NewRequest("POST", c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	return c.send(req)
+}
+
+func (c *client) send(req *http.Request) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	// Pretty-print JSON responses.
+	var buf bytes.Buffer
+	if json.Indent(&buf, body, "", "  ") == nil {
+		fmt.Println(buf.String())
+	} else {
+		fmt.Println(string(body))
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// recordingServer captures the requests rbacctl commands translate to.
+type recordingServer struct {
+	mu   sync.Mutex
+	last struct {
+		Method string
+		Path   string
+		Query  string
+		Body   map[string]string
+		Raw    string
+	}
+}
+
+func (r *recordingServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		r.last.Method = req.Method
+		r.last.Path = req.URL.Path
+		r.last.Query = req.URL.RawQuery
+		r.last.Body = nil
+		r.last.Raw = ""
+		if req.Body != nil {
+			data, _ := io.ReadAll(req.Body)
+			r.last.Raw = string(data)
+			var m map[string]string
+			if json.Unmarshal(data, &m) == nil {
+				r.last.Body = m
+			}
+		}
+		r.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	})
+}
+
+func TestDispatchTranslatesCommands(t *testing.T) {
+	rec := &recordingServer{}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+	c := &client{base: srv.URL}
+
+	policyFile := filepath.Join(t.TempDir(), "p.acp")
+	if err := os.WriteFile(policyFile, []byte("role A\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		args   []string
+		method string
+		path   string
+		body   map[string]string
+		query  string
+	}{
+		{[]string{"session", "new", "bob"}, "POST", "/v1/sessions", map[string]string{"user": "bob"}, ""},
+		{[]string{"session", "end", "s1"}, "DELETE", "/v1/sessions", map[string]string{"session": "s1"}, ""},
+		{[]string{"activate", "bob", "s1", "PC"}, "POST", "/v1/activate",
+			map[string]string{"user": "bob", "session": "s1", "role": "PC"}, ""},
+		{[]string{"deactivate", "bob", "s1", "PC"}, "POST", "/v1/deactivate",
+			map[string]string{"user": "bob", "session": "s1", "role": "PC"}, ""},
+		{[]string{"check", "s1", "read", "doc"}, "GET", "/v1/check", nil,
+			"object=doc&operation=read&session=s1"},
+		{[]string{"check", "s1", "read", "doc", "treatment"}, "GET", "/v1/check", nil,
+			"object=doc&operation=read&purpose=treatment&session=s1"},
+		{[]string{"assign", "bob", "PC"}, "POST", "/v1/assign",
+			map[string]string{"user": "bob", "role": "PC"}, ""},
+		{[]string{"deassign", "bob", "PC"}, "POST", "/v1/deassign",
+			map[string]string{"user": "bob", "role": "PC"}, ""},
+		{[]string{"user", "add", "dave"}, "POST", "/v1/users", map[string]string{"user": "dave"}, ""},
+		{[]string{"role", "enable", "PC"}, "POST", "/v1/roles/enable", map[string]string{"role": "PC"}, ""},
+		{[]string{"role", "disable", "PC"}, "POST", "/v1/roles/disable", map[string]string{"role": "PC"}, ""},
+		{[]string{"context", "set", "site", "hq"}, "POST", "/v1/context",
+			map[string]string{"key": "site", "value": "hq"}, ""},
+		{[]string{"context", "get", "site"}, "GET", "/v1/context", nil, "key=site"},
+		{[]string{"verify"}, "GET", "/v1/verify", nil, ""},
+		{[]string{"rules"}, "GET", "/v1/rules", nil, ""},
+		{[]string{"stats"}, "GET", "/v1/stats", nil, ""},
+		{[]string{"alerts"}, "GET", "/v1/alerts", nil, ""},
+		{[]string{"policy", "get"}, "GET", "/v1/policy", nil, ""},
+		{[]string{"policy", "apply", policyFile}, "POST", "/v1/policy", nil, ""},
+	}
+	for _, tc := range tests {
+		if err := c.dispatch(tc.args); err != nil {
+			t.Fatalf("dispatch(%v): %v", tc.args, err)
+		}
+		rec.mu.Lock()
+		got := rec.last
+		rec.mu.Unlock()
+		if got.Method != tc.method || got.Path != tc.path {
+			t.Fatalf("dispatch(%v) -> %s %s, want %s %s", tc.args, got.Method, got.Path, tc.method, tc.path)
+		}
+		if tc.query != "" && got.Query != tc.query {
+			t.Fatalf("dispatch(%v) query = %q, want %q", tc.args, got.Query, tc.query)
+		}
+		for k, v := range tc.body {
+			if got.Body[k] != v {
+				t.Fatalf("dispatch(%v) body = %v, want %v", tc.args, got.Body, tc.body)
+			}
+		}
+	}
+	// policy apply ships the file contents verbatim.
+	if err := c.dispatch([]string{"policy", "apply", policyFile}); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	raw := rec.last.Raw
+	rec.mu.Unlock()
+	if raw != "role A\n" {
+		t.Fatalf("policy body = %q", raw)
+	}
+}
+
+func TestDispatchRejectsBadCommands(t *testing.T) {
+	c := &client{base: "http://127.0.0.1:0"}
+	for _, args := range [][]string{
+		{"bogus"},
+		{"session"},
+		{"session", "new"},
+		{"activate", "bob"},
+		{"check", "s1"},
+		{"role", "explode", "PC"},
+		{"policy"},
+		{"policy", "apply", "/does/not/exist.acp"},
+	} {
+		if err := c.dispatch(args); err == nil {
+			t.Errorf("dispatch(%v) accepted", args)
+		}
+	}
+}
+
+func TestServerErrorSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"denied"}`, http.StatusForbidden)
+	}))
+	defer srv.Close()
+	c := &client{base: srv.URL}
+	if err := c.dispatch([]string{"stats"}); err == nil {
+		t.Fatal("4xx response not surfaced as an error")
+	}
+}

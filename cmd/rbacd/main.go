@@ -1,0 +1,373 @@
+// Command rbacd serves an active authorization engine over HTTP. It
+// loads an .acp policy, generates the OWTE rule pool and answers
+// enforcement requests; the policy can be swapped at runtime through
+// the API, regenerating exactly the affected rules.
+//
+// Usage:
+//
+//	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-snapshot state.json]
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/sessions              {"user":U}                -> {"session":S}
+//	DELETE /v1/sessions              {"session":S}
+//	POST   /v1/activate              {"user":U,"session":S,"role":R}
+//	POST   /v1/deactivate            {"user":U,"session":S,"role":R}
+//	GET    /v1/check?session=&operation=&object=[&purpose=]    -> {"allowed":bool}
+//	POST   /v1/assign                {"user":U,"role":R}
+//	POST   /v1/deassign              {"user":U,"role":R}
+//	POST   /v1/users                 {"user":U}
+//	POST   /v1/roles/enable          {"role":R}
+//	POST   /v1/roles/disable         {"role":R}
+//	POST   /v1/context               {"key":K,"value":V}       context update (may revoke roles)
+//	GET    /v1/context?key=K                                   -> current value
+//	GET    /v1/verify                                          -> rule-pool verification result
+//	GET    /v1/rules                                           -> rule inventory
+//	GET    /v1/stats                                           -> engine counters
+//	GET    /v1/alerts                                          -> active-security alerts
+//	POST   /v1/policy                (text/plain .acp body)    -> regeneration report
+//	GET    /v1/policy                                          -> current policy source
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"activerbac"
+)
+
+func main() {
+	addr := flag.String("addr", ":8180", "listen address")
+	policyPath := flag.String("policy", "", "path to the .acp policy (required)")
+	auditPath := flag.String("audit", "", "append-only audit log path (optional)")
+	snapshotPath := flag.String("snapshot", "", "state snapshot path, written on shutdown (optional)")
+	flag.Parse()
+	if *policyPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *policyPath, *auditPath, *snapshotPath); err != nil {
+		log.Fatal("rbacd: ", err)
+	}
+}
+
+func run(addr, policyPath, auditPath, snapshotPath string) error {
+	opts := &activerbac.Options{AuditPath: auditPath}
+	sys, err := activerbac.OpenFile(policyPath, opts)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	srv := &server{sys: sys}
+	httpSrv := &http.Server{Addr: addr, Handler: srv.routes()}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		if snapshotPath != "" {
+			if err := sys.SaveState(snapshotPath); err != nil {
+				log.Print("rbacd: snapshot: ", err)
+			}
+		}
+		httpSrv.Close()
+	}()
+
+	log.Printf("rbacd: serving on %s (policy %s, %d rules)", addr, policyPath, len(sys.Rules()))
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// server handles the HTTP API; the mutex serializes policy swaps
+// against request handling (enforcement itself is already
+// engine-serialized).
+type server struct {
+	mu  sync.RWMutex
+	sys *activerbac.System
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.createSession)
+	mux.HandleFunc("DELETE /v1/sessions", s.deleteSession)
+	mux.HandleFunc("POST /v1/activate", s.activate)
+	mux.HandleFunc("POST /v1/deactivate", s.deactivate)
+	mux.HandleFunc("GET /v1/check", s.check)
+	mux.HandleFunc("POST /v1/assign", s.assign)
+	mux.HandleFunc("POST /v1/deassign", s.deassign)
+	mux.HandleFunc("POST /v1/users", s.addUser)
+	mux.HandleFunc("POST /v1/roles/enable", s.enableRole)
+	mux.HandleFunc("POST /v1/roles/disable", s.disableRole)
+	mux.HandleFunc("POST /v1/context", s.setContext)
+	mux.HandleFunc("GET /v1/context", s.getContext)
+	mux.HandleFunc("GET /v1/verify", s.verify)
+	mux.HandleFunc("GET /v1/rules", s.rules)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /v1/alerts", s.alerts)
+	mux.HandleFunc("GET /v1/policy", s.getPolicy)
+	mux.HandleFunc("POST /v1/policy", s.putPolicy)
+	return mux
+}
+
+// request is the shared JSON request body shape.
+type request struct {
+	User    string `json:"user,omitempty"`
+	Session string `json:"session,omitempty"`
+	Role    string `json:"role,omitempty"`
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into *request) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(into); err != nil {
+		http.Error(w, `{"error":"bad request body"}`, http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps engine errors to HTTP statuses: denials are 403,
+// missing entities 404, conflicts 409, the rest 500.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, activerbac.ErrDenied),
+		errors.Is(err, activerbac.ErrUserLocked),
+		errors.Is(err, activerbac.ErrSSD),
+		errors.Is(err, activerbac.ErrDSD),
+		errors.Is(err, activerbac.ErrCardinality):
+		status = http.StatusForbidden
+	case errors.Is(err, activerbac.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, activerbac.ErrExists):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) system() *activerbac.System {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys
+}
+
+func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	sid, err := s.system().CreateSession(activerbac.UserID(req.User))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"session": string(sid)})
+}
+
+func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.system().DeleteSession(activerbac.SessionID(req.Session)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) activate(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	err := s.system().AddActiveRole(
+		activerbac.UserID(req.User), activerbac.SessionID(req.Session), activerbac.RoleID(req.Role))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) deactivate(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	err := s.system().DropActiveRole(
+		activerbac.UserID(req.User), activerbac.SessionID(req.Session), activerbac.RoleID(req.Role))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) check(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sid := activerbac.SessionID(q.Get("session"))
+	perm := activerbac.Permission{Operation: q.Get("operation"), Object: q.Get("object")}
+	if purpose := q.Get("purpose"); purpose != "" {
+		allowed := s.system().CheckAccessForPurpose(sid, perm, purpose)
+		writeJSON(w, http.StatusOK, map[string]bool{"allowed": allowed})
+		return
+	}
+	if q.Get("explain") != "" {
+		ex := s.system().ExplainAccess(sid, perm)
+		writeJSON(w, http.StatusOK, ex)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"allowed": s.system().CheckAccess(sid, perm)})
+}
+
+func (s *server) assign(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.system().AssignUser(activerbac.UserID(req.User), activerbac.RoleID(req.Role)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) deassign(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.system().DeassignUser(activerbac.UserID(req.User), activerbac.RoleID(req.Role)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) addUser(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.system().AddUser(activerbac.UserID(req.User)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) enableRole(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.system().EnableRole(activerbac.RoleID(req.Role)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) disableRole(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.system().DisableRole(activerbac.RoleID(req.Role)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// contextRequest carries environmental updates.
+type contextRequest struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+func (s *server) setContext(w http.ResponseWriter, r *http.Request) {
+	var req contextRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil || req.Key == "" {
+		http.Error(w, `{"error":"want {\"key\":K,\"value\":V}"}`, http.StatusBadRequest)
+		return
+	}
+	if err := s.system().SetContext(req.Key, req.Value); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) getContext(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, `{"error":"missing key parameter"}`, http.StatusBadRequest)
+		return
+	}
+	value, ok := s.system().GetContext(key)
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "value": value, "set": ok})
+}
+
+func (s *server) verify(w http.ResponseWriter, _ *http.Request) {
+	errs := s.system().VerifyRules()
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": len(errs) == 0, "problems": msgs})
+}
+
+func (s *server) rules(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.system().Rules())
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.system().Stats())
+}
+
+func (s *server) alerts(w http.ResponseWriter, _ *http.Request) {
+	alerts := s.system().Alerts()
+	if alerts == nil {
+		alerts = []activerbac.Alert{}
+	}
+	writeJSON(w, http.StatusOK, alerts)
+}
+
+func (s *server) getPolicy(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.system().PolicySource())
+}
+
+func (s *server) putPolicy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, `{"error":"bad body"}`, http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	rep, err := s.sys.ApplyPolicy(string(body))
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

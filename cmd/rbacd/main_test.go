@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"activerbac"
+)
+
+const testPolicy = `
+policy "enterprise-xyz"
+role PM
+role PC
+role AC
+role Clerk
+hierarchy PM > PC > Clerk
+ssd pa 2: PC, AC
+permission PC: write po.dat
+permission Clerk: read lobby.txt
+user bob: PC
+user carol: AC
+threshold burst 3 in 10m: lock-user
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sys, err := activerbac.Open(testPolicy, &activerbac.Options{
+		Clock: activerbac.NewSimClock(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := httptest.NewServer((&server{sys: sys}).routes())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// call issues a JSON request and decodes the response into out.
+func call(t *testing.T, srv *httptest.Server, method, path, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSessionActivateCheckFlow(t *testing.T) {
+	srv := newTestServer(t)
+	var sess struct {
+		Session string `json:"session"`
+	}
+	if code := call(t, srv, "POST", "/v1/sessions", `{"user":"bob"}`, &sess); code != 200 || sess.Session == "" {
+		t.Fatalf("create session: code=%d sess=%+v", code, sess)
+	}
+	if code := call(t, srv, "POST", "/v1/activate",
+		`{"user":"bob","session":"`+sess.Session+`","role":"PC"}`, nil); code != 200 {
+		t.Fatalf("activate: code=%d", code)
+	}
+	var check struct {
+		Allowed bool `json:"allowed"`
+	}
+	call(t, srv, "GET", "/v1/check?session="+sess.Session+"&operation=write&object=po.dat", "", &check)
+	if !check.Allowed {
+		t.Fatal("write po.dat denied")
+	}
+	call(t, srv, "GET", "/v1/check?session="+sess.Session+"&operation=read&object=lobby.txt", "", &check)
+	if !check.Allowed {
+		t.Fatal("inherited read denied")
+	}
+	call(t, srv, "GET", "/v1/check?session="+sess.Session+"&operation=approve&object=po.dat", "", &check)
+	if check.Allowed {
+		t.Fatal("unauthorized operation allowed")
+	}
+	// Explainability: the denial names the rule and reason.
+	var ex struct {
+		Allowed bool
+		Reason  string
+		Votes   []struct{ Rule string }
+	}
+	call(t, srv, "GET", "/v1/check?session="+sess.Session+"&operation=approve&object=po.dat&explain=1", "", &ex)
+	if ex.Allowed || ex.Reason != "Permission Denied" || len(ex.Votes) != 1 || ex.Votes[0].Rule != "CA1" {
+		t.Fatalf("explanation = %+v", ex)
+	}
+	if code := call(t, srv, "POST", "/v1/deactivate",
+		`{"user":"bob","session":"`+sess.Session+`","role":"PC"}`, nil); code != 200 {
+		t.Fatalf("deactivate: code=%d", code)
+	}
+	if code := call(t, srv, "DELETE", "/v1/sessions",
+		`{"session":"`+sess.Session+`"}`, nil); code != 200 {
+		t.Fatalf("delete session: code=%d", code)
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	srv := newTestServer(t)
+	// Denied activation: 403.
+	var sess struct {
+		Session string `json:"session"`
+	}
+	call(t, srv, "POST", "/v1/sessions", `{"user":"bob"}`, &sess)
+	if code := call(t, srv, "POST", "/v1/activate",
+		`{"user":"bob","session":"`+sess.Session+`","role":"AC"}`, nil); code != http.StatusForbidden {
+		t.Fatalf("unauthorized activation: code=%d, want 403", code)
+	}
+	// Unknown user session: 403 (denied by rule).
+	if code := call(t, srv, "POST", "/v1/sessions", `{"user":"ghost"}`, nil); code != http.StatusForbidden {
+		t.Fatalf("ghost session: code=%d, want 403", code)
+	}
+	// SSD assignment: 403.
+	if code := call(t, srv, "POST", "/v1/assign", `{"user":"carol","role":"PC"}`, nil); code != http.StatusForbidden {
+		t.Fatalf("SSD assignment: code=%d, want 403", code)
+	}
+	// Duplicate user: 409.
+	if code := call(t, srv, "POST", "/v1/users", `{"user":"bob"}`, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate user: code=%d, want 409", code)
+	}
+	// Bad body: 400.
+	if code := call(t, srv, "POST", "/v1/activate", `{not json`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad body: code=%d, want 400", code)
+	}
+}
+
+func TestIntrospectionEndpoints(t *testing.T) {
+	srv := newTestServer(t)
+	var rules []map[string]any
+	if code := call(t, srv, "GET", "/v1/rules", "", &rules); code != 200 || len(rules) == 0 {
+		t.Fatalf("rules: code=%d n=%d", code, len(rules))
+	}
+	var stats map[string]any
+	if code := call(t, srv, "GET", "/v1/stats", "", &stats); code != 200 {
+		t.Fatalf("stats: code=%d", code)
+	}
+	if stats["Roles"].(float64) != 4 {
+		t.Fatalf("stats = %v", stats)
+	}
+	var alerts []any
+	if code := call(t, srv, "GET", "/v1/alerts", "", &alerts); code != 200 || alerts == nil {
+		t.Fatalf("alerts: code=%d %v", code, alerts)
+	}
+}
+
+func TestAssignDeassignAndRoleState(t *testing.T) {
+	srv := newTestServer(t)
+	if code := call(t, srv, "POST", "/v1/users", `{"user":"dave"}`, nil); code != 200 {
+		t.Fatalf("add user: %d", code)
+	}
+	if code := call(t, srv, "POST", "/v1/assign", `{"user":"dave","role":"Clerk"}`, nil); code != 200 {
+		t.Fatalf("assign: %d", code)
+	}
+	if code := call(t, srv, "POST", "/v1/deassign", `{"user":"dave","role":"Clerk"}`, nil); code != 200 {
+		t.Fatalf("deassign: %d", code)
+	}
+	if code := call(t, srv, "POST", "/v1/roles/disable", `{"role":"PC"}`, nil); code != 200 {
+		t.Fatalf("disable: %d", code)
+	}
+	if code := call(t, srv, "POST", "/v1/roles/enable", `{"role":"PC"}`, nil); code != 200 {
+		t.Fatalf("enable: %d", code)
+	}
+}
+
+func TestPolicyEndpoints(t *testing.T) {
+	srv := newTestServer(t)
+	// GET returns the loaded source.
+	resp, err := http.Get(srv.URL + "/v1/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "enterprise-xyz") {
+		t.Fatalf("policy body: %q", body)
+	}
+
+	// POST applies a change and returns the regeneration report.
+	edited := strings.Replace(testPolicy, "permission PC: write po.dat",
+		"permission PC: write po.dat\ncardinality PC 3", 1)
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/policy", strings.NewReader(edited))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var rep struct {
+		RolesRegenerated []string
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != 200 || len(rep.RolesRegenerated) != 1 || rep.RolesRegenerated[0] != "PC" {
+		t.Fatalf("apply: code=%d report=%+v", resp2.StatusCode, rep)
+	}
+
+	// A broken policy is rejected with 422 and the engine keeps serving.
+	req2, _ := http.NewRequest("POST", srv.URL+"/v1/policy", strings.NewReader("role A\nrole A"))
+	resp3, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad policy: code=%d, want 422", resp3.StatusCode)
+	}
+	var stats map[string]any
+	if code := call(t, srv, "GET", "/v1/stats", "", &stats); code != 200 {
+		t.Fatalf("stats after bad policy: %d", code)
+	}
+}
+
+func TestContextAndVerifyEndpoints(t *testing.T) {
+	srv := newTestServer(t)
+	if code := call(t, srv, "POST", "/v1/context", `{"key":"site","value":"hq"}`, nil); code != 200 {
+		t.Fatalf("set context: %d", code)
+	}
+	var got struct {
+		Key   string `json:"key"`
+		Value string `json:"value"`
+		Set   bool   `json:"set"`
+	}
+	if code := call(t, srv, "GET", "/v1/context?key=site", "", &got); code != 200 || !got.Set || got.Value != "hq" {
+		t.Fatalf("get context: code=%d got=%+v", code, got)
+	}
+	if code := call(t, srv, "GET", "/v1/context?key=unset", "", &got); code != 200 || got.Set {
+		t.Fatalf("unset key: code=%d got=%+v", code, got)
+	}
+	if code := call(t, srv, "GET", "/v1/context", "", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing key: %d", code)
+	}
+	if code := call(t, srv, "POST", "/v1/context", `{}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty key: %d", code)
+	}
+	var ver struct {
+		OK       bool     `json:"ok"`
+		Problems []string `json:"problems"`
+	}
+	if code := call(t, srv, "GET", "/v1/verify", "", &ver); code != 200 || !ver.OK {
+		t.Fatalf("verify: code=%d %+v", code, ver)
+	}
+}
+
+func TestActiveSecurityOverHTTP(t *testing.T) {
+	srv := newTestServer(t)
+	var sess struct {
+		Session string `json:"session"`
+	}
+	call(t, srv, "POST", "/v1/sessions", `{"user":"bob"}`, &sess)
+	var check struct {
+		Allowed bool `json:"allowed"`
+	}
+	for i := 0; i < 3; i++ {
+		call(t, srv, "GET", "/v1/check?session="+sess.Session+"&operation=steal&object=secrets", "", &check)
+	}
+	var alerts []map[string]any
+	call(t, srv, "GET", "/v1/alerts", "", &alerts)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	// The locked user cannot open a new session: 403.
+	if code := call(t, srv, "POST", "/v1/sessions", `{"user":"bob"}`, nil); code != http.StatusForbidden {
+		t.Fatalf("locked session creation: code=%d, want 403", code)
+	}
+}

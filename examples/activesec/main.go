@@ -1,0 +1,116 @@
+// Active security: the paper's Section 4.3.3 scenarios —
+//
+//   - transaction-based activation (Rule 9): junior employees can hold
+//     the JuniorEmp role only while a Manager is active, and lose it the
+//     moment the last manager signs off;
+//   - an intrusion threshold: five denied requests within ten minutes
+//     lock the offending user, without administrator intervention.
+//
+// Run with:
+//
+//	go run ./examples/activesec
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"activerbac"
+)
+
+const opsPolicy = `
+policy "ops-floor"
+role Manager
+role JuniorEmp
+role SysAdmin
+role SysAudit
+
+permission JuniorEmp: read tickets.db
+permission Manager: write tickets.db
+
+user mia: Manager
+user jay: JuniorEmp
+user mallory: JuniorEmp
+
+require JuniorEmp needs-active Manager
+couple SysAdmin -> SysAudit
+
+threshold intrusion-burst 5 in 10m: lock-user
+`
+
+func main() {
+	sim := activerbac.NewSimClock(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+	sys, err := activerbac.Open(opsPolicy, &activerbac.Options{Clock: sim})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// --- Rule 9: transaction-based activation --------------------------
+	fmt.Println("— transaction-based activation (JuniorEmp needs an active Manager) —")
+	jaySid, err := sys.CreateSession("jay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sys.AddActiveRole("jay", jaySid, "JuniorEmp")
+	fmt.Printf("before the manager arrives: %v\n", err)
+
+	miaSid, err := sys.CreateSession("mia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(sys.AddActiveRole("mia", miaSid, "Manager"))
+	must(sys.AddActiveRole("jay", jaySid, "JuniorEmp"))
+	fmt.Println("manager active: jay holds JuniorEmp")
+
+	must(sys.DropActiveRole("mia", miaSid, "Manager"))
+	roles, _ := sys.SessionRoles(jaySid)
+	fmt.Printf("manager signed off: jay's active roles = %v (revoked automatically)\n\n", roles)
+
+	// --- Rule 8: SysAdmin/SysAudit coupling -----------------------------
+	fmt.Println("— post-condition coupling (SysAdmin requires SysAudit) —")
+	fmt.Printf("enable SysAdmin -> SysAudit enabled = %v\n", func() bool {
+		must(sys.EnableRole("SysAdmin"))
+		return sys.RoleEnabled("SysAudit")
+	}())
+	must(sys.DisableRole("SysAudit"))
+	fmt.Printf("disable SysAudit -> SysAdmin enabled = %v (both or neither)\n\n", sys.RoleEnabled("SysAdmin"))
+
+	// --- Intrusion threshold --------------------------------------------
+	fmt.Println("— active security: 5 denials in 10m lock the user —")
+	malSid, err := sys.CreateSession("mallory")
+	if err != nil {
+		log.Fatal(err)
+	}
+	secret := activerbac.Permission{Operation: "read", Object: "payroll.db"}
+	for i := 1; i <= 5; i++ {
+		sim.Advance(30 * time.Second)
+		allowed := sys.CheckAccess(malSid, secret)
+		fmt.Printf("  probe %d at %s: allowed=%v locked=%v\n",
+			i, sim.Now().Format("15:04:05"), allowed, sys.UserLocked("mallory"))
+	}
+	for _, a := range sys.Alerts() {
+		fmt.Printf("ALERT %s\n", a)
+	}
+	// Locked out entirely — even the legitimate ticket database.
+	mia2, err := sys.CreateSession("mia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(sys.AddActiveRole("mia", mia2, "Manager"))
+	fmt.Printf("mallory legitimate request while locked: %v\n",
+		sys.CheckAccess(malSid, activerbac.Permission{Operation: "read", Object: "tickets.db"}))
+	if _, err := sys.CreateSession("mallory"); err != nil {
+		fmt.Printf("mallory new session: %v\n", err)
+	}
+	// The administrator reviews the audit trail and unlocks.
+	must(sys.UnlockUser("mallory"))
+	fmt.Printf("after unlock, mallory locked = %v\n", sys.UserLocked("mallory"))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Dynamic policy: the paper's Section 5 manageability story. The
+// administrator edits the high-level specification — the day-doctor
+// shift moves from 8-16 to 9-17, a new Intern role appears under Clerk
+// — and the engine regenerates exactly the affected rules while
+// sessions stay live. The report shows how little was touched, which is
+// the whole point versus hand-maintained low-level rules.
+//
+// Run with:
+//
+//	go run ./examples/dynamicpolicy
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"activerbac"
+)
+
+const v1 = `
+policy "hospital"
+role ChiefDoctor
+role DayDoctor
+role Clerk
+hierarchy ChiefDoctor > DayDoctor > Clerk
+permission Clerk: read board.txt
+user dana: DayDoctor
+shift DayDoctor 08:00:00-16:00:00
+`
+
+func main() {
+	day := func(h, m int) time.Time { return time.Date(2026, 7, 6, h, m, 0, 0, time.UTC) }
+	sim := activerbac.NewSimClock(day(8, 30))
+	sys, err := activerbac.Open(v1, &activerbac.Options{Clock: sim})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fmt.Printf("v1 loaded: %d rules\n", len(sys.Rules()))
+	sid, err := sys.CreateSession("dana")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.AddActiveRole("dana", sid, "DayDoctor"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[%s] dana active under the 8-16 shift\n\n", sim.Now().Format("15:04"))
+
+	// Change 1: move the shift (the paper's exact example).
+	v2 := strings.Replace(v1, "shift DayDoctor 08:00:00-16:00:00",
+		"shift DayDoctor 09:00:00-17:00:00", 1)
+	rep, err := sys.ApplyPolicy(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shift change applied: %s\n", rep)
+	fmt.Printf("  roles regenerated: %v (out of 3 in the enterprise)\n", rep.RolesRegenerated)
+
+	// The session survived, and the new window governs.
+	sim.AdvanceTo(day(16, 30))
+	ok := sys.CheckAccess(sid, activerbac.Permission{Operation: "read", Object: "board.txt"})
+	fmt.Printf("[%s] dana still in session, board access = %v (old shift would have ended at 16:00)\n",
+		sim.Now().Format("15:04"), ok)
+	fmt.Printf("[%s] DayDoctor enabled = %v\n\n", sim.Now().Format("15:04"), sys.RoleEnabled("DayDoctor"))
+
+	// Change 2: a new Intern role under Clerk, with a duration bound.
+	v3 := v2 + "role Intern\nhierarchy Clerk > Intern\nuser ivy: Intern\nduration * Intern 4h\n"
+	rep, err = sys.ApplyPolicy(v3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("intern role added: %s\n", rep)
+	ivySid, err := sys.CreateSession("ivy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.AddActiveRole("ivy", ivySid, "Intern"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  ivy activated the brand-new Intern role through freshly generated rules")
+
+	// Change 3: a bad edit is rejected atomically by the consistency
+	// checker — the running system is untouched.
+	bad := v3 + "hierarchy Intern > ChiefDoctor\n" // cycle
+	if _, err := sys.ApplyPolicy(bad); err != nil {
+		fmt.Printf("\nbad edit rejected by the consistency checker:\n  %v\n", err)
+	}
+	fmt.Printf("engine still serving: %d rules, invariants clean = %v\n",
+		len(sys.Rules()), len(sys.CheckInvariants()) == 0)
+}

@@ -1,0 +1,108 @@
+// Hospital: the paper's Generalized Temporal RBAC scenarios (Section
+// 4.3.2) in one ward —
+//
+//   - a day-doctor shift (periodic role enabling, 10:00-17:00),
+//   - a 2-hour per-activation bound on the Nurse role (Rule 7's
+//     "car parking" duration constraint),
+//   - disabling-time SoD: Nurse and Doctor must never both be disabled
+//     during clinic hours (Rule 6).
+//
+// A simulated clock drives the day in milliseconds of wall time.
+//
+// Run with:
+//
+//	go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"activerbac"
+)
+
+const wardPolicy = `
+policy "city-hospital"
+role Doctor
+role Nurse
+role DayDoctor
+
+permission Doctor: prescribe medication
+permission Nurse: read chart.dat
+permission DayDoctor: staff clinic
+
+user dora: Doctor
+user nick: Nurse
+user dana: DayDoctor
+
+shift DayDoctor 10:00:00-17:00:00
+duration * Nurse 2h
+timesod ward-coverage 10:00:00-17:00:00: Nurse, Doctor
+`
+
+func main() {
+	day := func(h, m int) time.Time { return time.Date(2026, 7, 6, h, m, 0, 0, time.UTC) }
+	sim := activerbac.NewSimClock(day(8, 0))
+	sys, err := activerbac.Open(wardPolicy, &activerbac.Options{Clock: sim})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	clock := func() string { return sim.Now().Format("15:04") }
+
+	// --- The day-doctor shift ------------------------------------------
+	fmt.Println("— periodic role enabling (shift DayDoctor 10:00-17:00) —")
+	danaSid, err := sys.CreateSession("dana")
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sys.AddActiveRole("dana", danaSid, "DayDoctor")
+	fmt.Printf("[%s] dana activates DayDoctor: %v\n", clock(), err)
+
+	sim.AdvanceTo(day(10, 0))
+	err = sys.AddActiveRole("dana", danaSid, "DayDoctor")
+	fmt.Printf("[%s] dana activates DayDoctor: %v\n", clock(), errOrOK(err))
+
+	// --- Nurse duration bound ------------------------------------------
+	fmt.Println("\n— per-activation duration (Nurse limited to 2h) —")
+	nickSid, err := sys.CreateSession("nick")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.AddActiveRole("nick", nickSid, "Nurse"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[%s] nick activates Nurse\n", clock())
+	sim.AdvanceTo(day(11, 30))
+	fmt.Printf("[%s] nurse chart access: %v\n", clock(),
+		sys.CheckAccess(nickSid, activerbac.Permission{Operation: "read", Object: "chart.dat"}))
+	sim.AdvanceTo(day(12, 1))
+	roles, _ := sys.SessionRoles(nickSid)
+	fmt.Printf("[%s] 2h elapsed: nick's active roles = %v (timer deactivated the role)\n", clock(), roles)
+	fmt.Printf("[%s] nurse chart access: %v\n", clock(),
+		sys.CheckAccess(nickSid, activerbac.Permission{Operation: "read", Object: "chart.dat"}))
+
+	// --- Disabling-time SoD --------------------------------------------
+	fmt.Println("\n— disabling-time SoD (Nurse, Doctor within 10:00-17:00) —")
+	fmt.Printf("[%s] disable Doctor: %v\n", clock(), errOrOK(sys.DisableRole("Doctor")))
+	fmt.Printf("[%s] disable Nurse:  %v  <- the ward must keep one role available\n",
+		clock(), sys.DisableRole("Nurse"))
+	fmt.Printf("[%s] enable Doctor:  %v\n", clock(), errOrOK(sys.EnableRole("Doctor")))
+	fmt.Printf("[%s] disable Nurse:  %v\n", clock(), errOrOK(sys.DisableRole("Nurse")))
+
+	// After hours, the constraint window is closed.
+	sim.AdvanceTo(day(18, 0))
+	fmt.Printf("[%s] after hours, disable Doctor too: %v\n", clock(), errOrOK(sys.DisableRole("Doctor")))
+
+	// The shift machinery kept running: DayDoctor went down at 17:00.
+	fmt.Printf("\n[%s] DayDoctor enabled = %v (shift ended at 17:00)\n", clock(), sys.RoleEnabled("DayDoctor"))
+}
+
+func errOrOK(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return "ok"
+}

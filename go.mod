@@ -1,0 +1,3 @@
+module activerbac
+
+go 1.22

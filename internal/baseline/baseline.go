@@ -1,0 +1,267 @@
+// Package baseline implements the comparison engine for the benchmarks:
+// a direct-check RBAC enforcer in the style of conventional policy
+// engines (Casbin, the systems of the paper's Section 6). It evaluates
+// every request imperatively against the same rbac.Store — no events,
+// no rules, no regeneration — so measuring it against the OWTE engine
+// on identical workloads isolates the cost and the benefit of the
+// active-rule layer.
+//
+// The two engines share request semantics through the Enforcer
+// interface; the facade exposes the OWTE implementation, benchmarks run
+// both.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"activerbac/internal/clock"
+	"activerbac/internal/policy"
+	"activerbac/internal/rbac"
+)
+
+// Enforcer is the request surface shared by the baseline and the OWTE
+// engine, mirroring the ANSI supporting system functions.
+type Enforcer interface {
+	CreateSession(user rbac.UserID) (rbac.SessionID, error)
+	DeleteSession(sid rbac.SessionID) error
+	AddActiveRole(user rbac.UserID, sid rbac.SessionID, role rbac.RoleID) error
+	DropActiveRole(user rbac.UserID, sid rbac.SessionID, role rbac.RoleID) error
+	CheckAccess(sid rbac.SessionID, p rbac.Permission) bool
+	AssignUser(user rbac.UserID, role rbac.RoleID) error
+	DeassignUser(user rbac.UserID, role rbac.RoleID) error
+}
+
+// Engine is the direct-check enforcer. It supports the same policy
+// features as the generated rule pool — hierarchies, SSD/DSD,
+// cardinality, role enabling, activation dependencies and prerequisites,
+// per-activation durations — implemented as inline checks. Adaptation
+// is the weak point by design: any policy change requires building a
+// fresh Engine from the new spec (the "manual low-level edit" cost the
+// paper contrasts against).
+type Engine struct {
+	store *rbac.Store
+	clk   clock.Clock
+
+	shifts   map[rbac.RoleID]clock.Window
+	requires map[rbac.RoleID]rbac.RoleID
+	prereqs  map[rbac.RoleID][]rbac.RoleID
+
+	// durations for manual timer management (the baseline polls
+	// expirations on request boundaries rather than using rules).
+	durations map[durKey]time.Duration
+	deadlines map[actKey]time.Time
+}
+
+type durKey struct {
+	User rbac.UserID
+	Role rbac.RoleID
+}
+
+type actKey struct {
+	Session rbac.SessionID
+	Role    rbac.RoleID
+}
+
+// New builds a baseline engine from a policy spec. The spec must be
+// consistent (policy.Check).
+func New(clk clock.Clock, spec *policy.Spec) (*Engine, error) {
+	if issues := policy.Check(spec); policy.HasErrors(issues) {
+		return nil, fmt.Errorf("baseline: policy has errors: %v", issues)
+	}
+	e := &Engine{
+		store:     rbac.NewStore(),
+		clk:       clk,
+		durations: make(map[durKey]time.Duration),
+		deadlines: make(map[actKey]time.Time),
+	}
+	st := e.store
+	for _, r := range spec.Roles {
+		if err := st.AddRole(rbac.RoleID(r)); err != nil {
+			return nil, err
+		}
+	}
+	for _, edge := range spec.Hierarchy {
+		if err := st.AddInheritance(rbac.RoleID(edge.Senior), rbac.RoleID(edge.Junior)); err != nil {
+			return nil, err
+		}
+	}
+	for _, set := range spec.SSD {
+		if err := st.CreateSSD(toSoDSet(set)); err != nil {
+			return nil, err
+		}
+	}
+	for _, set := range spec.DSD {
+		if err := st.CreateDSD(toSoDSet(set)); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range spec.Permissions {
+		if err := st.GrantPermission(rbac.RoleID(p.Role), rbac.Permission{Operation: p.Operation, Object: p.Object}); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range spec.Cardinalities {
+		if err := st.SetRoleCardinality(rbac.RoleID(c.Role), c.N); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range spec.Users {
+		if err := st.AddUser(rbac.UserID(u.Name)); err != nil {
+			return nil, err
+		}
+		for _, r := range u.Roles {
+			if err := st.AssignUser(rbac.UserID(u.Name), rbac.RoleID(r)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, m := range spec.MaxRoles {
+		if !st.UserExists(rbac.UserID(m.User)) {
+			if err := st.AddUser(rbac.UserID(m.User)); err != nil {
+				return nil, err
+			}
+		}
+		if err := st.SetUserMaxActiveRoles(rbac.UserID(m.User), m.N); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range spec.Durations {
+		u := rbac.UserID(d.User)
+		if d.User == "*" {
+			u = ""
+		}
+		e.durations[durKey{User: u, Role: rbac.RoleID(d.Role)}] = d.D
+	}
+	// Temporal shifts and CFD constraints are checked inline at request
+	// time (no timers, no events) — the conventional-engine approach.
+	e.shifts = make(map[rbac.RoleID]clock.Window, len(spec.Shifts))
+	for _, sh := range spec.Shifts {
+		e.shifts[rbac.RoleID(sh.Role)] = sh.Window()
+	}
+	e.requires = make(map[rbac.RoleID]rbac.RoleID, len(spec.Requires))
+	for _, rq := range spec.Requires {
+		e.requires[rbac.RoleID(rq.Dependent)] = rbac.RoleID(rq.Required)
+	}
+	e.prereqs = make(map[rbac.RoleID][]rbac.RoleID, len(spec.Prereqs))
+	for _, p := range spec.Prereqs {
+		e.prereqs[rbac.RoleID(p.Role)] = append(e.prereqs[rbac.RoleID(p.Role)], rbac.RoleID(p.Prereq))
+	}
+	return e, nil
+}
+
+func toSoDSet(s policy.SoD) rbac.SoDSet {
+	roles := make([]rbac.RoleID, len(s.Roles))
+	for i, r := range s.Roles {
+		roles[i] = rbac.RoleID(r)
+	}
+	return rbac.SoDSet{Name: s.Name, Roles: roles, N: s.N}
+}
+
+// Store exposes the underlying state for assertions in tests.
+func (e *Engine) Store() *rbac.Store { return e.store }
+
+// expireDue drops activations whose duration elapsed; the baseline has
+// no timers, so it sweeps lazily at request boundaries.
+func (e *Engine) expireDue() {
+	now := e.clk.Now()
+	for k, deadline := range e.deadlines {
+		if now.Before(deadline) {
+			continue
+		}
+		delete(e.deadlines, k)
+		if e.store.CheckSessionRole(k.Session, k.Role) {
+			_ = e.store.RawDropSessionRole(k.Session, k.Role)
+		}
+	}
+}
+
+// roleInShift reports whether the role is inside its shift window (or
+// has none).
+func (e *Engine) roleInShift(r rbac.RoleID) bool {
+	w, ok := e.shifts[r]
+	if !ok {
+		return true
+	}
+	return w.Contains(e.clk.Now())
+}
+
+// CreateSession implements Enforcer.
+func (e *Engine) CreateSession(user rbac.UserID) (rbac.SessionID, error) {
+	e.expireDue()
+	return e.store.CreateSession(user)
+}
+
+// DeleteSession implements Enforcer.
+func (e *Engine) DeleteSession(sid rbac.SessionID) error {
+	e.expireDue()
+	return e.store.DeleteSession(sid)
+}
+
+// AddActiveRole implements Enforcer with the full constraint pipeline.
+func (e *Engine) AddActiveRole(user rbac.UserID, sid rbac.SessionID, role rbac.RoleID) error {
+	e.expireDue()
+	if !e.roleInShift(role) {
+		return fmt.Errorf("baseline: role %q outside shift: %w", role, rbac.ErrRoleDisabled)
+	}
+	if required, ok := e.requires[role]; ok && e.store.RoleActiveCount(required) == 0 {
+		return fmt.Errorf("baseline: role %q requires %q active: %w", role, required, rbac.ErrDenied)
+	}
+	for _, p := range e.prereqs[role] {
+		if !e.store.CheckSessionRole(sid, p) {
+			return fmt.Errorf("baseline: role %q requires prerequisite %q: %w", role, p, rbac.ErrDenied)
+		}
+	}
+	if err := e.store.AddActiveRole(user, sid, role); err != nil {
+		return err
+	}
+	if d, ok := e.durationFor(user, role); ok {
+		e.deadlines[actKey{Session: sid, Role: role}] = e.clk.Now().Add(d)
+	}
+	return nil
+}
+
+func (e *Engine) durationFor(u rbac.UserID, r rbac.RoleID) (time.Duration, bool) {
+	if d, ok := e.durations[durKey{User: u, Role: r}]; ok {
+		return d, true
+	}
+	d, ok := e.durations[durKey{Role: r}]
+	return d, ok
+}
+
+// DropActiveRole implements Enforcer.
+func (e *Engine) DropActiveRole(user rbac.UserID, sid rbac.SessionID, role rbac.RoleID) error {
+	e.expireDue()
+	delete(e.deadlines, actKey{Session: sid, Role: role})
+	if err := e.store.DropActiveRole(user, sid, role); err != nil {
+		return err
+	}
+	// Rule 9 half: revoke dependents when the last activation ends.
+	if e.store.RoleActiveCount(role) == 0 {
+		for dep, req := range e.requires {
+			if req != role {
+				continue
+			}
+			for _, depSid := range e.store.SessionsWithRole(dep) {
+				_ = e.store.RawDropSessionRole(depSid, dep)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAccess implements Enforcer.
+func (e *Engine) CheckAccess(sid rbac.SessionID, p rbac.Permission) bool {
+	e.expireDue()
+	return e.store.CheckAccess(sid, p)
+}
+
+// AssignUser implements Enforcer (SSD enforced by the store).
+func (e *Engine) AssignUser(user rbac.UserID, role rbac.RoleID) error {
+	return e.store.AssignUser(user, role)
+}
+
+// DeassignUser implements Enforcer.
+func (e *Engine) DeassignUser(user rbac.UserID, role rbac.RoleID) error {
+	return e.store.DeassignUser(user, role)
+}

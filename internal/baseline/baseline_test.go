@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"activerbac/internal/clock"
+	"activerbac/internal/policy"
+	"activerbac/internal/rbac"
+)
+
+var t0 = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+const benchPolicy = `
+policy "baseline-test"
+role PM
+role PC
+role AC
+role Clerk
+hierarchy PM > PC > Clerk
+ssd pa 2: PC, AC
+permission PC: write po.dat
+permission Clerk: read lobby.txt
+user bob: PC
+user alice: PM
+cardinality PM 1
+`
+
+func newEngine(t *testing.T, src string) (*Engine, *clock.Sim) {
+	t.Helper()
+	spec, err := policy.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := clock.NewSim(t0)
+	e, err := New(sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, sim
+}
+
+func TestNewRejectsBadPolicy(t *testing.T) {
+	spec, _ := policy.ParseString("role A\nrole A")
+	if _, err := New(clock.NewSim(t0), spec); err == nil {
+		t.Fatal("inconsistent policy accepted")
+	}
+}
+
+func TestBaselineCoreFlow(t *testing.T) {
+	e, _ := newEngine(t, benchPolicy)
+	sid, err := e.CreateSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddActiveRole("bob", sid, "PC"); err != nil {
+		t.Fatal(err)
+	}
+	if !e.CheckAccess(sid, rbac.Permission{Operation: "write", Object: "po.dat"}) {
+		t.Fatal("direct permission denied")
+	}
+	if !e.CheckAccess(sid, rbac.Permission{Operation: "read", Object: "lobby.txt"}) {
+		t.Fatal("inherited permission denied")
+	}
+	if e.CheckAccess(sid, rbac.Permission{Operation: "approve", Object: "po.dat"}) {
+		t.Fatal("unauthorized op allowed")
+	}
+	if err := e.DropActiveRole("bob", sid, "PC"); err != nil {
+		t.Fatal(err)
+	}
+	if e.CheckAccess(sid, rbac.Permission{Operation: "write", Object: "po.dat"}) {
+		t.Fatal("access after deactivation")
+	}
+	if err := e.DeleteSession(sid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineSSD(t *testing.T) {
+	e, _ := newEngine(t, benchPolicy)
+	if err := e.AssignUser("bob", "AC"); !errors.Is(err, rbac.ErrSSD) {
+		t.Fatalf("SSD assignment: %v", err)
+	}
+	if err := e.Store().AddUser("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AssignUser("x", "AC"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeassignUser("x", "AC"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineCardinality(t *testing.T) {
+	e, _ := newEngine(t, benchPolicy)
+	if err := e.Store().AddUser("dave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AssignUser("dave", "PM"); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := e.CreateSession("alice")
+	s2, _ := e.CreateSession("dave")
+	if err := e.AddActiveRole("alice", s1, "PM"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddActiveRole("dave", s2, "PM"); !errors.Is(err, rbac.ErrCardinality) {
+		t.Fatalf("cardinality: %v", err)
+	}
+}
+
+func TestBaselineShift(t *testing.T) {
+	e, sim := newEngine(t, `
+policy "p"
+role DayDoctor
+user dana: DayDoctor
+shift DayDoctor 10:00:00-17:00:00
+`)
+	sid, _ := e.CreateSession("dana")
+	if err := e.AddActiveRole("dana", sid, "DayDoctor"); !errors.Is(err, rbac.ErrRoleDisabled) {
+		t.Fatalf("outside shift: %v", err)
+	}
+	sim.AdvanceTo(time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC))
+	if err := e.AddActiveRole("dana", sid, "DayDoctor"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineDuration(t *testing.T) {
+	e, sim := newEngine(t, `
+policy "p"
+role Nurse
+user nick: Nurse
+duration * Nurse 2h
+`)
+	sid, _ := e.CreateSession("nick")
+	if err := e.AddActiveRole("nick", sid, "Nurse"); err != nil {
+		t.Fatal(err)
+	}
+	sim.Advance(time.Hour)
+	if !e.CheckAccess(sid, rbac.Permission{}) && !e.Store().CheckSessionRole(sid, "Nurse") {
+		t.Fatal("expired early")
+	}
+	sim.Advance(time.Hour + time.Second)
+	// The lazy sweep runs on the next request.
+	e.CheckAccess(sid, rbac.Permission{Operation: "x", Object: "y"})
+	if e.Store().CheckSessionRole(sid, "Nurse") {
+		t.Fatal("duration not enforced")
+	}
+}
+
+func TestBaselineRequireAndPrereq(t *testing.T) {
+	e, _ := newEngine(t, `
+policy "p"
+role Manager
+role JuniorEmp
+role Developer
+role Deployer
+user mia: Manager
+user jr: JuniorEmp
+user dev: Developer, Deployer
+require JuniorEmp needs-active Manager
+prereq Deployer after Developer
+`)
+	jrSid, _ := e.CreateSession("jr")
+	if err := e.AddActiveRole("jr", jrSid, "JuniorEmp"); !errors.Is(err, rbac.ErrDenied) {
+		t.Fatalf("dependency: %v", err)
+	}
+	mSid, _ := e.CreateSession("mia")
+	if err := e.AddActiveRole("mia", mSid, "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddActiveRole("jr", jrSid, "JuniorEmp"); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the last Manager revokes JuniorEmp.
+	if err := e.DropActiveRole("mia", mSid, "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Store().CheckSessionRole(jrSid, "JuniorEmp") {
+		t.Fatal("dependent survived")
+	}
+	// Prerequisites.
+	dSid, _ := e.CreateSession("dev")
+	if err := e.AddActiveRole("dev", dSid, "Deployer"); !errors.Is(err, rbac.ErrDenied) {
+		t.Fatalf("prereq: %v", err)
+	}
+	if err := e.AddActiveRole("dev", dSid, "Developer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddActiveRole("dev", dSid, "Deployer"); err != nil {
+		t.Fatal(err)
+	}
+}

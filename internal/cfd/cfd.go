@@ -1,0 +1,337 @@
+// Package cfd implements the control-flow-dependency constraints of the
+// paper's Section 4.3.2/4.3.3 (after Joshi et al.'s GTRBAC dependency
+// constraints):
+//
+//   - Post-condition coupling (Rule 8): if role A is enabled then role B
+//     must be enabled too — both or neither. Enabling A cascades into
+//     enabling B; if B cannot be enabled, A is rolled back; disabling B
+//     disables A.
+//   - Transaction-based activation (Rule 9): a dependent role may be
+//     activated only while a required role is active somewhere in the
+//     system; when the last activation of the required role ends, every
+//     activation of the dependent role is revoked.
+//   - Prerequisite roles (Section 3, SEQUENCE): a role may be activated
+//     in a session only if another role is already active in the same
+//     session.
+package cfd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"activerbac/internal/event"
+	"activerbac/internal/gtrbac"
+	"activerbac/internal/rbac"
+)
+
+// Manager tracks CFD constraints and enforces their reactive halves by
+// subscribing to role lifecycle events.
+type Manager struct {
+	det   *event.Detector
+	store *rbac.Store
+	gt    *gtrbac.Manager
+
+	mu sync.Mutex
+	// couplings maps lead role -> follow roles (Rule 8).
+	couplings map[rbac.RoleID][]rbac.RoleID
+	// followers maps follow role -> lead roles (reverse index).
+	followers map[rbac.RoleID][]rbac.RoleID
+	// dependencies maps dependent role -> required role (Rule 9).
+	dependencies map[rbac.RoleID]rbac.RoleID
+	// prerequisites maps role -> same-session prerequisite roles.
+	prerequisites map[rbac.RoleID][]rbac.RoleID
+	// coupleSubs holds the event subscriptions backing each coupling,
+	// so RemoveCouple can detach them.
+	coupleSubs map[[2]rbac.RoleID][2]int
+	// revoked counts dependent activations revoked by Rule 9.
+	revoked uint64
+	// enabling guards against coupling recursion loops.
+	enabling map[rbac.RoleID]bool
+}
+
+// New builds a Manager and subscribes it to the session lifecycle
+// events.
+func New(det *event.Detector, store *rbac.Store, gt *gtrbac.Manager) (*Manager, error) {
+	m := &Manager{
+		det:           det,
+		store:         store,
+		gt:            gt,
+		couplings:     make(map[rbac.RoleID][]rbac.RoleID),
+		followers:     make(map[rbac.RoleID][]rbac.RoleID),
+		dependencies:  make(map[rbac.RoleID]rbac.RoleID),
+		prerequisites: make(map[rbac.RoleID][]rbac.RoleID),
+		coupleSubs:    make(map[[2]rbac.RoleID][2]int),
+		enabling:      make(map[rbac.RoleID]bool),
+	}
+	if _, err := det.Subscribe(gtrbac.EvSessionRoleDropped, m.onDropped); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: post-condition coupling
+
+// CoupleEnable installs "if lead is enabled then follow must be
+// enabled": enabling lead enables follow (rolling lead back if follow
+// cannot enable), and disabling follow disables lead.
+func (m *Manager) CoupleEnable(lead, follow rbac.RoleID) error {
+	for _, r := range []rbac.RoleID{lead, follow} {
+		if !m.store.RoleExists(r) {
+			return fmt.Errorf("cfd: coupling role %q: %w", r, rbac.ErrNotFound)
+		}
+		if err := m.gt.RegisterRole(r); err != nil {
+			return err
+		}
+	}
+	if lead == follow {
+		return fmt.Errorf("cfd: self-coupling on %q", lead)
+	}
+	m.mu.Lock()
+	for _, f := range m.couplings[lead] {
+		if f == follow {
+			m.mu.Unlock()
+			return fmt.Errorf("cfd: coupling %q -> %q: %w", lead, follow, rbac.ErrExists)
+		}
+	}
+	m.couplings[lead] = append(m.couplings[lead], follow)
+	m.followers[follow] = append(m.followers[follow], lead)
+	m.mu.Unlock()
+
+	enSub, err := m.det.Subscribe(gtrbac.EvRoleEnabled(lead), func(*event.Occurrence) {
+		m.enforceCouple(lead, follow)
+	})
+	if err != nil {
+		return err
+	}
+	disSub, err := m.det.Subscribe(gtrbac.EvRoleDisabled(follow), func(*event.Occurrence) {
+		m.enforceFollowDisable(lead, follow)
+	})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.coupleSubs[[2]rbac.RoleID{lead, follow}] = [2]int{enSub, disSub}
+	m.mu.Unlock()
+	return nil
+}
+
+// RemoveCouple uninstalls a Rule 8 coupling.
+func (m *Manager) RemoveCouple(lead, follow rbac.RoleID) error {
+	key := [2]rbac.RoleID{lead, follow}
+	m.mu.Lock()
+	subs, ok := m.coupleSubs[key]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("cfd: coupling %q -> %q: %w", lead, follow, rbac.ErrNotFound)
+	}
+	delete(m.coupleSubs, key)
+	m.couplings[lead] = removeRoleFrom(m.couplings[lead], follow)
+	m.followers[follow] = removeRoleFrom(m.followers[follow], lead)
+	m.mu.Unlock()
+	m.det.Unsubscribe(gtrbac.EvRoleEnabled(lead), subs[0])
+	m.det.Unsubscribe(gtrbac.EvRoleDisabled(follow), subs[1])
+	return nil
+}
+
+// RemovePrerequisite uninstalls a prerequisite constraint.
+func (m *Manager) RemovePrerequisite(role, prereq rbac.RoleID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	before := len(m.prerequisites[role])
+	m.prerequisites[role] = removeRoleFrom(m.prerequisites[role], prereq)
+	if len(m.prerequisites[role]) == before {
+		return fmt.Errorf("cfd: prerequisite %q for %q: %w", prereq, role, rbac.ErrNotFound)
+	}
+	return nil
+}
+
+func removeRoleFrom(roles []rbac.RoleID, r rbac.RoleID) []rbac.RoleID {
+	out := roles[:0]
+	for _, x := range roles {
+		if x != r {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// enforceCouple makes follow enabled after lead was enabled, rolling
+// lead back on failure.
+func (m *Manager) enforceCouple(lead, follow rbac.RoleID) {
+	if m.store.RoleEnabled(follow) {
+		return
+	}
+	m.mu.Lock()
+	if m.enabling[follow] {
+		m.mu.Unlock()
+		return
+	}
+	m.enabling[follow] = true
+	m.mu.Unlock()
+	err := m.gt.EnableRole(follow)
+	m.mu.Lock()
+	delete(m.enabling, follow)
+	m.mu.Unlock()
+	if err != nil {
+		// Cannot satisfy the post-condition: roll the lead back.
+		_ = m.store.SetRoleEnabled(lead, false)
+		_ = m.det.Raise(gtrbac.EvRoleDisabled(lead), event.Params{
+			"role": string(lead), "reason": "cfd-rollback",
+		})
+	}
+}
+
+// enforceFollowDisable keeps the invariant when the follow role goes
+// down: the lead must not stay enabled alone.
+func (m *Manager) enforceFollowDisable(lead, follow rbac.RoleID) {
+	if !m.store.RoleEnabled(lead) {
+		return
+	}
+	_ = m.store.SetRoleEnabled(lead, false)
+	_ = m.det.Raise(gtrbac.EvRoleDisabled(lead), event.Params{
+		"role": string(lead), "reason": "cfd-follow-disabled",
+	})
+}
+
+// Couplings lists installed couplings as "lead->follow" strings, sorted.
+func (m *Manager) Couplings() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for lead, follows := range m.couplings {
+		for _, f := range follows {
+			out = append(out, string(lead)+"->"+string(f))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 9: transaction-based activation dependency
+
+// AddActivationDependency installs "dependent may be active only while
+// required is active somewhere". A role has at most one required role.
+func (m *Manager) AddActivationDependency(dependent, required rbac.RoleID) error {
+	for _, r := range []rbac.RoleID{dependent, required} {
+		if !m.store.RoleExists(r) {
+			return fmt.Errorf("cfd: dependency role %q: %w", r, rbac.ErrNotFound)
+		}
+	}
+	if dependent == required {
+		return fmt.Errorf("cfd: self-dependency on %q", dependent)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.dependencies[dependent]; dup {
+		return fmt.Errorf("cfd: dependency for %q: %w", dependent, rbac.ErrExists)
+	}
+	m.dependencies[dependent] = required
+	return nil
+}
+
+// RemoveActivationDependency uninstalls the Rule 9 constraint.
+func (m *Manager) RemoveActivationDependency(dependent rbac.RoleID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dependencies[dependent]; !ok {
+		return fmt.Errorf("cfd: dependency for %q: %w", dependent, rbac.ErrNotFound)
+	}
+	delete(m.dependencies, dependent)
+	return nil
+}
+
+// AddPrerequisite installs "role may be activated in a session only if
+// prereq is already active in that session" (prerequisite roles).
+func (m *Manager) AddPrerequisite(role, prereq rbac.RoleID) error {
+	for _, r := range []rbac.RoleID{role, prereq} {
+		if !m.store.RoleExists(r) {
+			return fmt.Errorf("cfd: prerequisite role %q: %w", r, rbac.ErrNotFound)
+		}
+	}
+	if role == prereq {
+		return fmt.Errorf("cfd: self-prerequisite on %q", role)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.prerequisites[role] {
+		if p == prereq {
+			return fmt.Errorf("cfd: prerequisite %q for %q: %w", prereq, role, rbac.ErrExists)
+		}
+	}
+	m.prerequisites[role] = append(m.prerequisites[role], prereq)
+	return nil
+}
+
+// CanActivate is the predicate generated activation rules evaluate: it
+// checks Rule 9 dependencies (required role active somewhere) and
+// prerequisite roles (active in the same session). On denial it returns
+// a human-readable reason.
+func (m *Manager) CanActivate(sid rbac.SessionID, role rbac.RoleID) (string, bool) {
+	m.mu.Lock()
+	required, hasDep := m.dependencies[role]
+	prereqs := append([]rbac.RoleID(nil), m.prerequisites[role]...)
+	m.mu.Unlock()
+
+	if hasDep && m.store.RoleActiveCount(required) == 0 {
+		return fmt.Sprintf("role %q requires role %q to be active", role, required), false
+	}
+	for _, p := range prereqs {
+		if !m.store.CheckSessionRole(sid, p) {
+			return fmt.Sprintf("role %q requires prerequisite role %q active in this session", role, p), false
+		}
+	}
+	return "", true
+}
+
+// onDropped revokes dependent activations when the last activation of a
+// required role ends (the terminating half of Rule 9).
+func (m *Manager) onDropped(o *event.Occurrence) {
+	dropped := rbac.RoleID(stringParam(o, "role"))
+	if dropped == "" || m.store.RoleActiveCount(dropped) > 0 {
+		return
+	}
+	m.mu.Lock()
+	var dependents []rbac.RoleID
+	for dep, req := range m.dependencies {
+		if req == dropped {
+			dependents = append(dependents, dep)
+		}
+	}
+	m.mu.Unlock()
+	for _, dep := range dependents {
+		for _, sid := range m.store.SessionsWithRole(dep) {
+			user, err := m.store.SessionUser(sid)
+			if err != nil {
+				continue
+			}
+			if err := m.store.RawDropSessionRole(sid, dep); err != nil {
+				continue
+			}
+			m.mu.Lock()
+			m.revoked++
+			m.mu.Unlock()
+			_ = m.det.Raise(gtrbac.EvSessionRoleDropped, event.Params{
+				"user": string(user), "session": string(sid), "role": string(dep),
+				"reason": "cfd-dependency-revoked",
+			})
+		}
+	}
+}
+
+// Revoked reports how many dependent activations Rule 9 revoked.
+func (m *Manager) Revoked() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.revoked
+}
+
+func stringParam(o *event.Occurrence, key string) string {
+	if o == nil || o.Params == nil {
+		return ""
+	}
+	s, _ := o.Params[key].(string)
+	return s
+}

@@ -1,0 +1,384 @@
+package cfd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"activerbac/internal/clock"
+	"activerbac/internal/event"
+	"activerbac/internal/gtrbac"
+	"activerbac/internal/rbac"
+)
+
+var t0 = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+func newFixture(t *testing.T) (*Manager, *gtrbac.Manager, *rbac.Store, *event.Detector, *clock.Sim) {
+	t.Helper()
+	sim := clock.NewSim(t0)
+	det := event.New(sim)
+	store := rbac.NewStore()
+	gt, err := gtrbac.New(det, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(det, store, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, gt, store, det, sim
+}
+
+func addRole(t *testing.T, store *rbac.Store, r rbac.RoleID) {
+	t.Helper()
+	if err := store.AddRole(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Rule 8: SysAdmin/SysAudit coupling
+
+func TestCoupleEnableBothEnable(t *testing.T) {
+	m, gt, store, _, _ := newFixture(t)
+	addRole(t, store, "SysAdmin")
+	addRole(t, store, "SysAudit")
+	if err := store.SetRoleEnabled("SysAdmin", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetRoleEnabled("SysAudit", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CoupleEnable("SysAdmin", "SysAudit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gt.EnableRole("SysAdmin"); err != nil {
+		t.Fatal(err)
+	}
+	if !store.RoleEnabled("SysAdmin") || !store.RoleEnabled("SysAudit") {
+		t.Fatalf("coupling: admin=%v audit=%v, want both enabled",
+			store.RoleEnabled("SysAdmin"), store.RoleEnabled("SysAudit"))
+	}
+}
+
+func TestCoupleFollowDisableRollsBackLead(t *testing.T) {
+	m, gt, store, _, _ := newFixture(t)
+	addRole(t, store, "SysAdmin")
+	addRole(t, store, "SysAudit")
+	if err := m.CoupleEnable("SysAdmin", "SysAudit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gt.EnableRole("SysAdmin"); err != nil {
+		t.Fatal(err)
+	}
+	// Disabling the audit role must take the admin role down with it:
+	// "both or neither".
+	if err := gt.DisableRole("SysAudit"); err != nil {
+		t.Fatal(err)
+	}
+	if store.RoleEnabled("SysAdmin") {
+		t.Fatal("lead stayed enabled after follow disabled")
+	}
+}
+
+func TestCoupleValidation(t *testing.T) {
+	m, _, store, _, _ := newFixture(t)
+	addRole(t, store, "a")
+	addRole(t, store, "b")
+	if err := m.CoupleEnable("a", "ghost"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("unknown follow: %v", err)
+	}
+	if err := m.CoupleEnable("a", "a"); err == nil {
+		t.Fatal("self-coupling accepted")
+	}
+	if err := m.CoupleEnable("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CoupleEnable("a", "b"); !errors.Is(err, rbac.ErrExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if got := m.Couplings(); len(got) != 1 || got[0] != "a->b" {
+		t.Fatalf("Couplings = %v", got)
+	}
+}
+
+func TestCoupleMutual(t *testing.T) {
+	// Mutual coupling a<->b must not recurse forever.
+	m, gt, store, _, _ := newFixture(t)
+	addRole(t, store, "a")
+	addRole(t, store, "b")
+	if err := store.SetRoleEnabled("a", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetRoleEnabled("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CoupleEnable("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CoupleEnable("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gt.EnableRole("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !store.RoleEnabled("a") || !store.RoleEnabled("b") {
+		t.Fatal("mutual coupling did not enable both")
+	}
+}
+
+// --------------------------------------------------------------------------
+// Rule 9: Manager / JuniorEmp dependency
+
+func depFixture(t *testing.T) (*Manager, *rbac.Store, *event.Detector, rbac.SessionID, rbac.SessionID) {
+	t.Helper()
+	m, _, store, det, _ := newFixture(t)
+	addRole(t, store, "Manager")
+	addRole(t, store, "JuniorEmp")
+	for _, u := range []rbac.UserID{"mgr", "jr"} {
+		if err := store.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.AssignUser("mgr", "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AssignUser("jr", "JuniorEmp"); err != nil {
+		t.Fatal(err)
+	}
+	mgrSid, err := store.CreateSession("mgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrSid, err := store.CreateSession("jr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddActivationDependency("JuniorEmp", "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	return m, store, det, mgrSid, jrSid
+}
+
+// lifecycle mimics the enforcement layer raising lifecycle events.
+func drop(t *testing.T, store *rbac.Store, det *event.Detector, u rbac.UserID, sid rbac.SessionID, r rbac.RoleID) {
+	t.Helper()
+	if err := store.DropActiveRole(u, sid, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Raise(gtrbac.EvSessionRoleDropped, event.Params{
+		"user": string(u), "session": string(sid), "role": string(r),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependencyBlocksWithoutRequired(t *testing.T) {
+	m, _, _, _, jrSid := depFixture(t)
+	reason, ok := m.CanActivate(jrSid, "JuniorEmp")
+	if ok {
+		t.Fatal("junior activation allowed without manager")
+	}
+	if reason == "" {
+		t.Fatal("empty denial reason")
+	}
+}
+
+func TestDependencyAllowsWithRequired(t *testing.T) {
+	m, store, _, mgrSid, jrSid := depFixture(t)
+	if err := store.AddActiveRole("mgr", mgrSid, "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CanActivate(jrSid, "JuniorEmp"); !ok {
+		t.Fatal("junior activation denied with manager active")
+	}
+}
+
+func TestDependencyRevokesOnRequiredDrop(t *testing.T) {
+	m, store, det, mgrSid, jrSid := depFixture(t)
+	if err := store.AddActiveRole("mgr", mgrSid, "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddActiveRole("jr", jrSid, "JuniorEmp"); err != nil {
+		t.Fatal(err)
+	}
+	// Manager deactivates: the junior activation must be revoked.
+	drop(t, store, det, "mgr", mgrSid, "Manager")
+	if store.CheckSessionRole(jrSid, "JuniorEmp") {
+		t.Fatal("junior activation survived manager deactivation")
+	}
+	if m.Revoked() != 1 {
+		t.Fatalf("Revoked = %d", m.Revoked())
+	}
+}
+
+func TestDependencySurvivesWhileAnotherRequiredActive(t *testing.T) {
+	m, store, det, mgrSid, jrSid := depFixture(t)
+	// Second manager session keeps the requirement satisfied.
+	if err := store.AddUser("mgr2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AssignUser("mgr2", "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	mgr2Sid, err := store.CreateSession("mgr2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddActiveRole("mgr", mgrSid, "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddActiveRole("mgr2", mgr2Sid, "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddActiveRole("jr", jrSid, "JuniorEmp"); err != nil {
+		t.Fatal(err)
+	}
+	drop(t, store, det, "mgr", mgrSid, "Manager")
+	if !store.CheckSessionRole(jrSid, "JuniorEmp") {
+		t.Fatal("junior revoked although another manager is active")
+	}
+	if m.Revoked() != 0 {
+		t.Fatalf("Revoked = %d", m.Revoked())
+	}
+}
+
+func TestDependencyValidation(t *testing.T) {
+	m, _, store, _, _ := newFixture(t)
+	addRole(t, store, "a")
+	addRole(t, store, "b")
+	if err := m.AddActivationDependency("a", "ghost"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("unknown required: %v", err)
+	}
+	if err := m.AddActivationDependency("a", "a"); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+	if err := m.AddActivationDependency("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddActivationDependency("a", "b"); !errors.Is(err, rbac.ErrExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := m.RemoveActivationDependency("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveActivationDependency("a"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Prerequisite roles
+
+func TestPrerequisite(t *testing.T) {
+	m, _, store, _, _ := newFixture(t)
+	addRole(t, store, "roleA")
+	addRole(t, store, "roleB")
+	if err := store.AddUser("bob"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []rbac.RoleID{"roleA", "roleB"} {
+		if err := store.AssignUser("bob", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.AddPrerequisite("roleB", "roleA"); err != nil {
+		t.Fatal(err)
+	}
+	sid, err := store.CreateSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CanActivate(sid, "roleB"); ok {
+		t.Fatal("B activatable without prerequisite A")
+	}
+	if err := store.AddActiveRole("bob", sid, "roleA"); err != nil {
+		t.Fatal(err)
+	}
+	if reason, ok := m.CanActivate(sid, "roleB"); !ok {
+		t.Fatalf("B denied with A active: %s", reason)
+	}
+	// Prerequisite is per session: another session without A is denied.
+	sid2, err := store.CreateSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CanActivate(sid2, "roleB"); ok {
+		t.Fatal("prerequisite leaked across sessions")
+	}
+}
+
+func TestPrerequisiteValidation(t *testing.T) {
+	m, _, store, _, _ := newFixture(t)
+	addRole(t, store, "a")
+	addRole(t, store, "b")
+	if err := m.AddPrerequisite("a", "ghost"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("unknown prereq: %v", err)
+	}
+	if err := m.AddPrerequisite("a", "a"); err == nil {
+		t.Fatal("self-prerequisite accepted")
+	}
+	if err := m.AddPrerequisite("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPrerequisite("a", "b"); !errors.Is(err, rbac.ErrExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func TestRemoveCouple(t *testing.T) {
+	m, gt, store, _, _ := newFixture(t)
+	addRole(t, store, "a")
+	addRole(t, store, "b")
+	if err := m.RemoveCouple("a", "b"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("remove of missing coupling: %v", err)
+	}
+	if err := m.CoupleEnable("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetRoleEnabled("a", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetRoleEnabled("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveCouple("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Couplings(); len(got) != 0 {
+		t.Fatalf("Couplings = %v", got)
+	}
+	// The subscriptions are detached: enabling a no longer drags b.
+	if err := gt.EnableRole("a"); err != nil {
+		t.Fatal(err)
+	}
+	if store.RoleEnabled("b") {
+		t.Fatal("removed coupling still enforced")
+	}
+}
+
+func TestRemovePrerequisite(t *testing.T) {
+	m, _, store, _, _ := newFixture(t)
+	addRole(t, store, "a")
+	addRole(t, store, "b")
+	if err := m.RemovePrerequisite("a", "b"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("remove of missing prereq: %v", err)
+	}
+	if err := m.AddPrerequisite("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemovePrerequisite("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CanActivate("s1", "a"); !ok {
+		t.Fatal("removed prerequisite still enforced")
+	}
+}
+
+func TestCanActivateUnconstrainted(t *testing.T) {
+	m, _, store, _, _ := newFixture(t)
+	addRole(t, store, "free")
+	if _, ok := m.CanActivate("s1", "free"); !ok {
+		t.Fatal("unconstrained role denied")
+	}
+}

@@ -1,0 +1,223 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+func TestSimNowAdvance(t *testing.T) {
+	s := NewSim(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+	s.Advance(90 * time.Minute)
+	if got, want := s.Now(), epoch.Add(90*time.Minute); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestSimAfterFuncFiresInOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var got []int
+	s.AfterFunc(3*time.Second, func() { got = append(got, 3) })
+	s.AfterFunc(1*time.Second, func() { got = append(got, 1) })
+	s.AfterFunc(2*time.Second, func() { got = append(got, 2) })
+	if n := s.Advance(5 * time.Second); n != 3 {
+		t.Fatalf("Advance fired %d, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("fire order %v, want [1 2 3]", got)
+		}
+	}
+}
+
+func TestSimEqualDeadlinesFIFO(t *testing.T) {
+	s := NewSim(epoch)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.AfterFunc(time.Second, func() { got = append(got, i) })
+	}
+	s.Advance(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-deadline order %v, want ascending", got)
+		}
+	}
+}
+
+func TestSimTimerSeesOwnDeadlineAsNow(t *testing.T) {
+	s := NewSim(epoch)
+	var at time.Time
+	s.AfterFunc(42*time.Second, func() { at = s.Now() })
+	s.Advance(time.Hour)
+	if want := epoch.Add(42 * time.Second); !at.Equal(want) {
+		t.Fatalf("callback observed Now=%v, want %v", at, want)
+	}
+	if want := epoch.Add(time.Hour); !s.Now().Equal(want) {
+		t.Fatalf("after Advance Now=%v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimStop(t *testing.T) {
+	s := NewSim(epoch)
+	fired := false
+	tm := s.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer, want true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	s.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestSimStopAfterFire(t *testing.T) {
+	s := NewSim(epoch)
+	tm := s.AfterFunc(time.Second, func() {})
+	s.Advance(2 * time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop() = true on fired timer, want false")
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(epoch)
+	var order []string
+	s.AfterFunc(time.Second, func() {
+		order = append(order, "outer")
+		s.AfterFunc(time.Second, func() { order = append(order, "inner") })
+	})
+	n := s.Advance(5 * time.Second)
+	if n != 2 {
+		t.Fatalf("Advance fired %d, want 2 (nested timer within window)", n)
+	}
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSimAtClampsPast(t *testing.T) {
+	s := NewSim(epoch)
+	fired := false
+	s.At(epoch.Add(-time.Hour), func() { fired = true })
+	s.Advance(0)
+	if s.Pending() != 1 {
+		// Advance(0) advances to now; a timer clamped to now is due.
+	}
+	s.Advance(time.Nanosecond)
+	if !fired {
+		t.Fatal("past-deadline At timer never fired")
+	}
+}
+
+func TestSimPendingAndNextDeadline(t *testing.T) {
+	s := NewSim(epoch)
+	if _, ok := s.NextDeadline(); ok {
+		t.Fatal("NextDeadline ok on empty clock")
+	}
+	s.AfterFunc(5*time.Second, func() {})
+	tm := s.AfterFunc(2*time.Second, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	d, ok := s.NextDeadline()
+	if !ok || !d.Equal(epoch.Add(2*time.Second)) {
+		t.Fatalf("NextDeadline = %v,%v", d, ok)
+	}
+	tm.Stop()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after Stop = %d, want 1", got)
+	}
+	d, ok = s.NextDeadline()
+	if !ok || !d.Equal(epoch.Add(5*time.Second)) {
+		t.Fatalf("NextDeadline after Stop = %v,%v", d, ok)
+	}
+}
+
+func TestSimRunUntilIdle(t *testing.T) {
+	s := NewSim(epoch)
+	count := 0
+	var rearm func()
+	rearm = func() {
+		count++
+		if count < 5 {
+			s.AfterFunc(time.Minute, rearm)
+		}
+	}
+	s.AfterFunc(time.Minute, rearm)
+	fired := s.RunUntilIdle(0)
+	if fired != 5 || count != 5 {
+		t.Fatalf("RunUntilIdle fired=%d count=%d, want 5/5", fired, count)
+	}
+	if want := epoch.Add(5 * time.Minute); !s.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimRunUntilIdleLimit(t *testing.T) {
+	s := NewSim(epoch)
+	var rearm func()
+	rearm = func() { s.AfterFunc(time.Second, rearm) } // infinite chain
+	s.AfterFunc(time.Second, rearm)
+	if fired := s.RunUntilIdle(10); fired != 10 {
+		t.Fatalf("RunUntilIdle(10) fired %d, want 10", fired)
+	}
+}
+
+func TestSimConcurrentSchedule(t *testing.T) {
+	s := NewSim(epoch)
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.AfterFunc(time.Duration(i)*time.Millisecond, func() {
+					mu.Lock()
+					total++
+					mu.Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.Advance(time.Second); n != 800 {
+		t.Fatalf("fired %d, want 800", n)
+	}
+	if total != 800 {
+		t.Fatalf("total %d, want 800", total)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now too far in past: %v < %v", now, before)
+	}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.AfterFunc never fired")
+	}
+	done2 := make(chan struct{})
+	c.At(c.Now().Add(-time.Hour), func() { close(done2) })
+	select {
+	case <-done2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.At with past deadline never fired")
+	}
+}

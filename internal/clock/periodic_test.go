@@ -1,0 +1,302 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParsePattern(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Pattern
+		wantErr bool
+	}{
+		{"10:00:00/*/*/*", Pattern{10, 0, 0, Wild, Wild, Wild}, false},
+		{"17:30:05/12/25/2026", Pattern{17, 30, 5, 12, 25, 2026}, false},
+		{"*:*:*/*/*/*", Pattern{Wild, Wild, Wild, Wild, Wild, Wild}, false},
+		{"08:00:00", Pattern{8, 0, 0, Wild, Wild, Wild}, false},
+		{"08:00:00/6", Pattern{8, 0, 0, 6, Wild, Wild}, false},
+		{"24:00:00/*/*/*", Pattern{}, true},  // hour out of range
+		{"10:60:00/*/*/*", Pattern{}, true},  // minute out of range
+		{"10:00:00/13/*/*", Pattern{}, true}, // month out of range
+		{"10:00:00/*/32/*", Pattern{}, true}, // day out of range
+		{"10:00/*/*/*", Pattern{}, true},     // missing seconds
+		{"10:00:00/*/*/*/*", Pattern{}, true},
+		{"abc", Pattern{}, true},
+	}
+	for _, tc := range tests {
+		got, err := ParsePattern(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParsePattern(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePattern(%q) error: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParsePattern(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for _, s := range []string{"10:00:00/*/*/*", "17:30:05/12/25/2026", "*:*:*/*/*/*"} {
+		p := MustPattern(s)
+		rt, err := ParsePattern(p.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q: %v", p.String(), err)
+		}
+		if rt != p {
+			t.Errorf("String round trip: %q -> %+v -> %+v", s, p, rt)
+		}
+	}
+}
+
+func TestMustPatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPattern on bad input did not panic")
+		}
+	}()
+	MustPattern("bogus")
+}
+
+func TestPatternMatches(t *testing.T) {
+	ten := MustPattern("10:00:00/*/*/*")
+	if !ten.Matches(time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)) {
+		t.Error("10:00:00 pattern should match 10:00:00")
+	}
+	if ten.Matches(time.Date(2026, 7, 6, 10, 0, 1, 0, time.UTC)) {
+		t.Error("10:00:00 pattern should not match 10:00:01")
+	}
+	xmas := MustPattern("00:00:00/12/25/*")
+	if !xmas.Matches(time.Date(2030, 12, 25, 0, 0, 0, 0, time.UTC)) {
+		t.Error("xmas pattern should match any year")
+	}
+}
+
+func TestPatternNext(t *testing.T) {
+	base := time.Date(2026, 7, 6, 9, 30, 0, 0, time.UTC)
+	tests := []struct {
+		pat   string
+		after time.Time
+		want  time.Time
+	}{
+		{"10:00:00/*/*/*", base, time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)},
+		// Already past today's occurrence -> tomorrow.
+		{"09:00:00/*/*/*", base, time.Date(2026, 7, 7, 9, 0, 0, 0, time.UTC)},
+		// Exactly at an occurrence -> strictly after, so next day.
+		{"09:30:00/*/*/*", base, time.Date(2026, 7, 7, 9, 30, 0, 0, time.UTC)},
+		// Concrete date in the future.
+		{"00:00:00/12/25/2026", base, time.Date(2026, 12, 25, 0, 0, 0, 0, time.UTC)},
+		// Feb 29: next leap year after 2026 is 2028.
+		{"12:00:00/2/29/*", base, time.Date(2028, 2, 29, 12, 0, 0, 0, time.UTC)},
+		// Wild seconds: next second.
+		{"*:*:*/*/*/*", base, base.Add(time.Second)},
+	}
+	for _, tc := range tests {
+		got, ok := MustPattern(tc.pat).Next(tc.after)
+		if !ok {
+			t.Errorf("Next(%q, %v): no occurrence", tc.pat, tc.after)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("Next(%q, %v) = %v, want %v", tc.pat, tc.after, got, tc.want)
+		}
+	}
+}
+
+func TestPatternNextNone(t *testing.T) {
+	base := time.Date(2026, 7, 6, 9, 30, 0, 0, time.UTC)
+	for _, pat := range []string{
+		"00:00:00/1/1/2020", // concrete past year
+		"00:00:00/2/30/*",   // impossible date
+	} {
+		if got, ok := MustPattern(pat).Next(base); ok {
+			t.Errorf("Next(%q) = %v, want none", pat, got)
+		}
+	}
+}
+
+func TestPatternPrev(t *testing.T) {
+	base := time.Date(2026, 7, 6, 9, 30, 0, 0, time.UTC)
+	tests := []struct {
+		pat    string
+		before time.Time
+		want   time.Time
+	}{
+		{"10:00:00/*/*/*", base, time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC)},
+		{"09:00:00/*/*/*", base, time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)},
+		// Prev is inclusive of the instant itself.
+		{"09:30:00/*/*/*", base, base},
+		{"12:00:00/2/29/*", base, time.Date(2024, 2, 29, 12, 0, 0, 0, time.UTC)},
+	}
+	for _, tc := range tests {
+		got, ok := MustPattern(tc.pat).Prev(tc.before)
+		if !ok {
+			t.Errorf("Prev(%q, %v): no occurrence", tc.pat, tc.before)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("Prev(%q, %v) = %v, want %v", tc.pat, tc.before, got, tc.want)
+		}
+	}
+}
+
+// Property: Next always returns an instant strictly after its argument
+// that Matches, and Prev(Next(t)) == Next(t).
+func TestPatternNextProperties(t *testing.T) {
+	patterns := []Pattern{
+		MustPattern("10:00:00/*/*/*"),
+		MustPattern("*:00:00/*/*/*"),
+		MustPattern("17:30:*/*/*/*"),
+		MustPattern("00:00:00/1/*/*"),
+		MustPattern("*:*:*/*/15/*"),
+	}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(patIdx uint8, offsetSec uint32) bool {
+		p := patterns[int(patIdx)%len(patterns)]
+		at := base.Add(time.Duration(offsetSec%(400*24*3600)) * time.Second)
+		next, ok := p.Next(at)
+		if !ok {
+			return false
+		}
+		if !next.After(at) || !p.Matches(next) {
+			return false
+		}
+		prev, ok := p.Prev(next)
+		return ok && prev.Equal(next)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w, err := ParseWindow("10:00:00/*/*/*", "17:00:00/*/*/*", time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := func(h, m int) time.Time { return time.Date(2026, 7, 6, h, m, 0, 0, time.UTC) }
+	tests := []struct {
+		at   time.Time
+		want bool
+	}{
+		{day(9, 59), false},
+		{day(10, 0), true}, // start boundary inclusive
+		{day(12, 0), true},
+		{day(16, 59), true},
+		{day(17, 0), false}, // stop boundary exclusive
+		{day(20, 0), false},
+	}
+	for _, tc := range tests {
+		if got := w.Contains(tc.at); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	begin := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2026, 7, 31, 23, 59, 59, 0, time.UTC)
+	w, err := ParseWindow("10:00:00/*/*/*", "17:00:00/*/*/*", begin, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Contains(time.Date(2026, 6, 15, 12, 0, 0, 0, time.UTC)) {
+		t.Error("window contains instant before Begin")
+	}
+	if w.Contains(time.Date(2026, 8, 15, 12, 0, 0, 0, time.UTC)) {
+		t.Error("window contains instant after End")
+	}
+	if !w.Contains(time.Date(2026, 7, 15, 12, 0, 0, 0, time.UTC)) {
+		t.Error("window missing in-bounds in-window instant")
+	}
+}
+
+func TestWindowNextStartStop(t *testing.T) {
+	w, _ := ParseWindow("10:00:00/*/*/*", "17:00:00/*/*/*", time.Time{}, time.Time{})
+	at := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	s, ok := w.NextStart(at)
+	if !ok || !s.Equal(time.Date(2026, 7, 7, 10, 0, 0, 0, time.UTC)) {
+		t.Errorf("NextStart = %v,%v", s, ok)
+	}
+	e, ok := w.NextStop(at)
+	if !ok || !e.Equal(time.Date(2026, 7, 6, 17, 0, 0, 0, time.UTC)) {
+		t.Errorf("NextStop = %v,%v", e, ok)
+	}
+}
+
+func TestWindowNextStartRespectsBegin(t *testing.T) {
+	begin := time.Date(2026, 7, 10, 0, 0, 0, 0, time.UTC)
+	w, _ := ParseWindow("10:00:00/*/*/*", "17:00:00/*/*/*", begin, time.Time{})
+	at := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	s, ok := w.NextStart(at)
+	if !ok || !s.Equal(time.Date(2026, 7, 10, 10, 0, 0, 0, time.UTC)) {
+		t.Errorf("NextStart = %v,%v, want first start at/after Begin", s, ok)
+	}
+}
+
+func TestWindowNextStopFallsBackToEnd(t *testing.T) {
+	end := time.Date(2026, 7, 6, 15, 0, 0, 0, time.UTC)
+	w, _ := ParseWindow("10:00:00/*/*/*", "17:00:00/*/*/*", time.Time{}, end)
+	at := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	e, ok := w.NextStop(at)
+	if !ok || !e.Equal(end) {
+		t.Errorf("NextStop = %v,%v, want End %v", e, ok, end)
+	}
+}
+
+// Night shifts wrap midnight: the window 22:00-06:00 is inside from
+// late evening through early morning, outside during the day.
+func TestWindowWrapsMidnight(t *testing.T) {
+	w, err := ParseWindow("22:00:00/*/*/*", "06:00:00/*/*/*", time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(d, h, m int) time.Time { return time.Date(2026, 7, 6+d, h, m, 0, 0, time.UTC) }
+	tests := []struct {
+		at   time.Time
+		want bool
+	}{
+		{at(0, 21, 59), false},
+		{at(0, 22, 0), true},  // shift starts
+		{at(0, 23, 30), true}, // before midnight
+		{at(1, 0, 30), true},  // after midnight
+		{at(1, 5, 59), true},
+		{at(1, 6, 0), false}, // shift ends
+		{at(1, 12, 0), false},
+	}
+	for _, tc := range tests {
+		if got := w.Contains(tc.at); got != tc.want {
+			t.Errorf("night shift Contains(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+// Property: the window alternates start/stop — for any instant inside,
+// the next stop precedes the next start.
+func TestWindowAlternationProperty(t *testing.T) {
+	w, _ := ParseWindow("10:00:00/*/*/*", "17:00:00/*/*/*", time.Time{}, time.Time{})
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(offsetSec uint32) bool {
+		at := base.Add(time.Duration(offsetSec%(90*24*3600)) * time.Second)
+		stop, ok1 := w.NextStop(at)
+		start, ok2 := w.NextStart(at)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if w.Contains(at) {
+			return stop.Before(start)
+		}
+		return start.Before(stop)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

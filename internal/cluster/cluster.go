@@ -1,0 +1,227 @@
+// Package cluster implements the paper's future-work item "to provide
+// distributed access control for enterprises": one logical policy
+// enforced by many enforcement points. A Cluster owns a primary
+// authorization System and any number of followers; policy changes are
+// applied on the primary and propagated to every follower, each of
+// which regenerates its own rule pool incrementally. Sessions and
+// activations stay local to the node that created them (as in any
+// distributed RBAC deployment); the *policy* — roles, hierarchy, SoD,
+// constraints — is what the cluster keeps consistent.
+//
+// Version identifiers are content hashes of the policy source, so
+// operators can verify convergence without comparing full texts.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"activerbac"
+)
+
+// Version identifies a policy revision by content hash.
+type Version string
+
+// VersionOf computes the policy version of a source text.
+func VersionOf(policySource string) Version {
+	sum := sha256.Sum256([]byte(policySource))
+	return Version(hex.EncodeToString(sum[:8]))
+}
+
+// Node is one enforcement point in the cluster.
+type Node struct {
+	// Name identifies the node (e.g. a site or availability zone).
+	Name string
+	// System is the node's authorization engine.
+	System *activerbac.System
+}
+
+// Version reports the node's current policy version.
+func (n *Node) Version() Version { return VersionOf(n.System.PolicySource()) }
+
+// Cluster distributes one policy across enforcement points.
+type Cluster struct {
+	mu        sync.Mutex
+	primary   *Node
+	followers map[string]*Node
+	source    string
+	// lagging records followers whose last propagation failed; they are
+	// retried on the next ApplyPolicy or Reconcile.
+	lagging map[string]error
+}
+
+// New builds a cluster around a primary node built from policySource.
+func New(primaryName, policySource string, opts *activerbac.Options) (*Cluster, error) {
+	sys, err := activerbac.Open(policySource, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		primary:   &Node{Name: primaryName, System: sys},
+		followers: make(map[string]*Node),
+		source:    policySource,
+		lagging:   make(map[string]error),
+	}, nil
+}
+
+// Primary returns the primary node.
+func (c *Cluster) Primary() *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary
+}
+
+// AddFollower creates a follower enforcement point from the current
+// policy and registers it.
+func (c *Cluster) AddFollower(name string, opts *activerbac.Options) (*Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if name == "" || name == c.primary.Name {
+		return nil, fmt.Errorf("cluster: invalid follower name %q", name)
+	}
+	if _, dup := c.followers[name]; dup {
+		return nil, fmt.Errorf("cluster: follower %q already registered", name)
+	}
+	sys, err := activerbac.Open(c.source, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Name: name, System: sys}
+	c.followers[name] = n
+	return n, nil
+}
+
+// RemoveFollower detaches and closes a follower.
+func (c *Cluster) RemoveFollower(name string) error {
+	c.mu.Lock()
+	n, ok := c.followers[name]
+	if ok {
+		delete(c.followers, name)
+		delete(c.lagging, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: follower %q not registered", name)
+	}
+	return n.System.Close()
+}
+
+// Follower returns a registered follower.
+func (c *Cluster) Follower(name string) (*Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.followers[name]
+	return n, ok
+}
+
+// Nodes lists every node, primary first, followers sorted by name.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, 0, 1+len(c.followers))
+	out = append(out, c.primary)
+	names := make([]string, 0, len(c.followers))
+	for n := range c.followers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, c.followers[n])
+	}
+	return out
+}
+
+// Version reports the cluster's target policy version (the primary's).
+func (c *Cluster) Version() Version {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return VersionOf(c.source)
+}
+
+// ApplyPolicy validates the new policy on the primary, then propagates
+// it to every follower. The primary is authoritative: if it rejects the
+// change, nothing is propagated. A follower that fails to apply is
+// marked lagging and retried by Reconcile; the error is joined into the
+// returned error (the primary's report is still returned).
+func (c *Cluster) ApplyPolicy(policySource string) (activerbac.Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, err := c.primary.System.ApplyPolicy(policySource)
+	if err != nil {
+		return rep, err
+	}
+	c.source = policySource
+	var errs []error
+	for name, n := range c.followers {
+		if _, err := n.System.ApplyPolicy(policySource); err != nil {
+			c.lagging[name] = err
+			errs = append(errs, fmt.Errorf("cluster: follower %q: %w", name, err))
+		} else {
+			delete(c.lagging, name)
+		}
+	}
+	return rep, errors.Join(errs...)
+}
+
+// Reconcile retries lagging followers against the current policy and
+// returns the names still lagging afterwards.
+func (c *Cluster) Reconcile() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var still []string
+	for name := range c.lagging {
+		n, ok := c.followers[name]
+		if !ok {
+			delete(c.lagging, name)
+			continue
+		}
+		if _, err := n.System.ApplyPolicy(c.source); err != nil {
+			c.lagging[name] = err
+			still = append(still, name)
+			continue
+		}
+		delete(c.lagging, name)
+	}
+	sort.Strings(still)
+	return still
+}
+
+// Converged reports whether every node is at the cluster version.
+func (c *Cluster) Converged() bool {
+	target := c.Version()
+	for _, n := range c.Nodes() {
+		if n.Version() != target {
+			return false
+		}
+	}
+	return true
+}
+
+// Status summarizes per-node versions for operators.
+func (c *Cluster) Status() map[string]Version {
+	out := make(map[string]Version)
+	for _, n := range c.Nodes() {
+		out[n.Name] = n.Version()
+	}
+	return out
+}
+
+// Close shuts down every node.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	if err := c.primary.System.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	for _, n := range c.followers {
+		if err := n.System.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"activerbac"
+)
+
+var t0 = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+const basePolicy = `
+policy "global"
+role PM
+role PC
+hierarchy PM > PC
+permission PC: write po.dat
+user bob: PC
+`
+
+func opts() *activerbac.Options {
+	return &activerbac.Options{Clock: activerbac.NewSimClock(t0)}
+}
+
+func newCluster(t *testing.T, followers ...string) *Cluster {
+	t.Helper()
+	c, err := New("hq", basePolicy, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for _, f := range followers {
+		if _, err := c.AddFollower(f, opts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestClusterConvergesOnCreation(t *testing.T) {
+	c := newCluster(t, "eu", "apac")
+	if !c.Converged() {
+		t.Fatalf("fresh cluster not converged: %v", c.Status())
+	}
+	if len(c.Nodes()) != 3 || c.Nodes()[0].Name != "hq" {
+		t.Fatalf("Nodes = %v", c.Nodes())
+	}
+	st := c.Status()
+	if st["hq"] != st["eu"] || st["eu"] != st["apac"] {
+		t.Fatalf("Status = %v", st)
+	}
+}
+
+func TestClusterFollowerValidation(t *testing.T) {
+	c := newCluster(t, "eu")
+	if _, err := c.AddFollower("eu", opts()); err == nil {
+		t.Fatal("duplicate follower accepted")
+	}
+	if _, err := c.AddFollower("hq", opts()); err == nil {
+		t.Fatal("follower named like primary accepted")
+	}
+	if _, err := c.AddFollower("", opts()); err == nil {
+		t.Fatal("empty follower name accepted")
+	}
+	if err := c.RemoveFollower("nope"); err == nil {
+		t.Fatal("removing unknown follower accepted")
+	}
+	if err := c.RemoveFollower("eu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Follower("eu"); ok {
+		t.Fatal("removed follower still registered")
+	}
+}
+
+func TestClusterPropagatesPolicy(t *testing.T) {
+	c := newCluster(t, "eu", "apac")
+	edited := basePolicy + "cardinality PM 1\n"
+	rep, err := c.ApplyPolicy(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Touched() != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !c.Converged() {
+		t.Fatalf("not converged after apply: %v", c.Status())
+	}
+	if c.Version() != VersionOf(edited) {
+		t.Fatal("cluster version not updated")
+	}
+	// The new constraint is live on every node independently.
+	for _, n := range c.Nodes() {
+		sys := n.System
+		user := activerbac.UserID("u-" + n.Name)
+		if err := sys.AddUser(user); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AssignUser(user, "PM"); err != nil {
+			t.Fatal(err)
+		}
+		sid, err := sys.CreateSession(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AddActiveRole(user, sid, "PM"); err != nil {
+			t.Fatalf("node %s: %v", n.Name, err)
+		}
+		// Cardinality 1 per node: a second local activation is denied.
+		if err := sys.AssignUser("bob", "PM"); err != nil {
+			t.Fatal(err)
+		}
+		sid2, err := sys.CreateSession("bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AddActiveRole("bob", sid2, "PM"); !errors.Is(err, activerbac.ErrDenied) {
+			t.Fatalf("node %s: second PM activation: %v", n.Name, err)
+		}
+	}
+}
+
+func TestClusterSessionsStayLocal(t *testing.T) {
+	c := newCluster(t, "eu")
+	hq := c.Primary().System
+	eu, _ := c.Follower("eu")
+	sid, err := hq.CreateSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hq.AddActiveRole("bob", sid, "PC"); err != nil {
+		t.Fatal(err)
+	}
+	// The session exists only at HQ.
+	if eu.System.CheckAccess(sid, activerbac.Permission{Operation: "write", Object: "po.dat"}) {
+		t.Fatal("session leaked to the follower")
+	}
+	if !hq.CheckAccess(sid, activerbac.Permission{Operation: "write", Object: "po.dat"}) {
+		t.Fatal("primary session broken")
+	}
+}
+
+func TestClusterPrimaryRejectionStopsPropagation(t *testing.T) {
+	c := newCluster(t, "eu")
+	before := c.Version()
+	if _, err := c.ApplyPolicy("role A\nrole A\n"); err == nil {
+		t.Fatal("inconsistent policy accepted")
+	}
+	if c.Version() != before {
+		t.Fatal("version changed after rejected apply")
+	}
+	if !c.Converged() {
+		t.Fatal("cluster diverged after rejected apply")
+	}
+}
+
+func TestClusterLaggingFollowerReconciles(t *testing.T) {
+	c := newCluster(t, "eu")
+	// Sabotage the follower so the next propagation fails: purposes are
+	// append-only, so a follower that already has an extra purpose will
+	// reject a policy without it.
+	eu, _ := c.Follower("eu")
+	if _, err := eu.System.ApplyPolicy(basePolicy + "purpose rogue\n"); err != nil {
+		t.Fatal(err)
+	}
+	edited := basePolicy + "cardinality PM 1\n"
+	_, err := c.ApplyPolicy(edited)
+	if err == nil {
+		t.Fatal("lagging follower not reported")
+	}
+	if !strings.Contains(err.Error(), `"eu"`) {
+		t.Fatalf("error does not name the follower: %v", err)
+	}
+	if c.Converged() {
+		t.Fatal("cluster reports converged with a lagging follower")
+	}
+	// Reconcile still fails (the rogue purpose persists).
+	if still := c.Reconcile(); len(still) != 1 || still[0] != "eu" {
+		t.Fatalf("Reconcile = %v", still)
+	}
+	// Operator remediation: replace the follower, then reconcile.
+	if err := c.RemoveFollower("eu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddFollower("eu", opts()); err != nil {
+		t.Fatal(err)
+	}
+	if still := c.Reconcile(); len(still) != 0 {
+		t.Fatalf("Reconcile after replacement = %v", still)
+	}
+	if !c.Converged() {
+		t.Fatalf("not converged after replacement: %v", c.Status())
+	}
+}
+
+func TestVersionOfStable(t *testing.T) {
+	a := VersionOf("role A\n")
+	b := VersionOf("role A\n")
+	if a != b || a == VersionOf("role B\n") || len(a) != 16 {
+		t.Fatalf("VersionOf unstable: %q %q", a, b)
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"activerbac/internal/event"
+)
+
+// OutcomeListener observes every rule firing; used by the audit trail
+// and by active-security monitors. Listeners run on the detector's
+// drain goroutine and must not block.
+type OutcomeListener func(Outcome)
+
+// ruleState wraps a Rule with pool-managed runtime state.
+type ruleState struct {
+	rule    Rule
+	enabled bool
+	order   int // insertion order, tie-break after priority
+	fired   uint64
+	allowed uint64
+	denied  uint64
+}
+
+// RuleInfo is a read-only snapshot of one rule's state.
+type RuleInfo struct {
+	Name        string
+	On          string
+	Class       Class
+	Granularity Granularity
+	Priority    int
+	Tags        []string
+	Enabled     bool
+	Fired       uint64
+	Allowed     uint64
+	Denied      uint64
+	Conditions  []string
+	Then        []string
+	Else        []string
+}
+
+// Pool holds the active authorization rules of one system — the paper's
+// "rule pool" — and wires them to an event detector. All state is
+// guarded by one mutex; rule firing happens on the detector's drain
+// goroutine.
+type Pool struct {
+	det *event.Detector
+
+	mu        sync.Mutex
+	rules     map[string]*ruleState
+	byEvent   map[string][]*ruleState
+	subIDs    map[string]int // event name -> detector subscription id
+	listeners []OutcomeListener
+	nextOrder int
+}
+
+// NewPool returns an empty rule pool bound to det.
+func NewPool(det *event.Detector) *Pool {
+	return &Pool{
+		det:     det,
+		rules:   make(map[string]*ruleState),
+		byEvent: make(map[string][]*ruleState),
+		subIDs:  make(map[string]int),
+	}
+}
+
+// Detector returns the event detector the pool fires on.
+func (p *Pool) Detector() *event.Detector { return p.det }
+
+// OnOutcome registers a listener for every rule firing.
+func (p *Pool) OnOutcome(l OutcomeListener) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.listeners = append(p.listeners, l)
+}
+
+// Add inserts a rule. The rule's On event must be defined in the
+// detector and the rule name must be unused.
+func (p *Pool) Add(r Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("core: rule with empty name")
+	}
+	if r.On == "" {
+		return fmt.Errorf("core: rule %q has no On event", r.Name)
+	}
+	if !p.det.Defined(r.On) {
+		return fmt.Errorf("core: rule %q triggers on undefined event %q", r.Name, r.On)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.rules[r.Name]; dup {
+		return fmt.Errorf("core: duplicate rule name %q", r.Name)
+	}
+	st := &ruleState{rule: r, enabled: !r.Disabled, order: p.nextOrder}
+	p.nextOrder++
+	p.rules[r.Name] = st
+	p.byEvent[r.On] = insertOrdered(p.byEvent[r.On], st)
+
+	if _, subscribed := p.subIDs[r.On]; !subscribed {
+		evt := r.On
+		id, err := p.det.Subscribe(evt, func(o *event.Occurrence) { p.fire(evt, o) })
+		if err != nil {
+			// Undo the insert; Defined was checked above so this is
+			// unexpected, but keep the pool consistent.
+			delete(p.rules, r.Name)
+			p.byEvent[r.On] = removeRule(p.byEvent[r.On], st)
+			return err
+		}
+		p.subIDs[evt] = id
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (p *Pool) MustAdd(r Rule) {
+	if err := p.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// insertOrdered keeps the slice sorted by (priority desc, order asc).
+func insertOrdered(rules []*ruleState, st *ruleState) []*ruleState {
+	i := sort.Search(len(rules), func(i int) bool {
+		if rules[i].rule.Priority != st.rule.Priority {
+			return rules[i].rule.Priority < st.rule.Priority
+		}
+		return rules[i].order > st.order
+	})
+	rules = append(rules, nil)
+	copy(rules[i+1:], rules[i:])
+	rules[i] = st
+	return rules
+}
+
+func removeRule(rules []*ruleState, st *ruleState) []*ruleState {
+	for i, r := range rules {
+		if r == st {
+			return append(rules[:i], rules[i+1:]...)
+		}
+	}
+	return rules
+}
+
+// Remove deletes a rule by name. Removing an unknown rule is an error.
+func (p *Pool) Remove(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.rules[name]
+	if !ok {
+		return fmt.Errorf("core: remove of unknown rule %q", name)
+	}
+	delete(p.rules, name)
+	p.byEvent[st.rule.On] = removeRule(p.byEvent[st.rule.On], st)
+	return nil
+}
+
+// RemoveByTag deletes every rule carrying tag and returns how many were
+// removed. This is the regeneration primitive: the generator tags each
+// rule with its originating role, so a policy change for one role
+// removes and re-adds only that role's rules.
+func (p *Pool) RemoveByTag(tag string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for name, st := range p.rules {
+		if st.rule.HasTag(tag) {
+			delete(p.rules, name)
+			p.byEvent[st.rule.On] = removeRule(p.byEvent[st.rule.On], st)
+			n++
+		}
+	}
+	return n
+}
+
+// SetEnabled enables or disables a rule in place (the paper's active
+// security disables critical rules under attack).
+func (p *Pool) SetEnabled(name string, enabled bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.rules[name]
+	if !ok {
+		return fmt.Errorf("core: enable/disable of unknown rule %q", name)
+	}
+	st.enabled = enabled
+	return nil
+}
+
+// SetEnabledByTag enables or disables every rule carrying tag; returns
+// the number of rules affected.
+func (p *Pool) SetEnabledByTag(tag string, enabled bool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, st := range p.rules {
+		if st.rule.HasTag(tag) {
+			st.enabled = enabled
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of rules in the pool.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.rules)
+}
+
+// Get returns a snapshot of one rule.
+func (p *Pool) Get(name string) (RuleInfo, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.rules[name]
+	if !ok {
+		return RuleInfo{}, false
+	}
+	return st.info(), true
+}
+
+// Snapshot returns read-only info for every rule, sorted by name.
+func (p *Pool) Snapshot() []RuleInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]RuleInfo, 0, len(p.rules))
+	for _, st := range p.rules {
+		out = append(out, st.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (st *ruleState) info() RuleInfo {
+	r := st.rule
+	conds := make([]string, len(r.When))
+	for i, c := range r.When {
+		conds[i] = c.Desc
+	}
+	then := make([]string, len(r.Then))
+	for i, a := range r.Then {
+		then[i] = a.Desc
+	}
+	els := make([]string, len(r.Else))
+	for i, a := range r.Else {
+		els[i] = a.Desc
+	}
+	return RuleInfo{
+		Name: r.Name, On: r.On, Class: r.Class, Granularity: r.Granularity,
+		Priority: r.Priority, Tags: append([]string(nil), r.Tags...),
+		Enabled: st.enabled, Fired: st.fired, Allowed: st.allowed, Denied: st.denied,
+		Conditions: conds, Then: then, Else: els,
+	}
+}
+
+// fire runs every enabled rule bound to evt against occurrence o, in
+// priority order. Runs on the detector's drain goroutine.
+func (p *Pool) fire(evt string, o *event.Occurrence) {
+	p.mu.Lock()
+	states := make([]*ruleState, 0, len(p.byEvent[evt]))
+	for _, st := range p.byEvent[evt] {
+		if st.enabled {
+			states = append(states, st)
+		}
+	}
+	listeners := append([]OutcomeListener(nil), p.listeners...)
+	p.mu.Unlock()
+
+	for _, st := range states {
+		out := p.runRule(st, o)
+		for _, l := range listeners {
+			l(out)
+		}
+	}
+}
+
+// runRule evaluates one rule against an occurrence.
+func (p *Pool) runRule(st *ruleState, o *event.Occurrence) Outcome {
+	r := &st.rule
+	out := Outcome{Rule: r.Name, Event: o, Allowed: true, At: p.det.Clock().Now()}
+	for _, c := range r.When {
+		ok, err := c.Eval(o)
+		if err != nil {
+			out.Allowed = false
+			out.FailedCond = c.Desc
+			out.CondErr = err
+			break
+		}
+		if !ok {
+			out.Allowed = false
+			out.FailedCond = c.Desc
+			break
+		}
+	}
+	branch := r.Then
+	if !out.Allowed {
+		branch = r.Else
+	}
+	for _, a := range branch {
+		if err := a.Run(o); err != nil {
+			out.ActionErr = err
+			break
+		}
+	}
+
+	p.mu.Lock()
+	st.fired++
+	if out.Allowed {
+		st.allowed++
+	} else {
+		st.denied++
+	}
+	p.mu.Unlock()
+	return out
+}

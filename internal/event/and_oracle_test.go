@@ -1,0 +1,110 @@
+package event
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"activerbac/internal/clock"
+)
+
+// Oracle property: Chronicle AND(a, b) against a two-queue reference —
+// each arrival pairs FIFO with the oldest pending occurrence of the
+// other side, else queues on its own side.
+func TestAndChronicleOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		sim := clock.NewSim(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+		det := New(sim)
+		det.MustPrimitive("a")
+		det.MustPrimitive("b")
+		det.MustDefine("x", WithMode(And(NameExpr("a"), NameExpr("b")), Chronicle))
+		var got [][2]int
+		if _, err := det.Subscribe("x", func(o *Occurrence) {
+			i0, _ := o.Constituents[0].Params["i"].(int)
+			i1, _ := o.Constituents[1].Params["i"].(int)
+			got = append(got, [2]int{i0, i1})
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		var qa, qb []int
+		var want [][2]int
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			sim.Advance(time.Second)
+			if rng.Intn(2) == 0 {
+				det.MustRaise("a", Params{"i": i})
+				if len(qb) > 0 {
+					want = append(want, [2]int{qb[0], i})
+					qb = qb[1:]
+				} else {
+					qa = append(qa, i)
+				}
+			} else {
+				det.MustRaise("b", Params{"i": i})
+				if len(qa) > 0 {
+					want = append(want, [2]int{qa[0], i})
+					qa = qa[1:]
+				} else {
+					qb = append(qb, i)
+				}
+			}
+		}
+		return fmt.Sprint(got) == fmt.Sprint(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composite occurrence intervals always cover their
+// constituents — Start is the minimum constituent Start, End the
+// maximum End — across a random stream and every operator in the graph.
+func TestIntervalCoverageProperty(t *testing.T) {
+	f := func(seed int64, modeRaw uint8) bool {
+		mode := Mode(int(modeRaw) % 4)
+		sim := clock.NewSim(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+		det := New(sim)
+		for _, n := range []string{"a", "b", "c"} {
+			det.MustPrimitive(n)
+		}
+		det.MustDefine("seq", WithMode(Seq(NameExpr("a"), NameExpr("b")), mode))
+		det.MustDefine("and", WithMode(And(NameExpr("b"), NameExpr("c")), mode))
+		det.MustDefine("ap", WithMode(Aperiodic(NameExpr("a"), NameExpr("b"), NameExpr("c")), mode))
+		ok := true
+		check := func(o *Occurrence) {
+			if len(o.Constituents) == 0 {
+				return
+			}
+			lo, hi := o.Constituents[0].Start, o.Constituents[0].End
+			for _, k := range o.Constituents {
+				if k.Start.Before(lo) {
+					lo = k.Start
+				}
+				if k.End.After(hi) {
+					hi = k.End
+				}
+			}
+			if !o.Start.Equal(lo) || !o.End.Equal(hi) {
+				ok = false
+			}
+		}
+		for _, name := range []string{"seq", "and", "ap"} {
+			if _, err := det.Subscribe(name, check); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"a", "b", "c"}
+		for i := 0; i < 200; i++ {
+			sim.Advance(time.Second)
+			det.MustRaise(names[rng.Intn(3)], nil)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,378 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"activerbac/internal/clock"
+)
+
+// Handler is invoked for every detected occurrence of a subscribed event.
+// Handlers run on the detector's drain goroutine and must not block; they
+// may call Raise, Defer, Define, or Subscribe (cascaded events are queued
+// and processed after the current propagation completes).
+type Handler func(*Occurrence)
+
+// node is a vertex in the event graph. Node *state* (pending occurrence
+// buffers) is only touched by the drain goroutine; node *structure*
+// (parent lists) is guarded by the detector's structure lock.
+type node interface {
+	name() string
+	// process handles an occurrence delivered from src (one of the
+	// node's declared children). Runs on the drain goroutine only.
+	process(src node, occ *Occurrence, d *Detector)
+	// addParent subscribes an operator node to this node's detections.
+	// Caller holds the detector's structure lock.
+	addParent(p node)
+	// parentsOf snapshots the parent list. Caller holds the structure
+	// lock (read side suffices).
+	parentsOf() []node
+}
+
+// baseNode carries the name and parent list shared by all node kinds.
+type baseNode struct {
+	nm      string
+	parents []node
+}
+
+func (b *baseNode) name() string { return b.nm }
+
+func (b *baseNode) addParent(p node) {
+	for _, q := range b.parents {
+		if q == p {
+			return
+		}
+	}
+	b.parents = append(b.parents, p)
+}
+
+func (b *baseNode) parentsOf() []node {
+	out := make([]node, len(b.parents))
+	copy(out, b.parents)
+	return out
+}
+
+// primitiveNode is a leaf raised directly via Detector.Raise.
+type primitiveNode struct {
+	baseNode
+}
+
+func (n *primitiveNode) process(node, *Occurrence, *Detector) {
+	// Primitives have no children; nothing delivers to them.
+}
+
+// Detector owns an event graph and serializes all occurrence propagation
+// through an internal queue: Raise may be called from any goroutine —
+// including from handlers and from clock timer callbacks — and exactly
+// one goroutine at a time drains the queue, so operator-node state needs
+// no locking. This mirrors the single event-detector thread of the
+// paper's Sentinel+ system.
+type Detector struct {
+	clk clock.Clock
+
+	// smu guards graph structure: the name maps, subscriber maps, and
+	// node parent lists. It is never held while user code runs.
+	smu    sync.RWMutex
+	nodes  map[string]node
+	subs   map[string]map[int]Handler
+	anon   int
+	subSeq int
+
+	// emu serializes drain execution (operator-node state).
+	emu sync.Mutex
+
+	// qmu guards the delivery queue and drain ownership; quiet is
+	// signalled (broadcast) whenever a drain completes.
+	qmu      sync.Mutex
+	quiet    *sync.Cond
+	queue    []func(*Detector)
+	draining bool
+
+	// counters below are touched only on the drain goroutine.
+	seq      uint64
+	raised   uint64
+	detected uint64
+	maxCade  int // cascade safety bound per drain
+}
+
+// New returns a Detector whose temporal operators schedule on clk.
+func New(clk clock.Clock) *Detector {
+	d := &Detector{
+		clk:     clk,
+		nodes:   make(map[string]node),
+		subs:    make(map[string]map[int]Handler),
+		maxCade: 1 << 20,
+	}
+	d.quiet = sync.NewCond(&d.qmu)
+	return d
+}
+
+// Clock returns the clock the detector schedules temporal events on.
+func (d *Detector) Clock() clock.Clock { return d.clk }
+
+// DefinePrimitive registers a primitive (simple) event name. It is
+// idempotent for primitives but fails if the name is already bound to a
+// composite event.
+func (d *Detector) DefinePrimitive(name string) error {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	return d.definePrimitiveLocked(name)
+}
+
+func (d *Detector) definePrimitiveLocked(name string) error {
+	if name == "" {
+		return fmt.Errorf("event: empty event name")
+	}
+	if n, ok := d.nodes[name]; ok {
+		if _, isPrim := n.(*primitiveNode); isPrim {
+			return nil
+		}
+		return fmt.Errorf("event: %q already defined as a composite event", name)
+	}
+	d.nodes[name] = &primitiveNode{baseNode{nm: name}}
+	return nil
+}
+
+// MustPrimitive is DefinePrimitive that panics on error.
+func (d *Detector) MustPrimitive(name string) {
+	if err := d.DefinePrimitive(name); err != nil {
+		panic(err)
+	}
+}
+
+// Defined reports whether name is a registered event (primitive or
+// composite).
+func (d *Detector) Defined(name string) bool {
+	d.smu.RLock()
+	defer d.smu.RUnlock()
+	_, ok := d.nodes[name]
+	return ok
+}
+
+// Events returns the names of all defined events, sorted.
+func (d *Detector) Events() []string {
+	d.smu.RLock()
+	defer d.smu.RUnlock()
+	out := make([]string, 0, len(d.nodes))
+	for n := range d.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscribe registers h to run on every detection of the named event and
+// returns a subscription id for Unsubscribe. The event must already be
+// defined.
+func (d *Detector) Subscribe(name string, h Handler) (int, error) {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	if _, ok := d.nodes[name]; !ok {
+		return 0, fmt.Errorf("event: subscribe to undefined event %q", name)
+	}
+	d.subSeq++
+	id := d.subSeq
+	m := d.subs[name]
+	if m == nil {
+		m = make(map[int]Handler)
+		d.subs[name] = m
+	}
+	m[id] = h
+	return id, nil
+}
+
+// Unsubscribe removes a subscription made with Subscribe. Unknown ids are
+// ignored.
+func (d *Detector) Unsubscribe(name string, id int) {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	if m, ok := d.subs[name]; ok {
+		delete(m, id)
+	}
+}
+
+// Raise injects an occurrence of a primitive event stamped with the
+// detector clock's current instant and the given parameters, then
+// propagates it (and any cascaded events) to completion, unless a drain
+// is already in progress on another goroutine — in that case the
+// occurrence is queued behind it.
+func (d *Detector) Raise(name string, p Params) error {
+	d.smu.RLock()
+	n, ok := d.nodes[name]
+	d.smu.RUnlock()
+	if !ok {
+		return fmt.Errorf("event: raise of undefined event %q", name)
+	}
+	prim, ok := n.(*primitiveNode)
+	if !ok {
+		return fmt.Errorf("event: cannot raise composite event %q directly", name)
+	}
+
+	now := d.clk.Now()
+	d.enqueue(func(det *Detector) {
+		det.raised++
+		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone()}
+		det.deliver(prim, occ)
+	})
+	return nil
+}
+
+// MustRaise is Raise that panics on error.
+func (d *Detector) MustRaise(name string, p Params) {
+	if err := d.Raise(name, p); err != nil {
+		panic(err)
+	}
+}
+
+// Defer queues fn to run on the drain goroutine after the current
+// propagation step; handlers use it to sequence work after the cascade
+// in flight.
+func (d *Detector) Defer(fn func()) {
+	d.enqueue(func(*Detector) { fn() })
+}
+
+// RaiseSync raises a primitive event like Raise and then blocks until
+// the occurrence *and every cascade it triggered* have been fully
+// processed (the detector reached a quiescent point after the item ran).
+// It is how synchronous request/response enforcement (CheckAccess,
+// AddActiveRole) is built on the asynchronous rule machinery.
+//
+// RaiseSync must not be called from inside a handler — a handler runs on
+// the drain goroutine, and waiting there for the drain to finish would
+// deadlock. Handlers cascade with plain Raise instead.
+func (d *Detector) RaiseSync(name string, p Params) error {
+	d.smu.RLock()
+	n, ok := d.nodes[name]
+	d.smu.RUnlock()
+	if !ok {
+		return fmt.Errorf("event: raise of undefined event %q", name)
+	}
+	prim, ok := n.(*primitiveNode)
+	if !ok {
+		return fmt.Errorf("event: cannot raise composite event %q directly", name)
+	}
+
+	now := d.clk.Now()
+	processed := make(chan struct{})
+	d.enqueue(func(det *Detector) {
+		det.raised++
+		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone()}
+		det.deliver(prim, occ)
+		close(processed)
+	})
+	<-processed
+	// The item ran; now wait for the drain that ran it (or a later one)
+	// to go quiet, which guarantees the item's cascades completed.
+	d.qmu.Lock()
+	for d.draining {
+		d.quiet.Wait()
+	}
+	d.qmu.Unlock()
+	return nil
+}
+
+// enqueue appends a work item and drains the queue unless another
+// goroutine is already draining (that goroutine will pick the item up).
+func (d *Detector) enqueue(fn func(*Detector)) {
+	d.qmu.Lock()
+	d.queue = append(d.queue, fn)
+	if d.draining {
+		d.qmu.Unlock()
+		return
+	}
+	d.draining = true
+	d.qmu.Unlock()
+
+	d.emu.Lock()
+	steps := 0
+	for {
+		d.qmu.Lock()
+		if len(d.queue) == 0 || steps >= d.maxCade {
+			d.queue = d.queue[:0]
+			d.draining = false
+			d.quiet.Broadcast()
+			d.qmu.Unlock()
+			break
+		}
+		next := d.queue[0]
+		d.queue = d.queue[1:]
+		d.qmu.Unlock()
+		steps++
+		next(d)
+	}
+	d.emu.Unlock()
+}
+
+// deliver assigns a sequence number to occ, runs subscribers of the
+// source node's event, and propagates to parent operator nodes. Runs on
+// the drain goroutine only.
+func (d *Detector) deliver(src node, occ *Occurrence) {
+	d.seq++
+	occ.Seq = d.seq
+	d.detected++
+
+	d.smu.RLock()
+	handlers := d.snapshotHandlers(src.name())
+	parents := src.parentsOf()
+	d.smu.RUnlock()
+
+	for _, h := range handlers {
+		h(occ)
+	}
+	for _, p := range parents {
+		p.process(src, occ, d)
+	}
+}
+
+// snapshotHandlers copies the handler set in subscription order; caller
+// holds smu (read side).
+func (d *Detector) snapshotHandlers(name string) []Handler {
+	m := d.subs[name]
+	if len(m) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	hs := make([]Handler, 0, len(ids))
+	for _, id := range ids {
+		hs = append(hs, m[id])
+	}
+	return hs
+}
+
+// Stats reports cumulative detector counters.
+type Stats struct {
+	Raised   uint64 // primitive occurrences injected via Raise
+	Detected uint64 // all occurrences, primitive and composite
+	Events   int    // defined event count
+}
+
+// Stats returns a snapshot of the detector's counters. Counter reads are
+// not synchronized with in-flight drains; call it when the system is
+// quiescent (tests, benchmarks) for exact values.
+func (d *Detector) Stats() Stats {
+	d.smu.RLock()
+	events := len(d.nodes)
+	d.smu.RUnlock()
+	return Stats{Raised: d.raised, Detected: d.detected, Events: events}
+}
+
+// anonName synthesizes a unique name for an unnamed operator node; caller
+// holds smu.
+func (d *Detector) anonName(kind string) string {
+	d.anon++
+	return fmt.Sprintf("%s#%d", kind, d.anon)
+}
+
+// lookupLocked returns the named node; caller holds smu.
+func (d *Detector) lookupLocked(name string) (node, error) {
+	n, ok := d.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("event: undefined event %q", name)
+	}
+	return n, nil
+}

@@ -1,0 +1,354 @@
+package event
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"activerbac/internal/clock"
+)
+
+var t0 = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+// newTestDetector returns a detector on a simulated clock plus the clock.
+func newTestDetector() (*Detector, *clock.Sim) {
+	sim := clock.NewSim(t0)
+	return New(sim), sim
+}
+
+// collect subscribes to name and returns a pointer to the slice of
+// detected occurrences.
+func collect(t *testing.T, d *Detector, name string) *[]*Occurrence {
+	t.Helper()
+	var got []*Occurrence
+	if _, err := d.Subscribe(name, func(o *Occurrence) { got = append(got, o) }); err != nil {
+		t.Fatalf("Subscribe(%q): %v", name, err)
+	}
+	return &got
+}
+
+func TestDefinePrimitive(t *testing.T) {
+	d, _ := newTestDetector()
+	if err := d.DefinePrimitive("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DefinePrimitive("e1"); err != nil {
+		t.Fatalf("re-defining primitive should be idempotent: %v", err)
+	}
+	if err := d.DefinePrimitive(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if !d.Defined("e1") || d.Defined("nope") {
+		t.Fatal("Defined() wrong")
+	}
+}
+
+func TestDefineConflicts(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	if err := d.Define("comp", Seq(NameExpr("a"), NameExpr("b"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DefinePrimitive("comp"); err == nil {
+		t.Fatal("primitive over composite accepted")
+	}
+	if err := d.Define("comp", Or(NameExpr("a"), NameExpr("b"))); err == nil {
+		t.Fatal("duplicate composite name accepted")
+	}
+	if err := d.Define("dangling", Seq(NameExpr("a"), NameExpr("zzz"))); err == nil {
+		t.Fatal("undefined reference accepted")
+	}
+}
+
+func TestRaiseErrors(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	d.MustDefine("c", Seq(NameExpr("a"), NameExpr("b")))
+	if err := d.Raise("nope", nil); err == nil {
+		t.Fatal("raising undefined event accepted")
+	}
+	if err := d.Raise("c", nil); err == nil {
+		t.Fatal("raising composite event accepted")
+	}
+}
+
+func TestRaiseDeliversToSubscriber(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("login")
+	got := collect(t, d, "login")
+	d.MustRaise("login", Params{"user": "bob"})
+	if len(*got) != 1 {
+		t.Fatalf("got %d occurrences, want 1", len(*got))
+	}
+	o := (*got)[0]
+	if o.Event != "login" || o.Params["user"] != "bob" {
+		t.Fatalf("occurrence %v", o)
+	}
+	if !o.Start.Equal(sim.Now()) || !o.End.Equal(sim.Now()) {
+		t.Fatalf("primitive interval not a point at now: %v", o)
+	}
+}
+
+func TestSubscribeUnsubscribe(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("e")
+	n := 0
+	id, err := d.Subscribe("e", func(*Occurrence) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe("zzz", func(*Occurrence) {}); err == nil {
+		t.Fatal("subscribe to undefined event accepted")
+	}
+	d.MustRaise("e", nil)
+	d.Unsubscribe("e", id)
+	d.MustRaise("e", nil)
+	if n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+}
+
+func TestHandlerOrderIsSubscriptionOrder(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("e")
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if _, err := d.Subscribe("e", func(*Occurrence) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.MustRaise("e", nil)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("handler order %v", order)
+		}
+	}
+}
+
+func TestCascadedRaiseFromHandler(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("first")
+	d.MustPrimitive("second")
+	var trace []string
+	if _, err := d.Subscribe("first", func(*Occurrence) {
+		trace = append(trace, "first")
+		d.MustRaise("second", nil)
+		trace = append(trace, "first-done")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe("second", func(*Occurrence) { trace = append(trace, "second") }); err != nil {
+		t.Fatal(err)
+	}
+	d.MustRaise("first", nil)
+	want := []string{"first", "first-done", "second"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v (cascades must queue behind current propagation)", trace, want)
+		}
+	}
+}
+
+func TestHandlerMayDefineAndSubscribe(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("boot")
+	d.MustPrimitive("later")
+	n := 0
+	if _, err := d.Subscribe("boot", func(*Occurrence) {
+		if err := d.DefinePrimitive("dynamic"); err != nil {
+			t.Errorf("Define from handler: %v", err)
+		}
+		if _, err := d.Subscribe("later", func(*Occurrence) { n++ }); err != nil {
+			t.Errorf("Subscribe from handler: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.MustRaise("boot", nil)
+	d.MustRaise("later", nil)
+	if n != 1 {
+		t.Fatalf("late subscription ran %d times, want 1", n)
+	}
+	if !d.Defined("dynamic") {
+		t.Fatal("event defined from handler is missing")
+	}
+}
+
+func TestDefer(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("e")
+	var trace []string
+	if _, err := d.Subscribe("e", func(*Occurrence) {
+		d.Defer(func() { trace = append(trace, "deferred") })
+		trace = append(trace, "handler")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.MustRaise("e", nil)
+	if len(trace) != 2 || trace[0] != "handler" || trace[1] != "deferred" {
+		t.Fatalf("trace %v", trace)
+	}
+}
+
+func TestSeqNumbersAreMonotonic(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("e")
+	var seqs []uint64
+	if _, err := d.Subscribe("e", func(o *Occurrence) { seqs = append(seqs, o.Seq) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.MustRaise("e", nil)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("seq not monotonic: %v", seqs)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	d.MustDefine("ab", Or(NameExpr("a"), NameExpr("b")))
+	d.MustRaise("a", nil)
+	d.MustRaise("b", nil)
+	s := d.Stats()
+	if s.Raised != 2 {
+		t.Fatalf("Raised = %d, want 2", s.Raised)
+	}
+	if s.Detected != 4 { // 2 primitives + 2 composite ORs
+		t.Fatalf("Detected = %d, want 4", s.Detected)
+	}
+	if s.Events != 3 {
+		t.Fatalf("Events = %d, want 3", s.Events)
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	d, _ := newTestDetector()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		d.MustPrimitive(n)
+	}
+	ev := d.Events()
+	if len(ev) != 3 || ev[0] != "alpha" || ev[1] != "mid" || ev[2] != "zeta" {
+		t.Fatalf("Events() = %v", ev)
+	}
+}
+
+func TestConcurrentRaise(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("e")
+	var mu sync.Mutex
+	count := 0
+	if _, err := d.Subscribe("e", func(*Occurrence) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.MustRaise("e", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	// Raises from other goroutines may still be queued behind the last
+	// drainer; raise once more to flush (the queue drains fully on each
+	// enqueue when not already draining).
+	mu.Lock()
+	got := count
+	mu.Unlock()
+	if got != 1600 {
+		t.Fatalf("count = %d, want 1600", got)
+	}
+}
+
+func TestAliasDefinition(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("raw")
+	d.MustDefine("alias", NameExpr("raw"))
+	got := collect(t, d, "alias")
+	d.MustRaise("raw", Params{"k": 1})
+	if len(*got) != 1 || (*got)[0].Event != "alias" || (*got)[0].Params["k"] != 1 {
+		t.Fatalf("alias detection wrong: %v", *got)
+	}
+}
+
+func TestParamsMergeAndString(t *testing.T) {
+	p := Params{"a": 1, "b": "x"}
+	q := Params{"b": "y", "c": 3}
+	m := p.Merge(q)
+	if m["a"] != 1 || m["b"] != "y" || m["c"] != 3 {
+		t.Fatalf("Merge = %v", m)
+	}
+	if p["b"] != "x" {
+		t.Fatal("Merge mutated receiver")
+	}
+	if s := m.String(); s != "{a=1, b=y, c=3}" {
+		t.Fatalf("String = %q", s)
+	}
+	var nilP Params
+	if nilP.Clone() != nil {
+		t.Fatal("nil Clone not nil")
+	}
+	if got := nilP.Merge(q); got["c"] != 3 {
+		t.Fatalf("nil Merge = %v", got)
+	}
+	if s := (Params{}).String(); s != "{}" {
+		t.Fatalf("empty String = %q", s)
+	}
+}
+
+func TestOccurrenceString(t *testing.T) {
+	o := &Occurrence{Event: "e", Start: t0, End: t0, Params: Params{"u": "bob"}}
+	if s := o.String(); s != "e@09:00:00{u=bob}" {
+		t.Fatalf("point String = %q", s)
+	}
+	o2 := &Occurrence{Event: "e", Start: t0, End: t0.Add(time.Hour)}
+	if s := o2.String(); s != "e[09:00:00..10:00:00]{}" {
+		t.Fatalf("interval String = %q", s)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		Recent: "recent", Chronicle: "chronicle",
+		Continuous: "continuous", Cumulative: "cumulative", Mode(9): "Mode(9)",
+	} {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	for _, s := range []string{"recent", "Chronicle", "CONTINUOUS", "cumulative"} {
+		if _, err := ParseMode(s); err != nil {
+			t.Errorf("ParseMode(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted bogus mode")
+	}
+}
+
+// raiseAt advances the simulated clock to at and raises the event, so
+// occurrences get distinct, ordered timestamps.
+func raiseAt(d *Detector, sim *clock.Sim, at time.Time, name string, p Params) {
+	sim.AdvanceTo(at)
+	if err := d.Raise(name, p); err != nil {
+		panic(fmt.Sprintf("raiseAt(%s): %v", name, err))
+	}
+}

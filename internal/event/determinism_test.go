@@ -1,0 +1,168 @@
+package event
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"activerbac/internal/clock"
+)
+
+// Determinism property: the detector is a deterministic function of its
+// input stream — the same primitive occurrences, raised at the same
+// simulated instants into an identically defined graph, produce exactly
+// the same composite detections in the same order, for every operator
+// and consumption mode.
+
+// traceRun builds a detector with a representative graph, feeds it a
+// seeded stream, and returns the detection trace.
+func traceRun(seed int64, mode Mode) []string {
+	sim := clock.NewSim(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+	det := New(sim)
+	for _, n := range []string{"a", "b", "c"} {
+		det.MustPrimitive(n)
+	}
+	det.MustDefine("seq", WithMode(Seq(NameExpr("a"), NameExpr("b")), mode))
+	det.MustDefine("and", WithMode(And(NameExpr("a"), NameExpr("c")), mode))
+	det.MustDefine("not", WithMode(Not(NameExpr("a"), NameExpr("b"), NameExpr("c")), mode))
+	det.MustDefine("ap", WithMode(Aperiodic(NameExpr("a"), NameExpr("b"), NameExpr("c")), mode))
+	det.MustDefine("plus", WithMode(Plus(NameExpr("a"), 5*time.Second), mode))
+	det.MustDefine("nested", WithMode(Seq(NameExpr("seq"), NameExpr("c")), mode))
+
+	var trace []string
+	record := func(o *Occurrence) {
+		trace = append(trace, fmt.Sprintf("%s@%d-%d/%d",
+			o.Event, o.Start.Unix(), o.End.Unix(), len(o.Constituents)))
+	}
+	for _, name := range []string{"seq", "and", "not", "ap", "plus", "nested"} {
+		if _, err := det.Subscribe(name, record); err != nil {
+			panic(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"a", "b", "c"}
+	for i := 0; i < 200; i++ {
+		sim.Advance(time.Duration(1+rng.Intn(3)) * time.Second)
+		det.MustRaise(names[rng.Intn(len(names))], Params{"i": i})
+	}
+	sim.Advance(time.Minute) // flush pending PLUS timers
+	return trace
+}
+
+func TestDetectorDeterminism(t *testing.T) {
+	f := func(seed int64, modeRaw uint8) bool {
+		mode := Mode(int(modeRaw) % 4)
+		a := traceRun(seed, mode)
+		b := traceRun(seed, mode)
+		if len(a) != len(b) {
+			t.Logf("seed=%d mode=%s: lengths %d vs %d", seed, mode, len(a), len(b))
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("seed=%d mode=%s: index %d: %q vs %q", seed, mode, i, a[i], b[i])
+				return false
+			}
+		}
+		return len(a) > 0 // a 200-event stream must detect something
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Oracle property: Chronicle SEQ(a, b) against a straightforward FIFO
+// reference implementation.
+func TestSeqChronicleOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		sim := clock.NewSim(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+		det := New(sim)
+		det.MustPrimitive("a")
+		det.MustPrimitive("b")
+		det.MustDefine("s", WithMode(Seq(NameExpr("a"), NameExpr("b")), Chronicle))
+		var got [][2]int
+		if _, err := det.Subscribe("s", func(o *Occurrence) {
+			ai, _ := o.Constituents[0].Params["i"].(int)
+			bi, _ := o.Constituents[1].Params["i"].(int)
+			got = append(got, [2]int{ai, bi})
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: FIFO queue of pending initiators.
+		var pending []int
+		var want [][2]int
+
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			sim.Advance(time.Second) // strictly increasing instants
+			if rng.Intn(2) == 0 {
+				det.MustRaise("a", Params{"i": i})
+				pending = append(pending, i)
+			} else {
+				det.MustRaise("b", Params{"i": i})
+				if len(pending) > 0 {
+					want = append(want, [2]int{pending[0], i})
+					pending = pending[1:]
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Logf("seed=%d: %d detections, oracle %d", seed, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed=%d: index %d: got %v want %v", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Oracle property: Recent SEQ(a, b) — the most recent initiator pairs
+// with every terminator until replaced.
+func TestSeqRecentOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		sim := clock.NewSim(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+		det := New(sim)
+		det.MustPrimitive("a")
+		det.MustPrimitive("b")
+		det.MustDefine("s", Seq(NameExpr("a"), NameExpr("b")))
+		var got [][2]int
+		if _, err := det.Subscribe("s", func(o *Occurrence) {
+			ai, _ := o.Constituents[0].Params["i"].(int)
+			bi, _ := o.Constituents[1].Params["i"].(int)
+			got = append(got, [2]int{ai, bi})
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		latest := -1
+		var want [][2]int
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			sim.Advance(time.Second)
+			if rng.Intn(2) == 0 {
+				det.MustRaise("a", Params{"i": i})
+				latest = i
+			} else {
+				det.MustRaise("b", Params{"i": i})
+				if latest >= 0 {
+					want = append(want, [2]int{latest, i})
+				}
+			}
+		}
+		return fmt.Sprint(got) == fmt.Sprint(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

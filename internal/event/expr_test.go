@@ -1,0 +1,186 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseName(t *testing.T) {
+	e, err := Parse("addActiveRole.R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := e.(NameExpr); !ok || string(n) != "addActiveRole.R1" {
+		t.Fatalf("Parse = %#v", e)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // canonical form; "" means same as src
+	}{
+		{"SEQ(a, b)", ""},
+		{"AND(a, b)", ""},
+		{"OR(a, b, c)", ""},
+		{"NOT(a, b, c)", ""},
+		{"ANY(2, a, b, c)", ""},
+		{"PLUS(open, 2h0m0s)", ""},
+		{"APERIODIC(s, m, e)", ""},
+		{"ASTAR(s, m, e)", ""},
+		{"PERIODIC(s, 10m0s, e)", ""},
+		{"PSTAR(s, 10m0s, e)", ""},
+		{"SEQ@chronicle(a, b)", ""},
+		{"APERIODIC@continuous(s, m, e)", ""},
+		{"SEQ(OR(a, b), PLUS(c, 1m0s))", ""},
+		// Non-canonical inputs normalize:
+		{"SEQUENCE(a,b)", "SEQ(a, b)"},
+		{"seq( a , b )", "SEQ(a, b)"},
+		{"PLUS(open, 2h)", "PLUS(open, 2h0m0s)"},
+		{"SEQ@recent(a, b)", "SEQ(a, b)"}, // recent is the default, elided
+	}
+	for _, tc := range tests {
+		e, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.src, err)
+			continue
+		}
+		want := tc.want
+		if want == "" {
+			want = tc.src
+		}
+		if got := e.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.src, got, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	exprs := []Expr{
+		Seq(NameExpr("a"), NameExpr("b")),
+		And(NameExpr("a"), Or(NameExpr("b"), NameExpr("c"))),
+		Not(NameExpr("a"), NameExpr("b"), NameExpr("c")),
+		Any(2, NameExpr("a"), NameExpr("b"), NameExpr("c")),
+		Plus(NameExpr("a"), 90*time.Second),
+		Aperiodic(NameExpr("a"), NameExpr("b"), NameExpr("c")),
+		AStar(NameExpr("a"), NameExpr("b"), NameExpr("c")),
+		Periodic(NameExpr("a"), time.Hour, NameExpr("c")),
+		PStar(NameExpr("a"), time.Hour, NameExpr("c")),
+		WithMode(Seq(NameExpr("a"), NameExpr("b")), Cumulative),
+	}
+	for _, e := range exprs {
+		src := e.String()
+		back, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if back.String() != src {
+			t.Errorf("round trip %q -> %q", src, back.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SEQ(a)",             // arity
+		"SEQ(a, b, c)",       // arity
+		"AND(a)",             // arity
+		"OR(a)",              // arity
+		"NOT(a, b)",          // arity
+		"ANY(0, a)",          // threshold < 1
+		"ANY(3, a, b)",       // threshold > args
+		"ANY(x, a, b)",       // non-integer threshold
+		"PLUS(a, bogus)",     // bad duration
+		"PLUS(a, -5m)",       // negative duration
+		"PERIODIC(a, 0s, b)", // zero period
+		"SEQ(a, b",           // unclosed paren
+		"SEQ(a b)",           // missing comma
+		"SEQ(a, b) junk",     // trailing input
+		"SEQ@bogus(a, b)",    // bad mode
+		"SEQ(, b)",           // empty argument
+	}
+	for _, src := range bad {
+		if e, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", src, e)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("SEQ(a")
+}
+
+func TestOperatorNameAsEventName(t *testing.T) {
+	// A bare word that happens to be an operator name is an event name
+	// when not followed by '('.
+	e, err := Parse("or")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := e.(NameExpr); !ok || string(n) != "or" {
+		t.Fatalf("Parse(\"or\") = %#v", e)
+	}
+}
+
+func TestDefineExpr(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	if err := d.DefineExpr("c", "SEQ(a, b)"); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, d, "c")
+	raiseAt(d, sim, sec(1), "a", nil)
+	raiseAt(d, sim, sec(2), "b", nil)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	if err := d.DefineExpr("bad", "SEQ(a"); err == nil {
+		t.Fatal("DefineExpr accepted bad syntax")
+	}
+	if err := d.DefineExpr("dangling", "SEQ(a, nosuch)"); err == nil {
+		t.Fatal("DefineExpr accepted undefined reference")
+	}
+}
+
+func TestSharedSubexpressionNodes(t *testing.T) {
+	// Two composites over the same primitive both detect.
+	d, sim := newTestDetector()
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	d.MustDefine("c1", Seq(NameExpr("a"), NameExpr("b")))
+	d.MustDefine("c2", And(NameExpr("a"), NameExpr("b")))
+	g1 := collect(t, d, "c1")
+	g2 := collect(t, d, "c2")
+	raiseAt(d, sim, sec(1), "a", nil)
+	raiseAt(d, sim, sec(2), "b", nil)
+	if len(*g1) != 1 || len(*g2) != 1 {
+		t.Fatalf("c1=%d c2=%d, want 1/1", len(*g1), len(*g2))
+	}
+}
+
+func TestParseWhitespaceTolerance(t *testing.T) {
+	e, err := Parse("  SEQ (  a ,\n  b )  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "SEQ(a, b)" {
+		t.Fatalf("got %q", e.String())
+	}
+}
+
+func TestCanonicalFormStable(t *testing.T) {
+	src := "PERIODIC@cumulative(s, 10m0s, e)"
+	e := MustParse(src)
+	if !strings.Contains(e.String(), "@cumulative") {
+		t.Fatalf("mode lost: %q", e.String())
+	}
+}

@@ -1,0 +1,431 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+// sec returns t0 + n seconds; shorthand used throughout the operator
+// tests so timestamps are readable.
+func sec(n int) time.Time { return t0.Add(time.Duration(n) * time.Second) }
+
+func defineBinary(t *testing.T, kind OpKind, mode Mode) (*Detector, *[]*Occurrence, func(int, string)) {
+	t.Helper()
+	d, sim := newTestDetector()
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	d.MustPrimitive("x") // noise event, never part of the composite
+	expr := OpExpr{Kind: kind, Mode: mode, Args: []Expr{NameExpr("a"), NameExpr("b")}}
+	d.MustDefine("c", expr)
+	got := collect(t, d, "c")
+	raise := func(atSec int, name string) {
+		raiseAt(d, sim, sec(atSec), name, Params{"at": atSec})
+	}
+	return d, got, raise
+}
+
+// --------------------------------------------------------------------------
+// SEQ
+
+func TestSeqRecent(t *testing.T) {
+	_, got, raise := defineBinary(t, OpSeq, Recent)
+	raise(1, "a")
+	raise(2, "a") // replaces initiator
+	raise(3, "b") // detects with a@2
+	raise(4, "b") // recent initiator persists -> detects again with a@2
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+	if (*got)[0].Constituents[0].Params["at"] != 2 {
+		t.Fatalf("first detection paired with %v, want a@2", (*got)[0].Constituents[0])
+	}
+	if (*got)[1].Constituents[0].Params["at"] != 2 {
+		t.Fatalf("second detection paired with %v, want a@2 (recent initiator persists)", (*got)[1].Constituents[0])
+	}
+}
+
+func TestSeqRequiresOrder(t *testing.T) {
+	_, got, raise := defineBinary(t, OpSeq, Recent)
+	raise(5, "b") // terminator with no initiator: nothing
+	raise(6, "a")
+	if len(*got) != 0 {
+		t.Fatalf("detections = %d, want 0", len(*got))
+	}
+	raise(7, "b")
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	o := (*got)[0]
+	if !o.Start.Equal(sec(6)) || !o.End.Equal(sec(7)) {
+		t.Fatalf("interval [%v,%v], want [a.start, b.end]", o.Start, o.End)
+	}
+}
+
+func TestSeqSimultaneousNotDetected(t *testing.T) {
+	// SnoopIB requires end(E1) < start(E2): equal timestamps don't pair.
+	_, got, raise := defineBinary(t, OpSeq, Recent)
+	raise(1, "a")
+	raise(1, "b")
+	if len(*got) != 0 {
+		t.Fatalf("detections = %d, want 0 for simultaneous events", len(*got))
+	}
+}
+
+func TestSeqChronicle(t *testing.T) {
+	_, got, raise := defineBinary(t, OpSeq, Chronicle)
+	raise(1, "a")
+	raise(2, "a")
+	raise(3, "b") // pairs oldest a@1, consumes both
+	raise(4, "b") // pairs a@2
+	raise(5, "b") // nothing left
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+	if (*got)[0].Constituents[0].Params["at"] != 1 || (*got)[1].Constituents[0].Params["at"] != 2 {
+		t.Fatalf("chronicle pairing wrong: %v", *got)
+	}
+}
+
+func TestSeqContinuous(t *testing.T) {
+	_, got, raise := defineBinary(t, OpSeq, Continuous)
+	raise(1, "a")
+	raise(2, "a")
+	raise(3, "b") // detects with both initiators, consumes both
+	raise(4, "b") // nothing left
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+	ats := []any{(*got)[0].Constituents[0].Params["at"], (*got)[1].Constituents[0].Params["at"]}
+	if ats[0] != 1 || ats[1] != 2 {
+		t.Fatalf("continuous pairing order %v", ats)
+	}
+}
+
+func TestSeqCumulative(t *testing.T) {
+	_, got, raise := defineBinary(t, OpSeq, Cumulative)
+	raise(1, "a")
+	raise(2, "a")
+	raise(3, "b")
+	raise(4, "b")
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1 (single cumulative)", len(*got))
+	}
+	o := (*got)[0]
+	if len(o.Constituents) != 3 {
+		t.Fatalf("constituents = %d, want 3 (a,a,b)", len(o.Constituents))
+	}
+	if !o.Start.Equal(sec(1)) || !o.End.Equal(sec(3)) {
+		t.Fatalf("cumulative interval [%v,%v]", o.Start, o.End)
+	}
+}
+
+func TestSeqSameChild(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("e")
+	d.MustDefine("twice", OpExpr{Kind: OpSeq, Mode: Chronicle, Args: []Expr{NameExpr("e"), NameExpr("e")}})
+	got := collect(t, d, "twice")
+	for i := 1; i <= 4; i++ {
+		raiseAt(d, sim, sec(i), "e", Params{"at": i})
+	}
+	// Chronicle SEQ(E,E) pairs (1,2) and (3,4).
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+	if (*got)[0].Constituents[0].Params["at"] != 1 || (*got)[0].Constituents[1].Params["at"] != 2 {
+		t.Fatalf("pairing %v", (*got)[0])
+	}
+	if (*got)[1].Constituents[0].Params["at"] != 3 || (*got)[1].Constituents[1].Params["at"] != 4 {
+		t.Fatalf("pairing %v", (*got)[1])
+	}
+}
+
+func TestSeqParamsMerge(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	d.MustDefine("c", Seq(NameExpr("a"), NameExpr("b")))
+	got := collect(t, d, "c")
+	raiseAt(d, sim, sec(1), "a", Params{"user": "bob", "role": "r1"})
+	raiseAt(d, sim, sec(2), "b", Params{"role": "r2"})
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d", len(*got))
+	}
+	p := (*got)[0].Params
+	if p["user"] != "bob" || p["role"] != "r2" {
+		t.Fatalf("merged params %v (terminator should win conflicts)", p)
+	}
+}
+
+// --------------------------------------------------------------------------
+// AND
+
+func TestAndEitherOrder(t *testing.T) {
+	_, got, raise := defineBinary(t, OpAnd, Chronicle)
+	raise(1, "b")
+	raise(2, "a") // detects (b@1, a@2)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1 (AND must accept either order)", len(*got))
+	}
+	o := (*got)[0]
+	if !o.Start.Equal(sec(1)) || !o.End.Equal(sec(2)) {
+		t.Fatalf("interval [%v,%v]", o.Start, o.End)
+	}
+}
+
+func TestAndRecent(t *testing.T) {
+	_, got, raise := defineBinary(t, OpAnd, Recent)
+	raise(1, "a")
+	raise(2, "b") // detect (a1,b2); a1 persists
+	raise(3, "b") // detect (a1,b3)
+	raise(4, "a") // detect with latest stored b? b was never stored (consumed as terminator)
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+}
+
+func TestAndChronicleFIFO(t *testing.T) {
+	_, got, raise := defineBinary(t, OpAnd, Chronicle)
+	raise(1, "a")
+	raise(2, "a")
+	raise(3, "b") // pairs a@1
+	raise(4, "b") // pairs a@2
+	raise(5, "b") // stored (no a left)
+	raise(6, "a") // pairs b@5
+	if len(*got) != 3 {
+		t.Fatalf("detections = %d, want 3", len(*got))
+	}
+	if (*got)[0].Constituents[0].Params["at"] != 1 || (*got)[1].Constituents[0].Params["at"] != 2 {
+		t.Fatalf("chronicle FIFO broken: %v", *got)
+	}
+}
+
+func TestAndContinuous(t *testing.T) {
+	_, got, raise := defineBinary(t, OpAnd, Continuous)
+	raise(1, "a")
+	raise(2, "a")
+	raise(3, "b") // two detections, consumes both a's
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+	raise(4, "b") // stored
+	raise(5, "b") // stored
+	raise(6, "a") // two detections, consumes both b's
+	if len(*got) != 4 {
+		t.Fatalf("detections = %d, want 4", len(*got))
+	}
+}
+
+func TestAndCumulative(t *testing.T) {
+	_, got, raise := defineBinary(t, OpAnd, Cumulative)
+	raise(1, "a")
+	raise(2, "a")
+	raise(3, "b")
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	if len((*got)[0].Constituents) != 3 {
+		t.Fatalf("constituents = %d, want 3", len((*got)[0].Constituents))
+	}
+}
+
+func TestAndSameChild(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("e")
+	d.MustDefine("pair", OpExpr{Kind: OpAnd, Mode: Chronicle, Args: []Expr{NameExpr("e"), NameExpr("e")}})
+	got := collect(t, d, "pair")
+	for i := 1; i <= 5; i++ {
+		raiseAt(d, sim, sec(i), "e", nil)
+	}
+	// Pairs (1,2), (3,4); 5 pending.
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+}
+
+// --------------------------------------------------------------------------
+// OR
+
+func TestOrDetectsEach(t *testing.T) {
+	_, got, raise := defineBinary(t, OpOr, Recent)
+	raise(1, "a")
+	raise(2, "b")
+	raise(3, "a")
+	raise(4, "x") // not part of the OR
+	if len(*got) != 3 {
+		t.Fatalf("detections = %d, want 3", len(*got))
+	}
+	for i, want := range []int{1, 2, 3} {
+		if (*got)[i].Params["at"] != want {
+			t.Fatalf("OR occurrence %d = %v", i, (*got)[i])
+		}
+	}
+}
+
+func TestOrMultiWay(t *testing.T) {
+	d, sim := newTestDetector()
+	for _, n := range []string{"e1", "e2", "e3"} {
+		d.MustPrimitive(n)
+	}
+	d.MustDefine("any3", Or(NameExpr("e1"), NameExpr("e2"), NameExpr("e3")))
+	got := collect(t, d, "any3")
+	raiseAt(d, sim, sec(1), "e3", nil)
+	raiseAt(d, sim, sec(2), "e1", nil)
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+}
+
+// --------------------------------------------------------------------------
+// NOT
+
+func defineNot(t *testing.T, mode Mode) (*[]*Occurrence, func(int, string)) {
+	t.Helper()
+	d, sim := newTestDetector()
+	for _, n := range []string{"a", "b", "c"} {
+		d.MustPrimitive(n)
+	}
+	d.MustDefine("n", OpExpr{Kind: OpNot, Mode: mode, Args: []Expr{NameExpr("a"), NameExpr("b"), NameExpr("c")}})
+	got := collect(t, d, "n")
+	return got, func(atSec int, name string) { raiseAt(d, sim, sec(atSec), name, Params{"at": atSec}) }
+}
+
+func TestNotDetectsWithoutMiddle(t *testing.T) {
+	got, raise := defineNot(t, Recent)
+	raise(1, "a")
+	raise(2, "c")
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+}
+
+func TestNotSuppressedByMiddle(t *testing.T) {
+	got, raise := defineNot(t, Recent)
+	raise(1, "a")
+	raise(2, "b") // invalidates a@1
+	raise(3, "c")
+	if len(*got) != 0 {
+		t.Fatalf("detections = %d, want 0 (middle occurred)", len(*got))
+	}
+	raise(4, "a")
+	raise(5, "c")
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1 after fresh initiator", len(*got))
+	}
+}
+
+func TestNotChronicleConsumes(t *testing.T) {
+	got, raise := defineNot(t, Chronicle)
+	raise(1, "a")
+	raise(2, "a")
+	raise(3, "c") // pairs a@1
+	raise(4, "c") // pairs a@2
+	raise(5, "c") // nothing
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+}
+
+// --------------------------------------------------------------------------
+// ANY
+
+func TestAnyThreshold(t *testing.T) {
+	d, sim := newTestDetector()
+	for _, n := range []string{"e1", "e2", "e3"} {
+		d.MustPrimitive(n)
+	}
+	d.MustDefine("two", Any(2, NameExpr("e1"), NameExpr("e2"), NameExpr("e3")))
+	got := collect(t, d, "two")
+	raiseAt(d, sim, sec(1), "e1", nil)
+	raiseAt(d, sim, sec(2), "e1", nil) // same event: still 1 distinct
+	if len(*got) != 0 {
+		t.Fatalf("premature detection with 1 distinct event")
+	}
+	raiseAt(d, sim, sec(3), "e3", nil) // 2 distinct -> detect
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	if len((*got)[0].Constituents) != 2 {
+		t.Fatalf("constituents = %d, want 2", len((*got)[0].Constituents))
+	}
+	// State was consumed: needs two more distinct events.
+	raiseAt(d, sim, sec(4), "e2", nil)
+	if len(*got) != 1 {
+		t.Fatalf("ANY state not consumed on detection")
+	}
+	raiseAt(d, sim, sec(5), "e1", nil)
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+}
+
+func TestAnyRecentKeepsLatest(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("e1")
+	d.MustPrimitive("e2")
+	d.MustDefine("both", OpExpr{Kind: OpAny, Mode: Recent, Count: 2, Args: []Expr{NameExpr("e1"), NameExpr("e2")}})
+	got := collect(t, d, "both")
+	raiseAt(d, sim, sec(1), "e1", Params{"at": 1})
+	raiseAt(d, sim, sec(2), "e1", Params{"at": 2})
+	raiseAt(d, sim, sec(3), "e2", Params{"at": 3})
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d", len(*got))
+	}
+	if (*got)[0].Constituents[0].Params["at"] != 2 {
+		t.Fatalf("recent ANY should keep latest e1: %v", (*got)[0].Constituents[0])
+	}
+}
+
+func TestAnyChronicleKeepsFirst(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("e1")
+	d.MustPrimitive("e2")
+	d.MustDefine("both", OpExpr{Kind: OpAny, Mode: Chronicle, Count: 2, Args: []Expr{NameExpr("e1"), NameExpr("e2")}})
+	got := collect(t, d, "both")
+	raiseAt(d, sim, sec(1), "e1", Params{"at": 1})
+	raiseAt(d, sim, sec(2), "e1", Params{"at": 2})
+	raiseAt(d, sim, sec(3), "e2", Params{"at": 3})
+	if (*got)[0].Constituents[0].Params["at"] != 1 {
+		t.Fatalf("chronicle ANY should keep first e1: %v", (*got)[0].Constituents[0])
+	}
+}
+
+// --------------------------------------------------------------------------
+// Nesting
+
+func TestNestedComposite(t *testing.T) {
+	d, sim := newTestDetector()
+	for _, n := range []string{"a", "b", "c"} {
+		d.MustPrimitive(n)
+	}
+	// SEQ(OR(a,b), c): any of a/b then c.
+	d.MustDefine("nested", Seq(Or(NameExpr("a"), NameExpr("b")), NameExpr("c")))
+	got := collect(t, d, "nested")
+	raiseAt(d, sim, sec(1), "b", nil)
+	raiseAt(d, sim, sec(2), "c", nil)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	o := (*got)[0]
+	if !o.Start.Equal(sec(1)) || !o.End.Equal(sec(2)) {
+		t.Fatalf("nested interval [%v,%v]", o.Start, o.End)
+	}
+}
+
+func TestCompositeFeedsComposite(t *testing.T) {
+	d, sim := newTestDetector()
+	for _, n := range []string{"a", "b", "c"} {
+		d.MustPrimitive(n)
+	}
+	d.MustDefine("ab", Seq(NameExpr("a"), NameExpr("b")))
+	d.MustDefine("abc", Seq(NameExpr("ab"), NameExpr("c")))
+	got := collect(t, d, "abc")
+	raiseAt(d, sim, sec(1), "a", nil)
+	raiseAt(d, sim, sec(2), "b", nil)
+	raiseAt(d, sim, sec(3), "c", nil)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	if !(*got)[0].Start.Equal(sec(1)) || !(*got)[0].End.Equal(sec(3)) {
+		t.Fatalf("interval [%v,%v]", (*got)[0].Start, (*got)[0].End)
+	}
+}

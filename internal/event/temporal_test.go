@@ -1,0 +1,342 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+// --------------------------------------------------------------------------
+// PLUS
+
+func TestPlusFiresAfterDelta(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("open")
+	// Paper Rule 2: close the file 2 hours after it was opened.
+	d.MustDefine("timeout", Plus(NameExpr("open"), 2*time.Hour))
+	got := collect(t, d, "timeout")
+	d.MustRaise("open", Params{"file": "patient.dat"})
+	sim.Advance(time.Hour)
+	if len(*got) != 0 {
+		t.Fatalf("PLUS fired early")
+	}
+	sim.Advance(time.Hour)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	o := (*got)[0]
+	if o.Params["file"] != "patient.dat" {
+		t.Fatalf("PLUS lost initiator params: %v", o)
+	}
+	if !o.Start.Equal(t0) || !o.End.Equal(t0.Add(2*time.Hour)) {
+		t.Fatalf("PLUS interval [%v,%v]", o.Start, o.End)
+	}
+}
+
+func TestPlusRecentSupersedes(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("e")
+	d.MustDefine("p", Plus(NameExpr("e"), 10*time.Minute))
+	got := collect(t, d, "p")
+	d.MustRaise("e", Params{"n": 1})
+	sim.Advance(5 * time.Minute)
+	d.MustRaise("e", Params{"n": 2}) // supersedes the first timer
+	sim.Advance(time.Hour)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1 (recent supersedes)", len(*got))
+	}
+	if (*got)[0].Params["n"] != 2 {
+		t.Fatalf("fired for wrong initiator: %v", (*got)[0])
+	}
+}
+
+func TestPlusChronicleIndependentTimers(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("e")
+	d.MustDefine("p", WithMode(Plus(NameExpr("e"), 10*time.Minute), Chronicle))
+	got := collect(t, d, "p")
+	d.MustRaise("e", Params{"n": 1})
+	sim.Advance(5 * time.Minute)
+	d.MustRaise("e", Params{"n": 2})
+	sim.Advance(time.Hour)
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2 (independent timers)", len(*got))
+	}
+	if (*got)[0].Params["n"] != 1 || (*got)[1].Params["n"] != 2 {
+		t.Fatalf("order wrong: %v", *got)
+	}
+}
+
+func TestPlusOnComposite(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	d.MustDefine("ab", Seq(NameExpr("a"), NameExpr("b")))
+	d.MustDefine("later", Plus(NameExpr("ab"), time.Minute))
+	got := collect(t, d, "later")
+	raiseAt(d, sim, sec(1), "a", nil)
+	raiseAt(d, sim, sec(2), "b", nil)
+	sim.Advance(2 * time.Minute)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+}
+
+// --------------------------------------------------------------------------
+// APERIODIC
+
+func defineAperiodic(t *testing.T, mode Mode, cumulative bool) (*Detector, interface {
+	AdvanceTo(time.Time) int
+}, *[]*Occurrence) {
+	t.Helper()
+	d, sim := newTestDetector()
+	for _, n := range []string{"s", "m", "e"} {
+		d.MustPrimitive(n)
+	}
+	kind := OpAperiodic
+	if cumulative {
+		kind = OpAStar
+	}
+	d.MustDefine("ap", OpExpr{Kind: kind, Mode: mode, Args: []Expr{NameExpr("s"), NameExpr("m"), NameExpr("e")}})
+	got := collect(t, d, "ap")
+	return d, sim, got
+}
+
+func TestAperiodicBasic(t *testing.T) {
+	d, sim, got := defineAperiodic(t, Recent, false)
+	sim.AdvanceTo(sec(1))
+	d.MustRaise("m", nil) // before window: nothing
+	sim.AdvanceTo(sec(2))
+	d.MustRaise("s", nil) // open window
+	sim.AdvanceTo(sec(3))
+	d.MustRaise("m", Params{"k": 1}) // detect
+	sim.AdvanceTo(sec(4))
+	d.MustRaise("m", Params{"k": 2}) // detect
+	sim.AdvanceTo(sec(5))
+	d.MustRaise("e", nil) // close window
+	sim.AdvanceTo(sec(6))
+	d.MustRaise("m", nil) // after window: nothing
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(*got))
+	}
+	if (*got)[0].Params["k"] != 1 || (*got)[1].Params["k"] != 2 {
+		t.Fatalf("wrong detections: %v", *got)
+	}
+}
+
+func TestAperiodicReopens(t *testing.T) {
+	d, sim, got := defineAperiodic(t, Recent, false)
+	seq := []struct {
+		at   int
+		name string
+	}{
+		{1, "s"}, {2, "m"}, {3, "e"}, {4, "m"}, {5, "s"}, {6, "m"},
+	}
+	for _, step := range seq {
+		sim.AdvanceTo(sec(step.at))
+		d.MustRaise(step.name, nil)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2 (one per open window)", len(*got))
+	}
+}
+
+func TestAperiodicContinuousMultipleWindows(t *testing.T) {
+	d, sim, got := defineAperiodic(t, Continuous, false)
+	sim.AdvanceTo(sec(1))
+	d.MustRaise("s", Params{"w": 1})
+	sim.AdvanceTo(sec(2))
+	d.MustRaise("s", Params{"w": 2})
+	sim.AdvanceTo(sec(3))
+	d.MustRaise("m", nil) // detects once per open window
+	if len(*got) != 2 {
+		t.Fatalf("detections = %d, want 2 (both windows)", len(*got))
+	}
+	sim.AdvanceTo(sec(4))
+	d.MustRaise("e", nil) // closes both
+	sim.AdvanceTo(sec(5))
+	d.MustRaise("m", nil)
+	if len(*got) != 2 {
+		t.Fatalf("window not closed: %d detections", len(*got))
+	}
+}
+
+func TestAperiodicRecentKeepsLatestWindow(t *testing.T) {
+	d, sim, got := defineAperiodic(t, Recent, false)
+	sim.AdvanceTo(sec(1))
+	d.MustRaise("s", Params{"w": 1})
+	sim.AdvanceTo(sec(2))
+	d.MustRaise("s", Params{"w": 2}) // replaces window 1
+	sim.AdvanceTo(sec(3))
+	d.MustRaise("m", nil)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	if (*got)[0].Constituents[0].Params["w"] != 2 {
+		t.Fatalf("recent window wrong: %v", (*got)[0])
+	}
+}
+
+func TestAStarCumulative(t *testing.T) {
+	d, sim, got := defineAperiodic(t, Cumulative, true)
+	sim.AdvanceTo(sec(1))
+	d.MustRaise("s", nil)
+	for i := 2; i <= 4; i++ {
+		sim.AdvanceTo(sec(i))
+		d.MustRaise("m", Params{"k": i})
+	}
+	if len(*got) != 0 {
+		t.Fatalf("A* fired before terminator")
+	}
+	sim.AdvanceTo(sec(5))
+	d.MustRaise("e", nil)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	// starter + 3 middles + terminator
+	if n := len((*got)[0].Constituents); n != 5 {
+		t.Fatalf("constituents = %d, want 5", n)
+	}
+}
+
+func TestAStarEmptyWindowSilent(t *testing.T) {
+	d, sim, got := defineAperiodic(t, Cumulative, true)
+	sim.AdvanceTo(sec(1))
+	d.MustRaise("s", nil)
+	sim.AdvanceTo(sec(2))
+	d.MustRaise("e", nil)
+	if len(*got) != 0 {
+		t.Fatalf("A* fired with no middle occurrences")
+	}
+}
+
+// --------------------------------------------------------------------------
+// PERIODIC
+
+func TestPeriodicTicks(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("s")
+	d.MustPrimitive("e")
+	d.MustDefine("mon", Periodic(NameExpr("s"), 10*time.Minute, NameExpr("e")))
+	got := collect(t, d, "mon")
+	d.MustRaise("s", Params{"job": "report"})
+	sim.Advance(35 * time.Minute) // ticks at 10, 20, 30
+	if len(*got) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(*got))
+	}
+	if (*got)[0].Params["job"] != "report" || (*got)[0].Params["tick"] != 1 {
+		t.Fatalf("tick params: %v", (*got)[0].Params)
+	}
+	if (*got)[2].Params["tick"] != 3 {
+		t.Fatalf("tick numbering: %v", (*got)[2].Params)
+	}
+	d.MustRaise("e", nil) // terminate
+	sim.Advance(time.Hour)
+	if len(*got) != 3 {
+		t.Fatalf("periodic kept ticking after terminator: %d", len(*got))
+	}
+}
+
+func TestPeriodicTickTimes(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("s")
+	d.MustPrimitive("e")
+	d.MustDefine("mon", Periodic(NameExpr("s"), time.Minute, NameExpr("e")))
+	got := collect(t, d, "mon")
+	d.MustRaise("s", nil)
+	sim.Advance(3 * time.Minute)
+	for i, o := range *got {
+		want := t0.Add(time.Duration(i+1) * time.Minute)
+		if !o.End.Equal(want) {
+			t.Fatalf("tick %d at %v, want %v", i, o.End, want)
+		}
+	}
+}
+
+func TestPeriodicRecentRestart(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("s")
+	d.MustPrimitive("e")
+	d.MustDefine("mon", Periodic(NameExpr("s"), 10*time.Minute, NameExpr("e")))
+	got := collect(t, d, "mon")
+	d.MustRaise("s", nil)
+	sim.Advance(5 * time.Minute)
+	d.MustRaise("s", nil) // restart: old window discarded in Recent mode
+	sim.Advance(10 * time.Minute)
+	// Ticks only from the second start: at +15m (one tick), none from the first.
+	if len(*got) != 1 {
+		t.Fatalf("ticks = %d, want 1", len(*got))
+	}
+	if want := t0.Add(15 * time.Minute); !(*got)[0].End.Equal(want) {
+		t.Fatalf("tick at %v, want %v", (*got)[0].End, want)
+	}
+}
+
+func TestPStarCumulative(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("s")
+	d.MustPrimitive("e")
+	d.MustDefine("mon", PStar(NameExpr("s"), 10*time.Minute, NameExpr("e")))
+	got := collect(t, d, "mon")
+	d.MustRaise("s", nil)
+	sim.Advance(45 * time.Minute) // 4 ticks accumulate silently
+	if len(*got) != 0 {
+		t.Fatalf("P* emitted before terminator")
+	}
+	d.MustRaise("e", nil)
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	if (*got)[0].Params["ticks"] != 4 {
+		t.Fatalf("tick count = %v, want 4", (*got)[0].Params["ticks"])
+	}
+	sim.Advance(time.Hour)
+	if len(*got) != 1 {
+		t.Fatalf("P* kept ticking after terminator")
+	}
+}
+
+func TestPeriodicTerminatorBeforeFirstTick(t *testing.T) {
+	d, sim := newTestDetector()
+	d.MustPrimitive("s")
+	d.MustPrimitive("e")
+	d.MustDefine("mon", Periodic(NameExpr("s"), 10*time.Minute, NameExpr("e")))
+	got := collect(t, d, "mon")
+	d.MustRaise("s", nil)
+	sim.Advance(5 * time.Minute)
+	d.MustRaise("e", nil)
+	sim.Advance(time.Hour)
+	if len(*got) != 0 {
+		t.Fatalf("ticks = %d, want 0", len(*got))
+	}
+}
+
+// --------------------------------------------------------------------------
+// Paper Rule 9 shape: APERIODIC window driven by activation events.
+
+func TestTransactionBoundedActivationShape(t *testing.T) {
+	d, sim := newTestDetector()
+	for _, n := range []string{"managerOn", "juniorReq", "managerOff"} {
+		d.MustPrimitive(n)
+	}
+	d.MustDefine("juniorAllowed",
+		Aperiodic(NameExpr("managerOn"), NameExpr("juniorReq"), NameExpr("managerOff")))
+	got := collect(t, d, "juniorAllowed")
+
+	sim.AdvanceTo(sec(1))
+	d.MustRaise("juniorReq", nil) // manager not active: no detection
+	sim.AdvanceTo(sec(2))
+	d.MustRaise("managerOn", nil)
+	sim.AdvanceTo(sec(3))
+	d.MustRaise("juniorReq", Params{"user": "jane"}) // allowed
+	sim.AdvanceTo(sec(4))
+	d.MustRaise("managerOff", nil)
+	sim.AdvanceTo(sec(5))
+	d.MustRaise("juniorReq", nil) // manager gone: no detection
+
+	if len(*got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(*got))
+	}
+	if (*got)[0].Params["user"] != "jane" {
+		t.Fatalf("params %v", (*got)[0].Params)
+	}
+}

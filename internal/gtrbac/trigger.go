@@ -1,0 +1,155 @@
+package gtrbac
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"activerbac/internal/event"
+	"activerbac/internal/rbac"
+)
+
+// Role triggers (TRBAC, Bertino et al., cited by the paper): temporal
+// dependencies among role enabling/disabling actions. A trigger fires on
+// any occurrence of its event and enables or disables a role, either
+// immediately or after a delay — e.g. "when roleEnabled.SysAdmin occurs,
+// enable SysAudit", or "when shiftEnd occurs, disable Nurse after 15m".
+
+// TriggerAction is what a trigger does to its target role.
+type TriggerAction int
+
+// Trigger actions.
+const (
+	// Enable enables the target role.
+	Enable TriggerAction = iota
+	// Disable disables the target role (subject to disabling-time SoD;
+	// a veto leaves the role enabled).
+	Disable
+)
+
+// String implements fmt.Stringer.
+func (a TriggerAction) String() string {
+	if a == Enable {
+		return "enable"
+	}
+	return "disable"
+}
+
+// Trigger describes one installed role trigger.
+type Trigger struct {
+	ID     int
+	On     string
+	Role   rbac.RoleID
+	Action TriggerAction
+	After  time.Duration
+}
+
+// String renders the trigger in TRBAC-like syntax.
+func (t Trigger) String() string {
+	if t.After > 0 {
+		return fmt.Sprintf("%s -> %s %s after %s", t.On, t.Action, t.Role, t.After)
+	}
+	return fmt.Sprintf("%s -> %s %s", t.On, t.Action, t.Role)
+}
+
+// trigState is Manager-internal trigger bookkeeping.
+type trigState struct {
+	Trigger
+	subID int
+	fired uint64
+}
+
+// AddTrigger installs a role trigger and returns its id. The triggering
+// event must already be defined.
+func (m *Manager) AddTrigger(onEvent string, role rbac.RoleID, action TriggerAction, after time.Duration) (int, error) {
+	if !m.store.RoleExists(role) {
+		return 0, fmt.Errorf("gtrbac: trigger for role %q: %w", role, rbac.ErrNotFound)
+	}
+	if err := m.RegisterRole(role); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	m.schedSeq++
+	id := m.schedSeq
+	m.mu.Unlock()
+
+	st := &trigState{Trigger: Trigger{ID: id, On: onEvent, Role: role, Action: action, After: after}}
+	subID, err := m.det.Subscribe(onEvent, func(*event.Occurrence) { m.fireTrigger(st) })
+	if err != nil {
+		return 0, err
+	}
+	st.subID = subID
+
+	m.mu.Lock()
+	if m.triggers == nil {
+		m.triggers = make(map[int]*trigState)
+	}
+	m.triggers[id] = st
+	m.mu.Unlock()
+	return id, nil
+}
+
+// fireTrigger applies a trigger, honoring its delay.
+func (m *Manager) fireTrigger(st *trigState) {
+	apply := func() {
+		m.mu.Lock()
+		if _, live := m.triggers[st.ID]; !live {
+			m.mu.Unlock()
+			return
+		}
+		st.fired++
+		m.mu.Unlock()
+		switch st.Action {
+		case Enable:
+			_ = m.EnableRole(st.Role)
+		case Disable:
+			// A time-SoD veto leaves the role enabled (availability
+			// first), matching disableBySchedule.
+			_ = m.disableBySchedule(st.Role)
+		}
+	}
+	if st.After > 0 {
+		m.clk.AfterFunc(st.After, apply)
+		return
+	}
+	// Run after the current cascade so trigger effects observe the
+	// state the triggering event left behind.
+	m.det.Defer(apply)
+}
+
+// RemoveTrigger uninstalls a trigger.
+func (m *Manager) RemoveTrigger(id int) error {
+	m.mu.Lock()
+	st, ok := m.triggers[id]
+	if ok {
+		delete(m.triggers, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("gtrbac: trigger %d: %w", id, rbac.ErrNotFound)
+	}
+	m.det.Unsubscribe(st.On, st.subID)
+	return nil
+}
+
+// Triggers lists installed triggers sorted by id.
+func (m *Manager) Triggers() []Trigger {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Trigger, 0, len(m.triggers))
+	for _, st := range m.triggers {
+		out = append(out, st.Trigger)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TriggerFired reports how many times trigger id fired.
+func (m *Manager) TriggerFired(id int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.triggers[id]; ok {
+		return st.fired
+	}
+	return 0
+}

@@ -1,0 +1,211 @@
+package parbac
+
+import (
+	"errors"
+	"testing"
+
+	"activerbac/internal/rbac"
+)
+
+// newHospital builds a small privacy-aware hospital: Doctor > Nurse
+// hierarchy, purposes treatment > {diagnosis, billing-support} and
+// marketing, with patient.dat consent-required.
+func newHospital(t *testing.T) (*Manager, *rbac.Store, rbac.SessionID) {
+	t.Helper()
+	store := rbac.NewStore()
+	for _, r := range []rbac.RoleID{"Doctor", "Nurse"} {
+		if err := store.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.AddInheritance("Doctor", "Nurse"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AssignUser("alice", "Doctor"); err != nil {
+		t.Fatal(err)
+	}
+	sid, err := store.CreateSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddActiveRole("alice", sid, "Doctor"); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(store)
+	for _, p := range []struct{ name, parent string }{
+		{"treatment", ""},
+		{"diagnosis", "treatment"},
+		{"billing-support", "treatment"},
+		{"marketing", ""},
+	} {
+		if err := m.AddPurpose(p.name, p.parent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, store, sid
+}
+
+var readPatient = rbac.Permission{Operation: "read", Object: "patient.dat"}
+
+func TestAddPurposeValidation(t *testing.T) {
+	m := New(rbac.NewStore())
+	if err := m.AddPurpose("", ""); err == nil {
+		t.Fatal("empty purpose accepted")
+	}
+	if err := m.AddPurpose("a", "ghost"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("unknown parent: %v", err)
+	}
+	if err := m.AddPurpose("a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPurpose("a", ""); !errors.Is(err, rbac.ErrExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if got := m.Purposes(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Purposes = %v", got)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	m, _, _ := newHospital(t)
+	tests := []struct {
+		allowed, requested string
+		want               bool
+	}{
+		{"treatment", "treatment", true},
+		{"treatment", "diagnosis", true},  // descendant covered
+		{"diagnosis", "treatment", false}, // ancestor not covered
+		{"treatment", "marketing", false}, // sibling tree
+		{"marketing", "diagnosis", false}, //
+		{"ghost", "treatment", false},     // unknown allowed
+		{"treatment", "ghost", false},     // unknown requested
+	}
+	for _, tc := range tests {
+		if got := m.Covers(tc.allowed, tc.requested); got != tc.want {
+			t.Errorf("Covers(%q, %q) = %v, want %v", tc.allowed, tc.requested, got, tc.want)
+		}
+	}
+}
+
+func TestBindPurposeValidation(t *testing.T) {
+	m, _, _ := newHospital(t)
+	if err := m.BindPurpose("ghost", readPatient, "treatment"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("unknown role: %v", err)
+	}
+	if err := m.BindPurpose("Doctor", readPatient, "ghost"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("unknown purpose: %v", err)
+	}
+	if err := m.BindPurpose("Doctor", readPatient, "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindPurpose("Doctor", readPatient, "treatment"); !errors.Is(err, rbac.ErrExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if got := m.AllowedPurposes("Doctor", readPatient); len(got) != 1 || got[0] != "treatment" {
+		t.Fatalf("AllowedPurposes = %v", got)
+	}
+	if err := m.UnbindPurpose("Doctor", readPatient, "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UnbindPurpose("Doctor", readPatient, "treatment"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("double unbind: %v", err)
+	}
+}
+
+func TestCheckPurposeAccess(t *testing.T) {
+	m, _, sid := newHospital(t)
+	if err := m.BindPurpose("Doctor", readPatient, "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	if reason, ok := m.CheckPurposeAccess(sid, readPatient, "treatment"); !ok {
+		t.Fatalf("treatment denied: %s", reason)
+	}
+	// Descendant purpose covered by the treatment binding.
+	if reason, ok := m.CheckPurposeAccess(sid, readPatient, "diagnosis"); !ok {
+		t.Fatalf("diagnosis denied: %s", reason)
+	}
+	// Unbound purpose denied.
+	if _, ok := m.CheckPurposeAccess(sid, readPatient, "marketing"); ok {
+		t.Fatal("marketing allowed without binding")
+	}
+	// Unknown purpose denied.
+	if _, ok := m.CheckPurposeAccess(sid, readPatient, "ghost"); ok {
+		t.Fatal("unknown purpose allowed")
+	}
+	// Unknown session denied.
+	if _, ok := m.CheckPurposeAccess("zzz", readPatient, "treatment"); ok {
+		t.Fatal("unknown session allowed")
+	}
+}
+
+func TestPurposeBindingInheritedFromJunior(t *testing.T) {
+	// The binding is on Nurse; an active Doctor (senior) exercises it.
+	m, _, sid := newHospital(t)
+	if err := m.BindPurpose("Nurse", readPatient, "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	if reason, ok := m.CheckPurposeAccess(sid, readPatient, "treatment"); !ok {
+		t.Fatalf("senior denied junior's binding: %s", reason)
+	}
+}
+
+func TestConsent(t *testing.T) {
+	m, _, sid := newHospital(t)
+	if err := m.BindPurpose("Doctor", readPatient, "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	m.SetConsentRequired("patient.dat", true)
+	if _, ok := m.CheckPurposeAccess(sid, readPatient, "treatment"); ok {
+		t.Fatal("consent-required object allowed without consent")
+	}
+	if err := m.GrantConsent("patient.dat", "ghost"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("consent for unknown purpose: %v", err)
+	}
+	if err := m.GrantConsent("patient.dat", "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	if reason, ok := m.CheckPurposeAccess(sid, readPatient, "treatment"); !ok {
+		t.Fatalf("denied with consent: %s", reason)
+	}
+	// Consent for treatment covers the descendant purpose diagnosis.
+	if reason, ok := m.CheckPurposeAccess(sid, readPatient, "diagnosis"); !ok {
+		t.Fatalf("descendant purpose denied with ancestor consent: %s", reason)
+	}
+	if err := m.RevokeConsent("patient.dat", "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CheckPurposeAccess(sid, readPatient, "treatment"); ok {
+		t.Fatal("allowed after consent revoked")
+	}
+	if err := m.RevokeConsent("patient.dat", "treatment"); !errors.Is(err, rbac.ErrNotFound) {
+		t.Fatalf("double revoke: %v", err)
+	}
+	// Turning the requirement off restores access.
+	m.SetConsentRequired("patient.dat", false)
+	if _, ok := m.CheckPurposeAccess(sid, readPatient, "treatment"); !ok {
+		t.Fatal("denied after requirement removed")
+	}
+}
+
+func TestConsentSpecificPurposeDoesNotCoverAncestor(t *testing.T) {
+	m, _, sid := newHospital(t)
+	if err := m.BindPurpose("Doctor", readPatient, "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	m.SetConsentRequired("patient.dat", true)
+	if err := m.GrantConsent("patient.dat", "diagnosis"); err != nil {
+		t.Fatal(err)
+	}
+	// Consent was given only for diagnosis: a general treatment request
+	// must be denied.
+	if _, ok := m.CheckPurposeAccess(sid, readPatient, "treatment"); ok {
+		t.Fatal("specific consent covered the broader purpose")
+	}
+	if _, ok := m.CheckPurposeAccess(sid, readPatient, "diagnosis"); !ok {
+		t.Fatal("specific consent did not cover its own purpose")
+	}
+}

@@ -1,0 +1,363 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The consistency checker — the paper's stated future work ("we are in
+// the process of developing advanced consistency checking mechanisms").
+// Check validates a parsed spec before graph instantiation and rule
+// generation, reporting every problem found rather than stopping at the
+// first.
+
+// Severity classifies an issue.
+type Severity int
+
+// Issue severities.
+const (
+	// Warning marks suspicious but generatable policies.
+	Warning Severity = iota
+	// Error marks policies that must not be instantiated.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Issue is one consistency finding.
+type Issue struct {
+	Severity Severity
+	Msg      string
+}
+
+// String renders "severity: message".
+func (i Issue) String() string { return i.Severity.String() + ": " + i.Msg }
+
+// HasErrors reports whether any issue is an Error.
+func HasErrors(issues []Issue) bool {
+	for _, i := range issues {
+		if i.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Check validates the spec and returns all findings, errors first, each
+// group in deterministic order.
+func Check(s *Spec) []Issue {
+	var issues []Issue
+	errf := func(format string, args ...any) {
+		issues = append(issues, Issue{Severity: Error, Msg: fmt.Sprintf(format, args...)})
+	}
+	warnf := func(format string, args ...any) {
+		issues = append(issues, Issue{Severity: Warning, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	roles := make(map[string]bool, len(s.Roles))
+	for _, r := range s.Roles {
+		if roles[r] {
+			errf("role %q declared more than once", r)
+		}
+		roles[r] = true
+	}
+	needRole := func(r, where string) {
+		if !roles[r] {
+			errf("%s references undeclared role %q", where, r)
+		}
+	}
+
+	// Hierarchy: known roles, no self-edges, no duplicates, acyclic.
+	edgeSeen := make(map[Edge]bool)
+	juniors := make(map[string][]string)
+	for _, e := range s.Hierarchy {
+		needRole(e.Senior, "hierarchy")
+		needRole(e.Junior, "hierarchy")
+		if e.Senior == e.Junior {
+			errf("hierarchy self-edge on %q", e.Senior)
+			continue
+		}
+		if edgeSeen[e] {
+			warnf("duplicate hierarchy edge %s > %s", e.Senior, e.Junior)
+			continue
+		}
+		edgeSeen[e] = true
+		juniors[e.Senior] = append(juniors[e.Senior], e.Junior)
+	}
+	if cyc := findCycle(s.Roles, juniors); len(cyc) > 0 {
+		errf("hierarchy cycle: %v", cyc)
+	}
+
+	// juniorsClosure for SoD-vs-hierarchy conflicts.
+	closure := func(r string) map[string]bool {
+		out := map[string]bool{r: true}
+		stack := []string{r}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, j := range juniors[cur] {
+				if !out[j] {
+					out[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+		return out
+	}
+
+	// SoD sets.
+	checkSoD := func(sets []SoD, kind string) {
+		names := make(map[string]bool)
+		for _, set := range sets {
+			where := fmt.Sprintf("%s set %q", kind, set.Name)
+			if set.Name == "" {
+				errf("%s set with empty name", kind)
+			}
+			if names[set.Name] {
+				errf("%s set %q declared more than once", kind, set.Name)
+			}
+			names[set.Name] = true
+			if set.N < 2 || set.N > len(set.Roles) {
+				errf("%s: cardinality %d outside [2,%d]", where, set.N, len(set.Roles))
+			}
+			seen := make(map[string]bool)
+			for _, r := range set.Roles {
+				needRole(r, where)
+				if seen[r] {
+					errf("%s repeats role %q", where, r)
+				}
+				seen[r] = true
+			}
+			// A role and one of its (transitive) juniors in the same
+			// set make the senior unassignable: every assignment to it
+			// authorizes both conflicting members.
+			for _, r := range set.Roles {
+				if !roles[r] {
+					continue
+				}
+				cl := closure(r)
+				hits := 0
+				for _, other := range set.Roles {
+					if cl[other] {
+						hits++
+					}
+				}
+				if hits >= set.N {
+					errf("%s conflicts with the hierarchy: assigning %q alone authorizes %d of its members", where, r, hits)
+				}
+			}
+		}
+	}
+	checkSoD(s.SSD, "ssd")
+	checkSoD(s.DSD, "dsd")
+
+	// Users: known roles, no duplicate users, assignments respect SSD
+	// (over the junior closure).
+	userSeen := make(map[string]bool)
+	for _, u := range s.Users {
+		if userSeen[u.Name] {
+			errf("user %q declared more than once", u.Name)
+		}
+		userSeen[u.Name] = true
+		auth := make(map[string]bool)
+		for _, r := range u.Roles {
+			needRole(r, "user "+u.Name)
+			if roles[r] {
+				for j := range closure(r) {
+					auth[j] = true
+				}
+			}
+		}
+		for _, set := range s.SSD {
+			hits := 0
+			for _, r := range set.Roles {
+				if auth[r] {
+					hits++
+				}
+			}
+			if hits >= set.N {
+				errf("user %q violates ssd set %q: authorized for %d of %v", u.Name, set.Name, hits, set.Roles)
+			}
+		}
+	}
+
+	for _, p := range s.Permissions {
+		needRole(p.Role, "permission")
+	}
+	for _, c := range s.Cardinalities {
+		needRole(c.Role, "cardinality")
+	}
+	for _, m := range s.MaxRoles {
+		if !userSeen[m.User] {
+			warnf("maxroles for undeclared user %q", m.User)
+		}
+	}
+	shiftSeen := make(map[string]bool)
+	for _, sh := range s.Shifts {
+		needRole(sh.Role, "shift")
+		if shiftSeen[sh.Role] {
+			errf("role %q has more than one shift", sh.Role)
+		}
+		shiftSeen[sh.Role] = true
+	}
+	for _, d := range s.Durations {
+		needRole(d.Role, "duration")
+		if d.User != "*" && !userSeen[d.User] {
+			warnf("duration for undeclared user %q", d.User)
+		}
+	}
+	tsNames := make(map[string]bool)
+	for _, ts := range s.TimeSoDs {
+		where := fmt.Sprintf("timesod %q", ts.Name)
+		if tsNames[ts.Name] {
+			errf("%s declared more than once", where)
+		}
+		tsNames[ts.Name] = true
+		for _, r := range ts.Roles {
+			needRole(r, where)
+		}
+	}
+	coupleSeen := make(map[Couple]bool)
+	for _, c := range s.Couples {
+		needRole(c.Lead, "couple")
+		needRole(c.Follow, "couple")
+		if c.Lead == c.Follow {
+			errf("couple self-loop on %q", c.Lead)
+		}
+		if coupleSeen[c] {
+			warnf("duplicate couple %s -> %s", c.Lead, c.Follow)
+		}
+		coupleSeen[c] = true
+	}
+	depSeen := make(map[string]bool)
+	for _, rq := range s.Requires {
+		needRole(rq.Dependent, "require")
+		needRole(rq.Required, "require")
+		if rq.Dependent == rq.Required {
+			errf("require self-loop on %q", rq.Dependent)
+		}
+		if depSeen[rq.Dependent] {
+			errf("role %q has more than one require dependency", rq.Dependent)
+		}
+		depSeen[rq.Dependent] = true
+	}
+	for _, p := range s.Prereqs {
+		needRole(p.Role, "prereq")
+		needRole(p.Prereq, "prereq")
+		if p.Role == p.Prereq {
+			errf("prereq self-loop on %q", p.Role)
+		}
+	}
+
+	// Purposes: unique, parents declared earlier or anywhere, acyclic by
+	// construction if parents must be previously declared — enforce
+	// declaration order.
+	purposeSeen := make(map[string]bool)
+	for _, p := range s.Purposes {
+		if purposeSeen[p.Name] {
+			errf("purpose %q declared more than once", p.Name)
+		}
+		if p.Parent != "" && !purposeSeen[p.Parent] {
+			errf("purpose %q references parent %q before its declaration", p.Name, p.Parent)
+		}
+		purposeSeen[p.Name] = true
+	}
+	for _, b := range s.Bindings {
+		needRole(b.Role, "bind")
+		if !purposeSeen[b.Purpose] {
+			errf("bind references undeclared purpose %q", b.Purpose)
+		}
+	}
+	ctxSeen := make(map[Context]bool)
+	ctxKey := make(map[[2]string]string)
+	for _, c := range s.Contexts {
+		needRole(c.Role, "context")
+		if c.Key == "" || c.Value == "" {
+			errf("context for %q has empty key or value", c.Role)
+			continue
+		}
+		if ctxSeen[c] {
+			warnf("duplicate context requirement %s/%s for %q", c.Key, c.Value, c.Role)
+		}
+		ctxSeen[c] = true
+		rk := [2]string{c.Role, c.Key}
+		if prev, dup := ctxKey[rk]; dup && prev != c.Value {
+			errf("role %q requires %s = %s and %s = %s (unsatisfiable)", c.Role, c.Key, prev, c.Key, c.Value)
+		}
+		ctxKey[rk] = c.Value
+	}
+
+	thNames := make(map[string]bool)
+	for _, th := range s.Thresholds {
+		if thNames[th.Name] {
+			errf("threshold %q declared more than once", th.Name)
+		}
+		thNames[th.Name] = true
+		switch th.Action {
+		case "alert", "lock-user", "disable-rules":
+		default:
+			errf("threshold %q: unknown action %q (want alert, lock-user or disable-rules)", th.Name, th.Action)
+		}
+	}
+
+	rptNames := make(map[string]bool)
+	for _, r := range s.Reports {
+		if rptNames[r.Name] {
+			errf("report %q declared more than once", r.Name)
+		}
+		rptNames[r.Name] = true
+	}
+
+	sort.SliceStable(issues, func(i, j int) bool { return issues[i].Severity > issues[j].Severity })
+	return issues
+}
+
+// findCycle returns some cycle in the directed graph, or nil.
+func findCycle(nodes []string, edges map[string][]string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(nodes))
+	var path []string
+	var cycle []string
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		path = append(path, n)
+		for _, next := range edges[n] {
+			switch color[next] {
+			case gray:
+				// Extract the cycle from the path.
+				for i, p := range path {
+					if p == next {
+						cycle = append([]string(nil), path[i:]...)
+						return true
+					}
+				}
+				cycle = []string{next, n}
+				return true
+			case white:
+				if visit(next) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && visit(n) {
+			return cycle
+		}
+	}
+	return nil
+}

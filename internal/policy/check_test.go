@@ -1,0 +1,186 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkOf parses src and runs Check, failing the test on parse errors.
+func checkOf(t *testing.T, src string) []Issue {
+	t.Helper()
+	s, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Check(s)
+}
+
+// wantError asserts Check finds an Error mentioning substr.
+func wantError(t *testing.T, src, substr string) {
+	t.Helper()
+	issues := checkOf(t, src)
+	if !HasErrors(issues) {
+		t.Fatalf("Check(%q) found no errors, want one mentioning %q", src, substr)
+	}
+	for _, i := range issues {
+		if i.Severity == Error && strings.Contains(i.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("Check(%q) = %v, want error mentioning %q", src, issues, substr)
+}
+
+func TestCheckCleanPolicy(t *testing.T) {
+	if issues := checkOf(t, `
+role A
+role B
+hierarchy A > B
+user bob: A
+`); len(issues) != 0 {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestCheckDuplicateRole(t *testing.T) {
+	wantError(t, "role A\nrole A", "declared more than once")
+}
+
+func TestCheckUndeclaredReferences(t *testing.T) {
+	wantError(t, "role A\nhierarchy A > ghost", "undeclared role")
+	wantError(t, "role A\nrole B\nssd x 2: A, ghost", "undeclared role")
+	wantError(t, "permission ghost: read x", "undeclared role")
+	wantError(t, "user bob: ghost", "undeclared role")
+	wantError(t, "role A\nbind A read x.dat for ghost", "undeclared purpose")
+}
+
+func TestCheckHierarchyCycle(t *testing.T) {
+	wantError(t, `
+role A
+role B
+role C
+hierarchy A > B
+hierarchy B > C
+hierarchy C > A
+`, "cycle")
+	wantError(t, "role A\nhierarchy A > A", "self-edge")
+}
+
+func TestCheckDuplicateEdgeWarns(t *testing.T) {
+	issues := checkOf(t, "role A\nrole B\nhierarchy A > B\nhierarchy A > B")
+	if HasErrors(issues) {
+		t.Fatalf("duplicate edge should warn, not error: %v", issues)
+	}
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "duplicate hierarchy edge") {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestCheckSoDValidation(t *testing.T) {
+	wantError(t, "role A\nrole B\nssd x 2: A, B\nssd x 2: A, B", "more than once")
+	wantError(t, "role A\nrole B\nrole C\nssd x 4: A, B, C", "outside")
+	wantError(t, "role A\nrole B\nssd x 2: A, A", "repeats")
+}
+
+func TestCheckSoDHierarchyConflict(t *testing.T) {
+	// An SSD set containing a role and its junior is unsatisfiable for
+	// the senior.
+	wantError(t, `
+role Senior
+role Junior
+hierarchy Senior > Junior
+ssd bad 2: Senior, Junior
+`, "conflicts with the hierarchy")
+}
+
+func TestCheckUserSSDViolation(t *testing.T) {
+	wantError(t, `
+role PC
+role AC
+ssd pa 2: PC, AC
+user eve: PC, AC
+`, "violates ssd")
+	// Inherited: assigning the senior violates through the closure.
+	wantError(t, `
+role PM
+role PC
+role AC
+hierarchy PM > PC
+ssd pa 2: PC, AC
+user eve: PM, AC
+`, "violates ssd")
+}
+
+func TestCheckDuplicateUser(t *testing.T) {
+	wantError(t, "user bob\nuser bob", "more than once")
+}
+
+func TestCheckShiftDuplicate(t *testing.T) {
+	wantError(t, `
+role A
+shift A 08:00:00-16:00:00
+shift A 09:00:00-17:00:00
+`, "more than one shift")
+}
+
+func TestCheckCFDValidation(t *testing.T) {
+	wantError(t, "role A\ncouple A -> A", "self-loop")
+	wantError(t, "role A\nrequire A needs-active A", "self-loop")
+	wantError(t, "role A\nprereq A after A", "self-loop")
+	wantError(t, `
+role A
+role B
+role C
+require A needs-active B
+require A needs-active C
+`, "more than one require")
+}
+
+func TestCheckPurposeOrder(t *testing.T) {
+	wantError(t, "purpose child < parent\npurpose parent", "before its declaration")
+	wantError(t, "purpose a\npurpose a", "more than once")
+}
+
+func TestCheckThresholdAction(t *testing.T) {
+	wantError(t, "threshold t 5 in 10m: explode", "unknown action")
+	wantError(t, "threshold t 5 in 10m: alert\nthreshold t 3 in 5m: alert", "more than once")
+}
+
+func TestCheckContextValidation(t *testing.T) {
+	wantError(t, "context ghost requires location = ward", "undeclared role")
+	wantError(t, `
+role A
+context A requires location = ward
+context A requires location = lobby
+`, "unsatisfiable")
+	issues := checkOf(t, "role A\ncontext A requires k = v\ncontext A requires k = v")
+	if HasErrors(issues) || len(issues) != 1 {
+		t.Fatalf("duplicate context should warn: %v", issues)
+	}
+}
+
+func TestCheckWarningsOnly(t *testing.T) {
+	issues := checkOf(t, "maxroles jane 5")
+	if HasErrors(issues) {
+		t.Fatalf("maxroles for undeclared user should be a warning: %v", issues)
+	}
+	if len(issues) != 1 || issues[0].Severity != Warning {
+		t.Fatalf("issues = %v", issues)
+	}
+	if issues[0].String() == "" || Warning.String() != "warning" || Error.String() != "error" {
+		t.Fatal("String methods")
+	}
+}
+
+func TestCheckErrorsSortFirst(t *testing.T) {
+	issues := checkOf(t, `
+maxroles jane 5
+role A
+role A
+`)
+	if len(issues) < 2 {
+		t.Fatalf("issues = %v", issues)
+	}
+	if issues[0].Severity != Error {
+		t.Fatalf("errors must sort first: %v", issues)
+	}
+}

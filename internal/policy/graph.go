@@ -1,0 +1,248 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one role node of the access specification graph (the boxes of
+// the paper's Figure 1). Flags record which relationships the role takes
+// part in; Parents is the paper's "internal subscriber list ... used to
+// point to the parent node", through which constraints propagate bottom
+// up.
+type Node struct {
+	// Role is the node's role name.
+	Role string
+	// Parents are the immediate senior roles (subscriber list).
+	Parents []*Node
+	// Children are the immediate junior roles.
+	Children []*Node
+
+	// Hierarchy is set when the role has any hierarchy edge.
+	Hierarchy bool
+	// StaticSoD is set when the role is a *direct* member of a static
+	// SoD relation (connected by the dashed line in Figure 1).
+	StaticSoD bool
+	// InheritedStaticSoD is set when a junior's StaticSoD flag
+	// propagated up to this node (the paper: "PM inherits the static
+	// SoD constraints from PC").
+	InheritedStaticSoD bool
+	// DynamicSoD / InheritedDynamicSoD mirror the above for dynamic SoD.
+	DynamicSoD          bool
+	InheritedDynamicSoD bool
+	// Cardinality is the role's activation bound (0 = unlimited).
+	Cardinality int
+	// Temporal is set when the role has a shift or duration constraint.
+	Temporal bool
+	// CFD is set when the role takes part in a coupling, dependency or
+	// prerequisite.
+	CFD bool
+	// Context is set when the role carries context-aware constraints.
+	Context bool
+	// SoDPartners lists the roles this node directly conflicts with.
+	SoDPartners []string
+}
+
+// HasStaticSoD reports direct or inherited static SoD participation.
+func (n *Node) HasStaticSoD() bool { return n.StaticSoD || n.InheritedStaticSoD }
+
+// HasDynamicSoD reports direct or inherited dynamic SoD participation.
+func (n *Node) HasDynamicSoD() bool { return n.DynamicSoD || n.InheritedDynamicSoD }
+
+// Graph is the instantiated access specification graph.
+type Graph struct {
+	nodes map[string]*Node
+	order []string
+}
+
+// Node returns the node for a role.
+func (g *Graph) Node(role string) (*Node, bool) {
+	n, ok := g.nodes[role]
+	return n, ok
+}
+
+// Roles returns the declared roles in declaration order.
+func (g *Graph) Roles() []string {
+	return append([]string(nil), g.order...)
+}
+
+// Len reports the number of role nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// BuildGraph instantiates the access specification graph for a spec:
+// nodes for every role, parent/child pointers for hierarchy edges, flags
+// for each relationship kind, and bottom-up propagation of SoD flags
+// along the subscriber pointers. The spec must reference only declared
+// roles (run Check first for friendlier diagnostics).
+func BuildGraph(s *Spec) (*Graph, error) {
+	g := &Graph{nodes: make(map[string]*Node, len(s.Roles))}
+	for _, r := range s.Roles {
+		if _, dup := g.nodes[r]; dup {
+			return nil, fmt.Errorf("policy: role %q declared twice", r)
+		}
+		g.nodes[r] = &Node{Role: r}
+		g.order = append(g.order, r)
+	}
+	need := func(role, where string) (*Node, error) {
+		n, ok := g.nodes[role]
+		if !ok {
+			return nil, fmt.Errorf("policy: %s references undeclared role %q", where, role)
+		}
+		return n, nil
+	}
+
+	for _, e := range s.Hierarchy {
+		sr, err := need(e.Senior, "hierarchy")
+		if err != nil {
+			return nil, err
+		}
+		jr, err := need(e.Junior, "hierarchy")
+		if err != nil {
+			return nil, err
+		}
+		sr.Children = append(sr.Children, jr)
+		jr.Parents = append(jr.Parents, sr)
+		sr.Hierarchy, jr.Hierarchy = true, true
+	}
+
+	markSoD := func(sets []SoD, kind string, direct func(*Node, []string)) error {
+		for _, set := range sets {
+			for _, r := range set.Roles {
+				n, err := need(r, kind+" set "+set.Name)
+				if err != nil {
+					return err
+				}
+				partners := make([]string, 0, len(set.Roles)-1)
+				for _, other := range set.Roles {
+					if other != r {
+						partners = append(partners, other)
+					}
+				}
+				direct(n, partners)
+			}
+		}
+		return nil
+	}
+	if err := markSoD(s.SSD, "ssd", func(n *Node, partners []string) {
+		n.StaticSoD = true
+		n.SoDPartners = mergeSorted(n.SoDPartners, partners)
+	}); err != nil {
+		return nil, err
+	}
+	if err := markSoD(s.DSD, "dsd", func(n *Node, partners []string) {
+		n.DynamicSoD = true
+		n.SoDPartners = mergeSorted(n.SoDPartners, partners)
+	}); err != nil {
+		return nil, err
+	}
+
+	for _, c := range s.Cardinalities {
+		n, err := need(c.Role, "cardinality")
+		if err != nil {
+			return nil, err
+		}
+		n.Cardinality = c.N
+	}
+	for _, sh := range s.Shifts {
+		n, err := need(sh.Role, "shift")
+		if err != nil {
+			return nil, err
+		}
+		n.Temporal = true
+	}
+	for _, d := range s.Durations {
+		n, err := need(d.Role, "duration")
+		if err != nil {
+			return nil, err
+		}
+		n.Temporal = true
+	}
+	for _, ts := range s.TimeSoDs {
+		for _, r := range ts.Roles {
+			n, err := need(r, "timesod "+ts.Name)
+			if err != nil {
+				return nil, err
+			}
+			n.Temporal = true
+		}
+	}
+	for _, c := range s.Couples {
+		for _, r := range []string{c.Lead, c.Follow} {
+			n, err := need(r, "couple")
+			if err != nil {
+				return nil, err
+			}
+			n.CFD = true
+		}
+	}
+	for _, rq := range s.Requires {
+		for _, r := range []string{rq.Dependent, rq.Required} {
+			n, err := need(r, "require")
+			if err != nil {
+				return nil, err
+			}
+			n.CFD = true
+		}
+	}
+	for _, p := range s.Prereqs {
+		for _, r := range []string{p.Role, p.Prereq} {
+			n, err := need(r, "prereq")
+			if err != nil {
+				return nil, err
+			}
+			n.CFD = true
+		}
+	}
+
+	for _, c := range s.Contexts {
+		n, err := need(c.Role, "context")
+		if err != nil {
+			return nil, err
+		}
+		n.Context = true
+	}
+
+	g.propagateSoD()
+	return g, nil
+}
+
+// propagateSoD pushes SoD flags bottom-up along the subscriber (parent)
+// pointers: a senior of a conflicted role is conflicted too, because
+// assignment to the senior authorizes the junior.
+func (g *Graph) propagateSoD() {
+	// Iterate to a fixed point; the graph is small and acyclic in valid
+	// policies, and the loop is bounded even on cyclic input because
+	// flags only ever flip one way.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			for _, parent := range n.Parents {
+				if n.HasStaticSoD() && !parent.HasStaticSoD() {
+					parent.InheritedStaticSoD = true
+					changed = true
+				}
+				if n.HasDynamicSoD() && !parent.HasDynamicSoD() {
+					parent.InheritedDynamicSoD = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// mergeSorted unions two string slices, sorted, without duplicates.
+func mergeSorted(a, b []string) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	for _, x := range b {
+		set[x] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}

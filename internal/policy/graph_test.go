@@ -1,0 +1,175 @@
+package policy
+
+import (
+	"testing"
+)
+
+func xyzSpec(t *testing.T) *Spec {
+	t.Helper()
+	s, err := ParseFile("testdata/xyz.acp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildGraphXYZ(t *testing.T) {
+	g, err := BuildGraph(xyzSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if roles := g.Roles(); roles[0] != "PM" || roles[4] != "Clerk" {
+		t.Fatalf("Roles = %v (want declaration order)", roles)
+	}
+
+	pc, _ := g.Node("PC")
+	if !pc.StaticSoD || pc.InheritedStaticSoD {
+		t.Fatalf("PC flags: %+v", pc)
+	}
+	if !pc.Hierarchy {
+		t.Fatal("PC should have Hierarchy flag")
+	}
+	if len(pc.SoDPartners) != 1 || pc.SoDPartners[0] != "AC" {
+		t.Fatalf("PC partners = %v", pc.SoDPartners)
+	}
+	// Parent pointer (subscriber list): PC's parent is PM.
+	if len(pc.Parents) != 1 || pc.Parents[0].Role != "PM" {
+		t.Fatalf("PC parents = %v", pc.Parents)
+	}
+
+	// Bottom-up propagation: PM inherits the SSD flag from PC.
+	pm, _ := g.Node("PM")
+	if pm.StaticSoD {
+		t.Fatal("PM should not be a direct SSD member")
+	}
+	if !pm.InheritedStaticSoD || !pm.HasStaticSoD() {
+		t.Fatal("PM must inherit the static SoD flag from PC")
+	}
+	if pm.Cardinality != 1 {
+		t.Fatalf("PM cardinality = %d", pm.Cardinality)
+	}
+
+	// Clerk is junior to everyone and not conflicted.
+	clerk, _ := g.Node("Clerk")
+	if clerk.HasStaticSoD() {
+		t.Fatal("Clerk should not carry SoD flags")
+	}
+	if len(clerk.Parents) != 2 {
+		t.Fatalf("Clerk parents = %v", clerk.Parents)
+	}
+	if clerk.Cardinality != 0 {
+		t.Fatalf("Clerk cardinality = %d", clerk.Cardinality)
+	}
+	if _, ok := g.Node("ghost"); ok {
+		t.Fatal("ghost node exists")
+	}
+}
+
+func TestGraphPropagationDeep(t *testing.T) {
+	// SSD on the leaf must propagate through every ancestor level.
+	s, err := ParseString(`
+role top
+role mid
+role leaf
+role other
+hierarchy top > mid > leaf
+ssd conflict 2: leaf, other
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"mid", "top"} {
+		n, _ := g.Node(r)
+		if !n.InheritedStaticSoD {
+			t.Fatalf("%s did not inherit the SSD flag", r)
+		}
+	}
+	other, _ := g.Node("other")
+	if other.InheritedStaticSoD || !other.StaticSoD {
+		t.Fatalf("other flags wrong: %+v", other)
+	}
+}
+
+func TestGraphDynamicSoDFlags(t *testing.T) {
+	s, err := ParseString(`
+role boss
+role teller
+role auditor
+hierarchy boss > teller
+dsd bank 2: teller, auditor
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teller, _ := g.Node("teller")
+	if !teller.DynamicSoD || teller.StaticSoD {
+		t.Fatalf("teller flags: %+v", teller)
+	}
+	boss, _ := g.Node("boss")
+	if !boss.InheritedDynamicSoD {
+		t.Fatal("boss did not inherit the DSD flag")
+	}
+}
+
+func TestGraphOtherFlags(t *testing.T) {
+	s, err := ParseString(`
+role A
+role B
+role C
+shift A 09:00:00-17:00:00
+duration * B 1h
+couple A -> B
+require C needs-active A
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Node("A")
+	b, _ := g.Node("B")
+	c, _ := g.Node("C")
+	if !a.Temporal || !b.Temporal || c.Temporal {
+		t.Fatalf("temporal flags: A=%v B=%v C=%v", a.Temporal, b.Temporal, c.Temporal)
+	}
+	if !a.CFD || !b.CFD || !c.CFD {
+		t.Fatalf("CFD flags: A=%v B=%v C=%v", a.CFD, b.CFD, c.CFD)
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	for _, src := range []string{
+		"role A\nrole A",                    // duplicate role
+		"role A\nhierarchy A > ghost",       // undeclared role in edge
+		"role A\nrole B\nssd x 2: A, ghost", // undeclared role in SSD
+		"role A\ncardinality ghost 2",       // undeclared role
+		"role A\nshift ghost 09:00:00-17:00:00",
+		"role A\nduration * ghost 1h",
+		"role A\nrole B\ntimesod w 10:00:00-17:00:00: A, ghost",
+		"role A\ncouple A -> ghost",
+		"role A\nrequire A needs-active ghost",
+		"role A\nprereq A after ghost",
+	} {
+		s, err := ParseString(src)
+		if err != nil {
+			t.Errorf("ParseString(%q): %v", src, err)
+			continue
+		}
+		if _, err := BuildGraph(s); err == nil {
+			t.Errorf("BuildGraph(%q) accepted", src)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"activerbac/internal/clock"
+)
+
+// The .acp policy language — one statement per line, '#' comments:
+//
+//	policy "enterprise-xyz"
+//	role PM
+//	hierarchy PM > PC > Clerk
+//	ssd purchase-approval 2: PC, AC
+//	dsd bank 2: Teller, Auditor
+//	user bob: PC, Clerk
+//	permission PC: write purchase-order.dat
+//	cardinality President 1
+//	maxroles jane 5
+//	shift DayDoctor 09:00:00-17:00:00
+//	duration bob R3 2h            # per user-role; user * = any user
+//	timesod ward 10:00:00-17:00:00: Nurse, Doctor
+//	couple SysAdmin -> SysAudit
+//	require JuniorEmp needs-active Manager
+//	prereq Deployer after Developer
+//	purpose diagnosis < treatment
+//	bind Doctor read patient.dat for treatment
+//	consent-required patient.dat
+//	threshold intrusions 5 in 10m: lock-user
+//
+// Parse is strict: unknown statements, wrong arities and malformed
+// values are errors with line numbers, so policy typos surface at
+// compile time rather than as silently missing rules.
+
+// Parse reads a policy spec from r; name is used in error messages
+// (usually the file name).
+func Parse(r io.Reader, name string) (*Spec, error) {
+	s := &Spec{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(s, line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return s, nil
+}
+
+// ParseFile reads a policy spec from a file.
+func ParseFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f, path)
+}
+
+// ParseString parses a policy from a string literal (tests, examples).
+func ParseString(src string) (*Spec, error) {
+	return Parse(strings.NewReader(src), "<inline>")
+}
+
+func parseLine(s *Spec, line string) error {
+	fields := strings.Fields(line)
+	keyword, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+	switch keyword {
+	case "policy":
+		name := strings.Trim(rest, `"`)
+		if name == "" {
+			return fmt.Errorf("policy: empty name")
+		}
+		s.Name = name
+	case "role":
+		if len(fields) != 2 {
+			return fmt.Errorf("role: want `role NAME`")
+		}
+		s.Roles = append(s.Roles, fields[1])
+	case "hierarchy":
+		parts := splitTrim(rest, ">")
+		if len(parts) < 2 {
+			return fmt.Errorf("hierarchy: want `hierarchy A > B [> C ...]`")
+		}
+		for i := 0; i+1 < len(parts); i++ {
+			if parts[i] == "" || parts[i+1] == "" {
+				return fmt.Errorf("hierarchy: empty role name")
+			}
+			s.Hierarchy = append(s.Hierarchy, Edge{Senior: parts[i], Junior: parts[i+1]})
+		}
+	case "ssd", "dsd":
+		set, err := parseSoD(keyword, rest)
+		if err != nil {
+			return err
+		}
+		if keyword == "ssd" {
+			s.SSD = append(s.SSD, set)
+		} else {
+			s.DSD = append(s.DSD, set)
+		}
+	case "user":
+		name, roles, err := nameColonList(rest, true)
+		if err != nil {
+			return fmt.Errorf("user: %w", err)
+		}
+		s.Users = append(s.Users, User{Name: name, Roles: roles})
+	case "permission":
+		head, tail, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("permission: want `permission ROLE: OP OBJ`")
+		}
+		role := strings.TrimSpace(head)
+		opObj := strings.Fields(tail)
+		if role == "" || len(opObj) != 2 {
+			return fmt.Errorf("permission: want `permission ROLE: OP OBJ`")
+		}
+		s.Permissions = append(s.Permissions, Perm{Role: role, Operation: opObj[0], Object: opObj[1]})
+	case "cardinality":
+		if len(fields) != 3 {
+			return fmt.Errorf("cardinality: want `cardinality ROLE N`")
+		}
+		n, err := positiveInt(fields[2])
+		if err != nil {
+			return fmt.Errorf("cardinality: %w", err)
+		}
+		s.Cardinalities = append(s.Cardinalities, Cardinality{Role: fields[1], N: n})
+	case "maxroles":
+		if len(fields) != 3 {
+			return fmt.Errorf("maxroles: want `maxroles USER N`")
+		}
+		n, err := positiveInt(fields[2])
+		if err != nil {
+			return fmt.Errorf("maxroles: %w", err)
+		}
+		s.MaxRoles = append(s.MaxRoles, MaxRoles{User: fields[1], N: n})
+	case "shift":
+		if len(fields) != 3 {
+			return fmt.Errorf("shift: want `shift ROLE HH:MM:SS-HH:MM:SS`")
+		}
+		start, stop, err := parseWindowSpec(fields[2])
+		if err != nil {
+			return fmt.Errorf("shift: %w", err)
+		}
+		s.Shifts = append(s.Shifts, Shift{Role: fields[1], Start: start, Stop: stop})
+	case "duration":
+		if len(fields) != 4 {
+			return fmt.Errorf("duration: want `duration USER ROLE DUR` (USER may be *)")
+		}
+		d, err := time.ParseDuration(fields[3])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("duration: bad duration %q", fields[3])
+		}
+		s.Durations = append(s.Durations, Duration{User: fields[1], Role: fields[2], D: d})
+	case "timesod":
+		// The window contains ':' characters, so parse by fields rather
+		// than cutting at the first colon.
+		parts := strings.Fields(rest)
+		if len(parts) < 3 {
+			return fmt.Errorf("timesod: want `timesod NAME HH:MM:SS-HH:MM:SS: R1, R2`")
+		}
+		name := parts[0]
+		winTok := strings.TrimSuffix(parts[1], ":")
+		start, stop, err := parseWindowSpec(winTok)
+		if err != nil {
+			return fmt.Errorf("timesod: %w", err)
+		}
+		roleList := strings.TrimSpace(rest[strings.Index(rest, parts[1])+len(parts[1]):])
+		roles := splitTrim(roleList, ",")
+		if len(roles) < 2 || roles[0] == "" {
+			return fmt.Errorf("timesod: need at least 2 roles")
+		}
+		s.TimeSoDs = append(s.TimeSoDs, TimeSoD{Name: name, Roles: roles, Start: start, Stop: stop})
+	case "couple":
+		parts := splitTrim(rest, "->")
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("couple: want `couple LEAD -> FOLLOW`")
+		}
+		s.Couples = append(s.Couples, Couple{Lead: parts[0], Follow: parts[1]})
+	case "require":
+		if len(fields) != 4 || fields[2] != "needs-active" {
+			return fmt.Errorf("require: want `require DEPENDENT needs-active REQUIRED`")
+		}
+		s.Requires = append(s.Requires, Require{Dependent: fields[1], Required: fields[3]})
+	case "prereq":
+		if len(fields) != 4 || fields[2] != "after" {
+			return fmt.Errorf("prereq: want `prereq ROLE after PREREQ`")
+		}
+		s.Prereqs = append(s.Prereqs, Prereq{Role: fields[1], Prereq: fields[3]})
+	case "purpose":
+		switch len(fields) {
+		case 2:
+			s.Purposes = append(s.Purposes, Purpose{Name: fields[1]})
+		case 4:
+			if fields[2] != "<" {
+				return fmt.Errorf("purpose: want `purpose NAME [< PARENT]`")
+			}
+			s.Purposes = append(s.Purposes, Purpose{Name: fields[1], Parent: fields[3]})
+		default:
+			return fmt.Errorf("purpose: want `purpose NAME [< PARENT]`")
+		}
+	case "bind":
+		if len(fields) != 6 || fields[4] != "for" {
+			return fmt.Errorf("bind: want `bind ROLE OP OBJ for PURPOSE`")
+		}
+		s.Bindings = append(s.Bindings, Binding{
+			Role: fields[1], Operation: fields[2], Object: fields[3], Purpose: fields[5],
+		})
+	case "context":
+		if len(fields) != 6 || fields[2] != "requires" || fields[4] != "=" {
+			return fmt.Errorf("context: want `context ROLE requires KEY = VALUE`")
+		}
+		s.Contexts = append(s.Contexts, Context{Role: fields[1], Key: fields[3], Value: fields[5]})
+	case "report":
+		if len(fields) != 4 || fields[2] != "every" {
+			return fmt.Errorf("report: want `report NAME every DUR`")
+		}
+		d, err := time.ParseDuration(fields[3])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("report: bad interval %q", fields[3])
+		}
+		s.Reports = append(s.Reports, ReportSpec{Name: fields[1], Every: d})
+	case "consent-required":
+		if len(fields) != 2 {
+			return fmt.Errorf("consent-required: want `consent-required OBJECT`")
+		}
+		s.ConsentRequired = append(s.ConsentRequired, fields[1])
+	case "threshold":
+		// threshold NAME N in DUR: ACTION
+		head, action, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("threshold: want `threshold NAME N in DUR: ACTION`")
+		}
+		hf := strings.Fields(head)
+		action = strings.TrimSpace(action)
+		if len(hf) != 4 || hf[2] != "in" || action == "" {
+			return fmt.Errorf("threshold: want `threshold NAME N in DUR: ACTION`")
+		}
+		n, err := positiveInt(hf[1])
+		if err != nil {
+			return fmt.Errorf("threshold: %w", err)
+		}
+		d, err := time.ParseDuration(hf[3])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("threshold: bad window %q", hf[3])
+		}
+		s.Thresholds = append(s.Thresholds, Threshold{Name: hf[0], Count: n, Window: d, Action: action})
+	default:
+		return fmt.Errorf("unknown statement %q", keyword)
+	}
+	return nil
+}
+
+// parseSoD parses `NAME N: R1, R2, ...`.
+func parseSoD(kind, rest string) (SoD, error) {
+	head, tail, ok := strings.Cut(rest, ":")
+	if !ok {
+		return SoD{}, fmt.Errorf("%s: want `%s NAME N: R1, R2, ...`", kind, kind)
+	}
+	hf := strings.Fields(head)
+	if len(hf) != 2 {
+		return SoD{}, fmt.Errorf("%s: want `%s NAME N: R1, R2, ...`", kind, kind)
+	}
+	n, err := positiveInt(hf[1])
+	if err != nil {
+		return SoD{}, fmt.Errorf("%s: %w", kind, err)
+	}
+	roles := splitTrim(tail, ",")
+	if len(roles) < 2 || roles[0] == "" {
+		return SoD{}, fmt.Errorf("%s: need at least 2 roles", kind)
+	}
+	return SoD{Name: hf[0], Roles: roles, N: n}, nil
+}
+
+// parseWindowSpec parses "HH:MM:SS-HH:MM:SS" (daily window shorthand).
+func parseWindowSpec(tok string) (start, stop clock.Pattern, err error) {
+	a, b, ok := strings.Cut(tok, "-")
+	if !ok {
+		return start, stop, fmt.Errorf("bad window %q (want HH:MM:SS-HH:MM:SS)", tok)
+	}
+	start, err = clock.ParsePattern(a)
+	if err != nil {
+		return start, stop, err
+	}
+	stop, err = clock.ParsePattern(b)
+	return start, stop, err
+}
+
+// nameColonList parses "NAME: a, b, c"; with optional=true the colon and
+// list may be absent.
+func nameColonList(rest string, optional bool) (string, []string, error) {
+	head, tail, ok := strings.Cut(rest, ":")
+	name := strings.TrimSpace(head)
+	if name == "" || strings.ContainsAny(name, " \t") {
+		return "", nil, fmt.Errorf("want `NAME: a, b, ...`")
+	}
+	if !ok {
+		if optional {
+			return name, nil, nil
+		}
+		return "", nil, fmt.Errorf("want `NAME: a, b, ...`")
+	}
+	list := splitTrim(tail, ",")
+	if len(list) == 1 && list[0] == "" {
+		list = nil
+	}
+	return name, list, nil
+}
+
+func splitTrim(s, sep string) []string {
+	parts := strings.Split(s, sep)
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func positiveInt(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad positive integer %q", s)
+	}
+	return n, nil
+}

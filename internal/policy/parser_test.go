@@ -1,0 +1,200 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseXYZ(t *testing.T) {
+	s, err := ParseFile("testdata/xyz.acp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "enterprise-xyz" {
+		t.Fatalf("Name = %q", s.Name)
+	}
+	if len(s.Roles) != 5 {
+		t.Fatalf("Roles = %v", s.Roles)
+	}
+	if len(s.Hierarchy) != 4 {
+		t.Fatalf("Hierarchy = %v", s.Hierarchy)
+	}
+	if s.Hierarchy[0] != (Edge{Senior: "PM", Junior: "PC"}) {
+		t.Fatalf("first edge = %v", s.Hierarchy[0])
+	}
+	if len(s.SSD) != 1 || s.SSD[0].Name != "purchase-approval" || s.SSD[0].N != 2 {
+		t.Fatalf("SSD = %v", s.SSD)
+	}
+	if len(s.Users) != 3 || s.Users[0].Name != "bob" || s.Users[0].Roles[0] != "PC" {
+		t.Fatalf("Users = %v", s.Users)
+	}
+	if len(s.Permissions) != 3 {
+		t.Fatalf("Permissions = %v", s.Permissions)
+	}
+	if len(s.Cardinalities) != 1 || s.Cardinalities[0] != (Cardinality{Role: "PM", N: 1}) {
+		t.Fatalf("Cardinalities = %v", s.Cardinalities)
+	}
+	if issues := Check(s); len(issues) != 0 {
+		t.Fatalf("Check(xyz) = %v", issues)
+	}
+}
+
+func TestParseAllStatements(t *testing.T) {
+	src := `
+policy "kitchen-sink"
+role A
+role B
+role C
+hierarchy A > B
+dsd act 2: B, C
+user jane: A
+maxroles jane 5
+shift A 09:00:00-17:00:00
+duration jane A 2h
+duration * B 30m
+timesod ward 10:00:00-17:00:00: A, B
+couple A -> B
+require C needs-active A
+prereq C after B
+purpose treatment
+purpose diagnosis < treatment
+bind A read chart.dat for diagnosis
+consent-required chart.dat
+threshold intrusions 5 in 10m: lock-user
+context A requires location = ward
+`
+	s, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.DSD) != 1 || len(s.MaxRoles) != 1 || len(s.Shifts) != 1 {
+		t.Fatalf("spec %+v", s)
+	}
+	if s.Durations[0] != (Duration{User: "jane", Role: "A", D: 2 * time.Hour}) {
+		t.Fatalf("Durations = %v", s.Durations)
+	}
+	if s.Durations[1].User != "*" {
+		t.Fatalf("wildcard user lost: %v", s.Durations[1])
+	}
+	if len(s.TimeSoDs) != 1 || len(s.TimeSoDs[0].Roles) != 2 {
+		t.Fatalf("TimeSoDs = %v", s.TimeSoDs)
+	}
+	if s.Couples[0] != (Couple{Lead: "A", Follow: "B"}) {
+		t.Fatalf("Couples = %v", s.Couples)
+	}
+	if s.Requires[0] != (Require{Dependent: "C", Required: "A"}) {
+		t.Fatalf("Requires = %v", s.Requires)
+	}
+	if s.Prereqs[0] != (Prereq{Role: "C", Prereq: "B"}) {
+		t.Fatalf("Prereqs = %v", s.Prereqs)
+	}
+	if len(s.Purposes) != 2 || s.Purposes[1].Parent != "treatment" {
+		t.Fatalf("Purposes = %v", s.Purposes)
+	}
+	if s.Bindings[0].Purpose != "diagnosis" {
+		t.Fatalf("Bindings = %v", s.Bindings)
+	}
+	if len(s.ConsentRequired) != 1 {
+		t.Fatalf("ConsentRequired = %v", s.ConsentRequired)
+	}
+	th := s.Thresholds[0]
+	if th.Name != "intrusions" || th.Count != 5 || th.Window != 10*time.Minute || th.Action != "lock-user" {
+		t.Fatalf("Thresholds = %+v", th)
+	}
+	if len(s.Contexts) != 1 || s.Contexts[0] != (Context{Role: "A", Key: "location", Value: "ward"}) {
+		t.Fatalf("Contexts = %+v", s.Contexts)
+	}
+	if issues := Check(s); HasErrors(issues) {
+		t.Fatalf("Check = %v", issues)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	s, err := ParseString("# header\n\nrole A # trailing\n   \n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Roles) != 1 || s.Roles[0] != "A" {
+		t.Fatalf("Roles = %v", s.Roles)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`policy ""`,
+		"role",
+		"role A B",
+		"hierarchy A",
+		"hierarchy A >",
+		"ssd x 2 PC, AC",      // missing colon
+		"ssd x two: PC, AC",   // bad int
+		"ssd x 2: PC",         // one role
+		"user : A",            // empty name
+		"user a b: A",         // name with space
+		"permission PC write", // missing colon
+		"permission PC: write",
+		"cardinality PM",
+		"cardinality PM zero",
+		"cardinality PM 0",
+		"maxroles jane",
+		"shift A",
+		"shift A 09:00:00",
+		"shift A 25:00:00-17:00:00",
+		"duration jane A",
+		"duration jane A -2h",
+		"duration jane A soon",
+		"timesod w 10:00:00-17:00:00: A",
+		"timesod w bogus: A, B",
+		"couple A",
+		"couple A ->",
+		"require A needs B",
+		"prereq A before B",
+		"purpose",
+		"purpose a <",
+		"purpose a < b c",
+		"bind A read x.dat diagnosis",
+		"consent-required",
+		"threshold t 5 in 10m", // missing action
+		"threshold t five in 10m: alert",
+		"threshold t 5 at 10m: alert",
+		"threshold t 5 in never: alert",
+		"context A needs location = ward",  // wrong keyword
+		"context A requires location ward", // missing '='
+		"context A requires location",
+		"frobnicate all the things",
+	}
+	for _, src := range bad {
+		if s, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) accepted: %+v", src, s)
+		} else if !strings.Contains(err.Error(), "<inline>:1") {
+			t.Errorf("ParseString(%q) error lacks position: %v", src, err)
+		}
+	}
+}
+
+func TestParseHierarchyChain(t *testing.T) {
+	s, err := ParseString("role A\nrole B\nrole C\nhierarchy A > B > C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Hierarchy) != 2 {
+		t.Fatalf("Hierarchy = %v", s.Hierarchy)
+	}
+	if s.Hierarchy[1] != (Edge{Senior: "B", Junior: "C"}) {
+		t.Fatalf("second edge = %v", s.Hierarchy[1])
+	}
+}
+
+func TestUserWithoutRoles(t *testing.T) {
+	s, err := ParseString("user bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Users) != 1 || s.Users[0].Name != "bob" || len(s.Users[0].Roles) != 0 {
+		t.Fatalf("Users = %v", s.Users)
+	}
+}

@@ -1,0 +1,161 @@
+package rbac
+
+import (
+	"fmt"
+)
+
+// CheckInvariants verifies the model's global consistency conditions and
+// returns every violation found (nil when consistent). It is used by
+// property-based tests — after any sequence of successful operations the
+// store must stay consistent — and exposed so operators can audit a
+// running system.
+//
+// Invariants checked:
+//
+//  1. Referential integrity: assignments, sessions and SoD sets
+//     reference existing users and roles.
+//  2. Active roles are a subset of the session owner's authorized roles.
+//  3. Role activation counters equal the number of sessions with the
+//     role active.
+//  4. The role hierarchy is acyclic.
+//  5. Every SSD set holds for every user (over authorized roles).
+//  6. Every DSD set holds for every session (over active roles and
+//     their junior closures).
+//  7. SoD sets are well-formed (2 <= N <= |Roles|).
+func (s *Store) CheckInvariants() []error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format+": %w", append(args, ErrInvariant)...))
+	}
+
+	// 1 + 2 + 3: users, assignments, sessions.
+	activeCounts := make(map[RoleID]int)
+	for u, us := range s.users {
+		for r := range us.assigned {
+			if _, ok := s.roles[r]; !ok {
+				fail("user %q assigned to missing role %q", u, r)
+			}
+		}
+		for sid := range us.sessions {
+			sess, ok := s.sessions[sid]
+			if !ok {
+				fail("user %q lists missing session %q", u, sid)
+				continue
+			}
+			if sess.user != u {
+				fail("session %q listed by %q but owned by %q", sid, u, sess.user)
+			}
+		}
+	}
+	for sid, sess := range s.sessions {
+		us, ok := s.users[sess.user]
+		if !ok {
+			fail("session %q owned by missing user %q", sid, sess.user)
+			continue
+		}
+		if _, listed := us.sessions[sid]; !listed {
+			fail("session %q not listed by owner %q", sid, sess.user)
+		}
+		auth := s.authorizedRolesLocked(sess.user)
+		for r := range sess.active {
+			if _, ok := s.roles[r]; !ok {
+				fail("session %q activates missing role %q", sid, r)
+				continue
+			}
+			activeCounts[r]++
+			if !auth.has(r) {
+				fail("session %q has %q active but owner %q is not authorized", sid, r, sess.user)
+			}
+		}
+	}
+	for r, rs := range s.roles {
+		if rs.activeCount != activeCounts[r] {
+			fail("role %q activeCount=%d but %d sessions have it active", r, rs.activeCount, activeCounts[r])
+		}
+		if rs.activeCount < 0 {
+			fail("role %q negative activeCount %d", r, rs.activeCount)
+		}
+		if rs.cardinality != 0 && rs.activeCount > rs.cardinality {
+			fail("role %q activeCount %d exceeds cardinality %d", r, rs.activeCount, rs.cardinality)
+		}
+	}
+
+	// 4: hierarchy symmetry and acyclicity.
+	for r, rs := range s.roles {
+		for j := range rs.juniors {
+			jr, ok := s.roles[j]
+			if !ok {
+				fail("role %q junior edge to missing role %q", r, j)
+				continue
+			}
+			if !jr.seniors.has(r) {
+				fail("asymmetric hierarchy edge %q -> %q", r, j)
+			}
+		}
+	}
+	if cyc := s.findCycleLocked(); cyc != "" {
+		fail("hierarchy cycle through %q", cyc)
+	}
+
+	// 5 + 7: SSD.
+	for name, set := range s.ssd {
+		if err := s.validateSoDLocked(*set); err != nil {
+			fail("SSD set %q malformed: %v", name, err)
+			continue
+		}
+		for u := range s.users {
+			if n := s.countAuthorizedInLocked(u, set); n >= set.N {
+				fail("SSD set %q violated: user %q authorized for %d of %v", name, u, n, set.Roles)
+			}
+		}
+	}
+	// 6 + 7: DSD.
+	for name, set := range s.dsd {
+		if err := s.validateSoDLocked(*set); err != nil {
+			fail("DSD set %q malformed: %v", name, err)
+			continue
+		}
+		for sid, sess := range s.sessions {
+			if n := s.countActiveInLocked(sess, set); n >= set.N {
+				fail("DSD set %q violated: session %q has %d of %v active", name, sid, n, set.Roles)
+			}
+		}
+	}
+	return errs
+}
+
+// findCycleLocked returns a role on a hierarchy cycle, or "" if acyclic.
+func (s *Store) findCycleLocked() RoleID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[RoleID]int, len(s.roles))
+	var visit func(RoleID) RoleID
+	visit = func(r RoleID) RoleID {
+		color[r] = gray
+		for j := range s.roles[r].juniors {
+			switch color[j] {
+			case gray:
+				return j
+			case white:
+				if c := visit(j); c != "" {
+					return c
+				}
+			}
+		}
+		color[r] = black
+		return ""
+	}
+	for r := range s.roles {
+		if color[r] == white {
+			if c := visit(r); c != "" {
+				return c
+			}
+		}
+	}
+	return ""
+}

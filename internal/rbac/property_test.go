@@ -1,0 +1,212 @@
+package rbac
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The central safety property of the model: no sequence of API calls —
+// whether they succeed or fail — may leave the store violating its
+// invariants. Raw mutators are excluded (they exist precisely to skip
+// checks and are driven by the rule layer, which performs the checks as
+// conditions first).
+
+// randomOps drives n pseudo-random operations against s.
+func randomOps(s *Store, rng *rand.Rand, n int) {
+	users := []UserID{"u0", "u1", "u2", "u3"}
+	roles := []RoleID{"r0", "r1", "r2", "r3", "r4", "r5"}
+	var sessions []SessionID
+	perm := func() Permission {
+		return Permission{
+			Operation: fmt.Sprintf("op%d", rng.Intn(3)),
+			Object:    fmt.Sprintf("obj%d", rng.Intn(3)),
+		}
+	}
+	for i := 0; i < n; i++ {
+		u := users[rng.Intn(len(users))]
+		r := roles[rng.Intn(len(roles))]
+		r2 := roles[rng.Intn(len(roles))]
+		switch rng.Intn(16) {
+		case 0:
+			_ = s.AddUser(u)
+		case 1:
+			_ = s.AddRole(r)
+		case 2:
+			_ = s.AssignUser(u, r)
+		case 3:
+			_ = s.DeassignUser(u, r)
+		case 4:
+			_ = s.AddInheritance(r, r2)
+		case 5:
+			_ = s.DeleteInheritance(r, r2)
+		case 6:
+			_ = s.GrantPermission(r, perm())
+		case 7:
+			_ = s.RevokePermission(r, perm())
+		case 8:
+			if sid, err := s.CreateSession(u); err == nil {
+				sessions = append(sessions, sid)
+			}
+		case 9:
+			if len(sessions) > 0 {
+				sid := sessions[rng.Intn(len(sessions))]
+				if owner, err := s.SessionUser(sid); err == nil {
+					_ = s.AddActiveRole(owner, sid, r)
+				}
+			}
+		case 10:
+			if len(sessions) > 0 {
+				sid := sessions[rng.Intn(len(sessions))]
+				if owner, err := s.SessionUser(sid); err == nil {
+					_ = s.DropActiveRole(owner, sid, r)
+				}
+			}
+		case 11:
+			if len(sessions) > 0 {
+				_ = s.DeleteSession(sessions[rng.Intn(len(sessions))])
+			}
+		case 12:
+			_ = s.CreateSSD(SoDSet{
+				Name:  fmt.Sprintf("ssd%d", rng.Intn(3)),
+				Roles: []RoleID{r, r2},
+				N:     2,
+			})
+		case 13:
+			_ = s.CreateDSD(SoDSet{
+				Name:  fmt.Sprintf("dsd%d", rng.Intn(3)),
+				Roles: []RoleID{r, r2},
+				N:     2,
+			})
+		case 14:
+			_ = s.DeleteRole(r)
+		case 15:
+			_ = s.DeleteUser(u)
+		}
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewStore()
+		randomOps(s, rand.New(rand.NewSource(seed)), 400)
+		errs := s.CheckInvariants()
+		if len(errs) != 0 {
+			t.Logf("seed %d: %v", seed, errs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CheckAccess never grants a permission the session owner is
+// not authorized for through some authorized role.
+func TestCheckAccessSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewStore()
+		rng := rand.New(rand.NewSource(seed))
+		randomOps(s, rng, 300)
+		for _, sid := range s.Sessions() {
+			owner, err := s.SessionUser(sid)
+			if err != nil {
+				return false
+			}
+			userPerms, err := s.UserPermissions(owner)
+			if err != nil {
+				return false
+			}
+			allowed := make(map[Permission]bool, len(userPerms))
+			for _, p := range userPerms {
+				allowed[p] = true
+			}
+			for op := 0; op < 3; op++ {
+				for obj := 0; obj < 3; obj++ {
+					p := Permission{Operation: fmt.Sprintf("op%d", op), Object: fmt.Sprintf("obj%d", obj)}
+					if s.CheckAccess(sid, p) && !allowed[p] {
+						t.Logf("seed %d: session %s granted %v beyond owner's permissions", seed, sid, p)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: session permissions are always a subset of the owner's user
+// permissions (active roles ⊆ authorized roles).
+func TestSessionPermissionsSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewStore()
+		randomOps(s, rand.New(rand.NewSource(seed)), 300)
+		for _, sid := range s.Sessions() {
+			owner, _ := s.SessionUser(sid)
+			up, err := s.UserPermissions(owner)
+			if err != nil {
+				return false
+			}
+			set := make(map[Permission]bool, len(up))
+			for _, p := range up {
+				set[p] = true
+			}
+			sp, err := s.SessionPermissions(sid)
+			if err != nil {
+				return false
+			}
+			for _, p := range sp {
+				if !set[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantCheckerDetectsCorruption(t *testing.T) {
+	// Sanity-check the checker itself: corrupt internal state and make
+	// sure it is reported.
+	s := NewStore()
+	mustOK(t, s.AddRole("a"))
+	mustOK(t, s.AddRole("b"))
+	// Build an asymmetric edge by hand.
+	s.mu.Lock()
+	s.roles["a"].juniors.add("b")
+	s.mu.Unlock()
+	if errs := s.CheckInvariants(); len(errs) == 0 {
+		t.Fatal("asymmetric hierarchy edge not detected")
+	}
+	// Fix symmetry but corrupt the activeCount.
+	s.mu.Lock()
+	s.roles["b"].seniors.add("a")
+	s.roles["b"].activeCount = 7
+	s.mu.Unlock()
+	if errs := s.CheckInvariants(); len(errs) == 0 {
+		t.Fatal("activeCount drift not detected")
+	}
+}
+
+func TestInvariantCheckerDetectsCycle(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddRole("a"))
+	mustOK(t, s.AddRole("b"))
+	s.mu.Lock()
+	s.roles["a"].juniors.add("b")
+	s.roles["b"].seniors.add("a")
+	s.roles["b"].juniors.add("a")
+	s.roles["a"].seniors.add("b")
+	s.mu.Unlock()
+	if errs := s.CheckInvariants(); len(errs) == 0 {
+		t.Fatal("hierarchy cycle not detected")
+	}
+}

@@ -1,0 +1,408 @@
+package rbac
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustErr(t *testing.T, err, want error) {
+	t.Helper()
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+// newXYZ builds the paper's enterprise XYZ (Section 5): hierarchies
+// PM -> PC -> Clerk and AM -> AC -> Clerk, with static SoD between PC
+// and AC.
+func newXYZ(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	for _, r := range []RoleID{"PM", "PC", "AM", "AC", "Clerk"} {
+		mustOK(t, s.AddRole(r))
+	}
+	mustOK(t, s.AddInheritance("PM", "PC"))
+	mustOK(t, s.AddInheritance("PC", "Clerk"))
+	mustOK(t, s.AddInheritance("AM", "AC"))
+	mustOK(t, s.AddInheritance("AC", "Clerk"))
+	mustOK(t, s.CreateSSD(SoDSet{Name: "purchase-approval", Roles: []RoleID{"PC", "AC"}, N: 2}))
+	return s
+}
+
+func TestAddDeleteUser(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddUser("bob"))
+	mustErr(t, s.AddUser("bob"), ErrExists)
+	if !s.UserExists("bob") || s.UserExists("jane") {
+		t.Fatal("UserExists wrong")
+	}
+	mustOK(t, s.DeleteUser("bob"))
+	mustErr(t, s.DeleteUser("bob"), ErrNotFound)
+}
+
+func TestAddDeleteRole(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddRole("r1"))
+	mustErr(t, s.AddRole("r1"), ErrExists)
+	if !s.RoleExists("r1") {
+		t.Fatal("RoleExists wrong")
+	}
+	if !s.RoleEnabled("r1") {
+		t.Fatal("new role should be enabled")
+	}
+	mustOK(t, s.DeleteRole("r1"))
+	mustErr(t, s.DeleteRole("r1"), ErrNotFound)
+}
+
+func TestDeleteRoleDetachesEverything(t *testing.T) {
+	s := newXYZ(t)
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AssignUser("bob", "PC"))
+	sid, err := s.CreateSession("bob")
+	mustOK(t, err)
+	mustOK(t, s.AddActiveRole("bob", sid, "PC"))
+	mustOK(t, s.DeleteRole("PC"))
+	if errs := s.CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("invariants after DeleteRole: %v", errs)
+	}
+	roles, err := s.AssignedRoles("bob")
+	mustOK(t, err)
+	if len(roles) != 0 {
+		t.Fatalf("assignment survived role deletion: %v", roles)
+	}
+	// The SSD set shrank below its cardinality and must be pruned.
+	if sets := s.SSDSets(); len(sets) != 0 {
+		t.Fatalf("SSD sets after delete: %v", sets)
+	}
+}
+
+func TestAssignDeassign(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AddRole("r1"))
+	mustErr(t, s.AssignUser("ghost", "r1"), ErrNotFound)
+	mustErr(t, s.AssignUser("bob", "ghost"), ErrNotFound)
+	mustOK(t, s.AssignUser("bob", "r1"))
+	mustErr(t, s.AssignUser("bob", "r1"), ErrExists)
+	if !s.CheckAssigned("bob", "r1") {
+		t.Fatal("CheckAssigned false after assign")
+	}
+	mustOK(t, s.DeassignUser("bob", "r1"))
+	mustErr(t, s.DeassignUser("bob", "r1"), ErrNotFound)
+	if s.CheckAssigned("bob", "r1") {
+		t.Fatal("CheckAssigned true after deassign")
+	}
+}
+
+func TestDeassignDropsActiveRole(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AddRole("r1"))
+	mustOK(t, s.AssignUser("bob", "r1"))
+	sid, err := s.CreateSession("bob")
+	mustOK(t, err)
+	mustOK(t, s.AddActiveRole("bob", sid, "r1"))
+	mustOK(t, s.DeassignUser("bob", "r1"))
+	if s.CheckSessionRole(sid, "r1") {
+		t.Fatal("active role survived deassignment")
+	}
+	if n := s.RoleActiveCount("r1"); n != 0 {
+		t.Fatalf("activeCount = %d, want 0", n)
+	}
+}
+
+func TestGrantRevokePermission(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddRole("r1"))
+	p := Permission{Operation: "read", Object: "patient.dat"}
+	mustOK(t, s.GrantPermission("r1", p))
+	mustErr(t, s.GrantPermission("r1", p), ErrExists)
+	mustErr(t, s.GrantPermission("ghost", p), ErrNotFound)
+	perms, err := s.RolePermissions("r1")
+	mustOK(t, err)
+	if len(perms) != 1 || perms[0] != p {
+		t.Fatalf("RolePermissions = %v", perms)
+	}
+	mustOK(t, s.RevokePermission("r1", p))
+	mustErr(t, s.RevokePermission("r1", p), ErrNotFound)
+}
+
+func TestPermissionString(t *testing.T) {
+	p := Permission{Operation: "read", Object: "f.dat"}
+	if p.String() != "read(f.dat)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+// --------------------------------------------------------------------------
+// Hierarchy
+
+func TestHierarchyInheritance(t *testing.T) {
+	s := newXYZ(t)
+	mustOK(t, s.AddUser("alice"))
+	mustOK(t, s.AssignUser("alice", "PM"))
+
+	// Senior acquires juniors' permissions.
+	mustOK(t, s.GrantPermission("Clerk", Permission{"read", "lobby.txt"}))
+	mustOK(t, s.GrantPermission("PC", Permission{"write", "po.dat"}))
+	perms, err := s.EffectivePermissions("PM")
+	mustOK(t, err)
+	if len(perms) != 2 {
+		t.Fatalf("PM effective permissions %v, want clerk+pc perms", perms)
+	}
+
+	// Junior acquires seniors' user membership.
+	users, err := s.AuthorizedUsers("Clerk")
+	mustOK(t, err)
+	if len(users) != 1 || users[0] != "alice" {
+		t.Fatalf("AuthorizedUsers(Clerk) = %v", users)
+	}
+
+	// Authorized roles of alice = PM + junior closure.
+	roles, err := s.AuthorizedRoles("alice")
+	mustOK(t, err)
+	if fmt.Sprint(roles) != "[Clerk PC PM]" {
+		t.Fatalf("AuthorizedRoles = %v", roles)
+	}
+}
+
+func TestHierarchyCycleRejected(t *testing.T) {
+	s := NewStore()
+	for _, r := range []RoleID{"a", "b", "c"} {
+		mustOK(t, s.AddRole(r))
+	}
+	mustOK(t, s.AddInheritance("a", "b"))
+	mustOK(t, s.AddInheritance("b", "c"))
+	mustErr(t, s.AddInheritance("c", "a"), ErrCycle)
+	mustErr(t, s.AddInheritance("a", "a"), ErrCycle)
+	mustErr(t, s.AddInheritance("a", "b"), ErrExists)
+	mustErr(t, s.AddInheritance("a", "ghost"), ErrNotFound)
+	mustErr(t, s.AddInheritance("ghost", "a"), ErrNotFound)
+}
+
+func TestDeleteInheritance(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddRole("a"))
+	mustOK(t, s.AddRole("b"))
+	mustOK(t, s.AddInheritance("a", "b"))
+	mustOK(t, s.DeleteInheritance("a", "b"))
+	mustErr(t, s.DeleteInheritance("a", "b"), ErrNotFound)
+	juniors, err := s.ImmediateJuniors("a")
+	mustOK(t, err)
+	if len(juniors) != 0 {
+		t.Fatalf("juniors after delete: %v", juniors)
+	}
+}
+
+func TestAscendantsDescendants(t *testing.T) {
+	s := newXYZ(t)
+	desc, err := s.Descendants("PM")
+	mustOK(t, err)
+	if fmt.Sprint(desc) != "[Clerk PC PM]" {
+		t.Fatalf("Descendants(PM) = %v", desc)
+	}
+	asc, err := s.Ascendants("Clerk")
+	mustOK(t, err)
+	if fmt.Sprint(asc) != "[AC AM Clerk PC PM]" {
+		t.Fatalf("Ascendants(Clerk) = %v", asc)
+	}
+}
+
+func TestImmediateSeniorsAndSessionsWithRole(t *testing.T) {
+	s := newXYZ(t)
+	seniors, err := s.ImmediateSeniors("Clerk")
+	mustOK(t, err)
+	if fmt.Sprint(seniors) != "[AC PC]" {
+		t.Fatalf("ImmediateSeniors(Clerk) = %v", seniors)
+	}
+	if _, err := s.ImmediateSeniors("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("ghost accepted")
+	}
+	if _, err := s.ImmediateJuniors("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("ghost accepted")
+	}
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AssignUser("bob", "PC"))
+	s1, _ := s.CreateSession("bob")
+	s2, _ := s.CreateSession("bob")
+	mustOK(t, s.AddActiveRole("bob", s1, "PC"))
+	mustOK(t, s.AddActiveRole("bob", s2, "PC"))
+	if got := s.SessionsWithRole("PC"); fmt.Sprint(got) != fmt.Sprint([]SessionID{s1, s2}) {
+		t.Fatalf("SessionsWithRole = %v", got)
+	}
+	if got := s.SessionsWithRole("AM"); len(got) != 0 {
+		t.Fatalf("SessionsWithRole(AM) = %v", got)
+	}
+}
+
+func TestDSDSetsListing(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddRole("a"))
+	mustOK(t, s.AddRole("b"))
+	mustOK(t, s.CreateDSD(SoDSet{Name: "d", Roles: []RoleID{"a", "b"}, N: 2}))
+	sets := s.DSDSets()
+	if len(sets) != 1 || sets[0].Name != "d" || len(sets[0].Roles) != 2 {
+		t.Fatalf("DSDSets = %v", sets)
+	}
+	// The returned slice is a copy: mutating it must not corrupt state.
+	sets[0].Roles[0] = "zzz"
+	if s.DSDSets()[0].Roles[0] != "a" {
+		t.Fatal("DSDSets returned shared storage")
+	}
+}
+
+// --------------------------------------------------------------------------
+// Static SoD
+
+func TestSSDBlocksDirectConflict(t *testing.T) {
+	s := newXYZ(t)
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AssignUser("bob", "PC"))
+	mustErr(t, s.AssignUser("bob", "AC"), ErrSSD)
+	if s.CheckSSDAssign("bob", "AC") {
+		t.Fatal("CheckSSDAssign should be false")
+	}
+	if !s.CheckSSDAssign("bob", "Clerk") {
+		t.Fatal("CheckSSDAssign(Clerk) should be true")
+	}
+}
+
+func TestSSDInheritedThroughHierarchy(t *testing.T) {
+	// Paper Section 5: "a user assigned to the role PM cannot be
+	// assigned to the role AM or AC" because PM inherits PC's conflict.
+	s := newXYZ(t)
+	mustOK(t, s.AddUser("alice"))
+	mustOK(t, s.AssignUser("alice", "PM"))
+	mustErr(t, s.AssignUser("alice", "AC"), ErrSSD)
+	mustErr(t, s.AssignUser("alice", "AM"), ErrSSD)
+	// Clerk is below both but not itself in conflict.
+	mustOK(t, s.AssignUser("alice", "Clerk"))
+}
+
+func TestSSDOnHierarchyEdit(t *testing.T) {
+	// Adding a hierarchy edge that would make an existing user
+	// authorized for a conflicting pair must be rejected.
+	s := NewStore()
+	for _, r := range []RoleID{"top", "x", "y"} {
+		mustOK(t, s.AddRole(r))
+	}
+	mustOK(t, s.CreateSSD(SoDSet{Name: "xy", Roles: []RoleID{"x", "y"}, N: 2}))
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AssignUser("bob", "top"))
+	mustOK(t, s.AddInheritance("top", "x"))
+	mustErr(t, s.AddInheritance("top", "y"), ErrSSD)
+	// The rejected edge must not persist.
+	juniors, _ := s.ImmediateJuniors("top")
+	if fmt.Sprint(juniors) != "[x]" {
+		t.Fatalf("juniors after rejected edge: %v", juniors)
+	}
+}
+
+func TestCreateSSDValidation(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddRole("a"))
+	mustOK(t, s.AddRole("b"))
+	mustErr(t, s.CreateSSD(SoDSet{Name: "", Roles: []RoleID{"a", "b"}, N: 2}), ErrNotFound)
+	mustErr(t, s.CreateSSD(SoDSet{Name: "s", Roles: []RoleID{"a", "b"}, N: 1}), ErrInvariant)
+	mustErr(t, s.CreateSSD(SoDSet{Name: "s", Roles: []RoleID{"a", "b"}, N: 3}), ErrInvariant)
+	mustErr(t, s.CreateSSD(SoDSet{Name: "s", Roles: []RoleID{"a", "ghost"}, N: 2}), ErrNotFound)
+	mustErr(t, s.CreateSSD(SoDSet{Name: "s", Roles: []RoleID{"a", "a"}, N: 2}), ErrExists)
+	mustOK(t, s.CreateSSD(SoDSet{Name: "s", Roles: []RoleID{"a", "b"}, N: 2}))
+	mustErr(t, s.CreateSSD(SoDSet{Name: "s", Roles: []RoleID{"a", "b"}, N: 2}), ErrExists)
+	mustOK(t, s.DeleteSSD("s"))
+	mustErr(t, s.DeleteSSD("s"), ErrNotFound)
+}
+
+func TestCreateSSDRejectsExistingViolation(t *testing.T) {
+	s := NewStore()
+	mustOK(t, s.AddRole("a"))
+	mustOK(t, s.AddRole("b"))
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AssignUser("bob", "a"))
+	mustOK(t, s.AssignUser("bob", "b"))
+	mustErr(t, s.CreateSSD(SoDSet{Name: "s", Roles: []RoleID{"a", "b"}, N: 2}), ErrSSD)
+	if len(s.SSDSets()) != 0 {
+		t.Fatal("violated SSD set persisted")
+	}
+}
+
+func TestSSDWithCardinalityThree(t *testing.T) {
+	// N=3: any two of the set are fine, three is a violation.
+	s := NewStore()
+	for _, r := range []RoleID{"a", "b", "c"} {
+		mustOK(t, s.AddRole(r))
+	}
+	mustOK(t, s.CreateSSD(SoDSet{Name: "s", Roles: []RoleID{"a", "b", "c"}, N: 3}))
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AssignUser("bob", "a"))
+	mustOK(t, s.AssignUser("bob", "b"))
+	mustErr(t, s.AssignUser("bob", "c"), ErrSSD)
+}
+
+// --------------------------------------------------------------------------
+// Counts and reviews
+
+func TestCounts(t *testing.T) {
+	s := newXYZ(t)
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AssignUser("bob", "PC"))
+	mustOK(t, s.GrantPermission("PC", Permission{"write", "po.dat"}))
+	c := s.Count()
+	if c.Users != 1 || c.Roles != 5 || c.SSD != 1 || c.Assignments != 1 ||
+		c.Permissions != 1 || c.HierarchyEdges != 4 {
+		t.Fatalf("Count = %+v", c)
+	}
+}
+
+func TestReviewFunctions(t *testing.T) {
+	s := newXYZ(t)
+	mustOK(t, s.AddUser("bob"))
+	mustOK(t, s.AddUser("alice"))
+	mustOK(t, s.AssignUser("bob", "PC"))
+	mustOK(t, s.AssignUser("alice", "PM"))
+
+	users, err := s.AssignedUsers("PC")
+	mustOK(t, err)
+	if fmt.Sprint(users) != "[bob]" {
+		t.Fatalf("AssignedUsers = %v", users)
+	}
+	auth, err := s.AuthorizedUsers("PC")
+	mustOK(t, err)
+	if fmt.Sprint(auth) != "[alice bob]" {
+		t.Fatalf("AuthorizedUsers = %v", auth)
+	}
+	if _, err := s.AssignedUsers("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("AssignedUsers(ghost) should fail")
+	}
+	if _, err := s.AssignedRoles("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("AssignedRoles(ghost) should fail")
+	}
+	if got := s.Roles(); fmt.Sprint(got) != "[AC AM Clerk PC PM]" {
+		t.Fatalf("Roles = %v", got)
+	}
+	if got := s.Users(); fmt.Sprint(got) != "[alice bob]" {
+		t.Fatalf("Users = %v", got)
+	}
+}
+
+func TestUserPermissions(t *testing.T) {
+	s := newXYZ(t)
+	mustOK(t, s.AddUser("alice"))
+	mustOK(t, s.AssignUser("alice", "PM"))
+	mustOK(t, s.GrantPermission("Clerk", Permission{"read", "lobby"}))
+	mustOK(t, s.GrantPermission("PC", Permission{"write", "po"}))
+	mustOK(t, s.GrantPermission("AC", Permission{"approve", "po"})) // not authorized
+	perms, err := s.UserPermissions("alice")
+	mustOK(t, err)
+	if len(perms) != 2 {
+		t.Fatalf("UserPermissions = %v, want 2", perms)
+	}
+}

@@ -1,0 +1,87 @@
+// Package rbac implements the NIST RBAC reference model (ANSI INCITS
+// 359-2004): core RBAC (users, roles, permissions, sessions), general
+// role hierarchies, and static and dynamic separation-of-duty relations,
+// together with the review functions the standard requires.
+//
+// The Store exposes three layers, mirroring how the paper splits
+// enforcement between Sentinel+ objects and OWTE rules:
+//
+//  1. Predicates (CheckAssigned, CheckAuthorized, DSDSatisfied, ...) —
+//     the condition functions that OWTE rule "When" clauses call.
+//  2. Raw mutators (RawAssignUser, RawAddSessionRole, ...) — the action
+//     functions rule "Then" clauses call after conditions verified; they
+//     skip constraint checks exactly like the paper's addSessionRoleR1.
+//  3. Enforcing methods (AssignUser, AddActiveRole, CheckAccess, ...) —
+//     the ANSI functional specification, composing 1+2 directly. The
+//     baseline (non-ECA) engine used in benchmarks is built on this
+//     layer.
+package rbac
+
+import (
+	"errors"
+	"fmt"
+)
+
+// UserID identifies a user (an instance of entity U in the paper).
+type UserID string
+
+// RoleID identifies a role (an instance of entity R).
+type RoleID string
+
+// SessionID identifies a user session.
+type SessionID string
+
+// Permission is an approval to perform an operation on an object.
+type Permission struct {
+	Operation string
+	Object    string
+}
+
+// String renders op(obj).
+func (p Permission) String() string { return fmt.Sprintf("%s(%s)", p.Operation, p.Object) }
+
+// Sentinel errors. All Store errors wrap one of these, so callers can
+// classify failures with errors.Is.
+var (
+	// ErrNotFound reports a reference to an unknown user, role, session,
+	// permission or SoD set.
+	ErrNotFound = errors.New("rbac: not found")
+	// ErrExists reports creation of an entity that already exists.
+	ErrExists = errors.New("rbac: already exists")
+	// ErrSSD reports a static separation-of-duty violation.
+	ErrSSD = errors.New("rbac: static SoD violation")
+	// ErrDSD reports a dynamic separation-of-duty violation.
+	ErrDSD = errors.New("rbac: dynamic SoD violation")
+	// ErrCardinality reports a role- or user-cardinality violation.
+	ErrCardinality = errors.New("rbac: cardinality limit reached")
+	// ErrRoleDisabled reports activation of a disabled role.
+	ErrRoleDisabled = errors.New("rbac: role disabled")
+	// ErrNotAssigned reports activation of a role the user is neither
+	// assigned to nor authorized for.
+	ErrNotAssigned = errors.New("rbac: user not assigned to role")
+	// ErrUserLocked reports an operation by a locked user (active
+	// security response).
+	ErrUserLocked = errors.New("rbac: user locked")
+	// ErrCycle reports a role-hierarchy edge that would create a cycle.
+	ErrCycle = errors.New("rbac: hierarchy cycle")
+	// ErrActive reports adding a role that is already active in the
+	// session.
+	ErrActive = errors.New("rbac: role already active in session")
+	// ErrNotOwner reports a session operation by a non-owner.
+	ErrNotOwner = errors.New("rbac: session not owned by user")
+	// ErrDenied reports a failed access check.
+	ErrDenied = errors.New("rbac: permission denied")
+	// ErrInvariant reports a consistency-check failure.
+	ErrInvariant = errors.New("rbac: invariant violated")
+)
+
+// SoDSet is one separation-of-duty relation: a named role set with a
+// cardinality N. For static SoD no user may be *assigned* (authorized,
+// under hierarchies) to N or more of the roles; for dynamic SoD no
+// session may have N or more of them *active* at once. The standard
+// requires 2 <= N <= |Roles|.
+type SoDSet struct {
+	Name  string
+	Roles []RoleID
+	N     int
+}

@@ -1,0 +1,134 @@
+package rulegen
+
+import (
+	"testing"
+
+	"activerbac/internal/event"
+	"activerbac/internal/rbac"
+)
+
+// Context-aware RBAC (the paper's pervasive-computing scenarios): role
+// activation gated on environmental state, and automatic deactivation
+// when the environment changes.
+
+const pervasivePolicy = `
+policy "pervasive"
+role WardNurse
+role Remote
+user nina: WardNurse, Remote
+permission WardNurse: read chart.dat
+context WardNurse requires location = ward
+context WardNurse requires network = secure
+`
+
+func setContext(t *testing.T, g *Generator, key, value string) {
+	t.Helper()
+	dec := decide(t, g, EvContextUpdate, event.Params{"key": key, "value": value})
+	if !dec.Allowed() {
+		t.Fatalf("context update %s=%s denied: %s", key, value, dec.Reason())
+	}
+}
+
+func TestContextGatesActivation(t *testing.T) {
+	g, _ := loadPolicy(t, pervasivePolicy)
+	sid := newSession(t, g, "nina")
+
+	// No context set: fail closed.
+	if dec := activateReq(t, g, "nina", sid, "WardNurse"); dec.Allowed() {
+		t.Fatal("activation allowed with unset context")
+	}
+	// One of two requirements satisfied: still denied.
+	setContext(t, g, "location", "ward")
+	if dec := activateReq(t, g, "nina", sid, "WardNurse"); dec.Allowed() {
+		t.Fatal("activation allowed with network context unset")
+	}
+	setContext(t, g, "network", "secure")
+	if dec := activateReq(t, g, "nina", sid, "WardNurse"); !dec.Allowed() {
+		t.Fatalf("activation denied with context satisfied: %s", dec.Reason())
+	}
+	// Unconstrained roles are unaffected throughout.
+	if dec := activateReq(t, g, "nina", sid, "Remote"); !dec.Allowed() {
+		t.Fatalf("unconstrained role denied: %s", dec.Reason())
+	}
+}
+
+func TestContextChangeDeactivates(t *testing.T) {
+	g, _ := loadPolicy(t, pervasivePolicy)
+	st := g.Engine().Store()
+	setContext(t, g, "location", "ward")
+	setContext(t, g, "network", "secure")
+	sid := newSession(t, g, "nina")
+	if dec := activateReq(t, g, "nina", sid, "WardNurse"); !dec.Allowed() {
+		t.Fatalf("setup activation denied: %s", dec.Reason())
+	}
+	if dec := activateReq(t, g, "nina", sid, "Remote"); !dec.Allowed() {
+		t.Fatalf("setup activation denied: %s", dec.Reason())
+	}
+
+	// Nina walks out of the ward: the sensor raises a context update
+	// and the CTX.WardNurse rule revokes the activation in-cascade.
+	setContext(t, g, "location", "cafeteria")
+	if st.CheckSessionRole(rbac.SessionID(sid), "WardNurse") {
+		t.Fatal("WardNurse survived the location change")
+	}
+	// The unconstrained role stays.
+	if !st.CheckSessionRole(rbac.SessionID(sid), "Remote") {
+		t.Fatal("unconstrained role was revoked")
+	}
+	// Access through the revoked role is gone.
+	req := event.Params{"user": "nina", "session": sid, "operation": "read", "object": "chart.dat"}
+	if dec := decide(t, g, EvCheckAccess, req); dec.Allowed() {
+		t.Fatal("access allowed after context revocation")
+	}
+	// Walking back re-enables activation.
+	setContext(t, g, "location", "ward")
+	if dec := activateReq(t, g, "nina", sid, "WardNurse"); !dec.Allowed() {
+		t.Fatalf("re-activation denied: %s", dec.Reason())
+	}
+}
+
+func TestContextUnrelatedKeyDoesNotRevoke(t *testing.T) {
+	g, _ := loadPolicy(t, pervasivePolicy)
+	st := g.Engine().Store()
+	setContext(t, g, "location", "ward")
+	setContext(t, g, "network", "secure")
+	sid := newSession(t, g, "nina")
+	activateReq(t, g, "nina", sid, "WardNurse")
+	setContext(t, g, "weather", "rainy")
+	if !st.CheckSessionRole(rbac.SessionID(sid), "WardNurse") {
+		t.Fatal("unrelated context key revoked the role")
+	}
+}
+
+func TestContextRuleInventoryAndRegen(t *testing.T) {
+	g, _ := loadPolicy(t, pervasivePolicy)
+	names := map[string]bool{}
+	for _, r := range g.Engine().Pool().Snapshot() {
+		names[r.Name] = true
+	}
+	if !names["CTX.apply"] || !names["CTX.WardNurse"] {
+		t.Fatalf("context rules missing: %v", names)
+	}
+	if names["CTX.Remote"] {
+		t.Fatal("context rule generated for unconstrained role")
+	}
+	// Dropping the requirement regenerates only WardNurse and removes
+	// the CTX rule.
+	rep := apply(t, g, `
+policy "pervasive"
+role WardNurse
+role Remote
+user nina: WardNurse, Remote
+permission WardNurse: read chart.dat
+context WardNurse requires location = ward
+`)
+	if len(rep.RolesRegenerated) != 1 || rep.RolesRegenerated[0] != "WardNurse" {
+		t.Fatalf("regenerated = %v", rep.RolesRegenerated)
+	}
+	setContext(t, g, "location", "ward")
+	sid := newSession(t, g, "nina")
+	// network requirement is gone.
+	if dec := activateReq(t, g, "nina", sid, "WardNurse"); !dec.Allowed() {
+		t.Fatalf("activation denied after requirement removed: %s", dec.Reason())
+	}
+}

@@ -1,0 +1,86 @@
+// Package rulegen is the paper's Section 5 generator: it compiles a
+// high-level policy specification (internal/policy) into the running
+// enforcement system — primitive events, OWTE rules in the pool,
+// temporal schedules, CFD couplings, privacy bindings and active
+// security thresholds — and regenerates exactly the affected rules when
+// the policy changes.
+//
+// Rule names follow the paper: AAR1..AAR4 are the role-activation
+// variants chosen from the role's relationship flags, CC the cardinality
+// rules, CA the check-access rule, ADM the administrative rules, TSOD
+// the temporal rules, and ASEC the active-security wiring. Every
+// generated rule is tagged "role:<role>" (localized), "user:<user>"
+// (specialized) or "global", which is what makes incremental
+// regeneration possible: a policy change for one role removes and
+// re-adds only the rules carrying its tag.
+package rulegen
+
+import (
+	"activerbac/internal/rbac"
+)
+
+// Request events raised by the enforcement facade. Per-role events
+// mirror the paper's per-role functions (AddActiveRoleR1); globalized
+// events carry the variable parts as parameters.
+
+// EvAddActiveRole names the per-role activation request event
+// (the paper's user -> AddActiveRoleR1(sessionId)).
+// Parameters: "user", "session".
+func EvAddActiveRole(r rbac.RoleID) string { return "req.addActiveRole." + string(r) }
+
+// EvDropActiveRole names the per-role deactivation request event.
+// Parameters: "user", "session".
+func EvDropActiveRole(r rbac.RoleID) string { return "req.dropActiveRole." + string(r) }
+
+// EvEnableRole and EvDisableRole name per-role enable/disable request
+// events (administrator actions, subject to time-based SoD).
+func EvEnableRole(r rbac.RoleID) string { return "req.enableRole." + string(r) }
+
+// EvDisableRole is the disable counterpart of EvEnableRole.
+func EvDisableRole(r rbac.RoleID) string { return "req.disableRole." + string(r) }
+
+// EvRoleActivated names the per-role internal event raised after a role
+// is added to a session's active set (the paper's E3 =
+// addSessionRoleR1(sessionId)); cardinality rules trigger on it.
+// Parameters: "user", "session".
+func EvRoleActivated(r rbac.RoleID) string { return "sessionRoleAdded." + string(r) }
+
+// Globalized request events.
+const (
+	// EvCheckAccess is the paper's E6 = user -> checkAccess(sessionId,
+	// operation, object). Parameters: "user", "session", "operation",
+	// "object".
+	EvCheckAccess = "req.checkAccess"
+	// EvCheckPurposeAccess is the privacy-aware variant; adds parameter
+	// "purpose".
+	EvCheckPurposeAccess = "req.checkPurposeAccess"
+	// EvAssignUser and EvDeassignUser are administrative user-role
+	// (de)assignment requests. Parameters: "user", "role".
+	EvAssignUser   = "req.assignUser"
+	EvDeassignUser = "req.deassignUser"
+	// EvCreateSession and EvDeleteSession manage sessions.
+	// Parameters: "user" (create), "session" (delete).
+	EvCreateSession = "req.createSession"
+	EvDeleteSession = "req.deleteSession"
+	// EvContextUpdate reports an environmental change from the external
+	// monitoring module (sensors, network probes). Parameters: "key",
+	// "value". The CTX.apply rule stores the value; per-role CTX rules
+	// deactivate roles whose context requirements no longer hold.
+	EvContextUpdate = "context.update"
+)
+
+// Tags used for bulk rule operations.
+const (
+	// TagGlobal marks globalized rules (regenerated only when global
+	// policy items change).
+	TagGlobal = "global"
+	// TagCritical marks rules that active security may disable under
+	// attack (the check-access path).
+	TagCritical = "critical"
+)
+
+// TagRole returns the tag carried by every rule localized to a role.
+func TagRole(r rbac.RoleID) string { return "role:" + string(r) }
+
+// TagUser returns the tag carried by specialized (per-user) rules.
+func TagUser(u rbac.UserID) string { return "user:" + string(u) }

@@ -1,0 +1,308 @@
+package rulegen
+
+import (
+	"testing"
+	"time"
+
+	"activerbac/internal/event"
+	"activerbac/internal/rbac"
+)
+
+// --------------------------------------------------------------------------
+// GTRBAC: shifts (periodic enabling) and durations (Rule 7)
+
+const hospitalPolicy = `
+policy "hospital"
+role Doctor
+role Nurse
+role DayDoctor
+user dana: DayDoctor
+user nick: Nurse
+user dora: Doctor
+shift DayDoctor 10:00:00-17:00:00
+duration * Nurse 2h
+timesod ward 10:00:00-17:00:00: Nurse, Doctor
+`
+
+func TestShiftGatesActivation(t *testing.T) {
+	g, sim := loadPolicy(t, hospitalPolicy) // starts 09:00
+	sid := newSession(t, g, "dana")
+	// 09:00: outside the shift, the roleEnabled condition fails.
+	if dec := activateReq(t, g, "dana", sid, "DayDoctor"); dec.Allowed() {
+		t.Fatal("activation allowed outside shift")
+	}
+	sim.AdvanceTo(time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC))
+	if dec := activateReq(t, g, "dana", sid, "DayDoctor"); !dec.Allowed() {
+		t.Fatalf("activation denied inside shift: %s", dec.Reason())
+	}
+}
+
+func TestDurationExpiresThroughGeneratedRules(t *testing.T) {
+	g, sim := loadPolicy(t, hospitalPolicy)
+	sim.AdvanceTo(time.Date(2026, 7, 6, 11, 0, 0, 0, time.UTC))
+	sid := newSession(t, g, "nick")
+	if dec := activateReq(t, g, "nick", sid, "Nurse"); !dec.Allowed() {
+		t.Fatalf("Nurse denied: %s", dec.Reason())
+	}
+	st := g.Engine().Store()
+	sim.Advance(time.Hour)
+	if !st.CheckSessionRole(rbac.SessionID(sid), "Nurse") {
+		t.Fatal("deactivated before the 2h bound")
+	}
+	sim.Advance(time.Hour + time.Second)
+	if st.CheckSessionRole(rbac.SessionID(sid), "Nurse") {
+		t.Fatal("not deactivated after the 2h bound")
+	}
+	if g.Temporal().Expired() != 1 {
+		t.Fatalf("Expired = %d", g.Temporal().Expired())
+	}
+}
+
+func TestDisablingTimeSoDThroughRules(t *testing.T) {
+	g, sim := loadPolicy(t, hospitalPolicy)
+	sim.AdvanceTo(time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC))
+	// Disable Doctor: allowed (Nurse still enabled).
+	if dec := decide(t, g, EvDisableRole("Doctor"), nil); !dec.Allowed() {
+		t.Fatalf("disable Doctor denied: %s", dec.Reason())
+	}
+	// Disabling Nurse too would leave the ward empty: denied.
+	dec := decide(t, g, EvDisableRole("Nurse"), nil)
+	if dec.Allowed() {
+		t.Fatal("both ward roles disabled inside the window")
+	}
+	if dec.Reason() != "Denied as Partner Role Already Disabled" {
+		t.Fatalf("reason = %q", dec.Reason())
+	}
+	// Re-enabling Doctor frees Nurse.
+	if dec := decide(t, g, EvEnableRole("Doctor"), nil); !dec.Allowed() {
+		t.Fatalf("enable Doctor denied: %s", dec.Reason())
+	}
+	if dec := decide(t, g, EvDisableRole("Nurse"), nil); !dec.Allowed() {
+		t.Fatalf("disable Nurse denied after Doctor re-enabled: %s", dec.Reason())
+	}
+}
+
+// --------------------------------------------------------------------------
+// CFD: coupling (Rule 8), dependency (Rule 9), prerequisites
+
+const cfdPolicy = `
+policy "ops"
+role SysAdmin
+role SysAudit
+role Manager
+role JuniorEmp
+role Developer
+role Deployer
+user root: SysAdmin
+user mia: Manager
+user jr: JuniorEmp
+user dev: Developer, Deployer
+couple SysAdmin -> SysAudit
+require JuniorEmp needs-active Manager
+prereq Deployer after Developer
+`
+
+func TestCoupleThroughRules(t *testing.T) {
+	g, _ := loadPolicy(t, cfdPolicy)
+	st := g.Engine().Store()
+	if err := st.SetRoleEnabled("SysAdmin", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetRoleEnabled("SysAudit", false); err != nil {
+		t.Fatal(err)
+	}
+	if dec := decide(t, g, EvEnableRole("SysAdmin"), nil); !dec.Allowed() {
+		t.Fatalf("enable SysAdmin denied: %s", dec.Reason())
+	}
+	if !st.RoleEnabled("SysAudit") {
+		t.Fatal("coupled SysAudit not enabled")
+	}
+	// Disabling the audit role takes the admin role down.
+	if dec := decide(t, g, EvDisableRole("SysAudit"), nil); !dec.Allowed() {
+		t.Fatalf("disable SysAudit denied: %s", dec.Reason())
+	}
+	if st.RoleEnabled("SysAdmin") {
+		t.Fatal("SysAdmin stayed enabled without SysAudit")
+	}
+}
+
+func TestTransactionBasedActivationThroughRules(t *testing.T) {
+	// Paper Rule 9: JuniorEmp only while Manager is active.
+	g, _ := loadPolicy(t, cfdPolicy)
+	st := g.Engine().Store()
+	sidJr := newSession(t, g, "jr")
+	if dec := activateReq(t, g, "jr", sidJr, "JuniorEmp"); dec.Allowed() {
+		t.Fatal("JuniorEmp activated without an active Manager")
+	}
+	sidM := newSession(t, g, "mia")
+	if dec := activateReq(t, g, "mia", sidM, "Manager"); !dec.Allowed() {
+		t.Fatalf("Manager denied: %s", dec.Reason())
+	}
+	if dec := activateReq(t, g, "jr", sidJr, "JuniorEmp"); !dec.Allowed() {
+		t.Fatalf("JuniorEmp denied with Manager active: %s", dec.Reason())
+	}
+	// Manager deactivates: JuniorEmp is revoked automatically.
+	decide(t, g, EvDropActiveRole("Manager"), event.Params{"user": "mia", "session": sidM})
+	if st.CheckSessionRole(rbac.SessionID(sidJr), "JuniorEmp") {
+		t.Fatal("JuniorEmp survived Manager deactivation")
+	}
+	if g.CFD().Revoked() != 1 {
+		t.Fatalf("Revoked = %d", g.CFD().Revoked())
+	}
+}
+
+func TestPrerequisiteThroughRules(t *testing.T) {
+	g, _ := loadPolicy(t, cfdPolicy)
+	sid := newSession(t, g, "dev")
+	if dec := activateReq(t, g, "dev", sid, "Deployer"); dec.Allowed() {
+		t.Fatal("Deployer activated without Developer")
+	}
+	if dec := activateReq(t, g, "dev", sid, "Developer"); !dec.Allowed() {
+		t.Fatalf("Developer denied: %s", dec.Reason())
+	}
+	if dec := activateReq(t, g, "dev", sid, "Deployer"); !dec.Allowed() {
+		t.Fatalf("Deployer denied with prerequisite: %s", dec.Reason())
+	}
+}
+
+// --------------------------------------------------------------------------
+// Privacy-aware RBAC through CAP1
+
+const privacyPolicy = `
+policy "clinic"
+role Doctor
+role Marketer
+user dora: Doctor
+user mark: Marketer
+permission Doctor: read patient.dat
+permission Marketer: read patient.dat
+purpose treatment
+purpose diagnosis < treatment
+purpose marketing
+bind Doctor read patient.dat for treatment
+bind Marketer read patient.dat for marketing
+consent-required patient.dat
+`
+
+func TestPurposeAccessThroughRules(t *testing.T) {
+	g, _ := loadPolicy(t, privacyPolicy)
+	sid := newSession(t, g, "dora")
+	activateReq(t, g, "dora", sid, "Doctor")
+	req := func(purpose string) event.Params {
+		return event.Params{"user": "dora", "session": sid,
+			"operation": "read", "object": "patient.dat", "purpose": purpose}
+	}
+	// No consent yet.
+	if dec := decide(t, g, EvCheckPurposeAccess, req("treatment")); dec.Allowed() {
+		t.Fatal("consent-required object allowed without consent")
+	}
+	if err := g.Privacy().GrantConsent("patient.dat", "treatment"); err != nil {
+		t.Fatal(err)
+	}
+	if dec := decide(t, g, EvCheckPurposeAccess, req("treatment")); !dec.Allowed() {
+		t.Fatalf("treatment denied: %s", dec.Reason())
+	}
+	if dec := decide(t, g, EvCheckPurposeAccess, req("diagnosis")); !dec.Allowed() {
+		t.Fatalf("descendant purpose denied: %s", dec.Reason())
+	}
+	// Doctor asking for marketing: bound purpose does not cover it.
+	if dec := decide(t, g, EvCheckPurposeAccess, req("marketing")); dec.Allowed() {
+		t.Fatal("doctor allowed marketing purpose")
+	}
+	// Plain CheckAccess still works without purposes.
+	plain := event.Params{"user": "dora", "session": sid, "operation": "read", "object": "patient.dat"}
+	if dec := decide(t, g, EvCheckAccess, plain); !dec.Allowed() {
+		t.Fatalf("plain access denied: %s", dec.Reason())
+	}
+}
+
+// --------------------------------------------------------------------------
+// Active security (Section 4.3.3)
+
+const securityPolicy = `
+policy "fortress"
+role Staff
+user mallory: Staff
+user good: Staff
+permission Staff: read public.txt
+threshold intrusions 3 in 10m: lock-user
+`
+
+func TestActiveSecurityLocksUser(t *testing.T) {
+	g, _ := loadPolicy(t, securityPolicy)
+	st := g.Engine().Store()
+	sid := newSession(t, g, "mallory")
+	activateReq(t, g, "mallory", sid, "Staff")
+	secretReq := event.Params{"user": "mallory", "session": sid, "operation": "read", "object": "secret.txt"}
+	// Two denials: below threshold, user still fine.
+	for i := 0; i < 2; i++ {
+		if dec := decide(t, g, EvCheckAccess, secretReq); dec.Allowed() {
+			t.Fatal("secret.txt allowed")
+		}
+	}
+	if st.UserLocked("mallory") {
+		t.Fatal("locked below threshold")
+	}
+	// Third denial crosses the threshold: lock-user response fires.
+	decide(t, g, EvCheckAccess, secretReq)
+	if !st.UserLocked("mallory") {
+		t.Fatal("threshold crossing did not lock the user")
+	}
+	// Locked user now fails even permitted requests.
+	okReq := event.Params{"user": "mallory", "session": sid, "operation": "read", "object": "public.txt"}
+	if dec := decide(t, g, EvCheckAccess, okReq); dec.Allowed() {
+		t.Fatal("locked user passed CheckAccess")
+	}
+	if len(g.Security().Alerts()) != 1 {
+		t.Fatalf("alerts = %v", g.Security().Alerts())
+	}
+	// Other users are unaffected.
+	if st.UserLocked("good") {
+		t.Fatal("innocent user locked")
+	}
+}
+
+func TestActiveSecurityWindowSlides(t *testing.T) {
+	g, sim := loadPolicy(t, securityPolicy)
+	sid := newSession(t, g, "mallory")
+	bad := event.Params{"user": "mallory", "session": sid, "operation": "x", "object": "y"}
+	decide(t, g, EvCheckAccess, bad)
+	decide(t, g, EvCheckAccess, bad)
+	sim.Advance(11 * time.Minute) // the two age out
+	decide(t, g, EvCheckAccess, bad)
+	if g.Engine().Store().UserLocked("mallory") {
+		t.Fatal("stale denials counted against the window")
+	}
+}
+
+func TestDisableRulesResponse(t *testing.T) {
+	g, _ := loadPolicy(t, `
+policy "panic"
+role Staff
+user mallory: Staff
+user good: Staff
+permission Staff: read public.txt
+threshold intrusions 2 in 10m: disable-rules
+`)
+	sidM := newSession(t, g, "mallory")
+	sidG := newSession(t, g, "good")
+	activateReq(t, g, "good", sidG, "Staff")
+	bad := event.Params{"user": "mallory", "session": sidM, "operation": "x", "object": "y"}
+	decide(t, g, EvCheckAccess, bad)
+	decide(t, g, EvCheckAccess, bad)
+	// The critical CA1 rule is now disabled: even good requests fail
+	// closed ("no applicable rule").
+	okReq := event.Params{"user": "good", "session": sidG, "operation": "read", "object": "public.txt"}
+	dec := decide(t, g, EvCheckAccess, okReq)
+	if dec.Allowed() {
+		t.Fatal("request allowed after critical rules disabled")
+	}
+	if dec.Reason() != "no applicable rule" {
+		t.Fatalf("reason = %q", dec.Reason())
+	}
+	// Re-enabling restores service.
+	g.Engine().Pool().SetEnabledByTag(TagCritical, true)
+	if dec := decide(t, g, EvCheckAccess, okReq); !dec.Allowed() {
+		t.Fatalf("request denied after re-enable: %s", dec.Reason())
+	}
+}

@@ -1,0 +1,70 @@
+package rulegen
+
+import (
+	"fmt"
+	"testing"
+
+	"activerbac/internal/event"
+	"activerbac/internal/policy"
+	"activerbac/internal/rbac"
+	"activerbac/internal/workload"
+)
+
+// Randomized load test: every enterprise the workload generator emits
+// must load, serve a mixed request stream, and come out with clean
+// store invariants and a verifiable rule pool. This ties the generator,
+// the policy pipeline, the rule generator and the enforcement path
+// together under varied shapes.
+func TestLoadGeneratedEnterprises(t *testing.T) {
+	for _, shape := range []workload.Shape{workload.Flat, workload.Chain, workload.Tree, workload.XYZShape} {
+		for seed := int64(0); seed < 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", shape, seed), func(t *testing.T) {
+				spec := workload.MustEnterprise(workload.EnterpriseConfig{
+					Roles: 24, Shape: shape, Branch: 3,
+					SSDFraction: 0.5, DSDFraction: 0.5,
+					Users: 30, PermsPerRole: 2, CardinalityEvery: 5, Seed: seed,
+				})
+				g, _ := loadPolicy(t, policy.Format(spec))
+				if errs := g.Verify(); len(errs) != 0 {
+					t.Fatalf("Verify: %v", errs)
+				}
+
+				// Drive a mixed stream through the request events.
+				reqs := workload.Stream(spec, workload.DefaultMix, 600, seed*13+1)
+				sessions := map[rbac.UserID]string{}
+				for _, r := range reqs {
+					sid, ok := sessions[r.User]
+					if !ok {
+						dec := decide(t, g, EvCreateSession, event.Params{"user": string(r.User)})
+						if !dec.Allowed() {
+							t.Fatalf("createSession(%s): %s", r.User, dec.Reason())
+						}
+						sid, _ = dec.Result().(string)
+						sessions[r.User] = sid
+					}
+					p := event.Params{"user": string(r.User), "session": sid}
+					switch r.Kind {
+					case workload.Activate:
+						decide(t, g, EvAddActiveRole(r.Role), p)
+					case workload.Drop:
+						decide(t, g, EvDropActiveRole(r.Role), p)
+					case workload.CheckAccess:
+						p["operation"], p["object"] = r.Operation, r.Object
+						decide(t, g, EvCheckAccess, p)
+					case workload.Assign:
+						decide(t, g, EvAssignUser, event.Params{"user": string(r.User), "role": string(r.Role)})
+					case workload.Deassign:
+						decide(t, g, EvDeassignUser, event.Params{"user": string(r.User), "role": string(r.Role)})
+					}
+				}
+
+				if errs := g.Engine().Store().CheckInvariants(); len(errs) != 0 {
+					t.Fatalf("invariants after stream: %v", errs)
+				}
+				if errs := g.Verify(); len(errs) != 0 {
+					t.Fatalf("Verify after stream: %v", errs)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package rulegen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"activerbac/internal/event"
+	"activerbac/internal/rbac"
+)
+
+// Exhaustive Apply diffs: every statement kind transitions correctly
+// between policy versions.
+
+const diffBase = `
+policy "diff"
+role A
+role B
+role C
+role D
+hierarchy A > B
+ssd s1 2: B, C
+permission A: read doc
+user u: A
+user w: D
+timesod t1 00:00:00-23:59:59: A, B
+couple C -> D
+require B needs-active C
+prereq D after C
+purpose base
+bind A read doc for base
+consent-required doc
+threshold th1 5 in 10m: alert
+context D requires site = hq
+`
+
+func TestApplyDiffEveryStatementKind(t *testing.T) {
+	g, _ := loadPolicy(t, diffBase)
+	st := g.Engine().Store()
+
+	edited := `
+policy "diff"
+role A
+role B
+role C
+role D
+ssd s1 2: C, D
+permission A: write doc
+user u: A
+user w: D
+timesod t1 08:00:00-17:00:00: A, B
+couple A -> B
+require B needs-active D
+prereq C after D
+purpose base
+purpose extra < base
+bind A write doc for extra
+consent-required ledger
+threshold th1 3 in 5m: lock-user
+context D requires site = lab
+`
+	rep := apply(t, g, edited)
+	if rep.Touched() == 0 {
+		t.Fatal("nothing touched")
+	}
+
+	// Hierarchy edge A > B removed.
+	juniors, err := st.ImmediateJuniors("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(juniors) != 0 {
+		t.Fatalf("hierarchy edge survived: %v", juniors)
+	}
+	// SSD membership changed.
+	ssd := st.SSDSets()
+	if len(ssd) != 1 || len(ssd[0].Roles) != 2 || ssd[0].Roles[0] != "C" {
+		t.Fatalf("SSD sets = %v", ssd)
+	}
+	// Permission replaced.
+	perms, err := st.RolePermissions("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perms) != 1 || perms[0].Operation != "write" {
+		t.Fatalf("permissions = %v", perms)
+	}
+	// Time SoD window replaced.
+	if got := g.Temporal().TimeSoDs(); len(got) != 1 || got[0] != "t1" {
+		t.Fatalf("time SoDs = %v", got)
+	}
+	// Coupling replaced.
+	if got := g.CFD().Couplings(); len(got) != 1 || got[0] != "A->B" {
+		t.Fatalf("couplings = %v", got)
+	}
+	// Dependency retargeted: B now needs D.
+	if reason, ok := g.CFD().CanActivate("s0", "B"); ok || !strings.Contains(reason, `"D"`) {
+		t.Fatalf("dependency not retargeted: %q %v", reason, ok)
+	}
+	// Prereq direction flipped: C now needs D in-session.
+	if _, ok := g.CFD().CanActivate("s0", "D"); !ok {
+		t.Fatal("old prereq on D survived")
+	}
+	// Purposes appended, bindings swapped.
+	if got := g.Privacy().Purposes(); len(got) != 2 {
+		t.Fatalf("purposes = %v", got)
+	}
+	if got := g.Privacy().AllowedPurposes("A", rbac.Permission{Operation: "write", Object: "doc"}); len(got) != 1 || got[0] != "extra" {
+		t.Fatalf("bindings = %v", got)
+	}
+	if got := g.Privacy().AllowedPurposes("A", rbac.Permission{Operation: "read", Object: "doc"}); len(got) != 0 {
+		t.Fatalf("old binding survived: %v", got)
+	}
+	// Threshold replaced: 3 denials now lock.
+	sid := newSession(t, g, "u")
+	bad := event.Params{"user": "u", "session": sid, "operation": "x", "object": "y"}
+	for i := 0; i < 3; i++ {
+		decide(t, g, EvCheckAccess, bad)
+	}
+	if !st.UserLocked("u") {
+		t.Fatal("new threshold not in force")
+	}
+	// Context requirement retargeted.
+	if err := st.SetUserLocked("u", false); err != nil {
+		t.Fatal(err)
+	}
+	setContext(t, g, "site", "hq")
+	sidW := newSession(t, g, "w")
+	if dec := activateReq(t, g, "w", sidW, "D"); dec.Allowed() {
+		t.Fatal("old context value still accepted")
+	}
+	setContext(t, g, "site", "lab")
+	if dec := activateReq(t, g, "w", sidW, "D"); !dec.Allowed() {
+		t.Fatalf("new context value rejected: %s", dec.Reason())
+	}
+
+	// Invariants after the whole transition.
+	if errs := st.CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("invariants: %v", errs)
+	}
+}
+
+func TestApplyPurposeRemovalRejected(t *testing.T) {
+	g, _ := loadPolicy(t, "role A\npurpose p1\n")
+	spec := mustSpec(t, "role A\n")
+	if _, err := g.Apply(spec); err == nil || !strings.Contains(err.Error(), "append-only") {
+		t.Fatalf("purpose removal: %v", err)
+	}
+}
+
+func TestApplySSDConflictWithRuntimeState(t *testing.T) {
+	// A new SSD set that runtime assignments already violate must fail.
+	g, _ := loadPolicy(t, "role A\nrole B\nuser u: A\n")
+	if dec := decide(t, g, EvAssignUser, event.Params{"user": "u", "role": "B"}); !dec.Allowed() {
+		t.Fatalf("setup assignment denied: %s", dec.Reason())
+	}
+	spec := mustSpec(t, "role A\nrole B\nuser u: A\nssd x 2: A, B\n")
+	if _, err := g.Apply(spec); err == nil {
+		t.Fatal("SSD violated by runtime assignment accepted")
+	}
+}
+
+func TestApplyDurationRemovalStopsEnforcement(t *testing.T) {
+	g, sim := loadPolicy(t, "role A\nuser u: A\nduration * A 1h\n")
+	rep := apply(t, g, "role A\nuser u: A\n")
+	if len(rep.RolesRegenerated) != 1 {
+		t.Fatalf("regenerated = %v", rep.RolesRegenerated)
+	}
+	sid := newSession(t, g, "u")
+	activateReq(t, g, "u", sid, "A")
+	sim.Advance(2 * time.Hour)
+	if !g.Engine().Store().CheckSessionRole(rbac.SessionID(sid), "A") {
+		t.Fatal("removed duration still enforced")
+	}
+}
+
+func TestApplyMaxRolesRemoval(t *testing.T) {
+	g, _ := loadPolicy(t, "role A\nrole B\nuser jane: A, B\nmaxroles jane 1\n")
+	sid := newSession(t, g, "jane")
+	activateReq(t, g, "jane", sid, "A")
+	if dec := activateReq(t, g, "jane", sid, "B"); dec.Allowed() {
+		t.Fatal("maxroles not enforced before the change")
+	}
+	apply(t, g, "role A\nrole B\nuser jane: A, B\n")
+	if dec := activateReq(t, g, "jane", sid, "B"); !dec.Allowed() {
+		t.Fatalf("maxroles still enforced after removal: %s", dec.Reason())
+	}
+}

@@ -1,0 +1,116 @@
+package rulegen
+
+import (
+	"testing"
+	"time"
+)
+
+const reportPolicy = `
+policy "monitored"
+role Staff
+user u: Staff
+permission Staff: read doc
+report hourly every 1h
+`
+
+func TestPeriodicReports(t *testing.T) {
+	g, sim := loadPolicy(t, reportPolicy)
+	var got []SystemReport
+	g.OnReport(func(r SystemReport) { got = append(got, r) })
+
+	sid := newSession(t, g, "u")
+	activateReq(t, g, "u", sid, "Staff")
+
+	sim.Advance(3*time.Hour + time.Minute)
+	if len(got) != 3 {
+		t.Fatalf("reports = %d, want 3 (hourly over 3h)", len(got))
+	}
+	for i, r := range got {
+		if r.Name != "hourly" || r.Tick != i+1 {
+			t.Fatalf("report %d = %+v", i, r)
+		}
+		if r.Rules == 0 || r.Users != 1 || r.Sessions != 1 {
+			t.Fatalf("report content %+v", r)
+		}
+		want := t0.Add(time.Duration(i+1) * time.Hour)
+		if !r.At.Equal(want) {
+			t.Fatalf("report %d at %v, want %v", i, r.At, want)
+		}
+	}
+	if got[0].String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestReportCountsDenials(t *testing.T) {
+	g, sim := loadPolicy(t, reportPolicy)
+	var got []SystemReport
+	g.OnReport(func(r SystemReport) { got = append(got, r) })
+	sid := newSession(t, g, "u")
+	// Two denied checks before the first tick.
+	bad := map[string]any{"user": "u", "session": sid, "operation": "x", "object": "y"}
+	decide(t, g, EvCheckAccess, bad)
+	decide(t, g, EvCheckAccess, bad)
+	sim.Advance(time.Hour + time.Second)
+	if len(got) != 1 || got[0].Denials != 2 {
+		t.Fatalf("reports = %+v, want 1 report with 2 denials", got)
+	}
+}
+
+func TestReportRescheduleViaApply(t *testing.T) {
+	g, sim := loadPolicy(t, reportPolicy)
+	var got []SystemReport
+	g.OnReport(func(r SystemReport) { got = append(got, r) })
+
+	// Tighten the schedule to every 10 minutes.
+	apply(t, g, `
+policy "monitored"
+role Staff
+user u: Staff
+permission Staff: read doc
+report hourly every 10m
+`)
+	sim.Advance(time.Hour + time.Second)
+	// New cadence: 6 ticks in the hour; the old hourly schedule is
+	// stopped (not 7).
+	if len(got) != 6 {
+		t.Fatalf("reports = %d, want 6 after reschedule", len(got))
+	}
+
+	// Remove the report entirely.
+	apply(t, g, `
+policy "monitored"
+role Staff
+user u: Staff
+permission Staff: read doc
+`)
+	before := len(got)
+	sim.Advance(2 * time.Hour)
+	if len(got) != before {
+		t.Fatalf("reports kept ticking after removal: %d -> %d", before, len(got))
+	}
+}
+
+func TestReportAddedViaApply(t *testing.T) {
+	g, sim := loadPolicy(t, `
+policy "quiet"
+role Staff
+user u: Staff
+`)
+	var got []SystemReport
+	g.OnReport(func(r SystemReport) { got = append(got, r) })
+	sim.Advance(time.Hour)
+	if len(got) != 0 {
+		t.Fatal("reports without a report statement")
+	}
+	apply(t, g, `
+policy "quiet"
+role Staff
+user u: Staff
+report pulse every 30m
+`)
+	sim.Advance(time.Hour + time.Second)
+	if len(got) != 2 {
+		t.Fatalf("reports = %d, want 2", len(got))
+	}
+}

@@ -1,0 +1,205 @@
+package sentinel
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"activerbac/internal/clock"
+	"activerbac/internal/core"
+	"activerbac/internal/event"
+	"activerbac/internal/rbac"
+)
+
+// DecisionKey is the occurrence parameter under which a Decision travels
+// with an enforcement request. Rules vote on the decision from their
+// Then/Else actions; the requester reads the verdict after the cascade
+// settles.
+const DecisionKey = "_decision"
+
+// Vote is one rule's verdict on a decision.
+type Vote struct {
+	Rule   string
+	Allow  bool
+	Reason string
+}
+
+// Decision accumulates rule verdicts for one enforcement request. It is
+// deny-biased twice over: any deny vote wins over any number of allows,
+// and a request no rule voted on at all is denied (no applicable rule —
+// fail closed).
+type Decision struct {
+	mu     sync.Mutex
+	votes  []Vote
+	result any
+}
+
+// SetResult attaches a payload to the decision (e.g. the session id a
+// createSession rule produced).
+func (d *Decision) SetResult(v any) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.result = v
+}
+
+// Result returns the payload attached by SetResult, or nil.
+func (d *Decision) Result() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.result
+}
+
+// Allow records an allowing vote from rule.
+func (d *Decision) Allow(rule string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.votes = append(d.votes, Vote{Rule: rule, Allow: true})
+}
+
+// Deny records a denying vote from rule with a human-readable reason
+// (the paper's "raise error ..." alternative actions).
+func (d *Decision) Deny(rule, reason string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.votes = append(d.votes, Vote{Rule: rule, Allow: false, Reason: reason})
+}
+
+// Allowed reports the aggregate verdict.
+func (d *Decision) Allowed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.votes) == 0 {
+		return false
+	}
+	for _, v := range d.votes {
+		if !v.Allow {
+			return false
+		}
+	}
+	return true
+}
+
+// Votes returns a copy of the recorded votes in voting order.
+func (d *Decision) Votes() []Vote {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Vote(nil), d.votes...)
+}
+
+// Reason returns the first deny reason, or "" when allowed. A voteless
+// decision reports "no applicable rule".
+func (d *Decision) Reason() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.votes) == 0 {
+		return "no applicable rule"
+	}
+	for _, v := range d.votes {
+		if !v.Allow {
+			return v.Reason
+		}
+	}
+	return ""
+}
+
+// Err converts a denial into an error (nil when allowed).
+func (d *Decision) Err() error {
+	if d.Allowed() {
+		return nil
+	}
+	return fmt.Errorf("sentinel: denied: %s", d.Reason())
+}
+
+// String renders the decision for logs.
+func (d *Decision) String() string {
+	if d.Allowed() {
+		return "ALLOW"
+	}
+	return "DENY (" + d.Reason() + ")"
+}
+
+// DecisionOf extracts the Decision travelling with an occurrence, if
+// any. Rule actions use it to vote.
+func DecisionOf(o *event.Occurrence) (*Decision, bool) {
+	if o == nil || o.Params == nil {
+		return nil, false
+	}
+	dec, ok := o.Params[DecisionKey].(*Decision)
+	return dec, ok
+}
+
+// Engine is the assembled Sentinel+ system: a clock, an event detector,
+// an OWTE rule pool, an RBAC store and an external monitor, wired
+// together. It is the substrate everything above (rule generation,
+// enforcement facade, server) runs on.
+type Engine struct {
+	clk     clock.Clock
+	det     *event.Detector
+	pool    *core.Pool
+	store   *rbac.Store
+	monitor *ExternalMonitor
+	env     *Env
+}
+
+// NewEngine builds an empty engine on the given clock.
+func NewEngine(clk clock.Clock) *Engine {
+	det := event.New(clk)
+	return &Engine{
+		clk:     clk,
+		det:     det,
+		pool:    core.NewPool(det),
+		store:   rbac.NewStore(),
+		monitor: NewExternalMonitor(det),
+		env:     NewEnv(),
+	}
+}
+
+// Env returns the environmental context store.
+func (e *Engine) Env() *Env { return e.env }
+
+// Clock returns the engine clock.
+func (e *Engine) Clock() clock.Clock { return e.clk }
+
+// Detector returns the event detector.
+func (e *Engine) Detector() *event.Detector { return e.det }
+
+// Pool returns the OWTE rule pool.
+func (e *Engine) Pool() *core.Pool { return e.pool }
+
+// Store returns the RBAC store.
+func (e *Engine) Store() *rbac.Store { return e.store }
+
+// Monitor returns the external monitoring module.
+func (e *Engine) Monitor() *ExternalMonitor { return e.monitor }
+
+// Decide raises an enforcement event carrying a fresh Decision and
+// blocks until the rule cascade settles, returning the verdict. The
+// caller's params are not mutated.
+func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error) {
+	dec := &Decision{}
+	p := params.Clone()
+	if p == nil {
+		p = event.Params{}
+	}
+	p[DecisionKey] = dec
+	if err := e.det.RaiseSync(eventName, p); err != nil {
+		return nil, err
+	}
+	return dec, nil
+}
+
+// Notify raises a fire-and-forget event (no decision expected), e.g. a
+// state-change notification consumed by temporal or security rules.
+func (e *Engine) Notify(eventName string, params event.Params) error {
+	return e.det.Raise(eventName, params)
+}
+
+// Summary describes the engine's contents for tools.
+func (e *Engine) Summary() string {
+	st := e.det.Stats()
+	c := e.store.Count()
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d rules=%d users=%d roles=%d sessions=%d",
+		st.Events, e.pool.Len(), c.Users, c.Roles, c.Sessions)
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package sentinel
+
+import (
+	"fmt"
+	"sync"
+
+	"activerbac/internal/event"
+)
+
+// ExternalMonitor is Sentinel's external monitoring module: it accepts
+// events from outside the system (sensors, network probes, location
+// services) and injects them into the detector as primitive events.
+// Injection may be direct (Inject) or through a buffered channel pumped
+// by a background goroutine (Start/Source), decoupling slow sensors
+// from the detector.
+type ExternalMonitor struct {
+	det *event.Detector
+
+	mu      sync.Mutex
+	started bool
+	src     chan External
+	done    chan struct{}
+	dropped uint64
+	errs    uint64
+}
+
+// External is one externally observed occurrence.
+type External struct {
+	Event  string
+	Params event.Params
+}
+
+// NewExternalMonitor returns a monitor bound to det.
+func NewExternalMonitor(det *event.Detector) *ExternalMonitor {
+	return &ExternalMonitor{det: det}
+}
+
+// Register defines the primitive event name for an external source.
+func (m *ExternalMonitor) Register(eventName string) error {
+	return m.det.DefinePrimitive(eventName)
+}
+
+// Inject raises an external event synchronously on the caller's
+// goroutine.
+func (m *ExternalMonitor) Inject(eventName string, p event.Params) error {
+	return m.det.Raise(eventName, p)
+}
+
+// Start launches the pump goroutine and returns the channel external
+// sources write to. The channel is buffered with cap buf; writes to a
+// full channel block the producer (external sources should drop or
+// batch themselves if that matters).
+func (m *ExternalMonitor) Start(buf int) (chan<- External, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return nil, fmt.Errorf("sentinel: external monitor already started")
+	}
+	m.started = true
+	m.src = make(chan External, buf)
+	m.done = make(chan struct{})
+	go m.pump(m.src, m.done)
+	return m.src, nil
+}
+
+func (m *ExternalMonitor) pump(src <-chan External, done chan<- struct{}) {
+	defer close(done)
+	for ext := range src {
+		if err := m.det.Raise(ext.Event, ext.Params); err != nil {
+			m.mu.Lock()
+			m.errs++
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Stop closes the source channel and waits for queued events to be
+// injected.
+func (m *ExternalMonitor) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	src, done := m.src, m.done
+	m.started = false
+	m.src = nil
+	m.mu.Unlock()
+	close(src)
+	<-done
+}
+
+// Errors reports how many injections failed (unknown event names).
+func (m *ExternalMonitor) Errors() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.errs
+}

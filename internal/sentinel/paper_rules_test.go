@@ -1,0 +1,137 @@
+package sentinel
+
+import (
+	"testing"
+	"time"
+
+	"activerbac/internal/core"
+	"activerbac/internal/event"
+	"activerbac/internal/rbac"
+)
+
+// Faithful reproductions of the paper's Rule 1 and Rule 2 on the raw
+// Sentinel+ substrate — reactive objects, OWTE rules, the PLUS
+// operator — exactly as Section 3 presents them.
+
+// Rule 1: "Create a rule that checks for permissions when user Bob
+// tries to open a file patient.dat using the command vi(patient.dat)."
+//
+//	EVENT E1 = Bob -> vi(patient.dat)
+//	RULE [ C1
+//	       ON   E1
+//	       WHEN if checkaccess(Bob, patient.dat) is TRUE ...
+//	       THEN <allow opening patient.dat>
+//	       ELSE raise error "insufficient privileges" ]
+func TestPaperRule1(t *testing.T) {
+	e, _ := newEngine()
+	det := e.Detector()
+	store := e.Store()
+
+	// The underlying RBAC state: Bob holds a role with read access to
+	// patient.dat.
+	if err := store.AddUser("Bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddRole("Physician"); err != nil {
+		t.Fatal(err)
+	}
+	readChart := rbac.Permission{Operation: "open", Object: "patient.dat"}
+	if err := store.GrantPermission("Physician", readChart); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AssignUser("Bob", "Physician"); err != nil {
+		t.Fatal(err)
+	}
+	sid, err := store.CreateSession("Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The vi editor is a reactive object whose open method generates
+	// the primitive event E1.
+	vi := NewReactiveObject(det, "vi")
+	if err := vi.DesignateMethod("open"); err != nil {
+		t.Fatal(err)
+	}
+
+	var opened, denied []string
+	e.Pool().MustAdd(core.Rule{
+		Name: "C1", On: MethodEvent("vi", "open"),
+		When: []core.Condition{
+			core.BoolCond("checkaccess(Bob, patient.dat) is TRUE", func(o *event.Occurrence) bool {
+				s, _ := o.Params["session"].(string)
+				file, _ := o.Params["file"].(string)
+				return e.Store().CheckAccess(rbac.SessionID(s), rbac.Permission{Operation: "open", Object: file})
+			}),
+		},
+		Then: []core.Action{core.Act("allow opening patient.dat", func(o *event.Occurrence) error {
+			file, _ := o.Params["file"].(string)
+			opened = append(opened, file)
+			return nil
+		})},
+		Else: []core.Action{core.Act("raise error \"insufficient privileges\"", func(o *event.Occurrence) error {
+			file, _ := o.Params["file"].(string)
+			denied = append(denied, file)
+			return nil
+		})},
+	})
+
+	// Before activating the role, the open is denied.
+	if err := vi.Invoke("open", event.Params{"user": "Bob", "session": string(sid), "file": "patient.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(denied) != 1 || len(opened) != 0 {
+		t.Fatalf("before activation: opened=%v denied=%v", opened, denied)
+	}
+	// After activation, it is allowed.
+	if err := store.AddActiveRole("Bob", sid, "Physician"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vi.Invoke("open", event.Params{"user": "Bob", "session": string(sid), "file": "patient.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(opened) != 1 || opened[0] != "patient.dat" {
+		t.Fatalf("after activation: opened=%v denied=%v", opened, denied)
+	}
+}
+
+// Rule 2: "Create a rule for restricting user Bob from keeping the file
+// patient.dat open for more than 2 hours. In other words, close the
+// file forcefully after 2 hours."
+//
+//	RULE [ C1
+//	       ON   PLUS(E1, 2 hours)
+//	       WHEN TRUE
+//	       THEN <Closefile> ]
+func TestPaperRule2(t *testing.T) {
+	e, sim := newEngine()
+	det := e.Detector()
+
+	vi := NewReactiveObject(det, "vi")
+	if err := vi.DesignateMethod("open"); err != nil {
+		t.Fatal(err)
+	}
+	det.MustDefine("E2", event.Plus(event.NameExpr(MethodEvent("vi", "open")), 2*time.Hour))
+
+	var closed []string
+	e.Pool().MustAdd(core.Rule{
+		Name: "C1-plus", On: "E2",
+		Then: []core.Action{core.Act("Closefile", func(o *event.Occurrence) error {
+			file, _ := o.Params["file"].(string)
+			closed = append(closed, file)
+			return nil
+		})},
+	})
+
+	if err := vi.Invoke("open", event.Params{"user": "Bob", "file": "patient.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Advance(time.Hour)
+	if len(closed) != 0 {
+		t.Fatal("file closed before the 2-hour bound")
+	}
+	sim.Advance(time.Hour)
+	if len(closed) != 1 || closed[0] != "patient.dat" {
+		t.Fatalf("closed = %v, want patient.dat at exactly +2h", closed)
+	}
+}

@@ -1,0 +1,184 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// AuditRecord is one entry in the audit log: a rule firing, an alert, or
+// an administrative action.
+type AuditRecord struct {
+	// Seq is assigned by the log, monotonically.
+	Seq uint64 `json:"seq"`
+	// At is the engine-clock instant of the event.
+	At time.Time `json:"at"`
+	// Kind classifies the record ("decision", "alert", "admin").
+	Kind string `json:"kind"`
+	// Rule is the firing rule's name (decisions).
+	Rule string `json:"rule,omitempty"`
+	// Event is the triggering event name.
+	Event string `json:"event,omitempty"`
+	// User is the requesting subject.
+	User string `json:"user,omitempty"`
+	// Allowed is the verdict (decisions).
+	Allowed bool `json:"allowed"`
+	// Detail carries free-form context (deny reason, alert text).
+	Detail string `json:"detail,omitempty"`
+}
+
+// ErrCorrupt reports a torn or bit-flipped record during replay.
+var ErrCorrupt = errors.New("store: corrupt audit record")
+
+// AuditLog is an append-only log of AuditRecords. Records are framed as
+//
+//	uint32 length | uint32 crc32(payload) | payload (JSON)
+//
+// so replay detects torn tails and corruption. Appends are buffered;
+// call Sync (or Close) to force them to disk.
+type AuditLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	seq  uint64
+	path string
+}
+
+// OpenAudit opens (creating if needed) an audit log and positions the
+// sequence counter after the last valid record.
+func OpenAudit(path string) (*AuditLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open audit log: %w", err)
+	}
+	log := &AuditLog{f: f, w: bufio.NewWriter(f), path: path}
+
+	// Scan existing records to find the next sequence number and the
+	// end of the valid prefix; truncate any torn tail.
+	validEnd := int64(0)
+	err = replayFrom(f, func(rec AuditRecord, end int64) {
+		log.seq = rec.Seq
+		validEnd = end
+	})
+	if err != nil && !errors.Is(err, ErrCorrupt) {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek audit log: %w", err)
+	}
+	return log, nil
+}
+
+// Append writes one record, assigning its sequence number, and returns
+// it.
+func (l *AuditLog) Append(rec AuditRecord) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	rec.Seq = l.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("store: marshal audit record: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("store: append audit record: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("store: append audit record: %w", err)
+	}
+	return rec.Seq, nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *AuditLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush audit log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync audit log: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *AuditLog) Close() error {
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Seq reports the sequence number of the last appended record.
+func (l *AuditLog) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Replay reads every valid record from the log file at path in order.
+// It stops silently at a torn tail (the normal crash case) and returns
+// ErrCorrupt only for a mid-file CRC mismatch.
+func Replay(path string, fn func(AuditRecord)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: open audit log: %w", err)
+	}
+	defer f.Close()
+	return replayFrom(f, func(rec AuditRecord, _ int64) { fn(rec) })
+}
+
+// replayFrom scans records from r's start, calling fn with each record
+// and the offset just past it.
+func replayFrom(f *os.File, fn func(AuditRecord, int64)) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seek audit log: %w", err)
+	}
+	br := bufio.NewReader(f)
+	offset := int64(0)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return nil // torn header: treat as end of valid prefix
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > 1<<24 {
+			return fmt.Errorf("%w: implausible record length %d at %d", ErrCorrupt, length, offset)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return fmt.Errorf("%w: crc mismatch at %d", ErrCorrupt, offset)
+		}
+		var rec AuditRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("%w: bad payload at %d: %v", ErrCorrupt, offset, err)
+		}
+		offset += 8 + int64(length)
+		fn(rec, offset)
+	}
+}

@@ -1,0 +1,75 @@
+// Package store persists the authorization system: JSON snapshots of
+// the RBAC database together with the policy source that generated it,
+// and an append-only audit log (write-ahead-log style framing with CRC
+// checks) recording every rule firing for later replay and forensics.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"activerbac/internal/rbac"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// SnapshotFile is the on-disk snapshot envelope: the RBAC state plus the
+// policy source it was generated from, so a restarted system can both
+// restore state and regenerate its rule pool.
+type SnapshotFile struct {
+	Version int           `json:"version"`
+	Policy  string        `json:"policy"`
+	State   rbac.Snapshot `json:"state"`
+}
+
+// SaveSnapshot writes the snapshot atomically (temp file + rename).
+func SaveSnapshot(path string, policySource string, state rbac.Snapshot) error {
+	data, err := json.MarshalIndent(SnapshotFile{
+		Version: snapshotVersion,
+		Policy:  policySource,
+		State:   state,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads and validates a snapshot file.
+func LoadSnapshot(path string) (*SnapshotFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var f SnapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("store: snapshot version %d, want %d", f.Version, snapshotVersion)
+	}
+	return &f, nil
+}

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"activerbac/internal/rbac"
+)
+
+func buildState(t *testing.T) *rbac.Store {
+	t.Helper()
+	s := rbac.NewStore()
+	for _, r := range []rbac.RoleID{"PM", "PC", "Clerk"} {
+		if err := s.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddInheritance("PM", "PC"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInheritance("PC", "Clerk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantPermission("PC", rbac.Permission{Operation: "write", Object: "po.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRoleCardinality("PM", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRoleEnabled("Clerk", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUser("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignUser("bob", "PC"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUserMaxActiveRoles("bob", 3); err != nil {
+		t.Fatal(err)
+	}
+	sid, err := s.CreateSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddActiveRole("bob", sid, "PC"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateSSD(rbac.SoDSet{Name: "x", Roles: []rbac.RoleID{"PC", "Clerk"}, N: 2}); err == nil {
+		// PC inherits Clerk -> unsatisfiable; expected to fail. Use a
+		// disjoint pair instead.
+		t.Fatal("unexpected SSD success")
+	}
+	return s
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := buildState(t)
+	snap := s.Snapshot()
+
+	restored := rbac.NewStore()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if errs := restored.CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("restored store inconsistent: %v", errs)
+	}
+	snap2 := restored.Snapshot()
+	if len(snap2.Users) != len(snap.Users) || len(snap2.Roles) != len(snap.Roles) ||
+		len(snap2.Sessions) != len(snap.Sessions) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", snap, snap2)
+	}
+	// Behaviour carries over: session still has PC active, inheritance
+	// intact, role enablement preserved.
+	sid := snap.Sessions[0].ID
+	if !restored.CheckSessionRole(sid, "PC") {
+		t.Fatal("active role lost")
+	}
+	if !restored.CheckAccess(sid, rbac.Permission{Operation: "write", Object: "po.dat"}) {
+		t.Fatal("permission lost")
+	}
+	if restored.RoleEnabled("Clerk") {
+		t.Fatal("enabled flag lost")
+	}
+	// Session sequence continues without collision.
+	sid2, err := restored.CreateSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid2 == sid {
+		t.Fatal("session id collision after restore")
+	}
+}
+
+func TestRestoreRejectsBadSnapshot(t *testing.T) {
+	bad := rbac.Snapshot{
+		Users: []rbac.UserSnapshot{{Name: "bob", Assigned: []rbac.RoleID{"ghost"}}},
+	}
+	s := rbac.NewStore()
+	if err := s.Restore(bad); err == nil {
+		t.Fatal("snapshot with dangling role accepted")
+	}
+	// The failed restore must leave a clean store.
+	if len(s.Users()) != 0 {
+		t.Fatal("failed restore left partial state")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	s := buildState(t)
+	if err := SaveSnapshot(path, "role PM\n", s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Policy != "role PM\n" || f.Version != snapshotVersion {
+		t.Fatalf("envelope: %+v", f)
+	}
+	restored := rbac.NewStore()
+	if err := restored.Restore(f.State); err != nil {
+		t.Fatal(err)
+	}
+	if errs := restored.CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("invariants: %v", errs)
+	}
+}
+
+func TestLoadSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+	wrongVer := filepath.Join(dir, "ver.json")
+	if err := os.WriteFile(wrongVer, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(wrongVer); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+// --------------------------------------------------------------------------
+// Audit log
+
+func auditPath(t *testing.T) string {
+	return filepath.Join(t.TempDir(), "audit.log")
+}
+
+func TestAuditAppendReplay(t *testing.T) {
+	path := auditPath(t)
+	log, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		if _, err := log.Append(AuditRecord{
+			At: at, Kind: "decision", Rule: "CA1", User: "bob",
+			Allowed: i%2 == 0, Detail: "test",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if log.Seq() != 10 {
+		t.Fatalf("Seq = %d", log.Seq())
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []AuditRecord
+	if err := Replay(path, func(r AuditRecord) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || r.Rule != "CA1" || !r.At.Equal(at) {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+	}
+}
+
+func TestAuditReopenContinuesSeq(t *testing.T) {
+	path := auditPath(t)
+	log, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(AuditRecord{Kind: "a"})
+	log.Append(AuditRecord{Kind: "b"})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log2, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := log2.Append(AuditRecord{Kind: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("seq after reopen = %d, want 3", seq)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := Replay(path, func(AuditRecord) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d", n)
+	}
+}
+
+func TestAuditTornTailTruncated(t *testing.T) {
+	path := auditPath(t)
+	log, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(AuditRecord{Kind: "good"})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage half-record at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x10, 0x00, 0x00})
+	f.Close()
+
+	// Replay stops at the torn tail.
+	n := 0
+	if err := Replay(path, func(AuditRecord) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d, want 1", n)
+	}
+	// Reopen truncates and appends cleanly.
+	log2, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, _ := log2.Append(AuditRecord{Kind: "after-crash"}); seq != 2 {
+		t.Fatalf("seq = %d, want 2", seq)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	if err := Replay(path, func(AuditRecord) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d after recovery, want 2", n)
+	}
+}
+
+func TestAuditCorruptionDetected(t *testing.T) {
+	path := auditPath(t)
+	log, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(AuditRecord{Kind: "a", Detail: "aaaaaaaaaaaaaaaa"})
+	log.Append(AuditRecord{Kind: "b", Detail: "bbbbbbbbbbbbbbbb"})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the FIRST record (mid-file corruption).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[12] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(path, func(AuditRecord) {})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	if err := Replay(filepath.Join(t.TempDir(), "none.log"), func(AuditRecord) {}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"activerbac"
+	"activerbac/internal/baseline"
+	"activerbac/internal/clock"
+	"activerbac/internal/policy"
+	"activerbac/internal/rbac"
+)
+
+// Differential testing: the OWTE rule engine and the direct-check
+// baseline implement the same authorization semantics, so on identical
+// request streams they must produce identical outcome tallies and
+// identical final state. This is the strongest correctness check in the
+// repository — any divergence in SSD/DSD/hierarchy/cardinality handling
+// between the generated rules and the imperative pipeline shows up
+// here.
+
+// diffConfig keeps to the feature set with identical semantics across
+// the engines (no durations/shifts: the baseline sweeps lazily, the
+// OWTE engine uses timers, so mid-stream timing could differ).
+func diffSpec(seed int64, shape Shape) *policy.Spec {
+	return MustEnterprise(EnterpriseConfig{
+		Roles: 16, Shape: shape, Branch: 3,
+		SSDFraction: 1, DSDFraction: 0.5,
+		Users: 24, PermsPerRole: 2, CardinalityEvery: 4, Seed: seed,
+	})
+}
+
+func runBoth(t *testing.T, spec *policy.Spec, reqs []Request) (owte, base *Driver, sys *activerbac.System, eng *baseline.Engine) {
+	t.Helper()
+	epoch := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+	sys, err := activerbac.Open(policy.Format(spec), &activerbac.Options{
+		Clock: clock.NewSim(epoch),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	eng, err = baseline.New(clock.NewSim(epoch), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	owte = NewDriver(sys)
+	base = NewDriver(eng)
+	if err := owte.Run(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Run(reqs); err != nil {
+		t.Fatal(err)
+	}
+	return owte, base, sys, eng
+}
+
+func TestDifferentialOutcomes(t *testing.T) {
+	for _, shape := range []Shape{Flat, Chain, Tree, XYZShape} {
+		for seed := int64(0); seed < 6; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", shape, seed), func(t *testing.T) {
+				spec := diffSpec(seed, shape)
+				reqs := Stream(spec, DefaultMix, 1500, seed*31+7)
+				owte, base, sys, eng := runBoth(t, spec, reqs)
+
+				if owte.Allowed != base.Allowed || owte.Denied != base.Denied {
+					t.Fatalf("CheckAccess tallies diverge: owte=%d/%d baseline=%d/%d",
+						owte.Allowed, owte.Denied, base.Allowed, base.Denied)
+				}
+				if owte.Errors != base.Errors {
+					t.Fatalf("state-change error tallies diverge: owte=%d baseline=%d",
+						owte.Errors, base.Errors)
+				}
+
+				// Final state: identical assignments and identical
+				// active role sets, user by user.
+				for _, u := range spec.Users {
+					user := rbac.UserID(u.Name)
+					oAssigned, err := sys.AssignedRoles(user)
+					if err != nil {
+						t.Fatal(err)
+					}
+					bAssigned, err := eng.Store().AssignedRoles(user)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fmt.Sprint(oAssigned) != fmt.Sprint(bAssigned) {
+						t.Fatalf("assignments diverge for %s: owte=%v baseline=%v",
+							user, oAssigned, bAssigned)
+					}
+					oSid, bSid := owte.sessions[user], base.sessions[user]
+					if (oSid == "") != (bSid == "") {
+						t.Fatalf("session existence diverges for %s", user)
+					}
+					if oSid == "" {
+						continue
+					}
+					oRoles, err := sys.SessionRoles(oSid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					bRoles, err := eng.Store().SessionRoles(bSid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fmt.Sprint(oRoles) != fmt.Sprint(bRoles) {
+						t.Fatalf("active roles diverge for %s: owte=%v baseline=%v",
+							user, oRoles, bRoles)
+					}
+				}
+
+				// Both stores stay internally consistent.
+				if errs := sys.CheckInvariants(); len(errs) != 0 {
+					t.Fatalf("OWTE invariants: %v", errs)
+				}
+				if errs := eng.Store().CheckInvariants(); len(errs) != 0 {
+					t.Fatalf("baseline invariants: %v", errs)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialDecisionByDecision replays a stream one request at a
+// time and compares each CheckAccess verdict individually, catching
+// divergences that cancel out in aggregate tallies.
+func TestDifferentialDecisionByDecision(t *testing.T) {
+	spec := diffSpec(99, XYZShape)
+	reqs := Stream(spec, Mix{Check: 60, Activate: 25, Drop: 15}, 800, 123)
+	epoch := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+	sys, err := activerbac.Open(policy.Format(spec), &activerbac.Options{Clock: clock.NewSim(epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	eng, err := baseline.New(clock.NewSim(epoch), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owte := NewDriver(sys)
+	base := NewDriver(eng)
+
+	for i, r := range reqs {
+		oBefore := owte.Allowed
+		bBefore := base.Allowed
+		if err := owte.Do(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := base.Do(r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Kind == CheckAccess {
+			oVerdict := owte.Allowed > oBefore
+			bVerdict := base.Allowed > bBefore
+			if oVerdict != bVerdict {
+				t.Fatalf("request %d (%+v): owte allowed=%v baseline allowed=%v",
+					i, r, oVerdict, bVerdict)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package workload generates the synthetic enterprises and request
+// streams the benchmark harness runs. The paper evaluates on a single
+// 5-role example (enterprise XYZ, Figure 1); the generator reproduces
+// that exact policy and scales the same *shape* — parallel department
+// branches over a shared bottom role, with static SoD between branches —
+// up to hundreds of roles, plus plain chain/tree/flat shapes for
+// hierarchy-depth sweeps. Everything is deterministically seeded.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"activerbac/internal/policy"
+)
+
+// Shape selects the role-hierarchy topology of a generated enterprise.
+type Shape int
+
+// Hierarchy shapes.
+const (
+	// Flat has no hierarchy edges.
+	Flat Shape = iota
+	// Chain is a single seniority chain r0 > r1 > ... > rn.
+	Chain
+	// Tree is a uniform tree with the configured branching factor.
+	Tree
+	// XYZShape generalizes the paper's Figure 1: several department
+	// branches of equal depth over one shared bottom role, with static
+	// SoD between the clerk level of adjacent branches.
+	XYZShape
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Flat:
+		return "flat"
+	case Chain:
+		return "chain"
+	case Tree:
+		return "tree"
+	case XYZShape:
+		return "xyz"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// EnterpriseConfig parameterizes Enterprise.
+type EnterpriseConfig struct {
+	// Roles is the total number of roles (minimum 1; shapes round as
+	// needed).
+	Roles int
+	// Shape selects the hierarchy topology.
+	Shape Shape
+	// Branch is the tree branching factor (Tree) or the number of
+	// department branches (XYZShape). Defaults to 2.
+	Branch int
+	// SSDFraction is the fraction of eligible role pairs that get a
+	// static SoD relation (XYZShape and Flat only; hierarchic shapes
+	// would make SSD unsatisfiable).
+	SSDFraction float64
+	// DSDFraction is the fraction of eligible pairs that get a dynamic
+	// SoD relation.
+	DSDFraction float64
+	// Users is the number of users, assigned round-robin to roles
+	// (XYZShape assigns within a single branch so SSD holds).
+	Users int
+	// PermsPerRole grants this many distinct permissions per role.
+	PermsPerRole int
+	// CardinalityEvery gives every n-th role an activation bound of 1;
+	// 0 disables.
+	CardinalityEvery int
+	// Seed drives all pseudo-random choices.
+	Seed int64
+}
+
+// XYZ returns the paper's enterprise XYZ exactly (5 roles, 2 branches,
+// SSD between PC and AC, PM cardinality 1, three users).
+func XYZ() *policy.Spec {
+	spec, err := policy.ParseString(`
+policy "enterprise-xyz"
+role PM
+role PC
+role AM
+role AC
+role Clerk
+hierarchy PM > PC > Clerk
+hierarchy AM > AC > Clerk
+ssd purchase-approval 2: PC, AC
+permission PC: write purchase-order.dat
+permission AC: approve purchase-order.dat
+permission Clerk: read lobby.txt
+user bob: PC
+user carol: AC
+user alice: PM
+cardinality PM 1
+`)
+	if err != nil {
+		panic(err) // static text
+	}
+	return spec
+}
+
+// Enterprise generates a synthetic policy spec. The result always
+// passes policy.Check.
+func Enterprise(cfg EnterpriseConfig) *policy.Spec {
+	if cfg.Roles < 1 {
+		cfg.Roles = 1
+	}
+	if cfg.Branch < 2 {
+		cfg.Branch = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &policy.Spec{Name: fmt.Sprintf("synthetic-%s-%d", cfg.Shape, cfg.Roles)}
+
+	roleName := func(i int) string { return fmt.Sprintf("r%03d", i) }
+	for i := 0; i < cfg.Roles; i++ {
+		s.Roles = append(s.Roles, roleName(i))
+	}
+
+	// branchOf[i] tracks the department of each role under XYZShape so
+	// users can be confined to one branch.
+	branchOf := make([]int, cfg.Roles)
+	var ssdEligible [][2]int
+
+	switch cfg.Shape {
+	case Flat:
+		for i := 0; i+1 < cfg.Roles; i += 2 {
+			ssdEligible = append(ssdEligible, [2]int{i, i + 1})
+		}
+	case Chain:
+		for i := 0; i+1 < cfg.Roles; i++ {
+			s.Hierarchy = append(s.Hierarchy, policy.Edge{Senior: roleName(i), Junior: roleName(i + 1)})
+		}
+	case Tree:
+		for i := 1; i < cfg.Roles; i++ {
+			parent := (i - 1) / cfg.Branch
+			s.Hierarchy = append(s.Hierarchy, policy.Edge{Senior: roleName(parent), Junior: roleName(i)})
+		}
+	case XYZShape:
+		// Role 0 is the shared bottom (Clerk). The rest split into
+		// Branch branches, each a seniority chain ending at the bottom.
+		branches := cfg.Branch
+		per := (cfg.Roles - 1) / branches
+		if per < 1 {
+			per = 1
+		}
+		idx := 1
+		var clerkLevel []int // the most junior role of each branch
+		for b := 0; b < branches && idx < cfg.Roles; b++ {
+			prev := -1
+			var last int
+			for d := 0; d < per && idx < cfg.Roles; d++ {
+				branchOf[idx] = b + 1
+				if prev >= 0 {
+					s.Hierarchy = append(s.Hierarchy, policy.Edge{Senior: roleName(prev), Junior: roleName(idx)})
+				}
+				prev = idx
+				last = idx
+				idx++
+			}
+			// Branch bottom inherits the shared clerk role.
+			s.Hierarchy = append(s.Hierarchy, policy.Edge{Senior: roleName(last), Junior: roleName(0)})
+			clerkLevel = append(clerkLevel, last)
+		}
+		for i := 0; i+1 < len(clerkLevel); i++ {
+			ssdEligible = append(ssdEligible, [2]int{clerkLevel[i], clerkLevel[i+1]})
+		}
+	}
+
+	// SoD relations over eligible pairs.
+	nssd := int(cfg.SSDFraction * float64(len(ssdEligible)))
+	for i := 0; i < nssd; i++ {
+		p := ssdEligible[i]
+		s.SSD = append(s.SSD, policy.SoD{
+			Name:  fmt.Sprintf("ssd%03d", i),
+			Roles: []string{roleName(p[0]), roleName(p[1])},
+			N:     2,
+		})
+	}
+	ndsd := int(cfg.DSDFraction * float64(len(ssdEligible)))
+	for i := 0; i < ndsd; i++ {
+		p := ssdEligible[i]
+		s.DSD = append(s.DSD, policy.SoD{
+			Name:  fmt.Sprintf("dsd%03d", i),
+			Roles: []string{roleName(p[0]), roleName(p[1])},
+			N:     2,
+		})
+	}
+
+	// Permissions.
+	for i := 0; i < cfg.Roles; i++ {
+		for p := 0; p < cfg.PermsPerRole; p++ {
+			s.Permissions = append(s.Permissions, policy.Perm{
+				Role:      roleName(i),
+				Operation: fmt.Sprintf("op%d", p%4),
+				Object:    fmt.Sprintf("obj-%03d-%d", i, p),
+			})
+		}
+	}
+
+	// Cardinality bounds.
+	if cfg.CardinalityEvery > 0 {
+		for i := 0; i < cfg.Roles; i += cfg.CardinalityEvery {
+			s.Cardinalities = append(s.Cardinalities, policy.Cardinality{Role: roleName(i), N: 1 + rng.Intn(3)})
+		}
+	}
+
+	// Users. Under XYZShape and with SSD under Flat, a user must not be
+	// authorized for two conflicting roles, so each user gets exactly
+	// one role; conflicted pairs take users on one side only.
+	conflicted := make(map[string]bool)
+	for _, set := range s.SSD {
+		for _, r := range set.Roles[1:] {
+			conflicted[r] = true
+		}
+	}
+	assignable := make([]string, 0, cfg.Roles)
+	for i := 0; i < cfg.Roles; i++ {
+		r := roleName(i)
+		if cfg.Shape == XYZShape && i != 0 && branchOf[i] == 0 {
+			continue
+		}
+		// Ancestors of conflicted roles are excluded under shapes with
+		// hierarchy only when they cover both sides; branch confinement
+		// already guarantees that for XYZShape, and Flat has no
+		// ancestors, so excluding direct members of the "second side"
+		// suffices.
+		if conflicted[r] {
+			continue
+		}
+		assignable = append(assignable, r)
+	}
+	if len(assignable) == 0 {
+		assignable = []string{roleName(0)}
+	}
+	for u := 0; u < cfg.Users; u++ {
+		s.Users = append(s.Users, policy.User{
+			Name:  fmt.Sprintf("u%04d", u),
+			Roles: []string{assignable[u%len(assignable)]},
+		})
+	}
+	return s
+}
+
+// MustEnterprise generates and validates; it panics if the generator
+// ever produces an inconsistent spec (a generator bug).
+func MustEnterprise(cfg EnterpriseConfig) *policy.Spec {
+	s := Enterprise(cfg)
+	if issues := policy.Check(s); policy.HasErrors(issues) {
+		panic(fmt.Sprintf("workload: generated inconsistent spec: %v", issues))
+	}
+	return s
+}

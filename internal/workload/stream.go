@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"activerbac/internal/baseline"
+	"activerbac/internal/policy"
+	"activerbac/internal/rbac"
+)
+
+// RequestKind enumerates the operations a request stream issues.
+type RequestKind int
+
+// Request kinds.
+const (
+	// CheckAccess asks whether the user's session may perform an
+	// operation on an object.
+	CheckAccess RequestKind = iota
+	// Activate adds a role to the user's session.
+	Activate
+	// Drop removes a role from the user's session.
+	Drop
+	// Assign and Deassign churn user-role assignments.
+	Assign
+	Deassign
+)
+
+// String implements fmt.Stringer.
+func (k RequestKind) String() string {
+	switch k {
+	case CheckAccess:
+		return "check"
+	case Activate:
+		return "activate"
+	case Drop:
+		return "drop"
+	case Assign:
+		return "assign"
+	case Deassign:
+		return "deassign"
+	default:
+		return fmt.Sprintf("RequestKind(%d)", int(k))
+	}
+}
+
+// Request is one operation in a stream.
+type Request struct {
+	Kind      RequestKind
+	User      rbac.UserID
+	Role      rbac.RoleID
+	Operation string
+	Object    string
+}
+
+// Mix sets the relative weights of request kinds in a stream.
+type Mix struct {
+	Check, Activate, Drop, Assign, Deassign int
+}
+
+// DefaultMix is a read-heavy enterprise profile.
+var DefaultMix = Mix{Check: 70, Activate: 12, Drop: 10, Assign: 4, Deassign: 4}
+
+// CheckOnlyMix measures the pure decision path.
+var CheckOnlyMix = Mix{Check: 1}
+
+// ActivateHeavyMix stresses the activation pipeline.
+var ActivateHeavyMix = Mix{Check: 20, Activate: 40, Drop: 40}
+
+func (m Mix) total() int { return m.Check + m.Activate + m.Drop + m.Assign + m.Deassign }
+
+// Stream generates n deterministic requests against the users, roles
+// and permissions of spec. Requests target the user's own assigned role
+// most of the time and a random role (often unauthorized — exercising
+// the deny path) the rest.
+func Stream(spec *policy.Spec, mix Mix, n int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	if mix.total() == 0 {
+		mix = DefaultMix
+	}
+	users := spec.Users
+	if len(users) == 0 {
+		return nil
+	}
+	reqs := make([]Request, 0, n)
+	pick := func() RequestKind {
+		v := rng.Intn(mix.total())
+		switch {
+		case v < mix.Check:
+			return CheckAccess
+		case v < mix.Check+mix.Activate:
+			return Activate
+		case v < mix.Check+mix.Activate+mix.Drop:
+			return Drop
+		case v < mix.Check+mix.Activate+mix.Drop+mix.Assign:
+			return Assign
+		default:
+			return Deassign
+		}
+	}
+	for i := 0; i < n; i++ {
+		u := users[rng.Intn(len(users))]
+		req := Request{Kind: pick(), User: rbac.UserID(u.Name)}
+		ownRole := ""
+		if len(u.Roles) > 0 {
+			ownRole = u.Roles[rng.Intn(len(u.Roles))]
+		}
+		targetRole := ownRole
+		if targetRole == "" || rng.Intn(10) == 0 { // 10%: foreign role
+			targetRole = spec.Roles[rng.Intn(len(spec.Roles))]
+		}
+		req.Role = rbac.RoleID(targetRole)
+		if req.Kind == CheckAccess {
+			if len(spec.Permissions) > 0 && rng.Intn(10) != 0 {
+				p := spec.Permissions[rng.Intn(len(spec.Permissions))]
+				req.Operation, req.Object = p.Operation, p.Object
+			} else { // 10%: unknown permission (deny path)
+				req.Operation, req.Object = "op-none", "obj-none"
+			}
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs
+}
+
+// Driver executes request streams against any Enforcer, keeping one
+// session per user (created on demand), and tallies outcomes. The same
+// driver runs the OWTE engine and the baseline, so benchmark
+// comparisons measure the engines, not the harness.
+type Driver struct {
+	enf      baseline.Enforcer
+	sessions map[rbac.UserID]rbac.SessionID
+
+	// Allowed / Denied tally CheckAccess outcomes; Errors tallies
+	// failed state-changing requests (activation denials and similar).
+	Allowed, Denied, Errors uint64
+}
+
+// NewDriver wraps an enforcer.
+func NewDriver(enf baseline.Enforcer) *Driver {
+	return &Driver{enf: enf, sessions: make(map[rbac.UserID]rbac.SessionID)}
+}
+
+// Session returns the user's session, creating it on first use.
+func (d *Driver) Session(u rbac.UserID) (rbac.SessionID, error) {
+	if sid, ok := d.sessions[u]; ok {
+		return sid, nil
+	}
+	sid, err := d.enf.CreateSession(u)
+	if err != nil {
+		return "", err
+	}
+	d.sessions[u] = sid
+	return sid, nil
+}
+
+// Run executes the requests in order.
+func (d *Driver) Run(reqs []Request) error {
+	for _, r := range reqs {
+		if err := d.Do(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do executes one request. Only harness-level failures (e.g. session
+// creation for an unknown user) return an error; authorization denials
+// are tallied.
+func (d *Driver) Do(r Request) error {
+	sid, err := d.Session(r.User)
+	if err != nil {
+		return fmt.Errorf("workload: session for %s: %w", r.User, err)
+	}
+	switch r.Kind {
+	case CheckAccess:
+		if d.enf.CheckAccess(sid, rbac.Permission{Operation: r.Operation, Object: r.Object}) {
+			d.Allowed++
+		} else {
+			d.Denied++
+		}
+	case Activate:
+		if err := d.enf.AddActiveRole(r.User, sid, r.Role); err != nil {
+			d.Errors++
+		}
+	case Drop:
+		if err := d.enf.DropActiveRole(r.User, sid, r.Role); err != nil {
+			d.Errors++
+		}
+	case Assign:
+		if err := d.enf.AssignUser(r.User, r.Role); err != nil {
+			d.Errors++
+		}
+	case Deassign:
+		if err := d.enf.DeassignUser(r.User, r.Role); err != nil {
+			d.Errors++
+		}
+	}
+	return nil
+}

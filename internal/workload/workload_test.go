@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"activerbac/internal/baseline"
+	"activerbac/internal/clock"
+	"activerbac/internal/policy"
+)
+
+func TestXYZMatchesPaper(t *testing.T) {
+	s := XYZ()
+	if len(s.Roles) != 5 || len(s.Hierarchy) != 4 || len(s.SSD) != 1 || len(s.Users) != 3 {
+		t.Fatalf("XYZ spec: %s", s)
+	}
+	if issues := policy.Check(s); len(issues) != 0 {
+		t.Fatalf("XYZ inconsistent: %v", issues)
+	}
+}
+
+func TestEnterpriseShapesConsistent(t *testing.T) {
+	shapes := []Shape{Flat, Chain, Tree, XYZShape}
+	for _, shape := range shapes {
+		for _, roles := range []int{1, 2, 5, 17, 64} {
+			cfg := EnterpriseConfig{
+				Roles: roles, Shape: shape, Branch: 3,
+				SSDFraction: 1, DSDFraction: 0.5,
+				Users: roles * 2, PermsPerRole: 2, CardinalityEvery: 5, Seed: 42,
+			}
+			s := Enterprise(cfg)
+			if issues := policy.Check(s); policy.HasErrors(issues) {
+				t.Fatalf("%s/%d inconsistent: %v", shape, roles, issues)
+			}
+			if len(s.Roles) != roles {
+				t.Fatalf("%s/%d: got %d roles", shape, roles, len(s.Roles))
+			}
+		}
+	}
+}
+
+func TestEnterpriseDeterministic(t *testing.T) {
+	cfg := EnterpriseConfig{Roles: 20, Shape: XYZShape, SSDFraction: 1, Users: 10, PermsPerRole: 2, Seed: 7}
+	a := Enterprise(cfg)
+	b := Enterprise(cfg)
+	if a.String() != b.String() || len(a.SSD) != len(b.SSD) || len(a.Users) != len(b.Users) {
+		t.Fatal("same seed produced different specs")
+	}
+}
+
+func TestEnterpriseShapeProperties(t *testing.T) {
+	chain := Enterprise(EnterpriseConfig{Roles: 10, Shape: Chain, Seed: 1})
+	if len(chain.Hierarchy) != 9 {
+		t.Fatalf("chain edges = %d", len(chain.Hierarchy))
+	}
+	flat := Enterprise(EnterpriseConfig{Roles: 10, Shape: Flat, Seed: 1})
+	if len(flat.Hierarchy) != 0 {
+		t.Fatalf("flat edges = %d", len(flat.Hierarchy))
+	}
+	tree := Enterprise(EnterpriseConfig{Roles: 10, Shape: Tree, Branch: 2, Seed: 1})
+	if len(tree.Hierarchy) != 9 {
+		t.Fatalf("tree edges = %d", len(tree.Hierarchy))
+	}
+	xyz := Enterprise(EnterpriseConfig{Roles: 11, Shape: XYZShape, Branch: 2, SSDFraction: 1, Seed: 1})
+	if len(xyz.SSD) == 0 {
+		t.Fatal("xyz shape produced no SSD sets at fraction 1")
+	}
+}
+
+func TestMustEnterprise(t *testing.T) {
+	// Smoke: the generator must hold its consistency promise across a
+	// seed sweep.
+	for seed := int64(0); seed < 20; seed++ {
+		MustEnterprise(EnterpriseConfig{
+			Roles: 30, Shape: XYZShape, Branch: 4,
+			SSDFraction: 1, DSDFraction: 1, Users: 50, PermsPerRole: 3,
+			CardinalityEvery: 7, Seed: seed,
+		})
+	}
+}
+
+func TestStreamDeterministicAndMixed(t *testing.T) {
+	spec := MustEnterprise(EnterpriseConfig{Roles: 10, Shape: Tree, Users: 20, PermsPerRole: 2, Seed: 3})
+	a := Stream(spec, DefaultMix, 500, 9)
+	b := Stream(spec, DefaultMix, 500, 9)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("stream lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	counts := map[RequestKind]int{}
+	for _, r := range a {
+		counts[r.Kind]++
+	}
+	if counts[CheckAccess] == 0 || counts[Activate] == 0 || counts[Drop] == 0 {
+		t.Fatalf("mix not represented: %v", counts)
+	}
+}
+
+func TestStreamEmptyUsers(t *testing.T) {
+	spec := &policy.Spec{Roles: []string{"a"}}
+	if got := Stream(spec, DefaultMix, 10, 1); got != nil {
+		t.Fatalf("stream for userless spec: %v", got)
+	}
+}
+
+func TestDriverAgainstBaseline(t *testing.T) {
+	spec := MustEnterprise(EnterpriseConfig{
+		Roles: 12, Shape: XYZShape, Branch: 3, SSDFraction: 1,
+		Users: 30, PermsPerRole: 2, Seed: 5,
+	})
+	sim := clock.NewSim(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+	eng, err := baseline.New(sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(eng)
+	if err := d.Run(Stream(spec, DefaultMix, 2000, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed == 0 || d.Denied == 0 {
+		t.Fatalf("unbalanced outcomes: allowed=%d denied=%d", d.Allowed, d.Denied)
+	}
+	// The store must stay consistent under the whole stream.
+	if errs := eng.Store().CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("invariants after stream: %v", errs)
+	}
+}
+
+func TestKindAndShapeStrings(t *testing.T) {
+	for k, want := range map[RequestKind]string{
+		CheckAccess: "check", Activate: "activate", Drop: "drop",
+		Assign: "assign", Deassign: "deassign",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	for s, want := range map[Shape]string{Flat: "flat", Chain: "chain", Tree: "tree", XYZShape: "xyz"} {
+		if s.String() != want {
+			t.Errorf("shape String = %q, want %q", s.String(), want)
+		}
+	}
+}
