@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the tier-1 gate from
+# ROADMAP.md: build, tests, race detector, vet.
+
+GO ?= go
+
+.PHONY: build test race vet check bench-smoke bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The lane-sharded engine is concurrent; the race detector is part of
+# the merge gate, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build test race vet
+
+# bench-smoke runs the cheap experiments to confirm the bench harness
+# still works; `make bench` regenerates everything (slow).
+bench-smoke: build
+	$(GO) run ./cmd/bench -exp F1
+	$(GO) run ./cmd/bench -exp E1P
+
+bench: build
+	$(GO) run ./cmd/bench
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_lanes.json

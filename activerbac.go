@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"activerbac/internal/clock"
@@ -101,6 +102,12 @@ func (e *DenialError) Error() string {
 // Unwrap makes errors.Is(err, ErrDenied) true.
 func (e *DenialError) Unwrap() error { return ErrDenied }
 
+// LanesAuto selects one enforcement lane per CPU.
+const LanesAuto = -1
+
+// LaneStat is a snapshot of one enforcement lane's counters.
+type LaneStat = event.LaneStat
+
 // Options configures Open.
 type Options struct {
 	// Clock drives all temporal behaviour; defaults to the real clock.
@@ -108,6 +115,25 @@ type Options struct {
 	// AuditPath, when set, opens an append-only audit log recording
 	// every rule firing and alert.
 	AuditPath string
+	// Lanes sets the enforcement lane count. 0 or 1 (the default)
+	// serializes all enforcement through one lane — the paper's single
+	// Sentinel+ detector thread, and the mode with fully deterministic
+	// event ordering. LanesAuto (or any n > 1) shards scope-local
+	// enforcement (per-session activation and access checks) over
+	// parallel lanes, keeping globalized rules (SoD, cardinality,
+	// temporal, security) on a single ordered global lane.
+	Lanes int
+}
+
+func (o *Options) laneCount() int {
+	switch {
+	case o.Lanes == LanesAuto:
+		return runtime.NumCPU()
+	case o.Lanes < 1:
+		return 1
+	default:
+		return o.Lanes
+	}
 }
 
 // System is the assembled authorization engine. All methods are safe
@@ -144,7 +170,7 @@ func openSpec(spec *policy.Spec, source string, opts *Options) (*System, error) 
 	if clk == nil {
 		clk = clock.NewReal()
 	}
-	eng := sentinel.NewEngine(clk)
+	eng := sentinel.NewEngine(clk, sentinel.WithLanes(opts.laneCount()))
 	gen, err := rulegen.New(eng)
 	if err != nil {
 		return nil, err
@@ -180,8 +206,23 @@ func openSpec(spec *policy.Spec, source string, opts *Options) (*System, error) 
 	return sys, nil
 }
 
-// Close releases resources (the audit log, if any).
+// Quiesce blocks until every enforcement lane is idle: all in-flight
+// decisions, rule cascades and deferred work have been processed. Used
+// by graceful shutdown and by tests that assert on cross-lane state.
+func (s *System) Quiesce() { s.gen.Engine().Quiesce() }
+
+// Lanes returns the configured enforcement lane count.
+func (s *System) Lanes() int { return s.gen.Engine().Detector().Lanes() }
+
+// LaneStats snapshots per-lane depth and throughput counters (global
+// lane first) for status endpoints and benchmarks.
+func (s *System) LaneStats() []LaneStat { return s.gen.Engine().LaneStats() }
+
+// Close releases resources (the audit log, if any) after quiescing the
+// enforcement lanes, so buffered audit records for in-flight decisions
+// are not lost.
 func (s *System) Close() error {
+	s.Quiesce()
 	if s.audit != nil {
 		return s.audit.Close()
 	}
@@ -200,8 +241,8 @@ func (s *System) decide(op, ev string, p event.Params) error {
 	if err != nil {
 		return err
 	}
-	if !dec.Allowed() {
-		return &DenialError{Op: op, Reason: dec.Reason()}
+	if allowed, reason := dec.Verdict(); !allowed {
+		return &DenialError{Op: op, Reason: reason}
 	}
 	return nil
 }
@@ -213,8 +254,8 @@ func (s *System) CreateSession(user UserID) (SessionID, error) {
 	if err != nil {
 		return "", err
 	}
-	if !dec.Allowed() {
-		return "", &DenialError{Op: "createSession", Reason: dec.Reason()}
+	if allowed, reason := dec.Verdict(); !allowed {
+		return "", &DenialError{Op: "createSession", Reason: reason}
 	}
 	sid, _ := dec.Result().(string)
 	return SessionID(sid), nil
@@ -272,11 +313,8 @@ func (s *System) ExplainAccess(sid SessionID, p Permission) Explanation {
 	if err != nil {
 		return Explanation{Reason: err.Error()}
 	}
-	ex := Explanation{Allowed: dec.Allowed(), Votes: dec.Votes()}
-	if !ex.Allowed {
-		ex.Reason = dec.Reason()
-	}
-	return ex
+	allowed, reason := dec.Verdict()
+	return Explanation{Allowed: allowed, Reason: reason, Votes: dec.Votes()}
 }
 
 // CheckAccessForPurpose is the privacy-aware decision (rule CAP1): core

@@ -6,14 +6,20 @@
 //
 // Usage:
 //
-//	bench [-exp all|F1|E1|E2|E3|E4|E5|E6|E7|E8|E9]
+//	bench [-exp all|F1|E1|E1P|E2|E3|E4|E5|E6|E7|E8|E9]
+//
+// E1P additionally writes BENCH_lanes.json with the parallel-throughput
+// series (checks/sec per goroutine count, for 1 lane and NumCPU lanes).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -30,7 +36,7 @@ import (
 var epoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, F1, E1..E9)")
+	exp := flag.String("exp", "all", "experiment to run (all, F1, E1, E1P, E2..E9)")
 	flag.Parse()
 	run := func(name string, fn func()) {
 		if *exp == "all" || strings.EqualFold(*exp, name) {
@@ -39,6 +45,7 @@ func main() {
 	}
 	run("F1", f1)
 	run("E1", e1)
+	run("E1P", e1p)
 	run("E2", e2)
 	run("E3", e3)
 	run("E4", e4)
@@ -151,6 +158,112 @@ func e1() {
 		o, base := measure(true), measure(false)
 		fmt.Printf("%-8d %12.0f %12.0f %7.1fx\n", roles, o, base, o/base)
 	}
+}
+
+// e1p: parallel CheckAccess throughput. The tentpole experiment for the
+// scope-sharded lane refactor: the same enterprise, driven by 1..64
+// client goroutines each hammering its own session, once on the classic
+// single-drain detector (lanes=1) and once sharded over NumCPU scope
+// lanes. Results are printed and written to BENCH_lanes.json.
+func e1p() {
+	header("E1P", "parallel CheckAccess throughput: enforcement lanes x client goroutines")
+	cfg := workload.EnterpriseConfig{
+		Roles: 64, Shape: workload.XYZShape, Branch: 4,
+		SSDFraction: 0.3, Users: 64, PermsPerRole: 3, Seed: 1,
+	}
+	spec := workload.MustEnterprise(cfg)
+	src := policy.Format(spec)
+
+	type point struct {
+		Lanes      int     `json:"lanes"`
+		Goroutines int     `json:"goroutines"`
+		Checks     int     `json:"checks"`
+		OpsPerSec  float64 `json:"ops_per_sec"`
+	}
+	var series []point
+	shard := runtime.NumCPU()
+	if shard < 2 {
+		// Single-CPU host: a NumCPU shard count would duplicate the
+		// lanes=1 series; still run the sharded router so the series
+		// records its routing overhead (no speedup is possible here).
+		shard = 4
+	}
+	fmt.Printf("%-8s %-12s %14s\n", "lanes", "goroutines", "checks/sec")
+	for _, lanes := range []int{1, shard} {
+		sys, err := activerbac.Open(src, &activerbac.Options{
+			Clock: clock.NewSim(epoch), Lanes: lanes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		// One session per user with the user's own (most junior assigned)
+		// role active, checking a permission that role actually grants —
+		// the steady-state allow path the paper's E1 measures, now with
+		// per-session scope keys the router can shard.
+		type client struct {
+			sid  activerbac.SessionID
+			perm activerbac.Permission
+		}
+		var clients []client
+		for _, u := range spec.Users {
+			if len(u.Roles) == 0 {
+				continue
+			}
+			role := u.Roles[0]
+			var perm activerbac.Permission
+			for _, p := range spec.Permissions {
+				if p.Role == role {
+					perm = activerbac.Permission{Operation: p.Operation, Object: p.Object}
+					break
+				}
+			}
+			if perm.Operation == "" {
+				continue
+			}
+			sid, err := sys.CreateSession(activerbac.UserID(u.Name))
+			if err != nil {
+				continue
+			}
+			if err := sys.AddActiveRole(activerbac.UserID(u.Name), sid, activerbac.RoleID(role)); err != nil {
+				continue
+			}
+			clients = append(clients, client{sid: sid, perm: perm})
+		}
+		if len(clients) == 0 {
+			fmt.Fprintln(os.Stderr, "bench: E1P: no runnable clients")
+			os.Exit(1)
+		}
+		for _, g := range []int{1, 4, 16, 64} {
+			const checksPerGoroutine = 4000
+			start := time.Now()
+			var wg sync.WaitGroup
+			for i := 0; i < g; i++ {
+				wg.Add(1)
+				go func(c client) {
+					defer wg.Done()
+					for j := 0; j < checksPerGoroutine; j++ {
+						sys.CheckAccess(c.sid, c.perm)
+					}
+				}(clients[i%len(clients)])
+			}
+			wg.Wait()
+			total := g * checksPerGoroutine
+			ops := float64(total) / time.Since(start).Seconds()
+			series = append(series, point{Lanes: lanes, Goroutines: g, Checks: total, OpsPerSec: ops})
+			fmt.Printf("%-8d %-12d %14.0f\n", lanes, g, ops)
+		}
+		sys.Close()
+	}
+	data, err := json.MarshalIndent(series, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_lanes.json", append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: BENCH_lanes.json:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_lanes.json")
 }
 
 // e2: operator detection throughput.

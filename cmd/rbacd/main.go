@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-snapshot state.json]
+//	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-snapshot state.json] [-lanes N]
 //
 // Endpoints (all JSON):
 //
@@ -30,17 +30,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"sync"
 	"syscall"
+	"time"
 
 	"activerbac"
 )
@@ -50,42 +53,74 @@ func main() {
 	policyPath := flag.String("policy", "", "path to the .acp policy (required)")
 	auditPath := flag.String("audit", "", "append-only audit log path (optional)")
 	snapshotPath := flag.String("snapshot", "", "state snapshot path, written on shutdown (optional)")
+	lanes := flag.Int("lanes", 0, "enforcement lanes: 0 = one per CPU, 1 = fully serialized")
 	flag.Parse()
 	if *policyPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *policyPath, *auditPath, *snapshotPath); err != nil {
+	if err := run(*addr, *policyPath, *auditPath, *snapshotPath, *lanes); err != nil {
 		log.Fatal("rbacd: ", err)
 	}
 }
 
-func run(addr, policyPath, auditPath, snapshotPath string) error {
-	opts := &activerbac.Options{AuditPath: auditPath}
+func run(addr, policyPath, auditPath, snapshotPath string, lanes int) error {
+	if lanes == 0 {
+		lanes = activerbac.LanesAuto
+	}
+	opts := &activerbac.Options{AuditPath: auditPath, Lanes: lanes}
 	sys, err := activerbac.OpenFile(policyPath, opts)
 	if err != nil {
 		return err
 	}
+	// Close quiesces the lanes once more and releases the audit log; it
+	// runs after the shutdown sequence below has drained everything.
 	defer sys.Close()
 
-	srv := &server{sys: sys}
-	httpSrv := &http.Server{Addr: addr, Handler: srv.routes()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+
+	srv := &server{sys: sys}
+	httpSrv := &http.Server{Handler: srv.routes()}
+	log.Printf("rbacd: serving on %s (policy %s, %d rules, %d lanes)",
+		ln.Addr(), policyPath, len(sys.Rules()), sys.Lanes())
+	return serve(sys, httpSrv, ln, done, snapshotPath)
+}
+
+// serve runs httpSrv on ln until a signal arrives, then shuts down
+// gracefully: stop accepting connections, let in-flight requests finish
+// (http.Server.Shutdown blocks until handlers return), quiesce the
+// enforcement lanes so every admitted request's rule cascade settles,
+// and only then write the snapshot. The audit log is closed afterwards
+// by the caller's sys.Close.
+func serve(sys *activerbac.System, httpSrv *http.Server, ln net.Listener,
+	signals <-chan os.Signal, snapshotPath string) error {
+	drained := make(chan struct{})
 	go func() {
-		<-done
-		if snapshotPath != "" {
-			if err := sys.SaveState(snapshotPath); err != nil {
-				log.Print("rbacd: snapshot: ", err)
-			}
+		<-signals
+		log.Print("rbacd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Print("rbacd: shutdown: ", err)
 		}
-		httpSrv.Close()
+		close(drained)
 	}()
 
-	log.Printf("rbacd: serving on %s (policy %s, %d rules)", addr, policyPath, len(sys.Rules()))
-	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	<-drained
+	sys.Quiesce()
+	if snapshotPath != "" {
+		if err := sys.SaveState(snapshotPath); err != nil {
+			log.Print("rbacd: snapshot: ", err)
+		}
 	}
 	return nil
 }
@@ -340,7 +375,11 @@ func (s *server) rules(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.system().Stats())
+	sys := s.system()
+	writeJSON(w, http.StatusOK, struct {
+		activerbac.Stats
+		Lanes []activerbac.LaneStat
+	}{sys.Stats(), sys.LaneStats()})
 }
 
 func (s *server) alerts(w http.ResponseWriter, _ *http.Request) {

@@ -3,9 +3,12 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -156,6 +159,140 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	var alerts []any
 	if code := call(t, srv, "GET", "/v1/alerts", "", &alerts); code != 200 || alerts == nil {
 		t.Fatalf("alerts: code=%d %v", code, alerts)
+	}
+}
+
+func TestStatsReportLanes(t *testing.T) {
+	sys, err := activerbac.Open(testPolicy, &activerbac.Options{
+		Clock: activerbac.NewSimClock(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)),
+		Lanes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := httptest.NewServer((&server{sys: sys}).routes())
+	t.Cleanup(srv.Close)
+
+	var sess struct {
+		Session string `json:"session"`
+	}
+	call(t, srv, "POST", "/v1/sessions", `{"user":"bob"}`, &sess)
+	var check struct {
+		Allowed bool `json:"allowed"`
+	}
+	call(t, srv, "GET", "/v1/check?session="+sess.Session+"&operation=read&object=lobby.txt", "", &check)
+
+	var stats struct {
+		Roles float64
+		Lanes []struct {
+			Lane      string
+			Enqueued  float64
+			Processed float64
+		}
+	}
+	if code := call(t, srv, "GET", "/v1/stats", "", &stats); code != 200 {
+		t.Fatalf("stats: code=%d", code)
+	}
+	if stats.Roles != 4 {
+		t.Fatalf("stats roles = %v", stats.Roles)
+	}
+	// Global lane plus 4 scope lanes, each with throughput counters; the
+	// traffic above must show up somewhere.
+	if len(stats.Lanes) != 5 || stats.Lanes[0].Lane != "global" {
+		t.Fatalf("lanes = %+v", stats.Lanes)
+	}
+	var processed float64
+	for _, l := range stats.Lanes {
+		if l.Processed != l.Enqueued {
+			t.Fatalf("lane %s not drained: %+v", l.Lane, l)
+		}
+		processed += l.Processed
+	}
+	if processed == 0 {
+		t.Fatal("no lane traffic recorded")
+	}
+}
+
+// TestGracefulShutdown proves an in-flight decision completes during
+// shutdown: a request is held inside the handler while SIGTERM-style
+// shutdown begins, then released; the client must still receive the
+// correct verdict and serve must return cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	sys, err := activerbac.Open(testPolicy, &activerbac.Options{
+		Clock: activerbac.NewSimClock(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)),
+		Lanes: activerbac.LanesAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+
+	var sess struct {
+		Session string `json:"session"`
+	}
+	pre := httptest.NewServer((&server{sys: sys}).routes())
+	call(t, pre, "POST", "/v1/sessions", `{"user":"bob"}`, &sess)
+	call(t, pre, "POST", "/v1/activate", `{"user":"bob","session":"`+sess.Session+`","role":"PC"}`, nil)
+	pre.Close()
+
+	inflight := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	inner := (&server{sys: sys}).routes()
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(inflight) })
+		<-release
+		inner.ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- serve(sys, &http.Server{Handler: handler}, ln, signals, "")
+	}()
+
+	type verdict struct {
+		code int
+		body string
+	}
+	got := make(chan verdict, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() +
+			"/v1/check?session=" + sess.Session + "&operation=write&object=po.dat")
+		if err != nil {
+			got <- verdict{code: -1, body: err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- verdict{code: resp.StatusCode, body: string(b)}
+	}()
+
+	<-inflight                   // the decision is now in-flight
+	signals <- os.Interrupt      // begin graceful shutdown
+	time.Sleep(50 * time.Millisecond)
+	close(release) // let the held handler proceed
+
+	select {
+	case v := <-got:
+		if v.code != 200 || !strings.Contains(v.body, `"allowed":true`) {
+			t.Fatalf("in-flight decision lost: code=%d body=%q", v.code, v.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after shutdown")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"activerbac/internal/event"
 )
@@ -13,14 +14,16 @@ import (
 // drain goroutine and must not block.
 type OutcomeListener func(Outcome)
 
-// ruleState wraps a Rule with pool-managed runtime state.
+// ruleState wraps a Rule with pool-managed runtime state. The firing
+// counters are atomic because rules on different scope lanes fire
+// concurrently.
 type ruleState struct {
 	rule    Rule
 	enabled bool
 	order   int // insertion order, tie-break after priority
-	fired   uint64
-	allowed uint64
-	denied  uint64
+	fired   atomic.Uint64
+	allowed atomic.Uint64
+	denied  atomic.Uint64
 }
 
 // RuleInfo is a read-only snapshot of one rule's state.
@@ -29,6 +32,7 @@ type RuleInfo struct {
 	On          string
 	Class       Class
 	Granularity Granularity
+	Scope       Scope
 	Priority    int
 	Tags        []string
 	Enabled     bool
@@ -42,26 +46,68 @@ type RuleInfo struct {
 
 // Pool holds the active authorization rules of one system — the paper's
 // "rule pool" — and wires them to an event detector. All state is
-// guarded by one mutex; rule firing happens on the detector's drain
-// goroutine.
+// guarded by one read/write mutex; rule firing happens on detector
+// lanes, concurrently across scopes when the detector is sharded.
 type Pool struct {
 	det *event.Detector
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	rules     map[string]*ruleState
 	byEvent   map[string][]*ruleState
 	subIDs    map[string]int // event name -> detector subscription id
 	listeners []OutcomeListener
 	nextOrder int
+
+	// scopeCache memoizes, per event name, whether every rule bound to
+	// the event is scope-local (the detector's routing advisor answer).
+	// Any rule registration or unregistration invalidates it.
+	scopeCache map[string]bool
 }
 
-// NewPool returns an empty rule pool bound to det.
+// NewPool returns an empty rule pool bound to det and installs the pool
+// as the detector's scope advisor, so lane routing follows the
+// granularity of the registered rules.
 func NewPool(det *event.Detector) *Pool {
-	return &Pool{
-		det:     det,
-		rules:   make(map[string]*ruleState),
-		byEvent: make(map[string][]*ruleState),
-		subIDs:  make(map[string]int),
+	p := &Pool{
+		det:        det,
+		rules:      make(map[string]*ruleState),
+		byEvent:    make(map[string][]*ruleState),
+		subIDs:     make(map[string]int),
+		scopeCache: make(map[string]bool),
+	}
+	det.SetScopeAdvisor(p.EventScopeLocal)
+	return p
+}
+
+// EventScopeLocal reports whether every rule currently bound to evt is
+// scope-local (no ScopeGlobal rule), i.e. whether occurrences of evt
+// may execute on a scope lane as far as the rule pool is concerned.
+// Answers are cached per event until the rule set changes.
+func (p *Pool) EventScopeLocal(evt string) bool {
+	p.mu.RLock()
+	v, ok := p.scopeCache[evt]
+	p.mu.RUnlock()
+	if ok {
+		return v
+	}
+	p.mu.Lock()
+	local := true
+	for _, st := range p.byEvent[evt] {
+		if !st.rule.Scope.Local() {
+			local = false
+			break
+		}
+	}
+	p.scopeCache[evt] = local
+	p.mu.Unlock()
+	return local
+}
+
+// invalidateScopeCacheLocked drops all memoized routing answers; caller
+// holds p.mu (write side).
+func (p *Pool) invalidateScopeCacheLocked() {
+	for k := range p.scopeCache {
+		delete(p.scopeCache, k)
 	}
 }
 
@@ -97,10 +143,14 @@ func (p *Pool) Add(r Rule) error {
 	p.nextOrder++
 	p.rules[r.Name] = st
 	p.byEvent[r.On] = insertOrdered(p.byEvent[r.On], st)
+	p.invalidateScopeCacheLocked()
 
 	if _, subscribed := p.subIDs[r.On]; !subscribed {
 		evt := r.On
-		id, err := p.det.Subscribe(evt, func(o *event.Occurrence) { p.fire(evt, o) })
+		// The pool subscription is scope-marked: whether the event may
+		// actually leave the global lane is decided per event by the
+		// EventScopeLocal advisor above.
+		id, err := p.det.SubscribeScoped(evt, func(o *event.Occurrence) { p.fire(evt, o) })
 		if err != nil {
 			// Undo the insert; Defined was checked above so this is
 			// unexpected, but keep the pool consistent.
@@ -153,6 +203,7 @@ func (p *Pool) Remove(name string) error {
 	}
 	delete(p.rules, name)
 	p.byEvent[st.rule.On] = removeRule(p.byEvent[st.rule.On], st)
+	p.invalidateScopeCacheLocked()
 	return nil
 }
 
@@ -170,6 +221,9 @@ func (p *Pool) RemoveByTag(tag string) int {
 			p.byEvent[st.rule.On] = removeRule(p.byEvent[st.rule.On], st)
 			n++
 		}
+	}
+	if n > 0 {
+		p.invalidateScopeCacheLocked()
 	}
 	return n
 }
@@ -204,15 +258,15 @@ func (p *Pool) SetEnabledByTag(tag string, enabled bool) int {
 
 // Len reports the number of rules in the pool.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return len(p.rules)
 }
 
 // Get returns a snapshot of one rule.
 func (p *Pool) Get(name string) (RuleInfo, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	st, ok := p.rules[name]
 	if !ok {
 		return RuleInfo{}, false
@@ -222,8 +276,8 @@ func (p *Pool) Get(name string) (RuleInfo, bool) {
 
 // Snapshot returns read-only info for every rule, sorted by name.
 func (p *Pool) Snapshot() []RuleInfo {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make([]RuleInfo, 0, len(p.rules))
 	for _, st := range p.rules {
 		out = append(out, st.info())
@@ -248,16 +302,17 @@ func (st *ruleState) info() RuleInfo {
 	}
 	return RuleInfo{
 		Name: r.Name, On: r.On, Class: r.Class, Granularity: r.Granularity,
-		Priority: r.Priority, Tags: append([]string(nil), r.Tags...),
-		Enabled: st.enabled, Fired: st.fired, Allowed: st.allowed, Denied: st.denied,
+		Scope: r.Scope, Priority: r.Priority, Tags: append([]string(nil), r.Tags...),
+		Enabled: st.enabled,
+		Fired:   st.fired.Load(), Allowed: st.allowed.Load(), Denied: st.denied.Load(),
 		Conditions: conds, Then: then, Else: els,
 	}
 }
 
 // fire runs every enabled rule bound to evt against occurrence o, in
-// priority order. Runs on the detector's drain goroutine.
+// priority order. Runs on a detector lane.
 func (p *Pool) fire(evt string, o *event.Occurrence) {
-	p.mu.Lock()
+	p.mu.RLock()
 	states := make([]*ruleState, 0, len(p.byEvent[evt]))
 	for _, st := range p.byEvent[evt] {
 		if st.enabled {
@@ -265,7 +320,7 @@ func (p *Pool) fire(evt string, o *event.Occurrence) {
 		}
 	}
 	listeners := append([]OutcomeListener(nil), p.listeners...)
-	p.mu.Unlock()
+	p.mu.RUnlock()
 
 	for _, st := range states {
 		out := p.runRule(st, o)
@@ -304,13 +359,11 @@ func (p *Pool) runRule(st *ruleState, o *event.Occurrence) Outcome {
 		}
 	}
 
-	p.mu.Lock()
-	st.fired++
+	st.fired.Add(1)
 	if out.Allowed {
-		st.allowed++
+		st.allowed.Add(1)
 	} else {
-		st.denied++
+		st.denied.Add(1)
 	}
-	p.mu.Unlock()
 	return out
 }

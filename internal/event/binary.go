@@ -22,13 +22,13 @@ type seqNode struct {
 	inits       []*Occurrence
 }
 
-func (n *seqNode) process(src node, occ *Occurrence, d *Detector) {
+func (n *seqNode) process(src node, occ *Occurrence, ex exec) {
 	if n.left == n.right {
 		// SEQ(E, E): an occurrence first tries to terminate a pending
 		// initiator; whether it also becomes an initiator depends on the
 		// mode (consuming modes use each occurrence in one role only;
 		// Recent keeps the latest occurrence initiating).
-		terminated := n.terminate(occ, d)
+		terminated := n.terminate(occ, ex)
 		if !terminated || n.mode == Recent {
 			n.store(occ)
 		}
@@ -36,7 +36,7 @@ func (n *seqNode) process(src node, occ *Occurrence, d *Detector) {
 	}
 	switch src {
 	case n.right:
-		n.terminate(occ, d)
+		n.terminate(occ, ex)
 	case n.left:
 		n.store(occ)
 	}
@@ -52,12 +52,12 @@ func (n *seqNode) store(occ *Occurrence) {
 
 // terminate pairs occ (a right-side occurrence) against pending
 // initiators; it reports whether at least one detection fired.
-func (n *seqNode) terminate(occ *Occurrence, d *Detector) bool {
+func (n *seqNode) terminate(occ *Occurrence, ex exec) bool {
 	eligible := func(init *Occurrence) bool { return init.End.Before(occ.Start) }
 	switch n.mode {
 	case Recent:
 		if len(n.inits) > 0 && eligible(n.inits[len(n.inits)-1]) {
-			d.deliver(n, compose(n.nm, 0, n.inits[len(n.inits)-1], occ))
+			ex.d.deliver(ex, n, compose(n.nm, 0, n.inits[len(n.inits)-1], occ))
 			return true
 		}
 	case Chronicle:
@@ -68,7 +68,7 @@ func (n *seqNode) terminate(occ *Occurrence, d *Detector) bool {
 				} else {
 					n.inits = append(n.inits[:i], n.inits[i+1:]...)
 				}
-				d.deliver(n, compose(n.nm, 0, init, occ))
+				ex.d.deliver(ex, n, compose(n.nm, 0, init, occ))
 				return true
 			}
 		}
@@ -86,7 +86,7 @@ func (n *seqNode) terminate(occ *Occurrence, d *Detector) bool {
 		if len(matched) > 0 {
 			n.inits = keep
 			for _, init := range matched {
-				d.deliver(n, compose(n.nm, 0, init, occ))
+				ex.d.deliver(ex, n, compose(n.nm, 0, init, occ))
 			}
 			fired = true
 		}
@@ -103,7 +103,7 @@ func (n *seqNode) terminate(occ *Occurrence, d *Detector) bool {
 		if len(matched) > 0 {
 			n.inits = keep
 			parts := append(matched, occ)
-			d.deliver(n, compose(n.nm, 0, parts...))
+			ex.d.deliver(ex, n, compose(n.nm, 0, parts...))
 			return true
 		}
 	}
@@ -119,10 +119,10 @@ type andNode struct {
 	lbuf, rbuf  []*Occurrence
 }
 
-func (n *andNode) process(src node, occ *Occurrence, d *Detector) {
+func (n *andNode) process(src node, occ *Occurrence, ex exec) {
 	if n.left == n.right {
 		// AND(E, E): pair consecutive occurrences from one buffer.
-		if n.pair(&n.lbuf, occ, d) {
+		if n.pair(&n.lbuf, occ, ex) {
 			return
 		}
 		n.storeSide(&n.lbuf, occ)
@@ -137,7 +137,7 @@ func (n *andNode) process(src node, occ *Occurrence, d *Detector) {
 	default:
 		return
 	}
-	if n.pair(opposite, occ, d) {
+	if n.pair(opposite, occ, ex) {
 		return
 	}
 	n.storeSide(own, occ)
@@ -152,7 +152,7 @@ func (n *andNode) storeSide(buf *[]*Occurrence, occ *Occurrence) {
 
 // pair matches occ (acting as terminator) against the opposite buffer;
 // it reports whether a detection fired.
-func (n *andNode) pair(opposite *[]*Occurrence, occ *Occurrence, d *Detector) bool {
+func (n *andNode) pair(opposite *[]*Occurrence, occ *Occurrence, ex exec) bool {
 	buf := *opposite
 	if len(buf) == 0 {
 		return false
@@ -160,23 +160,23 @@ func (n *andNode) pair(opposite *[]*Occurrence, occ *Occurrence, d *Detector) bo
 	switch n.mode {
 	case Recent:
 		// Latest opposite remains for future pairings.
-		d.deliver(n, compose(n.nm, 0, buf[len(buf)-1], occ))
+		ex.d.deliver(ex, n, compose(n.nm, 0, buf[len(buf)-1], occ))
 		return true
 	case Chronicle:
 		init := buf[0]
 		*opposite = buf[1:]
-		d.deliver(n, compose(n.nm, 0, init, occ))
+		ex.d.deliver(ex, n, compose(n.nm, 0, init, occ))
 		return true
 	case Continuous:
 		*opposite = nil
 		for _, init := range buf {
-			d.deliver(n, compose(n.nm, 0, init, occ))
+			ex.d.deliver(ex, n, compose(n.nm, 0, init, occ))
 		}
 		return true
 	case Cumulative:
 		*opposite = nil
 		parts := append(append([]*Occurrence{}, buf...), occ)
-		d.deliver(n, compose(n.nm, 0, parts...))
+		ex.d.deliver(ex, n, compose(n.nm, 0, parts...))
 		return true
 	}
 	return false

@@ -4,24 +4,25 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"activerbac/internal/clock"
 )
 
 // Handler is invoked for every detected occurrence of a subscribed event.
-// Handlers run on the detector's drain goroutine and must not block; they
-// may call Raise, Defer, Define, or Subscribe (cascaded events are queued
-// and processed after the current propagation completes).
+// Handlers run on a detector lane and must not block; they may call
+// Raise, RaiseFrom, Defer, Define, or Subscribe (cascaded events are
+// queued and processed after the current propagation completes).
 type Handler func(*Occurrence)
 
 // node is a vertex in the event graph. Node *state* (pending occurrence
-// buffers) is only touched by the drain goroutine; node *structure*
+// buffers) is only touched by the global lane's drain; node *structure*
 // (parent lists) is guarded by the detector's structure lock.
 type node interface {
 	name() string
 	// process handles an occurrence delivered from src (one of the
-	// node's declared children). Runs on the drain goroutine only.
-	process(src node, occ *Occurrence, d *Detector)
+	// node's declared children). Runs on the global lane only.
+	process(src node, occ *Occurrence, ex exec)
 	// addParent subscribes an operator node to this node's detections.
 	// Caller holds the detector's structure lock.
 	addParent(p node)
@@ -58,58 +59,106 @@ type primitiveNode struct {
 	baseNode
 }
 
-func (n *primitiveNode) process(node, *Occurrence, *Detector) {
+func (n *primitiveNode) process(node, *Occurrence, exec) {
 	// Primitives have no children; nothing delivers to them.
 }
 
-// Detector owns an event graph and serializes all occurrence propagation
-// through an internal queue: Raise may be called from any goroutine —
-// including from handlers and from clock timer callbacks — and exactly
-// one goroutine at a time drains the queue, so operator-node state needs
-// no locking. This mirrors the single event-detector thread of the
-// paper's Sentinel+ system.
+// subEntry is one subscription. scoped marks handlers whose state is
+// partitioned by ScopeKey (rule-pool subscriptions); an event with any
+// unscoped subscriber always runs on the global lane.
+type subEntry struct {
+	h      Handler
+	scoped bool
+}
+
+// Detector owns an event graph and propagates occurrences through drain
+// lanes. In the default single-lane configuration every occurrence is
+// serialized through one global lane — the single event-detector thread
+// of the paper's Sentinel+ system, and the mode the deterministic tests
+// pin. With WithLanes(n>1) the detector adds n scope lanes: an
+// occurrence carrying a ScopeKey whose event is entirely scope-local
+// (no composite parents, every subscriber scope-marked, and the scope
+// advisor — fed by rule granularity — approves) runs on the lane its
+// key hashes to, concurrently with other scopes, while everything else
+// (composite operators, SoD oracles, cardinality counters, security
+// monitors, temporal ticks) keeps global-lane ordering.
 type Detector struct {
 	clk clock.Clock
 
-	// smu guards graph structure: the name maps, subscriber maps, and
-	// node parent lists. It is never held while user code runs.
-	smu    sync.RWMutex
-	nodes  map[string]node
-	subs   map[string]map[int]Handler
-	anon   int
-	subSeq int
+	// smu guards graph structure: the name maps, subscriber maps, node
+	// parent lists, and the scope advisor. It is never held while user
+	// code runs.
+	smu     sync.RWMutex
+	nodes   map[string]node
+	subs    map[string]map[int]subEntry
+	anon    int
+	subSeq  int
+	advisor func(eventName string) bool
 
-	// emu serializes drain execution (operator-node state).
-	emu sync.Mutex
+	// global serializes cross-scope propagation; scoped (empty in
+	// single-lane mode) partitions scope-local propagation by key hash.
+	global *lane
+	scoped []*lane
+	lanes  int // configured lane count (1 = classic single drain)
 
-	// qmu guards the delivery queue and drain ownership; quiet is
-	// signalled (broadcast) whenever a drain completes.
-	qmu      sync.Mutex
-	quiet    *sync.Cond
-	queue    []func(*Detector)
-	draining bool
-
-	// counters below are touched only on the drain goroutine.
-	seq      uint64
-	raised   uint64
-	detected uint64
+	seq      atomic.Uint64
+	raised   atomic.Uint64
+	detected atomic.Uint64
 	maxCade  int // cascade safety bound per drain
 }
 
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithLanes sets the lane count. n <= 1 (the default) selects the
+// classic fully-serialized single drain; n > 1 adds n scope lanes next
+// to the global lane.
+func WithLanes(n int) Option {
+	return func(d *Detector) {
+		if n < 1 {
+			n = 1
+		}
+		d.lanes = n
+	}
+}
+
 // New returns a Detector whose temporal operators schedule on clk.
-func New(clk clock.Clock) *Detector {
+func New(clk clock.Clock, opts ...Option) *Detector {
 	d := &Detector{
 		clk:     clk,
 		nodes:   make(map[string]node),
-		subs:    make(map[string]map[int]Handler),
+		subs:    make(map[string]map[int]subEntry),
+		lanes:   1,
 		maxCade: 1 << 20,
 	}
-	d.quiet = sync.NewCond(&d.qmu)
+	for _, o := range opts {
+		o(d)
+	}
+	d.global = newLane(d, "global")
+	if d.lanes > 1 {
+		d.scoped = make([]*lane, d.lanes)
+		for i := range d.scoped {
+			d.scoped[i] = newLane(d, fmt.Sprintf("scope-%d", i))
+		}
+	}
 	return d
 }
 
 // Clock returns the clock the detector schedules temporal events on.
 func (d *Detector) Clock() clock.Clock { return d.clk }
+
+// Lanes returns the configured lane count (1 in single-drain mode).
+func (d *Detector) Lanes() int { return d.lanes }
+
+// SetScopeAdvisor installs the routing oracle consulted for scope-keyed
+// occurrences: it reports whether every rule on the named event is
+// scope-local. A nil advisor (the default) lets subscriber marking alone
+// decide. The rule pool installs one derived from rule granularity.
+func (d *Detector) SetScopeAdvisor(f func(eventName string) bool) {
+	d.smu.Lock()
+	d.advisor = f
+	d.smu.Unlock()
+}
 
 // DefinePrimitive registers a primitive (simple) event name. It is
 // idempotent for primitives but fails if the name is already bound to a
@@ -164,8 +213,22 @@ func (d *Detector) Events() []string {
 
 // Subscribe registers h to run on every detection of the named event and
 // returns a subscription id for Unsubscribe. The event must already be
-// defined.
+// defined. A plain subscription pins the event to the global lane; use
+// SubscribeScoped for handlers safe to run on scope lanes.
 func (d *Detector) Subscribe(name string, h Handler) (int, error) {
+	return d.subscribe(name, h, false)
+}
+
+// SubscribeScoped registers h like Subscribe but marks the handler
+// scope-safe: its observable state is partitioned by the occurrence
+// ScopeKey, so it may run on a scope lane concurrently with other
+// scopes. Only subscribe rule machinery that is per-user/per-session
+// this way.
+func (d *Detector) SubscribeScoped(name string, h Handler) (int, error) {
+	return d.subscribe(name, h, true)
+}
+
+func (d *Detector) subscribe(name string, h Handler, scoped bool) (int, error) {
 	d.smu.Lock()
 	defer d.smu.Unlock()
 	if _, ok := d.nodes[name]; !ok {
@@ -175,10 +238,10 @@ func (d *Detector) Subscribe(name string, h Handler) (int, error) {
 	id := d.subSeq
 	m := d.subs[name]
 	if m == nil {
-		m = make(map[int]Handler)
+		m = make(map[int]subEntry)
 		d.subs[name] = m
 	}
-	m[id] = h
+	m[id] = subEntry{h: h, scoped: scoped}
 	return id, nil
 }
 
@@ -192,28 +255,98 @@ func (d *Detector) Unsubscribe(name string, id int) {
 	}
 }
 
-// Raise injects an occurrence of a primitive event stamped with the
-// detector clock's current instant and the given parameters, then
-// propagates it (and any cascaded events) to completion, unless a drain
-// is already in progress on another goroutine — in that case the
-// occurrence is queued behind it.
-func (d *Detector) Raise(name string, p Params) error {
+// resolvePrimitive looks up name and checks it is raisable.
+func (d *Detector) resolvePrimitive(name string) (*primitiveNode, error) {
 	d.smu.RLock()
 	n, ok := d.nodes[name]
 	d.smu.RUnlock()
 	if !ok {
-		return fmt.Errorf("event: raise of undefined event %q", name)
+		return nil, fmt.Errorf("event: raise of undefined event %q", name)
 	}
 	prim, ok := n.(*primitiveNode)
 	if !ok {
-		return fmt.Errorf("event: cannot raise composite event %q directly", name)
+		return nil, fmt.Errorf("event: cannot raise composite event %q directly", name)
 	}
+	return prim, nil
+}
 
+// laneFor picks the lane an occurrence of prim with the given scope key
+// runs on. Everything routes to the global lane except scope-keyed
+// occurrences of events that are provably scope-local: the node has no
+// composite parents, every subscriber is scope-marked, and the scope
+// advisor (rule granularity) approves.
+func (d *Detector) laneFor(prim node, scope string) *lane {
+	if len(d.scoped) == 0 || scope == "" {
+		return d.global
+	}
+	d.smu.RLock()
+	local := len(prim.parentsOf()) == 0
+	if local {
+		for _, e := range d.subs[prim.name()] {
+			if !e.scoped {
+				local = false
+				break
+			}
+		}
+	}
+	adv := d.advisor
+	d.smu.RUnlock()
+	if !local || (adv != nil && !adv(prim.name())) {
+		return d.global
+	}
+	return d.scoped[fnv1a(scope)%uint32(len(d.scoped))]
+}
+
+// fnv1a is the 32-bit FNV-1a hash, used to shard scope keys over lanes.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Raise injects an occurrence of a primitive event stamped with the
+// detector clock's current instant and the given parameters, then
+// propagates it (and any cascaded events) to completion, unless a drain
+// is already in progress on its lane — in that case the occurrence is
+// queued behind it.
+func (d *Detector) Raise(name string, p Params) error {
+	return d.raise(name, p, "", nil)
+}
+
+// RaiseScoped is Raise with an explicit scope key, allowing the
+// occurrence to run on a scope lane when its event is scope-local.
+func (d *Detector) RaiseScoped(name string, p Params, scope string) error {
+	return d.raise(name, p, scope, nil)
+}
+
+// RaiseFrom raises a cascaded event from inside a handler processing
+// parent: the new occurrence inherits parent's scope key and joins
+// parent's request cascade, so a RaiseSync waiting on that request does
+// not return until the cascaded occurrence — possibly on another lane —
+// has been fully processed. Rule actions that re-enter the event system
+// (role-activation fan-out, cardinality rollbacks) must use this instead
+// of Raise to keep synchronous enforcement exact across lanes.
+func (d *Detector) RaiseFrom(parent *Occurrence, name string, p Params) error {
+	if parent == nil {
+		return d.raise(name, p, "", nil)
+	}
+	return d.raise(name, p, parent.Scope, parent.casc)
+}
+
+func (d *Detector) raise(name string, p Params, scope string, casc *cascade) error {
+	prim, err := d.resolvePrimitive(name)
+	if err != nil {
+		return err
+	}
 	now := d.clk.Now()
-	d.enqueue(func(det *Detector) {
-		det.raised++
-		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone()}
-		det.deliver(prim, occ)
+	ln := d.laneFor(prim, scope)
+	ln.post(casc, func(ex exec) {
+		ex.d.raised.Add(1)
+		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone(), Scope: scope}
+		ex.d.deliver(ex, prim, occ)
 	})
 	return nil
 }
@@ -225,92 +358,102 @@ func (d *Detector) MustRaise(name string, p Params) {
 	}
 }
 
-// Defer queues fn to run on the drain goroutine after the current
+// Defer queues fn to run on the global lane after the current
 // propagation step; handlers use it to sequence work after the cascade
 // in flight.
 func (d *Detector) Defer(fn func()) {
-	d.enqueue(func(*Detector) { fn() })
+	d.global.post(nil, func(exec) { fn() })
 }
 
 // RaiseSync raises a primitive event like Raise and then blocks until
 // the occurrence *and every cascade it triggered* have been fully
-// processed (the detector reached a quiescent point after the item ran).
-// It is how synchronous request/response enforcement (CheckAccess,
-// AddActiveRole) is built on the asynchronous rule machinery.
+// processed (its lane reached a quiescent point after the item and all
+// cross-lane RaiseFrom descendants ran). It is how synchronous
+// request/response enforcement (CheckAccess, AddActiveRole) is built on
+// the asynchronous rule machinery.
 //
 // RaiseSync must not be called from inside a handler — a handler runs on
-// the drain goroutine, and waiting there for the drain to finish would
-// deadlock. Handlers cascade with plain Raise instead.
+// a drain, and waiting there for the drain to finish would deadlock.
+// Handlers cascade with RaiseFrom (or Raise) instead.
 func (d *Detector) RaiseSync(name string, p Params) error {
-	d.smu.RLock()
-	n, ok := d.nodes[name]
-	d.smu.RUnlock()
-	if !ok {
-		return fmt.Errorf("event: raise of undefined event %q", name)
-	}
-	prim, ok := n.(*primitiveNode)
-	if !ok {
-		return fmt.Errorf("event: cannot raise composite event %q directly", name)
-	}
+	return d.RaiseSyncScoped(name, p, "")
+}
 
-	now := d.clk.Now()
-	processed := make(chan struct{})
-	d.enqueue(func(det *Detector) {
-		det.raised++
-		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone()}
-		det.deliver(prim, occ)
-		close(processed)
-	})
-	<-processed
-	// The item ran; now wait for the drain that ran it (or a later one)
-	// to go quiet, which guarantees the item's cascades completed.
-	d.qmu.Lock()
-	for d.draining {
-		d.quiet.Wait()
+// RaiseSyncScoped is RaiseSync with an explicit scope key; enforcement
+// engines stamp the requesting session/user here so independent scopes
+// proceed in parallel.
+func (d *Detector) RaiseSyncScoped(name string, p Params, scope string) error {
+	prim, err := d.resolvePrimitive(name)
+	if err != nil {
+		return err
 	}
-	d.qmu.Unlock()
+	now := d.clk.Now()
+	ln := d.laneFor(prim, scope)
+	casc := newCascade()
+	ln.post(casc, func(ex exec) {
+		ex.d.raised.Add(1)
+		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone(), Scope: scope}
+		ex.d.deliver(ex, prim, occ)
+	})
+	// First wait for the request's own cascade (which may hop lanes via
+	// RaiseFrom), then for the lane that ran it to go quiet — the latter
+	// preserves the seed's guarantee that same-lane work batched behind
+	// the request (plain Raise from handlers, Defer) also completed.
+	casc.wait()
+	ln.awaitQuiet()
 	return nil
 }
 
-// enqueue appends a work item and drains the queue unless another
-// goroutine is already draining (that goroutine will pick the item up).
-func (d *Detector) enqueue(fn func(*Detector)) {
-	d.qmu.Lock()
-	d.queue = append(d.queue, fn)
-	if d.draining {
-		d.qmu.Unlock()
-		return
-	}
-	d.draining = true
-	d.qmu.Unlock()
-
-	d.emu.Lock()
-	steps := 0
+// Quiesce blocks until every lane is idle: no queued work and no drain
+// in progress anywhere. Because a draining lane can post to another
+// lane (scope → global escalation, cascaded raises), it re-checks until
+// a full pass observes no new work.
+func (d *Detector) Quiesce() {
+	all := d.allLanes()
 	for {
-		d.qmu.Lock()
-		if len(d.queue) == 0 || steps >= d.maxCade {
-			d.queue = d.queue[:0]
-			d.draining = false
-			d.quiet.Broadcast()
-			d.qmu.Unlock()
-			break
+		before := d.totalEnqueued(all)
+		for _, ln := range all {
+			ln.awaitQuiet()
 		}
-		next := d.queue[0]
-		d.queue = d.queue[1:]
-		d.qmu.Unlock()
-		steps++
-		next(d)
+		if d.totalEnqueued(all) == before {
+			return
+		}
 	}
-	d.emu.Unlock()
+}
+
+func (d *Detector) allLanes() []*lane {
+	out := make([]*lane, 0, len(d.scoped)+1)
+	out = append(out, d.global)
+	out = append(out, d.scoped...)
+	return out
+}
+
+func (d *Detector) totalEnqueued(lanes []*lane) uint64 {
+	var n uint64
+	for _, ln := range lanes {
+		n += ln.enqueued.Load()
+	}
+	return n
+}
+
+// LaneStats snapshots per-lane counters (global lane first) for status
+// endpoints and benchmarks.
+func (d *Detector) LaneStats() []LaneStat {
+	all := d.allLanes()
+	out := make([]LaneStat, 0, len(all))
+	for _, ln := range all {
+		out = append(out, ln.stat())
+	}
+	return out
 }
 
 // deliver assigns a sequence number to occ, runs subscribers of the
 // source node's event, and propagates to parent operator nodes. Runs on
-// the drain goroutine only.
-func (d *Detector) deliver(src node, occ *Occurrence) {
-	d.seq++
-	occ.Seq = d.seq
-	d.detected++
+// a lane drain only.
+func (d *Detector) deliver(ex exec, src node, occ *Occurrence) {
+	occ.Seq = d.seq.Add(1)
+	d.detected.Add(1)
+	occ.casc = ex.casc
 
 	d.smu.RLock()
 	handlers := d.snapshotHandlers(src.name())
@@ -320,8 +463,22 @@ func (d *Detector) deliver(src node, occ *Occurrence) {
 	for _, h := range handlers {
 		h(occ)
 	}
+	if len(parents) == 0 {
+		return
+	}
+	if ex.ln != d.global {
+		// The node gained a composite parent after routing (a policy
+		// change mid-flight): operator state lives on the global lane,
+		// so escalate the propagation there, keeping the cascade.
+		d.global.post(ex.casc, func(gex exec) {
+			for _, p := range parents {
+				p.process(src, occ, gex)
+			}
+		})
+		return
+	}
 	for _, p := range parents {
-		p.process(src, occ, d)
+		p.process(src, occ, ex)
 	}
 }
 
@@ -339,7 +496,7 @@ func (d *Detector) snapshotHandlers(name string) []Handler {
 	sort.Ints(ids)
 	hs := make([]Handler, 0, len(ids))
 	for _, id := range ids {
-		hs = append(hs, m[id])
+		hs = append(hs, m[id].h)
 	}
 	return hs
 }
@@ -358,7 +515,7 @@ func (d *Detector) Stats() Stats {
 	d.smu.RLock()
 	events := len(d.nodes)
 	d.smu.RUnlock()
-	return Stats{Raised: d.raised, Detected: d.detected, Events: events}
+	return Stats{Raised: d.raised.Load(), Detected: d.detected.Load(), Events: events}
 }
 
 // anonName synthesizes a unique name for an unnamed operator node; caller

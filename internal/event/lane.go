@@ -1,0 +1,196 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// A cascade tracks one synchronous enforcement request and every work
+// item transitively spawned from it, across any number of lanes: the
+// initial occurrence, rule firings, and the events those firings raise
+// with RaiseFrom. RaiseSync waits for the cascade to settle, which is
+// what lets a request that hops lanes (a scope-lane activation whose
+// cardinality rule runs on the global lane) still return only after its
+// whole rule cascade has voted.
+//
+// Membership is monotone: items may only join while at least one item
+// of the cascade is still pending, so once the counter reaches zero it
+// stays settled and late joiners (e.g. a timer firing long after the
+// request completed) are refused and simply run untracked.
+type cascade struct {
+	mu      sync.Mutex
+	pending int
+	settled bool
+	done    chan struct{}
+}
+
+func newCascade() *cascade {
+	return &cascade{done: make(chan struct{})}
+}
+
+// join registers one more pending item; it reports false when the
+// cascade has already settled (the item then runs untracked).
+func (c *cascade) join() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.settled {
+		return false
+	}
+	c.pending++
+	return true
+}
+
+// leave marks one item complete, settling the cascade when it was the
+// last one.
+func (c *cascade) leave() {
+	c.mu.Lock()
+	c.pending--
+	if c.pending == 0 && !c.settled {
+		c.settled = true
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+// wait blocks until the cascade settles.
+func (c *cascade) wait() { <-c.done }
+
+// exec is the execution context of one drain item: the detector, the
+// lane the item runs on, and the cascade (if any) it belongs to. It is
+// threaded through occurrence delivery so that composite detections and
+// cascaded raises stay attributed to the right lane and cascade.
+type exec struct {
+	d    *Detector
+	ln   *lane
+	casc *cascade
+}
+
+// item is one queued unit of drain work.
+type item struct {
+	fn   func(exec)
+	casc *cascade
+}
+
+// lane is one drain pipeline: a FIFO work queue plus the
+// caller-drains discipline the seed detector used globally — whichever
+// goroutine enqueues onto an idle lane drains it to empty, and exactly
+// one goroutine at a time drains a given lane, so state touched only
+// from that lane's items needs no locking. A sharded Detector owns
+// several scope lanes (each serializing one partition of the key space)
+// and one global lane (serializing everything that observes
+// cross-request state: composite operators, globalized rules).
+type lane struct {
+	d    *Detector
+	name string
+
+	// qmu guards the queue and drain ownership; quiet is broadcast
+	// whenever a drain completes.
+	qmu      sync.Mutex
+	quiet    *sync.Cond
+	queue    []item
+	draining bool
+	maxDepth int
+
+	// emu serializes drain execution on this lane.
+	emu sync.Mutex
+
+	enqueued  atomic.Uint64
+	processed atomic.Uint64
+}
+
+func newLane(d *Detector, name string) *lane {
+	ln := &lane{d: d, name: name}
+	ln.quiet = sync.NewCond(&ln.qmu)
+	return ln
+}
+
+// post appends a work item and drains the lane unless another goroutine
+// is already draining it (that goroutine will pick the item up). When c
+// is non-nil the item joins the cascade; a settled cascade is not
+// revived — the item then runs untracked.
+func (ln *lane) post(c *cascade, fn func(exec)) {
+	if c != nil && !c.join() {
+		c = nil
+	}
+	ln.enqueued.Add(1)
+	ln.qmu.Lock()
+	ln.queue = append(ln.queue, item{fn: fn, casc: c})
+	if d := len(ln.queue); d > ln.maxDepth {
+		ln.maxDepth = d
+	}
+	if ln.draining {
+		ln.qmu.Unlock()
+		return
+	}
+	ln.draining = true
+	ln.qmu.Unlock()
+	ln.drain()
+}
+
+// drain runs queued items to exhaustion (or the cascade safety bound).
+// Caller must have won drain ownership (set draining under qmu).
+func (ln *lane) drain() {
+	ln.emu.Lock()
+	steps := 0
+	for {
+		ln.qmu.Lock()
+		if len(ln.queue) == 0 || steps >= ln.d.maxCade {
+			// On cascade-bound overflow the remaining items are dropped
+			// (a runaway-rule safety valve, as in the seed detector);
+			// release their cascades so no waiter deadlocks.
+			for _, it := range ln.queue {
+				if it.casc != nil {
+					it.casc.leave()
+				}
+			}
+			ln.queue = ln.queue[:0]
+			ln.draining = false
+			ln.quiet.Broadcast()
+			ln.qmu.Unlock()
+			break
+		}
+		next := ln.queue[0]
+		ln.queue = ln.queue[1:]
+		ln.qmu.Unlock()
+		steps++
+		next.fn(exec{d: ln.d, ln: ln, casc: next.casc})
+		if next.casc != nil {
+			next.casc.leave()
+		}
+		ln.processed.Add(1)
+	}
+	ln.emu.Unlock()
+}
+
+// awaitQuiet blocks until the lane has no drain in progress and no
+// queued work.
+func (ln *lane) awaitQuiet() {
+	ln.qmu.Lock()
+	for ln.draining || len(ln.queue) > 0 {
+		ln.quiet.Wait()
+	}
+	ln.qmu.Unlock()
+}
+
+// LaneStat is a snapshot of one lane's counters for status endpoints.
+type LaneStat struct {
+	// Lane names the pipeline ("global", "scope-0", ...).
+	Lane string
+	// Enqueued and Processed count work items over the lane's lifetime.
+	Enqueued, Processed uint64
+	// Depth is the current queue length; MaxDepth the high-water mark.
+	Depth, MaxDepth int
+}
+
+func (ln *lane) stat() LaneStat {
+	ln.qmu.Lock()
+	depth, maxDepth := len(ln.queue), ln.maxDepth
+	ln.qmu.Unlock()
+	return LaneStat{
+		Lane:      ln.name,
+		Enqueued:  ln.enqueued.Load(),
+		Processed: ln.processed.Load(),
+		Depth:     depth,
+		MaxDepth:  maxDepth,
+	}
+}

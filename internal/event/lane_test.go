@@ -1,0 +1,255 @@
+package event
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"activerbac/internal/clock"
+)
+
+var laneEpoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+// TestSingleLaneHasNoScopeLanes pins the compatibility mode: the default
+// detector is the classic single drain, scope keys notwithstanding.
+func TestSingleLaneHasNoScopeLanes(t *testing.T) {
+	d := New(clock.NewSim(laneEpoch))
+	if d.Lanes() != 1 {
+		t.Fatalf("Lanes() = %d, want 1", d.Lanes())
+	}
+	stats := d.LaneStats()
+	if len(stats) != 1 || stats[0].Lane != "global" {
+		t.Fatalf("LaneStats() = %+v, want just the global lane", stats)
+	}
+	d.MustPrimitive("e")
+	var got string
+	if _, err := d.SubscribeScoped("e", func(o *Occurrence) { got = o.Scope }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RaiseSyncScoped("e", nil, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if got != "s1" {
+		t.Fatalf("handler saw scope %q, want s1", got)
+	}
+	if stats := d.LaneStats(); stats[0].Processed == 0 {
+		t.Fatalf("global lane idle after raise: %+v", stats)
+	}
+}
+
+// TestScopeRoutingUsesScopeLanes checks that a scope-keyed occurrence of
+// a fully scope-local event (no composite parents, only scoped
+// subscribers) runs on a scope lane, not the global one.
+func TestScopeRoutingUsesScopeLanes(t *testing.T) {
+	d := New(clock.NewSim(laneEpoch), WithLanes(4))
+	if got := len(d.LaneStats()); got != 5 {
+		t.Fatalf("lane count = %d, want 5 (global + 4)", got)
+	}
+	d.MustPrimitive("e")
+	var mu sync.Mutex
+	seen := map[string]int{}
+	if _, err := d.SubscribeScoped("e", func(o *Occurrence) {
+		mu.Lock()
+		seen[o.Scope]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := d.RaiseSyncScoped("e", nil, fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("saw %d scopes, want 16", len(seen))
+	}
+	stats := d.LaneStats()
+	if stats[0].Processed != 0 {
+		t.Fatalf("global lane processed %d items, want 0: %+v", stats[0].Processed, stats)
+	}
+	var scoped uint64
+	for _, ls := range stats[1:] {
+		scoped += ls.Processed
+	}
+	if scoped != 16 {
+		t.Fatalf("scope lanes processed %d items, want 16: %+v", scoped, stats)
+	}
+}
+
+// TestUnscopedSubscriberPinsGlobal: one plain Subscribe on the event
+// forces every occurrence — scope-keyed or not — onto the global lane.
+func TestUnscopedSubscriberPinsGlobal(t *testing.T) {
+	d := New(clock.NewSim(laneEpoch), WithLanes(4))
+	d.MustPrimitive("e")
+	if _, err := d.SubscribeScoped("e", func(*Occurrence) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe("e", func(*Occurrence) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RaiseSyncScoped("e", nil, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	stats := d.LaneStats()
+	if stats[0].Processed != 1 {
+		t.Fatalf("global lane processed %d, want 1: %+v", stats[0].Processed, stats)
+	}
+	for _, ls := range stats[1:] {
+		if ls.Processed != 0 {
+			t.Fatalf("scope lane carried pinned event: %+v", stats)
+		}
+	}
+}
+
+// TestCompositeParentPinsGlobal: an event feeding a composite operator
+// keeps global ordering even with only scoped subscribers.
+func TestCompositeParentPinsGlobal(t *testing.T) {
+	d := New(clock.NewSim(laneEpoch), WithLanes(4))
+	d.MustPrimitive("a")
+	d.MustPrimitive("b")
+	d.MustDefine("ab", MustParse("SEQ(a, b)"))
+	if _, err := d.SubscribeScoped("a", func(*Occurrence) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RaiseSyncScoped("a", nil, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if stats := d.LaneStats(); stats[0].Processed != 1 {
+		t.Fatalf("global lane processed %d, want 1: %+v", stats[0].Processed, stats)
+	}
+}
+
+// TestScopeAdvisorVeto: the rule-granularity oracle can pin an otherwise
+// scope-local event to the global lane.
+func TestScopeAdvisorVeto(t *testing.T) {
+	d := New(clock.NewSim(laneEpoch), WithLanes(4))
+	d.SetScopeAdvisor(func(string) bool { return false })
+	d.MustPrimitive("e")
+	if _, err := d.SubscribeScoped("e", func(*Occurrence) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RaiseSyncScoped("e", nil, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if stats := d.LaneStats(); stats[0].Processed != 1 {
+		t.Fatalf("advisor veto ignored: %+v", stats)
+	}
+}
+
+// TestCrossLaneCascadeIsSynchronous: a handler on a scope lane cascades
+// via RaiseFrom into an event pinned to the global lane; RaiseSyncScoped
+// must not return before the cross-lane descendant ran.
+func TestCrossLaneCascadeIsSynchronous(t *testing.T) {
+	d := New(clock.NewSim(laneEpoch), WithLanes(4))
+	d.MustPrimitive("e")
+	d.MustPrimitive("f")
+	var fRan bool // plain bool: -race verifies the happens-before edge
+	if _, err := d.Subscribe("f", func(*Occurrence) { fRan = true }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SubscribeScoped("e", func(o *Occurrence) {
+		if err := d.RaiseFrom(o, "f", nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RaiseSyncScoped("e", nil, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if !fRan {
+		t.Fatal("RaiseSyncScoped returned before the cross-lane cascade completed")
+	}
+	stats := d.LaneStats()
+	if stats[0].Processed == 0 {
+		t.Fatalf("cascade did not reach the global lane: %+v", stats)
+	}
+	var scoped uint64
+	for _, ls := range stats[1:] {
+		scoped += ls.Processed
+	}
+	if scoped == 0 {
+		t.Fatalf("request did not run on a scope lane: %+v", stats)
+	}
+}
+
+// TestScopeLanesRunConcurrently drives many scopes from many goroutines.
+// Each scope's handler mutates that scope's plain (unsynchronized)
+// counter — under -race this fails if the router ever runs one scope's
+// occurrences on two lanes at once or leaks another scope's work into
+// the handler.
+func TestScopeLanesRunConcurrently(t *testing.T) {
+	const scopes, perScope = 32, 50
+	d := New(clock.NewSim(laneEpoch), WithLanes(8))
+	d.MustPrimitive("e")
+	counts := make([]int, scopes) // index i owned by scope si's lane
+	if _, err := d.SubscribeScoped("e", func(o *Occurrence) {
+		counts[o.Params["i"].(int)]++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < scopes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scope := fmt.Sprintf("s%d", i)
+			for j := 0; j < perScope; j++ {
+				if err := d.RaiseSyncScoped("e", Params{"i": i}, scope); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	d.Quiesce()
+	for i, n := range counts {
+		if n != perScope {
+			t.Fatalf("scope %d handled %d occurrences, want %d", i, n, perScope)
+		}
+	}
+	stats := d.LaneStats()
+	for _, ls := range stats {
+		if ls.Depth != 0 {
+			t.Fatalf("lane %s not drained after Quiesce: %+v", ls.Lane, ls)
+		}
+	}
+	if stats[0].Processed != 0 {
+		t.Fatalf("scope traffic leaked to the global lane: %+v", stats)
+	}
+}
+
+// TestQuiesceDrainsCrossLaneWork: handlers fire-and-forget into another
+// lane; Quiesce must not return until that secondary work is done too.
+func TestQuiesceDrainsCrossLaneWork(t *testing.T) {
+	d := New(clock.NewSim(laneEpoch), WithLanes(4))
+	d.MustPrimitive("e")
+	d.MustPrimitive("g")
+	var mu sync.Mutex
+	var gRuns int
+	if _, err := d.Subscribe("g", func(*Occurrence) {
+		mu.Lock()
+		gRuns++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SubscribeScoped("e", func(o *Occurrence) {
+		_ = d.Raise("g", nil) // plain Raise: global lane, no cascade link
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := d.RaiseScoped("e", nil, fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if gRuns != 8 {
+		t.Fatalf("after Quiesce, g ran %d times, want 8", gRuns)
+	}
+}

@@ -9,8 +9,8 @@ type orNode struct {
 	children []node
 }
 
-func (n *orNode) process(_ node, occ *Occurrence, d *Detector) {
-	d.deliver(n, compose(n.nm, 0, occ))
+func (n *orNode) process(_ node, occ *Occurrence, ex exec) {
+	ex.d.deliver(ex, n, compose(n.nm, 0, occ))
 }
 
 // notNode detects NOT(a, b, c): an occurrence of a followed by an
@@ -24,7 +24,7 @@ type notNode struct {
 	inits   []*Occurrence
 }
 
-func (n *notNode) process(src node, occ *Occurrence, d *Detector) {
+func (n *notNode) process(src node, occ *Occurrence, ex exec) {
 	// Role priority for shared children: invalidator, then terminator,
 	// then initiator. A single occurrence may act in several roles when
 	// children alias (e.g. NOT(A, B, A)).
@@ -35,7 +35,7 @@ func (n *notNode) process(src node, occ *Occurrence, d *Detector) {
 		}
 	}
 	if src == n.c {
-		n.terminate(occ, d)
+		n.terminate(occ, ex)
 		if n.c != n.a {
 			return
 		}
@@ -60,12 +60,12 @@ func (n *notNode) invalidate(b *Occurrence) {
 	n.inits = keep
 }
 
-func (n *notNode) terminate(occ *Occurrence, d *Detector) {
+func (n *notNode) terminate(occ *Occurrence, ex exec) {
 	eligible := func(init *Occurrence) bool { return init.End.Before(occ.Start) }
 	switch n.mode {
 	case Recent:
 		if len(n.inits) > 0 && eligible(n.inits[len(n.inits)-1]) {
-			d.deliver(n, compose(n.nm, 0, n.inits[len(n.inits)-1], occ))
+			ex.d.deliver(ex, n, compose(n.nm, 0, n.inits[len(n.inits)-1], occ))
 		}
 	case Chronicle:
 		for i, init := range n.inits {
@@ -75,7 +75,7 @@ func (n *notNode) terminate(occ *Occurrence, d *Detector) {
 				} else {
 					n.inits = append(n.inits[:i], n.inits[i+1:]...)
 				}
-				d.deliver(n, compose(n.nm, 0, init, occ))
+				ex.d.deliver(ex, n, compose(n.nm, 0, init, occ))
 				return
 			}
 		}
@@ -90,7 +90,7 @@ func (n *notNode) terminate(occ *Occurrence, d *Detector) {
 		}
 		n.inits = keep
 		for _, init := range matched {
-			d.deliver(n, compose(n.nm, 0, init, occ))
+			ex.d.deliver(ex, n, compose(n.nm, 0, init, occ))
 		}
 	case Cumulative:
 		var keep, matched []*Occurrence
@@ -103,7 +103,7 @@ func (n *notNode) terminate(occ *Occurrence, d *Detector) {
 		}
 		if len(matched) > 0 {
 			n.inits = keep
-			d.deliver(n, compose(n.nm, 0, append(matched, occ)...))
+			ex.d.deliver(ex, n, compose(n.nm, 0, append(matched, occ)...))
 		}
 	}
 }
@@ -121,7 +121,7 @@ type anyNode struct {
 	order    []node
 }
 
-func (n *anyNode) process(src node, occ *Occurrence, d *Detector) {
+func (n *anyNode) process(src node, occ *Occurrence, ex exec) {
 	if n.got == nil {
 		n.got = make(map[node]*Occurrence, len(n.children))
 	}
@@ -140,7 +140,7 @@ func (n *anyNode) process(src node, occ *Occurrence, d *Detector) {
 		}
 		n.got = nil
 		n.order = nil
-		d.deliver(n, compose(n.nm, 0, parts...))
+		ex.d.deliver(ex, n, compose(n.nm, 0, parts...))
 	}
 }
 

@@ -91,8 +91,18 @@ type Occurrence struct {
 	// was built from, in detection order. Nil for primitive events.
 	Constituents []*Occurrence
 	// Seq is a detector-assigned sequence number; total order of
-	// detection within one Detector.
+	// detection within one Detector (per-lane order only when the
+	// detector runs multiple lanes).
 	Seq uint64
+	// Scope is the sharding key the occurrence was raised under (the
+	// requesting session or user), empty for unscoped events. It is
+	// carried outside Params so parameter rendering and golden logs are
+	// unchanged by routing.
+	Scope string
+
+	// casc links the occurrence to the synchronous request cascade it
+	// belongs to, so RaiseFrom can attribute cascaded raises.
+	casc *cascade
 }
 
 // At reports the point timestamp for point occurrences and the interval
@@ -116,6 +126,7 @@ func compose(name string, seq uint64, parts ...*Occurrence) *Occurrence {
 		return &Occurrence{Event: name, Seq: seq}
 	}
 	start, end := parts[0].Start, parts[0].End
+	scope := parts[0].Scope
 	var params Params
 	for _, p := range parts {
 		if p.Start.Before(start) {
@@ -123,6 +134,9 @@ func compose(name string, seq uint64, parts ...*Occurrence) *Occurrence {
 		}
 		if p.End.After(end) {
 			end = p.End
+		}
+		if p.Scope != scope {
+			scope = "" // constituents span scopes: composite is unscoped
 		}
 		params = params.Merge(p.Params)
 	}
@@ -135,6 +149,7 @@ func compose(name string, seq uint64, parts ...*Occurrence) *Occurrence {
 		Params:       params,
 		Constituents: kids,
 		Seq:          seq,
+		Scope:        scope,
 	}
 }
 

@@ -24,7 +24,7 @@ type plusNode struct {
 	pending map[uint64]clock.Timer
 }
 
-func (n *plusNode) process(_ node, occ *Occurrence, d *Detector) {
+func (n *plusNode) process(_ node, occ *Occurrence, ex exec) {
 	if n.pending == nil {
 		n.pending = make(map[uint64]clock.Timer)
 	}
@@ -37,19 +37,22 @@ func (n *plusNode) process(_ node, occ *Occurrence, d *Detector) {
 	n.gen++
 	g := n.gen
 	deadline := occ.End.Add(n.delta)
-	n.pending[g] = d.clk.At(deadline, func() {
-		d.enqueue(func(det *Detector) { n.fire(g, occ, det) })
+	det := ex.d
+	n.pending[g] = det.clk.At(deadline, func() {
+		// Timer callbacks fire off-lane; operator state belongs to the
+		// global lane, so the detection step is posted there.
+		det.global.post(nil, func(tex exec) { n.fire(g, occ, tex) })
 	})
 }
 
 // fire runs on the drain goroutine when a PLUS deadline elapses.
-func (n *plusNode) fire(g uint64, started *Occurrence, d *Detector) {
+func (n *plusNode) fire(g uint64, started *Occurrence, ex exec) {
 	if _, ok := n.pending[g]; !ok {
 		return // superseded or cancelled
 	}
 	delete(n.pending, g)
-	now := d.clk.Now()
-	d.deliver(n, &Occurrence{
+	now := ex.d.clk.Now()
+	ex.d.deliver(ex, n, &Occurrence{
 		Event:        n.nm,
 		Start:        started.Start,
 		End:          now,
@@ -76,16 +79,16 @@ type aperiodicNode struct {
 	windows    []*aperiodicWindow
 }
 
-func (n *aperiodicNode) process(src node, occ *Occurrence, d *Detector) {
+func (n *aperiodicNode) process(src node, occ *Occurrence, ex exec) {
 	// Role priority for aliased children: middle, terminator, starter.
 	if src == n.b {
-		n.middle(occ, d)
+		n.middle(occ, ex)
 		if src != n.c && src != n.a {
 			return
 		}
 	}
 	if src == n.c {
-		n.terminate(occ, d)
+		n.terminate(occ, ex)
 		if src != n.a {
 			return
 		}
@@ -124,17 +127,17 @@ func (n *aperiodicNode) selected(occ *Occurrence) []*aperiodicWindow {
 	}
 }
 
-func (n *aperiodicNode) middle(occ *Occurrence, d *Detector) {
+func (n *aperiodicNode) middle(occ *Occurrence, ex exec) {
 	for _, w := range n.selected(occ) {
 		if n.cumulative {
 			w.mids = append(w.mids, occ)
 		} else {
-			d.deliver(n, compose(n.nm, 0, w.starter, occ))
+			ex.d.deliver(ex, n, compose(n.nm, 0, w.starter, occ))
 		}
 	}
 }
 
-func (n *aperiodicNode) terminate(occ *Occurrence, d *Detector) {
+func (n *aperiodicNode) terminate(occ *Occurrence, ex exec) {
 	closing := n.selected(occ)
 	if len(closing) == 0 {
 		return
@@ -161,7 +164,7 @@ func (n *aperiodicNode) terminate(occ *Occurrence, d *Detector) {
 			}
 			parts := append([]*Occurrence{w.starter}, w.mids...)
 			parts = append(parts, occ)
-			d.deliver(n, compose(n.nm, 0, parts...))
+			ex.d.deliver(ex, n, compose(n.nm, 0, parts...))
 		}
 	}
 }
@@ -191,19 +194,19 @@ type periodicNode struct {
 	order      []uint64
 }
 
-func (n *periodicNode) process(src node, occ *Occurrence, d *Detector) {
+func (n *periodicNode) process(src node, occ *Occurrence, ex exec) {
 	if src == n.c {
-		n.terminate(occ, d)
+		n.terminate(occ, ex)
 		if src != n.a {
 			return
 		}
 	}
 	if src == n.a {
-		n.start(occ, d)
+		n.start(occ, ex)
 	}
 }
 
-func (n *periodicNode) start(occ *Occurrence, d *Detector) {
+func (n *periodicNode) start(occ *Occurrence, ex exec) {
 	if n.windows == nil {
 		n.windows = make(map[uint64]*periodicWindow)
 	}
@@ -220,24 +223,25 @@ func (n *periodicNode) start(occ *Occurrence, d *Detector) {
 	w := &periodicWindow{starter: occ, gen: n.gen, first: occ.End}
 	n.windows[w.gen] = w
 	n.order = append(n.order, w.gen)
-	n.arm(w, occ.End.Add(n.tau), d)
+	n.arm(w, occ.End.Add(n.tau), ex)
 }
 
-func (n *periodicNode) arm(w *periodicWindow, at time.Time, d *Detector) {
+func (n *periodicNode) arm(w *periodicWindow, at time.Time, ex exec) {
 	g := w.gen
-	w.timer = d.clk.At(at, func() {
-		d.enqueue(func(det *Detector) { n.tick(g, at, det) })
+	det := ex.d
+	w.timer = det.clk.At(at, func() {
+		det.global.post(nil, func(tex exec) { n.tick(g, at, tex) })
 	})
 }
 
 // tick runs on the drain goroutine at each period boundary.
-func (n *periodicNode) tick(g uint64, at time.Time, d *Detector) {
+func (n *periodicNode) tick(g uint64, at time.Time, ex exec) {
 	w, ok := n.windows[g]
 	if !ok {
 		return // window closed before the queued tick ran
 	}
 	w.ticks++
-	n.arm(w, at.Add(n.tau), d)
+	n.arm(w, at.Add(n.tau), ex)
 	if n.cumulative {
 		return
 	}
@@ -246,7 +250,7 @@ func (n *periodicNode) tick(g uint64, at time.Time, d *Detector) {
 		params = Params{}
 	}
 	params["tick"] = w.ticks
-	d.deliver(n, &Occurrence{
+	ex.d.deliver(ex, n, &Occurrence{
 		Event:        n.nm,
 		Start:        at,
 		End:          at,
@@ -255,7 +259,7 @@ func (n *periodicNode) tick(g uint64, at time.Time, d *Detector) {
 	})
 }
 
-func (n *periodicNode) terminate(occ *Occurrence, d *Detector) {
+func (n *periodicNode) terminate(occ *Occurrence, ex exec) {
 	var closing []uint64
 	for _, g := range n.order {
 		w, ok := n.windows[g]
@@ -284,7 +288,7 @@ func (n *periodicNode) terminate(occ *Occurrence, d *Detector) {
 				params = Params{}
 			}
 			params["ticks"] = w.ticks
-			d.deliver(n, &Occurrence{
+			ex.d.deliver(ex, n, &Occurrence{
 				Event:        n.nm,
 				Start:        w.starter.Start,
 				End:          occ.End,

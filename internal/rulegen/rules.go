@@ -58,6 +58,7 @@ func (g *Generator) generateGlobalRules() error {
 	if err := pool.Add(core.Rule{
 		Name: "CA1", On: EvCheckAccess,
 		Class: core.ActivityControl, Granularity: core.Globalized,
+		Scope: core.ScopeSession,
 		Tags: []string{TagGlobal, TagCritical},
 		When: []core.Condition{
 			core.BoolCond("sessionId IN sessionL", func(o *event.Occurrence) bool {
@@ -79,6 +80,7 @@ func (g *Generator) generateGlobalRules() error {
 	if err := pool.Add(core.Rule{
 		Name: "CAP1", On: EvCheckPurposeAccess,
 		Class: core.ActivityControl, Granularity: core.Globalized,
+		Scope: core.ScopeSession,
 		Tags: []string{TagGlobal, TagCritical},
 		When: []core.Condition{
 			core.BoolCond("sessionId IN sessionL", func(o *event.Occurrence) bool {
@@ -153,6 +155,7 @@ func (g *Generator) generateGlobalRules() error {
 	if err := pool.Add(core.Rule{
 		Name: "ADM.createSession", On: EvCreateSession,
 		Class: core.Administrative, Granularity: core.Globalized,
+		Scope: core.ScopeUser,
 		Tags: []string{TagGlobal},
 		When: []core.Condition{
 			core.BoolCond("user IN userL", func(o *event.Occurrence) bool {
@@ -183,6 +186,7 @@ func (g *Generator) generateGlobalRules() error {
 	return pool.Add(core.Rule{
 		Name: "ADM.deleteSession", On: EvDeleteSession,
 		Class: core.Administrative, Granularity: core.Globalized,
+		Scope: core.ScopeSession,
 		Tags: []string{TagGlobal},
 		When: []core.Condition{
 			core.BoolCond("sessionId IN sessionL", func(o *event.Occurrence) bool {
@@ -206,7 +210,7 @@ func (g *Generator) generateGlobalRules() error {
 				// Notify per-role listeners (duration timers, Rule 9)
 				// that the activations ended.
 				for _, r := range roles {
-					_ = g.eng.Detector().Raise(gtrbac.EvSessionRoleDropped, event.Params{
+					_ = g.eng.Detector().RaiseFrom(o, gtrbac.EvSessionRoleDropped, event.Params{
 						"user": string(user), "session": string(sid),
 						"role": string(r), "reason": "session-deleted",
 					})
@@ -310,10 +314,19 @@ func (g *Generator) generateRole(role rbac.RoleID) error {
 			}))
 	}
 	aarName := fmt.Sprintf("AAR%d.%s", variant, role)
+	// Activation touches only the requesting session's state, so it is
+	// session-scoped — unless a condition reads cross-scope state (CFD
+	// activation dependencies, environmental context), which pins the
+	// rule (and with it the role's activation event) to the global lane.
+	aarScope := core.ScopeSession
+	if node.CFD || len(ctxReqs) > 0 {
+		aarScope = core.ScopeGlobal
+	}
 	if err := pool.Add(core.Rule{
 		Name: aarName, On: EvAddActiveRole(role),
 		Class: core.ActivityControl, Granularity: core.Localized,
-		Tags: []string{tag},
+		Scope: aarScope,
+		Tags:  []string{tag},
 		When: conds,
 		Then: []core.Action{
 			core.Act(fmt.Sprintf("addSessionRole%s(sessionId)", role), func(o *event.Occurrence) error {
@@ -321,7 +334,7 @@ func (g *Generator) generateRole(role rbac.RoleID) error {
 			}),
 			allow(aarName),
 			core.Act(fmt.Sprintf("raise %s", EvRoleActivated(role)), func(o *event.Occurrence) error {
-				return det.Raise(EvRoleActivated(role), o.Params)
+				return det.RaiseFrom(o, EvRoleActivated(role), o.Params)
 			}),
 			core.Act("raise "+gtrbac.EvSessionRoleAdded, func(o *event.Occurrence) error {
 				p := o.Params.Clone()
@@ -329,7 +342,7 @@ func (g *Generator) generateRole(role rbac.RoleID) error {
 					p = event.Params{}
 				}
 				p["role"] = string(role)
-				return det.Raise(gtrbac.EvSessionRoleAdded, p)
+				return det.RaiseFrom(o, gtrbac.EvSessionRoleAdded, p)
 			}),
 		},
 		Else: []core.Action{g.deny(aarName, "Access Denied Cannot Activate")},
@@ -358,7 +371,7 @@ func (g *Generator) generateRole(role rbac.RoleID) error {
 					p := o.Params.Clone()
 					p["role"] = string(role)
 					p["reason"] = "cardinality-rollback"
-					return det.Raise(gtrbac.EvSessionRoleDropped, p)
+					return det.RaiseFrom(o, gtrbac.EvSessionRoleDropped, p)
 				}),
 				g.deny(ccName, "Maximum Number of Roles Reached"),
 			},
@@ -372,7 +385,8 @@ func (g *Generator) generateRole(role rbac.RoleID) error {
 	if err := pool.Add(core.Rule{
 		Name: darName, On: EvDropActiveRole(role),
 		Class: core.ActivityControl, Granularity: core.Localized,
-		Tags: []string{tag},
+		Scope: core.ScopeSession,
+		Tags:  []string{tag},
 		When: []core.Condition{
 			core.BoolCond("sessionId IN checkUserSessions(user)", func(o *event.Occurrence) bool {
 				return st.CheckUserSession(userOf(o), sessionOf(o))
@@ -392,7 +406,7 @@ func (g *Generator) generateRole(role rbac.RoleID) error {
 					p = event.Params{}
 				}
 				p["role"] = string(role)
-				return det.Raise(gtrbac.EvSessionRoleDropped, p)
+				return det.RaiseFrom(o, gtrbac.EvSessionRoleDropped, p)
 			}),
 		},
 		Else: []core.Action{g.deny(darName, "Access Denied Cannot Deactivate")},
@@ -469,7 +483,7 @@ func (g *Generator) generateRole(role rbac.RoleID) error {
 						if err := st.RawDropSessionRole(sid, role); err != nil {
 							continue
 						}
-						_ = det.Raise(gtrbac.EvSessionRoleDropped, event.Params{
+						_ = det.RaiseFrom(o, gtrbac.EvSessionRoleDropped, event.Params{
 							"user": string(user), "session": string(sid),
 							"role": string(role), "reason": "context-changed",
 						})
@@ -512,7 +526,8 @@ func (g *Generator) generateSpecializedRules(spec *policy.Spec) error {
 		if err := pool.Add(core.Rule{
 			Name: name, On: gtrbac.EvSessionRoleAdded,
 			Class: core.ActivityControl, Granularity: core.Specialized,
-			Tags: []string{TagUser(user)},
+			Scope: core.ScopeUser,
+			Tags:  []string{TagUser(user)},
 			When: []core.Condition{
 				core.BoolCond(fmt.Sprintf("user != %s OR activeRoles <= %d", m.User, m.N), func(o *event.Occurrence) bool {
 					if userOf(o) != user {
@@ -528,7 +543,7 @@ func (g *Generator) generateSpecializedRules(spec *policy.Spec) error {
 					_ = st.RawDropSessionRole(sessionOf(o), role)
 					p := o.Params.Clone()
 					p["reason"] = "maxroles-rollback"
-					return det.Raise(gtrbac.EvSessionRoleDropped, p)
+					return det.RaiseFrom(o, gtrbac.EvSessionRoleDropped, p)
 				}),
 				g.deny(name, "Maximum Number of Active Roles Reached"),
 			},

@@ -102,20 +102,40 @@ func (d *Decision) Reason() string {
 	return ""
 }
 
+// Verdict reports the aggregate verdict and the matching deny reason
+// under one lock acquisition, so a vote recorded between the two reads
+// cannot produce an inconsistent pair (an allow with a deny reason, or
+// vice versa). Reason is "" when allowed.
+func (d *Decision) Verdict() (allowed bool, reason string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.votes) == 0 {
+		return false, "no applicable rule"
+	}
+	for _, v := range d.votes {
+		if !v.Allow {
+			return false, v.Reason
+		}
+	}
+	return true, ""
+}
+
 // Err converts a denial into an error (nil when allowed).
 func (d *Decision) Err() error {
-	if d.Allowed() {
+	allowed, reason := d.Verdict()
+	if allowed {
 		return nil
 	}
-	return fmt.Errorf("sentinel: denied: %s", d.Reason())
+	return fmt.Errorf("sentinel: denied: %s", reason)
 }
 
 // String renders the decision for logs.
 func (d *Decision) String() string {
-	if d.Allowed() {
+	allowed, reason := d.Verdict()
+	if allowed {
 		return "ALLOW"
 	}
-	return "DENY (" + d.Reason() + ")"
+	return "DENY (" + reason + ")"
 }
 
 // DecisionOf extracts the Decision travelling with an occurrence, if
@@ -141,9 +161,27 @@ type Engine struct {
 	env     *Env
 }
 
+// EngineOption configures a new Engine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	lanes int
+}
+
+// WithLanes sets the detector lane count: 1 (the default) is the
+// classic fully-serialized Sentinel+ drain; n > 1 shards scope-local
+// enforcement over n parallel lanes next to the global lane.
+func WithLanes(n int) EngineOption {
+	return func(c *engineConfig) { c.lanes = n }
+}
+
 // NewEngine builds an empty engine on the given clock.
-func NewEngine(clk clock.Clock) *Engine {
-	det := event.New(clk)
+func NewEngine(clk clock.Clock, opts ...EngineOption) *Engine {
+	cfg := engineConfig{lanes: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	det := event.New(clk, event.WithLanes(cfg.lanes))
 	return &Engine{
 		clk:     clk,
 		det:     det,
@@ -174,7 +212,9 @@ func (e *Engine) Monitor() *ExternalMonitor { return e.monitor }
 
 // Decide raises an enforcement event carrying a fresh Decision and
 // blocks until the rule cascade settles, returning the verdict. The
-// caller's params are not mutated.
+// caller's params are not mutated. The occurrence is stamped with a
+// ScopeKey derived from the request — the session it concerns, else the
+// user — so a sharded detector can run independent scopes in parallel.
 func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error) {
 	dec := &Decision{}
 	p := params.Clone()
@@ -182,11 +222,31 @@ func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error
 		p = event.Params{}
 	}
 	p[DecisionKey] = dec
-	if err := e.det.RaiseSync(eventName, p); err != nil {
+	if err := e.det.RaiseSyncScoped(eventName, p, scopeOf(p)); err != nil {
 		return nil, err
 	}
 	return dec, nil
 }
+
+// scopeOf derives the sharding key of a request from its parameters:
+// the session id when present, else the user id, else "" (unscoped).
+func scopeOf(p event.Params) string {
+	if s, ok := p["session"].(string); ok && s != "" {
+		return s
+	}
+	if u, ok := p["user"].(string); ok && u != "" {
+		return u
+	}
+	return ""
+}
+
+// Quiesce blocks until every detector lane is idle — all in-flight
+// occurrences, cascades and deferred work processed. Used by graceful
+// shutdown and by tests that assert on cross-lane state.
+func (e *Engine) Quiesce() { e.det.Quiesce() }
+
+// LaneStats snapshots the detector's per-lane counters.
+func (e *Engine) LaneStats() []event.LaneStat { return e.det.LaneStats() }
 
 // Notify raises a fire-and-forget event (no decision expected), e.g. a
 // state-change notification consumed by temporal or security rules.

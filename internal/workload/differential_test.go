@@ -2,6 +2,8 @@ package workload
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -161,5 +163,141 @@ func TestDifferentialDecisionByDecision(t *testing.T) {
 					i, r, oVerdict, bVerdict)
 			}
 		}
+	}
+}
+
+// TestConcurrentStressDifferential hammers the public System from 64
+// goroutines — one per user, each owning one session and a
+// deterministic mixed CreateSession / AddActiveRole / DropActiveRole /
+// CheckAccess sequence — on a lane-sharded engine, then replays every
+// sequence serially into the direct-check baseline and compares the
+// per-session outcome sequences op by op. The spec keeps to features
+// whose verdicts are per-session (DSD, hierarchy, SSD without
+// assignment churn) so outcomes cannot depend on goroutine
+// interleaving; the test is a -race workout for the lane machinery as
+// much as a semantic check.
+func TestConcurrentStressDifferential(t *testing.T) {
+	const (
+		nUsers = 64
+		nOps   = 150
+	)
+	spec := MustEnterprise(EnterpriseConfig{
+		Roles: 16, Shape: XYZShape, Branch: 4,
+		SSDFraction: 1, DSDFraction: 0.5,
+		Users: nUsers, PermsPerRole: 2, Seed: 11,
+	})
+	epoch := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	sys, err := activerbac.Open(policy.Format(spec), &activerbac.Options{
+		Clock: clock.NewSim(epoch), Lanes: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Lanes() != 8 {
+		t.Fatalf("lanes = %d, want 8", sys.Lanes())
+	}
+
+	type op struct {
+		kind              RequestKind
+		role              rbac.RoleID
+		operation, object string
+	}
+	genOps := func(u policy.User, seed int64) []op {
+		rng := rand.New(rand.NewSource(seed))
+		ops := make([]op, 0, nOps)
+		for i := 0; i < nOps; i++ {
+			role := spec.Roles[rng.Intn(len(spec.Roles))]
+			if len(u.Roles) > 0 && rng.Intn(8) != 0 { // mostly own roles, sometimes foreign (deny path)
+				role = u.Roles[rng.Intn(len(u.Roles))]
+			}
+			switch rng.Intn(5) {
+			case 0, 1:
+				ops = append(ops, op{kind: Activate, role: rbac.RoleID(role)})
+			case 2:
+				ops = append(ops, op{kind: Drop, role: rbac.RoleID(role)})
+			default:
+				p := spec.Permissions[rng.Intn(len(spec.Permissions))]
+				ops = append(ops, op{kind: CheckAccess, operation: p.Operation, object: p.Object})
+			}
+		}
+		return ops
+	}
+	runSeq := func(enf baseline.Enforcer, u policy.User, ops []op) ([]bool, error) {
+		user := rbac.UserID(u.Name)
+		sid, err := enf.CreateSession(user)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]bool, len(ops))
+		for i, o := range ops {
+			switch o.kind {
+			case Activate:
+				out[i] = enf.AddActiveRole(user, sid, o.role) == nil
+			case Drop:
+				out[i] = enf.DropActiveRole(user, sid, o.role) == nil
+			default:
+				out[i] = enf.CheckAccess(sid, rbac.Permission{Operation: o.operation, Object: o.object})
+			}
+		}
+		return out, nil
+	}
+
+	allOps := make([][]op, nUsers)
+	for i, u := range spec.Users {
+		allOps[i] = genOps(u, int64(i)*977+13)
+	}
+
+	got := make([][]bool, nUsers)
+	errs := make([]error, nUsers)
+	var wg sync.WaitGroup
+	for i := range spec.Users {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = runSeq(sys, spec.Users[i], allOps[i])
+		}(i)
+	}
+	wg.Wait()
+	sys.Quiesce()
+
+	eng, err := baseline.New(clock.NewSim(epoch), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range spec.Users {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d (%s): %v", i, u.Name, errs[i])
+		}
+		want, err := runSeq(eng, u, allOps[i])
+		if err != nil {
+			t.Fatalf("baseline replay %s: %v", u.Name, err)
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("user %s op %d (%+v): concurrent=%v baseline=%v",
+					u.Name, j, allOps[i][j], got[i][j], want[j])
+			}
+		}
+	}
+
+	if errsI := sys.CheckInvariants(); len(errsI) != 0 {
+		t.Fatalf("invariants after stress: %v", errsI)
+	}
+	// The sharded lanes must actually have carried traffic: session-
+	// scoped requests route past the global lane.
+	stats := sys.LaneStats()
+	if len(stats) != 9 {
+		t.Fatalf("lane stats = %d entries, want 9", len(stats))
+	}
+	var scoped uint64
+	for _, ls := range stats[1:] {
+		if ls.Depth != 0 {
+			t.Fatalf("lane %s not drained after Quiesce: %+v", ls.Lane, ls)
+		}
+		scoped += ls.Processed
+	}
+	if scoped == 0 {
+		t.Fatal("no occurrences processed on scope lanes")
 	}
 }
