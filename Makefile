@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke bench clean
+.PHONY: build test race vet check bench-smoke bench bench-obs clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ bench-smoke: build
 bench: build
 	$(GO) run ./cmd/bench
 
+# bench-obs regenerates the observability-overhead series (BENCH_obs.json):
+# the E1P parallel workload under tracing off / metrics / ring / full.
+bench-obs: build
+	$(GO) run ./cmd/bench -exp OBS
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lanes.json
+	rm -f BENCH_lanes.json BENCH_obs.json

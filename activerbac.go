@@ -28,6 +28,7 @@ package activerbac
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"activerbac/internal/clock"
 	"activerbac/internal/core"
 	"activerbac/internal/event"
+	"activerbac/internal/obs"
 	"activerbac/internal/policy"
 	"activerbac/internal/rbac"
 	"activerbac/internal/rulegen"
@@ -66,6 +68,11 @@ type (
 	Clock = clock.Clock
 	// Params carries event parameters for external events.
 	Params = event.Params
+	// TraceData is one retained decision trace: the full OWTE cascade of
+	// a single enforcement request.
+	TraceData = obs.TraceData
+	// TraceStep is one step of a decision trace.
+	TraceStep = obs.Step
 )
 
 // Sentinel errors re-exported for errors.Is classification.
@@ -123,6 +130,20 @@ type Options struct {
 	// parallel lanes, keeping globalized rules (SoD, cardinality,
 	// temporal, security) on a single ordered global lane.
 	Lanes int
+	// Metrics enables the metrics registry: decision latency, lane
+	// queueing, rule firings, operator matches, audit latency — rendered
+	// in Prometheus text format by WriteMetrics. Off by default (the
+	// engine then runs its zero-overhead path).
+	Metrics bool
+	// TraceBuffer, when > 0, retains that many completed decision
+	// traces in a ring buffer (RecentTraces / TraceByID) and records the
+	// full OWTE cascade of every decision. Implies Metrics.
+	TraceBuffer int
+	// AuditSyncEveryAppend flushes and fsyncs the audit log on every
+	// append instead of buffering. Durable but slower; the buffered
+	// default should be paired with periodic SyncAudit calls (rbacd's
+	// -audit-sync flag) to bound crash loss.
+	AuditSyncEveryAppend bool
 }
 
 func (o *Options) laneCount() int {
@@ -142,6 +163,7 @@ type System struct {
 	gen    *rulegen.Generator
 	source string
 	audit  *store.AuditLog
+	obs    *obs.Observer // nil = observability off
 }
 
 // Open parses a policy, builds the engine and generates the rule pool.
@@ -170,7 +192,13 @@ func openSpec(spec *policy.Spec, source string, opts *Options) (*System, error) 
 	if clk == nil {
 		clk = clock.NewReal()
 	}
-	eng := sentinel.NewEngine(clk, sentinel.WithLanes(opts.laneCount()))
+	engOpts := []sentinel.EngineOption{sentinel.WithLanes(opts.laneCount())}
+	var observer *obs.Observer
+	if opts.Metrics || opts.TraceBuffer > 0 {
+		observer = obs.NewObserver(opts.TraceBuffer)
+		engOpts = append(engOpts, sentinel.WithObserver(observer))
+	}
+	eng := sentinel.NewEngine(clk, engOpts...)
 	gen, err := rulegen.New(eng)
 	if err != nil {
 		return nil, err
@@ -178,13 +206,31 @@ func openSpec(spec *policy.Spec, source string, opts *Options) (*System, error) 
 	if err := gen.Load(spec); err != nil {
 		return nil, err
 	}
-	sys := &System{gen: gen, source: source}
+	sys := &System{gen: gen, source: source, obs: observer}
+	if observer != nil {
+		// Active-security counters are owned by the monitor; mirror them
+		// into the registry at scrape time like the engine's own counters.
+		observer.Registry.OnScrape(func() {
+			observer.SecurityDenials.Set(float64(gen.Security().Denials()))
+			observer.SecurityAlerts.Set(float64(len(gen.Security().Alerts())))
+		})
+	}
 	if opts.AuditPath != "" {
 		audit, err := store.OpenAudit(opts.AuditPath)
 		if err != nil {
 			return nil, err
 		}
 		sys.audit = audit
+		if opts.AuditSyncEveryAppend {
+			audit.SetSyncEveryAppend(true)
+		}
+		if observer != nil {
+			audit.SetInstruments(&store.AuditInstruments{
+				Append:  observer.AuditAppend.Observe,
+				Flush:   observer.AuditFlush.Observe,
+				Records: observer.AuditRecords.Inc,
+			})
+		}
 		eng.Pool().OnOutcome(func(o core.Outcome) {
 			detail := o.FailedCond
 			if o.CondErr != nil {
@@ -217,6 +263,51 @@ func (s *System) Lanes() int { return s.gen.Engine().Detector().Lanes() }
 // LaneStats snapshots per-lane depth and throughput counters (global
 // lane first) for status endpoints and benchmarks.
 func (s *System) LaneStats() []LaneStat { return s.gen.Engine().LaneStats() }
+
+// ErrObservabilityOff is returned by the metrics and trace accessors
+// when the System was opened without Options.Metrics or
+// Options.TraceBuffer.
+var ErrObservabilityOff = errors.New("activerbac: observability not enabled")
+
+// WriteMetrics renders the metric registry in Prometheus text
+// exposition format (0.0.4). Requires Options.Metrics or
+// Options.TraceBuffer.
+func (s *System) WriteMetrics(w io.Writer) error {
+	if s.obs == nil {
+		return ErrObservabilityOff
+	}
+	return s.obs.Registry.WritePrometheus(w)
+}
+
+// RecentTraces returns the n most recently completed decision traces,
+// newest first (n <= 0 means all retained). Requires
+// Options.TraceBuffer > 0.
+func (s *System) RecentTraces(n int) ([]TraceData, error) {
+	if s.obs == nil || s.obs.Traces == nil {
+		return nil, ErrObservabilityOff
+	}
+	return s.obs.Traces.Recent(n), nil
+}
+
+// TraceByID returns one retained decision trace; ok is false when the
+// id has been evicted from the ring or never existed.
+func (s *System) TraceByID(id uint64) (TraceData, bool, error) {
+	if s.obs == nil || s.obs.Traces == nil {
+		return TraceData{}, false, ErrObservabilityOff
+	}
+	td, ok := s.obs.Traces.Get(id)
+	return td, ok, nil
+}
+
+// SyncAudit flushes buffered audit records to disk (a no-op without an
+// audit log). Servers running the buffered audit mode call this on a
+// timer to bound crash loss.
+func (s *System) SyncAudit() error {
+	if s.audit == nil {
+		return nil
+	}
+	return s.audit.Sync()
+}
 
 // Close releases resources (the audit log, if any) after quiescing the
 // enforcement lanes, so buffered audit records for in-flight decisions

@@ -23,6 +23,8 @@
 //	alerts                                  print active-security alerts
 //	policy get                              print the loaded policy
 //	policy apply <file.acp>                 swap the policy (regenerates rules)
+//	trace [id] [-n N]                       print recent decision traces, or one by id
+//	metrics                                 print the Prometheus metrics page
 package main
 
 import (
@@ -58,7 +60,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] <command> [args]
 commands: session new|end, activate, deactivate, check, assign, deassign,
           user add, role enable|disable, context set|get, verify,
-          rules, stats, alerts, policy get|apply`)
+          rules, stats, alerts, policy get|apply, trace [id] [-n N], metrics`)
 }
 
 type client struct {
@@ -133,6 +135,19 @@ func (c *client) dispatch(args []string) error {
 				return err
 			}
 			return c.postRaw("/v1/policy", data)
+		}
+	case "trace":
+		switch {
+		case len(rest) == 0:
+			return c.get("/v1/traces")
+		case len(rest) == 2 && rest[0] == "-n":
+			return c.get("/v1/traces?" + url.Values{"n": {rest[1]}}.Encode())
+		case len(rest) == 1:
+			return c.get("/v1/traces/" + url.PathEscape(rest[0]))
+		}
+	case "metrics":
+		if len(rest) == 0 {
+			return c.getRaw("/metrics")
 		}
 	}
 	usage()

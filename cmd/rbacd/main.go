@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-snapshot state.json] [-lanes N]
+//	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-audit-sync 3s]
+//	      [-snapshot state.json] [-lanes N] [-trace-buffer 256] [-debug-addr :6060]
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	POST   /v1/sessions              {"user":U}                -> {"session":S}
 //	DELETE /v1/sessions              {"session":S}
@@ -27,6 +28,12 @@
 //	GET    /v1/alerts                                          -> active-security alerts
 //	POST   /v1/policy                (text/plain .acp body)    -> regeneration report
 //	GET    /v1/policy                                          -> current policy source
+//	GET    /v1/traces[?n=N]                                    -> recent decision traces
+//	GET    /v1/traces/{id}                                     -> one decision trace
+//	GET    /metrics                  (Prometheus text format)  -> metric registry
+//
+// With -debug-addr set, net/http/pprof is served on that (separate,
+// opt-in) listener.
 package main
 
 import (
@@ -39,8 +46,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -48,28 +57,48 @@ import (
 	"activerbac"
 )
 
+// config collects the command-line settings.
+type config struct {
+	addr, policyPath, auditPath, snapshotPath string
+	lanes                                     int
+	auditSync                                 time.Duration
+	traceBuffer                               int
+	debugAddr                                 string
+}
+
 func main() {
-	addr := flag.String("addr", ":8180", "listen address")
-	policyPath := flag.String("policy", "", "path to the .acp policy (required)")
-	auditPath := flag.String("audit", "", "append-only audit log path (optional)")
-	snapshotPath := flag.String("snapshot", "", "state snapshot path, written on shutdown (optional)")
-	lanes := flag.Int("lanes", 0, "enforcement lanes: 0 = one per CPU, 1 = fully serialized")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8180", "listen address")
+	flag.StringVar(&cfg.policyPath, "policy", "", "path to the .acp policy (required)")
+	flag.StringVar(&cfg.auditPath, "audit", "", "append-only audit log path (optional)")
+	flag.DurationVar(&cfg.auditSync, "audit-sync", 3*time.Second,
+		"audit flush interval bounding crash loss; 0 = flush+fsync every append")
+	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "state snapshot path, written on shutdown (optional)")
+	flag.IntVar(&cfg.lanes, "lanes", 0, "enforcement lanes: 0 = one per CPU, 1 = fully serialized")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "decision traces retained for /v1/traces; 0 disables tracing")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 	flag.Parse()
-	if *policyPath == "" {
+	if cfg.policyPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *policyPath, *auditPath, *snapshotPath, *lanes); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal("rbacd: ", err)
 	}
 }
 
-func run(addr, policyPath, auditPath, snapshotPath string, lanes int) error {
-	if lanes == 0 {
-		lanes = activerbac.LanesAuto
+func run(cfg config) error {
+	if cfg.lanes == 0 {
+		cfg.lanes = activerbac.LanesAuto
 	}
-	opts := &activerbac.Options{AuditPath: auditPath, Lanes: lanes}
-	sys, err := activerbac.OpenFile(policyPath, opts)
+	opts := &activerbac.Options{
+		AuditPath:            cfg.auditPath,
+		Lanes:                cfg.lanes,
+		Metrics:              true,
+		TraceBuffer:          cfg.traceBuffer,
+		AuditSyncEveryAppend: cfg.auditSync == 0,
+	}
+	sys, err := activerbac.OpenFile(cfg.policyPath, opts)
 	if err != nil {
 		return err
 	}
@@ -77,7 +106,29 @@ func run(addr, policyPath, auditPath, snapshotPath string, lanes int) error {
 	// runs after the shutdown sequence below has drained everything.
 	defer sys.Close()
 
-	ln, err := net.Listen("tcp", addr)
+	// Buffered audit mode: a background timer bounds how much trail a
+	// crash can lose to one flush interval.
+	if cfg.auditPath != "" && cfg.auditSync > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go auditFlusher(sys, cfg.auditSync, stop)
+	}
+
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		log.Printf("rbacd: pprof on %s", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, debugMux()); !errors.Is(err, net.ErrClosed) {
+				log.Print("rbacd: debug server: ", err)
+			}
+		}()
+		defer dln.Close()
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
@@ -88,8 +139,37 @@ func run(addr, policyPath, auditPath, snapshotPath string, lanes int) error {
 	srv := &server{sys: sys}
 	httpSrv := &http.Server{Handler: srv.routes()}
 	log.Printf("rbacd: serving on %s (policy %s, %d rules, %d lanes)",
-		ln.Addr(), policyPath, len(sys.Rules()), sys.Lanes())
-	return serve(sys, httpSrv, ln, done, snapshotPath)
+		ln.Addr(), cfg.policyPath, len(sys.Rules()), sys.Lanes())
+	return serve(sys, httpSrv, ln, done, cfg.snapshotPath)
+}
+
+// auditFlusher periodically flushes the buffered audit log until stop
+// closes.
+func auditFlusher(sys *activerbac.System, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := sys.SyncAudit(); err != nil {
+				log.Print("rbacd: audit sync: ", err)
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// debugMux serves the pprof suite; a dedicated mux (not the API mux, not
+// http.DefaultServeMux) keeps profiling off the public listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs httpSrv on ln until a signal arrives, then shuts down
@@ -153,6 +233,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/alerts", s.alerts)
 	mux.HandleFunc("GET /v1/policy", s.getPolicy)
 	mux.HandleFunc("POST /v1/policy", s.putPolicy)
+	mux.HandleFunc("GET /v1/traces", s.traces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.traceByID)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
 
@@ -388,6 +471,52 @@ func (s *server) alerts(w http.ResponseWriter, _ *http.Request) {
 		alerts = []activerbac.Alert{}
 	}
 	writeJSON(w, http.StatusOK, alerts)
+}
+
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.system().WriteMetrics(w); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+}
+
+func (s *server) traces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			http.Error(w, `{"error":"bad n parameter"}`, http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	traces, err := s.system().RecentTraces(n)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	if traces == nil {
+		traces = []activerbac.TraceData{}
+	}
+	writeJSON(w, http.StatusOK, traces)
+}
+
+func (s *server) traceByID(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, `{"error":"bad trace id"}`, http.StatusBadRequest)
+		return
+	}
+	td, ok, err := s.system().TraceByID(id)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "trace not retained"})
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
 }
 
 func (s *server) getPolicy(w http.ResponseWriter, _ *http.Request) {

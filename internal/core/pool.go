@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"activerbac/internal/event"
+	"activerbac/internal/obs"
 )
 
 // OutcomeListener observes every rule firing; used by the audit trail
@@ -330,12 +331,23 @@ func (p *Pool) fire(evt string, o *event.Occurrence) {
 	}
 }
 
-// runRule evaluates one rule against an occurrence.
+// runRule evaluates one rule against an occurrence. When the
+// occurrence carries a decision trace, every condition evaluation, the
+// branch verdict and every action record a step into it (the nil check
+// is the entire untraced path).
 func (p *Pool) runRule(st *ruleState, o *event.Occurrence) Outcome {
 	r := &st.rule
+	tr := o.Trace()
 	out := Outcome{Rule: r.Name, Event: o, Allowed: true, At: p.det.Clock().Now()}
 	for _, c := range r.When {
 		ok, err := c.Eval(o)
+		if tr != nil {
+			detail := c.Desc
+			if err != nil {
+				detail += ": " + err.Error()
+			}
+			tr.Add(out.At, o.Lane(), obs.StepCondition, o.Event, r.Name, detail, ok && err == nil)
+		}
 		if err != nil {
 			out.Allowed = false
 			out.FailedCond = c.Desc
@@ -348,12 +360,23 @@ func (p *Pool) runRule(st *ruleState, o *event.Occurrence) Outcome {
 			break
 		}
 	}
-	branch := r.Then
+	branch, branchName := r.Then, "then"
 	if !out.Allowed {
-		branch = r.Else
+		branch, branchName = r.Else, "else"
+	}
+	if tr != nil {
+		tr.Add(out.At, o.Lane(), obs.StepRule, o.Event, r.Name, branchName, out.Allowed)
 	}
 	for _, a := range branch {
-		if err := a.Run(o); err != nil {
+		err := a.Run(o)
+		if tr != nil {
+			detail := a.Desc
+			if err != nil {
+				detail += ": " + err.Error()
+			}
+			tr.Add(out.At, o.Lane(), obs.StepAction, o.Event, r.Name, detail, err == nil)
+		}
+		if err != nil {
 			out.ActionErr = err
 			break
 		}

@@ -22,6 +22,8 @@ type seqNode struct {
 	inits       []*Occurrence
 }
 
+func (n *seqNode) kind() string { return "SEQ" }
+
 func (n *seqNode) process(src node, occ *Occurrence, ex exec) {
 	if n.left == n.right {
 		// SEQ(E, E): an occurrence first tries to terminate a pending
@@ -118,6 +120,8 @@ type andNode struct {
 	mode        Mode
 	lbuf, rbuf  []*Occurrence
 }
+
+func (n *andNode) kind() string { return "AND" }
 
 func (n *andNode) process(src node, occ *Occurrence, ex exec) {
 	if n.left == n.right {

@@ -7,7 +7,19 @@ import (
 	"sync/atomic"
 
 	"activerbac/internal/clock"
+	"activerbac/internal/obs"
 )
+
+// Instruments carries the detector's optional metric hooks. A nil
+// *Instruments on the detector disables them all behind one pointer
+// check; individual fields may also be nil.
+type Instruments struct {
+	// LaneWait observes the queued time, in seconds, of each drained
+	// work item, labelled by lane name.
+	LaneWait func(lane string, seconds float64)
+	// OperatorMatch counts composite detections by operator kind.
+	OperatorMatch func(operator string)
+}
 
 // Handler is invoked for every detected occurrence of a subscribed event.
 // Handlers run on a detector lane and must not block; they may call
@@ -20,6 +32,9 @@ type Handler func(*Occurrence)
 // (parent lists) is guarded by the detector's structure lock.
 type node interface {
 	name() string
+	// kind names the node's operator for traces and metrics
+	// ("primitive", "SEQ", "AND", ...).
+	kind() string
 	// process handles an occurrence delivered from src (one of the
 	// node's declared children). Runs on the global lane only.
 	process(src node, occ *Occurrence, ex exec)
@@ -58,6 +73,8 @@ func (b *baseNode) parentsOf() []node {
 type primitiveNode struct {
 	baseNode
 }
+
+func (n *primitiveNode) kind() string { return "primitive" }
 
 func (n *primitiveNode) process(node, *Occurrence, exec) {
 	// Primitives have no children; nothing delivers to them.
@@ -105,6 +122,10 @@ type Detector struct {
 	raised   atomic.Uint64
 	detected atomic.Uint64
 	maxCade  int // cascade safety bound per drain
+
+	// ins holds the optional metric hooks; nil (the default) is the
+	// zero-overhead path. Set before traffic starts (SetInstruments).
+	ins *Instruments
 }
 
 // Option configures a Detector.
@@ -146,6 +167,11 @@ func New(clk clock.Clock, opts ...Option) *Detector {
 
 // Clock returns the clock the detector schedules temporal events on.
 func (d *Detector) Clock() clock.Clock { return d.clk }
+
+// SetInstruments installs the metric hooks. Call once during engine
+// assembly, before traffic: lanes read the pointer without
+// synchronization.
+func (d *Detector) SetInstruments(ins *Instruments) { d.ins = ins }
 
 // Lanes returns the configured lane count (1 in single-drain mode).
 func (d *Detector) Lanes() int { return d.lanes }
@@ -313,13 +339,13 @@ func fnv1a(s string) uint32 {
 // is already in progress on its lane — in that case the occurrence is
 // queued behind it.
 func (d *Detector) Raise(name string, p Params) error {
-	return d.raise(name, p, "", nil)
+	return d.raise(name, p, "", nil, nil)
 }
 
 // RaiseScoped is Raise with an explicit scope key, allowing the
 // occurrence to run on a scope lane when its event is scope-local.
 func (d *Detector) RaiseScoped(name string, p Params, scope string) error {
-	return d.raise(name, p, scope, nil)
+	return d.raise(name, p, scope, nil, nil)
 }
 
 // RaiseFrom raises a cascaded event from inside a handler processing
@@ -329,14 +355,22 @@ func (d *Detector) RaiseScoped(name string, p Params, scope string) error {
 // has been fully processed. Rule actions that re-enter the event system
 // (role-activation fan-out, cardinality rollbacks) must use this instead
 // of Raise to keep synchronous enforcement exact across lanes.
+//
+// The cascaded occurrence also inherits parent's decision trace (if
+// any) and records a cascade step into it, so a trace follows the
+// request across lanes.
 func (d *Detector) RaiseFrom(parent *Occurrence, name string, p Params) error {
 	if parent == nil {
-		return d.raise(name, p, "", nil)
+		return d.raise(name, p, "", nil, nil)
 	}
-	return d.raise(name, p, parent.Scope, parent.casc)
+	if tr := parent.trace; tr != nil {
+		tr.Add(d.clk.Now(), parent.lane, obs.StepCascade, name, "",
+			"raised from "+parent.Event, true)
+	}
+	return d.raise(name, p, parent.Scope, parent.casc, parent.trace)
 }
 
-func (d *Detector) raise(name string, p Params, scope string, casc *cascade) error {
+func (d *Detector) raise(name string, p Params, scope string, casc *cascade, tr *obs.Trace) error {
 	prim, err := d.resolvePrimitive(name)
 	if err != nil {
 		return err
@@ -345,7 +379,7 @@ func (d *Detector) raise(name string, p Params, scope string, casc *cascade) err
 	ln := d.laneFor(prim, scope)
 	ln.post(casc, func(ex exec) {
 		ex.d.raised.Add(1)
-		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone(), Scope: scope}
+		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone(), Scope: scope, trace: tr}
 		ex.d.deliver(ex, prim, occ)
 	})
 	return nil
@@ -383,6 +417,14 @@ func (d *Detector) RaiseSync(name string, p Params) error {
 // engines stamp the requesting session/user here so independent scopes
 // proceed in parallel.
 func (d *Detector) RaiseSyncScoped(name string, p Params, scope string) error {
+	return d.RaiseSyncTraced(name, p, scope, nil)
+}
+
+// RaiseSyncTraced is RaiseSyncScoped with a decision trace attached to
+// the occurrence: every delivery, operator match, rule firing and
+// cascaded raise of the request records a step into tr. A nil tr is
+// exactly RaiseSyncScoped.
+func (d *Detector) RaiseSyncTraced(name string, p Params, scope string, tr *obs.Trace) error {
 	prim, err := d.resolvePrimitive(name)
 	if err != nil {
 		return err
@@ -392,7 +434,7 @@ func (d *Detector) RaiseSyncScoped(name string, p Params, scope string) error {
 	casc := newCascade()
 	ln.post(casc, func(ex exec) {
 		ex.d.raised.Add(1)
-		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone(), Scope: scope}
+		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone(), Scope: scope, trace: tr}
 		ex.d.deliver(ex, prim, occ)
 	})
 	// First wait for the request's own cascade (which may hop lanes via
@@ -454,6 +496,21 @@ func (d *Detector) deliver(ex exec, src node, occ *Occurrence) {
 	occ.Seq = d.seq.Add(1)
 	d.detected.Add(1)
 	occ.casc = ex.casc
+	occ.lane = ex.ln.name
+
+	if occ.Constituents != nil {
+		if ins := d.ins; ins != nil && ins.OperatorMatch != nil {
+			ins.OperatorMatch(src.kind())
+		}
+	}
+	if tr := occ.trace; tr != nil {
+		kind, detail := obs.StepRaise, traceDetail(occ.Params)
+		if occ.Constituents != nil {
+			kind = obs.StepOperator
+			detail = fmt.Sprintf("%s(%d constituents) %s", src.kind(), len(occ.Constituents), detail)
+		}
+		tr.Add(occ.End, ex.ln.name, kind, occ.Event, "", detail, true)
+	}
 
 	d.smu.RLock()
 	handlers := d.snapshotHandlers(src.name())
@@ -480,6 +537,24 @@ func (d *Detector) deliver(ex exec, src node, occ *Occurrence) {
 	for _, p := range parents {
 		p.process(src, occ, ex)
 	}
+}
+
+// traceDetail renders an occurrence's parameters for a trace step,
+// skipping internal carrier keys (leading underscore, e.g. the
+// travelling Decision) whose values are pointers with no stable
+// rendering.
+func traceDetail(p Params) string {
+	if len(p) == 0 {
+		return "{}"
+	}
+	vis := make(Params, len(p))
+	for k, v := range p {
+		if len(k) > 0 && k[0] == '_' {
+			continue
+		}
+		vis[k] = v
+	}
+	return vis.String()
 }
 
 // snapshotHandlers copies the handler set in subscription order; caller

@@ -3,6 +3,7 @@ package event
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // A cascade tracks one synchronous enforcement request and every work
@@ -65,10 +66,12 @@ type exec struct {
 	casc *cascade
 }
 
-// item is one queued unit of drain work.
+// item is one queued unit of drain work. at is the wall-clock enqueue
+// instant, stamped only when lane-wait instrumentation is on.
 type item struct {
 	fn   func(exec)
 	casc *cascade
+	at   time.Time
 }
 
 // lane is one drain pipeline: a FIFO work queue plus the
@@ -113,8 +116,12 @@ func (ln *lane) post(c *cascade, fn func(exec)) {
 		c = nil
 	}
 	ln.enqueued.Add(1)
+	it := item{fn: fn, casc: c}
+	if ins := ln.d.ins; ins != nil && ins.LaneWait != nil {
+		it.at = time.Now()
+	}
 	ln.qmu.Lock()
-	ln.queue = append(ln.queue, item{fn: fn, casc: c})
+	ln.queue = append(ln.queue, it)
 	if d := len(ln.queue); d > ln.maxDepth {
 		ln.maxDepth = d
 	}
@@ -153,6 +160,11 @@ func (ln *lane) drain() {
 		ln.queue = ln.queue[1:]
 		ln.qmu.Unlock()
 		steps++
+		if !next.at.IsZero() {
+			if ins := ln.d.ins; ins != nil && ins.LaneWait != nil {
+				ins.LaneWait(ln.name, time.Since(next.at).Seconds())
+			}
+		}
 		next.fn(exec{d: ln.d, ln: ln, casc: next.casc})
 		if next.casc != nil {
 			next.casc.leave()

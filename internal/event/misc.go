@@ -9,6 +9,8 @@ type orNode struct {
 	children []node
 }
 
+func (n *orNode) kind() string { return "OR" }
+
 func (n *orNode) process(_ node, occ *Occurrence, ex exec) {
 	ex.d.deliver(ex, n, compose(n.nm, 0, occ))
 }
@@ -23,6 +25,8 @@ type notNode struct {
 	mode    Mode
 	inits   []*Occurrence
 }
+
+func (n *notNode) kind() string { return "NOT" }
 
 func (n *notNode) process(src node, occ *Occurrence, ex exec) {
 	// Role priority for shared children: invalidator, then terminator,
@@ -120,6 +124,8 @@ type anyNode struct {
 	got      map[node]*Occurrence
 	order    []node
 }
+
+func (n *anyNode) kind() string { return "ANY" }
 
 func (n *anyNode) process(src node, occ *Occurrence, ex exec) {
 	if n.got == nil {

@@ -19,6 +19,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"activerbac/internal/obs"
 )
 
 // Params carries the named parameters of an event occurrence (the
@@ -103,7 +105,22 @@ type Occurrence struct {
 	// casc links the occurrence to the synchronous request cascade it
 	// belongs to, so RaiseFrom can attribute cascaded raises.
 	casc *cascade
+	// trace, when non-nil, is the decision trace this occurrence belongs
+	// to; cascaded occurrences and composites built from this one
+	// inherit it, so the whole cross-lane cascade records into one
+	// trace. lane names the drain pipeline that delivered the
+	// occurrence, for trace steps and rule firings.
+	trace *obs.Trace
+	lane  string
 }
+
+// Trace returns the decision trace the occurrence records into, or nil
+// when tracing is off — the nil check is the entire disabled path.
+func (o *Occurrence) Trace() *obs.Trace { return o.trace }
+
+// Lane names the lane that delivered the occurrence ("global",
+// "scope-0", ...); empty before delivery.
+func (o *Occurrence) Lane() string { return o.lane }
 
 // At reports the point timestamp for point occurrences and the interval
 // end otherwise; used where legacy point semantics are needed.
@@ -127,6 +144,7 @@ func compose(name string, seq uint64, parts ...*Occurrence) *Occurrence {
 	}
 	start, end := parts[0].Start, parts[0].End
 	scope := parts[0].Scope
+	trace := parts[0].trace
 	var params Params
 	for _, p := range parts {
 		if p.Start.Before(start) {
@@ -137,6 +155,9 @@ func compose(name string, seq uint64, parts ...*Occurrence) *Occurrence {
 		}
 		if p.Scope != scope {
 			scope = "" // constituents span scopes: composite is unscoped
+		}
+		if trace == nil {
+			trace = p.trace // any traced constituent attributes the match
 		}
 		params = params.Merge(p.Params)
 	}
@@ -150,6 +171,7 @@ func compose(name string, seq uint64, parts ...*Occurrence) *Occurrence {
 		Constituents: kids,
 		Seq:          seq,
 		Scope:        scope,
+		trace:        trace,
 	}
 }
 

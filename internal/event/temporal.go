@@ -24,6 +24,8 @@ type plusNode struct {
 	pending map[uint64]clock.Timer
 }
 
+func (n *plusNode) kind() string { return "PLUS" }
+
 func (n *plusNode) process(_ node, occ *Occurrence, ex exec) {
 	if n.pending == nil {
 		n.pending = make(map[uint64]clock.Timer)
@@ -77,6 +79,13 @@ type aperiodicNode struct {
 	mode       Mode
 	cumulative bool
 	windows    []*aperiodicWindow
+}
+
+func (n *aperiodicNode) kind() string {
+	if n.cumulative {
+		return "A*"
+	}
+	return "APERIODIC"
 }
 
 func (n *aperiodicNode) process(src node, occ *Occurrence, ex exec) {
@@ -192,6 +201,13 @@ type periodicNode struct {
 	gen        uint64
 	windows    map[uint64]*periodicWindow
 	order      []uint64
+}
+
+func (n *periodicNode) kind() string {
+	if n.cumulative {
+		return "P*"
+	}
+	return "PERIODIC"
 }
 
 func (n *periodicNode) process(src node, occ *Occurrence, ex exec) {

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.", "kind")
+	c.With("read").Add(3)
+	c.With("write").Inc()
+	g := r.Gauge("test_depth", "Depth.")
+	g.With().Set(7.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n",
+		"# TYPE test_ops_total counter\n",
+		`test_ops_total{kind="read"} 3` + "\n",
+		`test_ops_total{kind="write"} 1` + "\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 7.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name: test_depth before test_ops_total.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_ops_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.1, 1, 10}).With()
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_sum 56.05",
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramWithLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.Histogram("test_wait_seconds", "Wait.", []float64{1}, "lane")
+	v.With("global").Observe(0.5)
+	v.With("scope-0").Observe(2)
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_wait_seconds_bucket{lane="global",le="1"} 1`,
+		`test_wait_seconds_bucket{lane="scope-0",le="+Inf"} 1`,
+		`test_wait_seconds_count{lane="global"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "Esc.", "name").With(`a"b\c` + "\nd").Inc()
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	want := `test_total{name="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestOnScrapeCollectors(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_mirrored", "Mirrored.").With()
+	calls := 0
+	r.OnScrape(func() { calls++; g.Set(float64(calls)) })
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	_ = r.WritePrometheus(&b)
+	if calls != 2 {
+		t.Fatalf("collector ran %d times, want 2", calls)
+	}
+	if !strings.Contains(b.String(), "test_mirrored 2") {
+		t.Errorf("mirrored value not rendered:\n%s", b.String())
+	}
+}
+
+func TestReRegisterReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "A.")
+	b := r.Counter("test_total", "A.")
+	a.With().Add(2)
+	b.With().Inc()
+	if got := a.With().Value(); got != 3 {
+		t.Fatalf("value = %v, want 3", got)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "C.", "k")
+	h := r.Histogram("test_seconds", "H.", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.With("x").Inc()
+				h.With().Observe(float64(i))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.With("x").Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+	if got := h.With().Count(); got != 8000 {
+		t.Fatalf("histogram count = %v, want 8000", got)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+// Observer bundles the metrics registry, the prebuilt engine
+// instruments, and (optionally) the decision-trace ring. A nil
+// *Observer disables all observability; a non-nil Observer with a nil
+// Traces field enables metrics without tracing.
+//
+// The instrument fields form the documented metric catalog (see
+// DESIGN.md §5.2); layers higher than the engine (audit log, security
+// monitor, store counts) mirror their own counters in via OnScrape
+// collectors or the Audit* instruments.
+type Observer struct {
+	Registry *Registry
+	Traces   *TraceRing // nil = decision tracing off
+
+	// Decision path.
+	DecisionLatency *HistogramVec // activerbac_decision_seconds{event}
+	Decisions       *CounterVec   // activerbac_decisions_total{event,verdict}
+	TracesTotal     *Counter      // activerbac_traces_total
+
+	// Lanes (wait observed at drain time; depth/throughput scrape-set).
+	LaneWait      *HistogramVec // activerbac_lane_wait_seconds{lane}
+	LaneDepth     *GaugeVec     // activerbac_lane_queue_depth{lane}
+	LaneMaxDepth  *GaugeVec     // activerbac_lane_queue_max_depth{lane}
+	LaneEnqueued  *CounterVec   // activerbac_lane_enqueued_total{lane}
+	LaneProcessed *CounterVec   // activerbac_lane_processed_total{lane}
+
+	// Event graph.
+	OperatorMatches *CounterVec // activerbac_operator_matches_total{operator}
+	EventsRaised    *Counter    // activerbac_events_raised_total
+	EventsDetected  *Counter    // activerbac_events_detected_total
+
+	// Rule pool (scrape-set from the pool's atomic per-rule counters).
+	RuleFired   *CounterVec // activerbac_rule_fired_total{rule}
+	RuleAllowed *CounterVec // activerbac_rule_allowed_total{rule}
+	RuleDenied  *CounterVec // activerbac_rule_denied_total{rule}
+	Rules       *Gauge      // activerbac_rules
+
+	// RBAC store (scrape-set).
+	Users    *Gauge // activerbac_users
+	Roles    *Gauge // activerbac_roles
+	Sessions *Gauge // activerbac_sessions
+
+	// Active security (scrape-set by the facade).
+	SecurityDenials *Counter // activerbac_security_denials_total
+	SecurityAlerts  *Counter // activerbac_security_alerts_total
+
+	// Audit log.
+	AuditAppend  *Histogram // activerbac_audit_append_seconds
+	AuditFlush   *Histogram // activerbac_audit_flush_seconds
+	AuditRecords *Counter   // activerbac_audit_records_total
+}
+
+// NewObserver builds a registry with the full metric catalog
+// registered, plus a decision-trace ring of traceCapacity (0 disables
+// tracing).
+func NewObserver(traceCapacity int) *Observer {
+	r := NewRegistry()
+	o := &Observer{
+		Registry: r,
+
+		DecisionLatency: r.Histogram("activerbac_decision_seconds",
+			"Wall-clock latency of one enforcement decision (Decide round trip).", nil, "event"),
+		Decisions: r.Counter("activerbac_decisions_total",
+			"Enforcement decisions by triggering event and verdict.", "event", "verdict"),
+		TracesTotal: r.Counter("activerbac_traces_total",
+			"Decision traces recorded into the ring buffer.").With(),
+
+		LaneWait: r.Histogram("activerbac_lane_wait_seconds",
+			"Time a work item spent queued on a lane before draining.", nil, "lane"),
+		LaneDepth: r.Gauge("activerbac_lane_queue_depth",
+			"Current queue depth per enforcement lane.", "lane"),
+		LaneMaxDepth: r.Gauge("activerbac_lane_queue_max_depth",
+			"High-water queue depth per enforcement lane.", "lane"),
+		LaneEnqueued: r.Counter("activerbac_lane_enqueued_total",
+			"Work items enqueued per lane over its lifetime.", "lane"),
+		LaneProcessed: r.Counter("activerbac_lane_processed_total",
+			"Work items drained per lane over its lifetime.", "lane"),
+
+		OperatorMatches: r.Counter("activerbac_operator_matches_total",
+			"Composite-operator detections by operator kind.", "operator"),
+		EventsRaised: r.Counter("activerbac_events_raised_total",
+			"Primitive occurrences injected into the detector.").With(),
+		EventsDetected: r.Counter("activerbac_events_detected_total",
+			"All detected occurrences, primitive and composite.").With(),
+
+		RuleFired: r.Counter("activerbac_rule_fired_total",
+			"OWTE rule firings by rule name.", "rule"),
+		RuleAllowed: r.Counter("activerbac_rule_allowed_total",
+			"Rule firings whose conditions held (Then branch ran).", "rule"),
+		RuleDenied: r.Counter("activerbac_rule_denied_total",
+			"Rule firings routed to the Else branch.", "rule"),
+		Rules: r.Gauge("activerbac_rules",
+			"Rules currently in the pool.").With(),
+
+		Users: r.Gauge("activerbac_users",
+			"Users known to the RBAC store.").With(),
+		Roles: r.Gauge("activerbac_roles",
+			"Roles known to the RBAC store.").With(),
+		Sessions: r.Gauge("activerbac_sessions",
+			"Live sessions in the RBAC store.").With(),
+
+		SecurityDenials: r.Counter("activerbac_security_denials_total",
+			"Denials recorded by the active-security monitor.").With(),
+		SecurityAlerts: r.Counter("activerbac_security_alerts_total",
+			"Active-security alerts fired.").With(),
+
+		AuditAppend: r.Histogram("activerbac_audit_append_seconds",
+			"Latency of one audit-log append (buffered write).", nil).With(),
+		AuditFlush: r.Histogram("activerbac_audit_flush_seconds",
+			"Latency of one audit-log flush + fsync.", nil).With(),
+		AuditRecords: r.Counter("activerbac_audit_records_total",
+			"Records appended to the audit log.").With(),
+	}
+	if traceCapacity > 0 {
+		o.Traces = NewTraceRing(traceCapacity)
+	}
+	return o
+}

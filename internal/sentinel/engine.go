@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"activerbac/internal/clock"
 	"activerbac/internal/core"
 	"activerbac/internal/event"
+	"activerbac/internal/obs"
 	"activerbac/internal/rbac"
 )
 
@@ -32,6 +34,16 @@ type Decision struct {
 	mu     sync.Mutex
 	votes  []Vote
 	result any
+	trace  *obs.Trace
+}
+
+// Trace returns the decision's cascade trace, or nil when tracing was
+// off for this request. The trace is complete (every step of the
+// settled cascade recorded) by the time Decide returns the decision.
+func (d *Decision) Trace() *obs.Trace {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.trace
 }
 
 // SetResult attaches a payload to the decision (e.g. the session id a
@@ -159,13 +171,15 @@ type Engine struct {
 	store   *rbac.Store
 	monitor *ExternalMonitor
 	env     *Env
+	obs     *obs.Observer // nil = observability off
 }
 
 // EngineOption configures a new Engine.
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
-	lanes int
+	lanes    int
+	observer *obs.Observer
 }
 
 // WithLanes sets the detector lane count: 1 (the default) is the
@@ -175,6 +189,15 @@ func WithLanes(n int) EngineOption {
 	return func(c *engineConfig) { c.lanes = n }
 }
 
+// WithObserver attaches an observability bundle: the engine feeds the
+// observer's lane/operator instruments on the hot path, mirrors its
+// counters into the registry at scrape time, and — when the observer
+// carries a trace ring — records a full cascade trace per Decide. A nil
+// observer (the default) keeps the zero-overhead path.
+func WithObserver(o *obs.Observer) EngineOption {
+	return func(c *engineConfig) { c.observer = o }
+}
+
 // NewEngine builds an empty engine on the given clock.
 func NewEngine(clk clock.Clock, opts ...EngineOption) *Engine {
 	cfg := engineConfig{lanes: 1}
@@ -182,14 +205,53 @@ func NewEngine(clk clock.Clock, opts ...EngineOption) *Engine {
 		o(&cfg)
 	}
 	det := event.New(clk, event.WithLanes(cfg.lanes))
-	return &Engine{
+	e := &Engine{
 		clk:     clk,
 		det:     det,
 		pool:    core.NewPool(det),
 		store:   rbac.NewStore(),
 		monitor: NewExternalMonitor(det),
 		env:     NewEnv(),
+		obs:     cfg.observer,
 	}
+	if o := cfg.observer; o != nil {
+		det.SetInstruments(&event.Instruments{
+			LaneWait:      func(lane string, s float64) { o.LaneWait.With(lane).Observe(s) },
+			OperatorMatch: func(op string) { o.OperatorMatches.With(op).Inc() },
+		})
+		o.Registry.OnScrape(e.collect)
+	}
+	return e
+}
+
+// Observer returns the engine's observability bundle (nil when off).
+func (e *Engine) Observer() *obs.Observer { return e.obs }
+
+// collect mirrors the engine's own atomic counters into the metric
+// registry. Runs at scrape time only, so the hot path pays nothing for
+// lane depth, rule-firing or store-size metrics.
+func (e *Engine) collect() {
+	o := e.obs
+	for _, ls := range e.det.LaneStats() {
+		o.LaneDepth.With(ls.Lane).Set(float64(ls.Depth))
+		o.LaneMaxDepth.With(ls.Lane).Set(float64(ls.MaxDepth))
+		o.LaneEnqueued.With(ls.Lane).Set(float64(ls.Enqueued))
+		o.LaneProcessed.With(ls.Lane).Set(float64(ls.Processed))
+	}
+	st := e.det.Stats()
+	o.EventsRaised.Set(float64(st.Raised))
+	o.EventsDetected.Set(float64(st.Detected))
+	rules := e.pool.Snapshot()
+	o.Rules.Set(float64(len(rules)))
+	for _, r := range rules {
+		o.RuleFired.With(r.Name).Set(float64(r.Fired))
+		o.RuleAllowed.With(r.Name).Set(float64(r.Allowed))
+		o.RuleDenied.With(r.Name).Set(float64(r.Denied))
+	}
+	c := e.store.Count()
+	o.Users.Set(float64(c.Users))
+	o.Roles.Set(float64(c.Roles))
+	o.Sessions.Set(float64(c.Sessions))
 }
 
 // Env returns the environmental context store.
@@ -222,8 +284,35 @@ func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error
 		p = event.Params{}
 	}
 	p[DecisionKey] = dec
-	if err := e.det.RaiseSyncScoped(eventName, p, scopeOf(p)); err != nil {
+	scope := scopeOf(p)
+
+	// Observability: wall clock for the latency histogram, engine clock
+	// for the trace timestamps (simulated time in tests). With a nil
+	// observer both branches collapse to the pre-observability path.
+	o := e.obs
+	var tr *obs.Trace
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+		if o.Traces != nil {
+			tr = o.Traces.Start(eventName, scope, e.clk.Now())
+			dec.trace = tr // no concurrent access before the raise below
+		}
+	}
+	if err := e.det.RaiseSyncTraced(eventName, p, scope, tr); err != nil {
 		return nil, err
+	}
+	if o != nil {
+		if tr != nil {
+			o.Traces.Finish(tr, e.clk.Now())
+			o.TracesTotal.Inc()
+		}
+		verdict := "deny"
+		if allowed, _ := dec.Verdict(); allowed {
+			verdict = "allow"
+		}
+		o.Decisions.With(eventName, verdict).Inc()
+		o.DecisionLatency.With(eventName).Observe(time.Since(t0).Seconds())
 	}
 	return dec, nil
 }
@@ -249,9 +338,12 @@ func (e *Engine) Quiesce() { e.det.Quiesce() }
 func (e *Engine) LaneStats() []event.LaneStat { return e.det.LaneStats() }
 
 // Notify raises a fire-and-forget event (no decision expected), e.g. a
-// state-change notification consumed by temporal or security rules.
+// state-change notification consumed by temporal or security rules. The
+// occurrence is stamped with the same request-derived scope key Decide
+// uses, so notifications about a session or user shard onto that
+// scope's lane instead of serializing through the global lane.
 func (e *Engine) Notify(eventName string, params event.Params) error {
-	return e.det.Raise(eventName, params)
+	return e.det.RaiseScoped(eventName, params, scopeOf(params))
 }
 
 // Summary describes the engine's contents for tools.

@@ -37,18 +37,35 @@ type AuditRecord struct {
 // ErrCorrupt reports a torn or bit-flipped record during replay.
 var ErrCorrupt = errors.New("store: corrupt audit record")
 
+// AuditInstruments carries the log's optional latency/throughput hooks.
+// A nil *AuditInstruments disables them all behind one pointer check;
+// individual fields may also be nil.
+type AuditInstruments struct {
+	// Append observes the latency, in seconds, of one buffered append.
+	Append func(seconds float64)
+	// Flush observes the latency, in seconds, of one flush + fsync.
+	Flush func(seconds float64)
+	// Records counts appended records.
+	Records func()
+}
+
 // AuditLog is an append-only log of AuditRecords. Records are framed as
 //
 //	uint32 length | uint32 crc32(payload) | payload (JSON)
 //
-// so replay detects torn tails and corruption. Appends are buffered;
-// call Sync (or Close) to force them to disk.
+// so replay detects torn tails and corruption. Appends are buffered by
+// default; call Sync (or Close) to force them to disk, or enable
+// SetSyncEveryAppend to pay a flush+fsync per record. Servers that keep
+// the buffered mode should run a periodic Sync (rbacd's -audit-sync
+// flag) to bound how much audit trail a crash can lose.
 type AuditLog struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	seq  uint64
-	path string
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	seq       uint64
+	path      string
+	syncEvery bool
+	ins       *AuditInstruments
 }
 
 // OpenAudit opens (creating if needed) an audit log and positions the
@@ -82,11 +99,33 @@ func OpenAudit(path string) (*AuditLog, error) {
 	return log, nil
 }
 
+// SetSyncEveryAppend switches the log between buffered appends (false,
+// the default) and flush+fsync per record (true). Durable mode trades
+// append latency for zero crash loss.
+func (l *AuditLog) SetSyncEveryAppend(on bool) {
+	l.mu.Lock()
+	l.syncEvery = on
+	l.mu.Unlock()
+}
+
+// SetInstruments installs the latency/throughput hooks. Call before
+// traffic starts; appends read the pointer under the log mutex.
+func (l *AuditLog) SetInstruments(ins *AuditInstruments) {
+	l.mu.Lock()
+	l.ins = ins
+	l.mu.Unlock()
+}
+
 // Append writes one record, assigning its sequence number, and returns
-// it.
+// it. In sync-every-append mode the record is flushed and fsynced
+// before Append returns.
 func (l *AuditLog) Append(rec AuditRecord) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var t0 time.Time
+	if l.ins != nil {
+		t0 = time.Now()
+	}
 	l.seq++
 	rec.Seq = l.seq
 	payload, err := json.Marshal(rec)
@@ -102,6 +141,19 @@ func (l *AuditLog) Append(rec AuditRecord) (uint64, error) {
 	if _, err := l.w.Write(payload); err != nil {
 		return 0, fmt.Errorf("store: append audit record: %w", err)
 	}
+	if l.syncEvery {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if ins := l.ins; ins != nil {
+		if ins.Append != nil {
+			ins.Append(time.Since(t0).Seconds())
+		}
+		if ins.Records != nil {
+			ins.Records()
+		}
+	}
 	return rec.Seq, nil
 }
 
@@ -109,11 +161,24 @@ func (l *AuditLog) Append(rec AuditRecord) (uint64, error) {
 func (l *AuditLog) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// syncLocked flushes and fsyncs; caller holds l.mu.
+func (l *AuditLog) syncLocked() error {
+	var t0 time.Time
+	ins := l.ins
+	if ins != nil && ins.Flush != nil {
+		t0 = time.Now()
+	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("store: flush audit log: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync audit log: %w", err)
+	}
+	if ins != nil && ins.Flush != nil {
+		ins.Flush(time.Since(t0).Seconds())
 	}
 	return nil
 }

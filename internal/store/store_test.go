@@ -306,3 +306,82 @@ func TestReplayMissingFile(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+func TestAuditSyncEveryAppendDurable(t *testing.T) {
+	path := auditPath(t)
+	log, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.SetSyncEveryAppend(true)
+	if _, err := log.Append(AuditRecord{Kind: "decision", Rule: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(AuditRecord{Kind: "decision", Rule: "r2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Without Close or Sync — the crash case — both records must already
+	// be on disk.
+	var got []string
+	if err := Replay(path, func(rec AuditRecord) { got = append(got, rec.Rule) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "r1" || got[1] != "r2" {
+		t.Fatalf("replay after unsynced crash = %v, want [r1 r2]", got)
+	}
+	log.Close()
+}
+
+func TestAuditBufferedNeedsSync(t *testing.T) {
+	path := auditPath(t)
+	log, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(AuditRecord{Kind: "decision", Rule: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered mode: nothing reaches the file until Sync.
+	n := 0
+	if err := Replay(path, func(AuditRecord) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replay before Sync saw %d records, want 0", n)
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(path, func(AuditRecord) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replay after Sync saw %d records, want 1", n)
+	}
+	log.Close()
+}
+
+func TestAuditInstruments(t *testing.T) {
+	path := auditPath(t)
+	log, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appends, flushes, records int
+	log.SetInstruments(&AuditInstruments{
+		Append:  func(s float64) { appends++; _ = s },
+		Flush:   func(s float64) { flushes++; _ = s },
+		Records: func() { records++ },
+	})
+	log.SetSyncEveryAppend(true)
+	log.Append(AuditRecord{Kind: "a"})
+	log.Append(AuditRecord{Kind: "b"})
+	log.Sync()
+	if appends != 2 || records != 2 {
+		t.Fatalf("appends=%d records=%d, want 2/2", appends, records)
+	}
+	if flushes != 3 { // two per-append syncs plus the explicit Sync
+		t.Fatalf("flushes=%d, want 3", flushes)
+	}
+	log.Close()
+}
