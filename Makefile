@@ -1,9 +1,9 @@
 # Developer entry points. `make check` is the tier-1 gate from
-# ROADMAP.md: build, tests, race detector, vet.
+# ROADMAP.md: build, tests, race detector, vet, lint.
 
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke bench bench-obs clean
+.PHONY: build test race vet lint check bench-smoke bench bench-obs clean
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build test race vet
+# lint runs the repo's own static analysis: go vet plus rbacvet, the
+# custom passes enforcing engine invariants (engine-clock discipline,
+# observer nil guards, lane lock order).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/rbacvet ./...
+
+check: build test race vet lint
 
 # bench-smoke runs the cheap experiments to confirm the bench harness
 # still works; `make bench` regenerates everything (slow).

@@ -1,0 +1,227 @@
+package activerbac_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"activerbac"
+)
+
+// TestAnalyzePolicyFlagsConflict: the analyzer catches the
+// common-ancestor SSoD conflict the statement checker accepts, and the
+// findings carry the stable greppable rendering.
+func TestAnalyzePolicyFlagsConflict(t *testing.T) {
+	findings, err := activerbac.AnalyzePolicy(`
+policy "conflict"
+role CEO
+role PC
+role AC
+hierarchy CEO > PC
+hierarchy CEO > AC
+ssd purchase 2: PC, AC
+`, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !activerbac.HasAnalysisErrors(findings) {
+		t.Fatalf("conflict policy produced no error findings: %v", findings)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Code == "RV001" && f.Subject == "ssd:purchase" {
+			found = true
+			if !strings.HasPrefix(f.String(), "RV001 error ssd:purchase: ") {
+				t.Errorf("finding rendering = %q", f.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no RV001 finding: %v", findings)
+	}
+}
+
+// TestAnalyzePolicyInconsistent: a policy the checker rejects still
+// analyzes — one RV000 error per checker error, instead of failing.
+func TestAnalyzePolicyInconsistent(t *testing.T) {
+	findings, err := activerbac.AnalyzePolicy("policy \"dup\"\nrole A\nrole A\n", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !activerbac.HasAnalysisErrors(findings) {
+		t.Fatal("inconsistent policy produced no findings")
+	}
+	for _, f := range findings {
+		if f.Code == "RV000" {
+			return
+		}
+	}
+	t.Fatalf("no RV000 finding: %v", findings)
+}
+
+// TestSystemAnalyzeCleanAndCounted: a live system self-analyzes; the
+// xyz seed policy is clean, and findings feed the metrics counter.
+func TestSystemAnalyzeCleanAndCounted(t *testing.T) {
+	sys, err := activerbac.Open(xyzPolicy, &activerbac.Options{
+		Clock: activerbac.NewSimClock(t0), Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if fs := sys.Analyze(); activerbac.HasAnalysisErrors(fs) {
+		t.Fatalf("xyz policy has error findings: %v", fs)
+	}
+
+	// A system running a conflicted-but-loadable policy reports the
+	// finding and bumps activerbac_analyze_findings_total{code,severity}.
+	conflicted, err := activerbac.Open(`
+policy "conflict"
+role CEO
+role PC
+role AC
+hierarchy CEO > PC
+hierarchy CEO > AC
+ssd purchase 2: PC, AC
+`, &activerbac.Options{Clock: activerbac.NewSimClock(t0), Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conflicted.Close()
+	fs := conflicted.Analyze()
+	if !activerbac.HasAnalysisErrors(fs) {
+		t.Fatalf("live analyze missed the conflict: %v", fs)
+	}
+	var sb strings.Builder
+	if err := conflicted.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `activerbac_analyze_findings_total{code="RV001",severity="error"}`) {
+		t.Error("metrics page missing the analyze findings counter")
+	}
+}
+
+// TestRegenerationIdempotent: re-applying the unchanged policy must
+// regenerate nothing — same rule set, zero pool mutations, identical
+// analysis findings (paper §6: regeneration touches only changed
+// roles; an unchanged spec touches none).
+func TestRegenerationIdempotent(t *testing.T) {
+	sys := openXYZ(t)
+	defer sys.Close()
+
+	before := sys.Rules()
+	findingsBefore := sys.Analyze()
+
+	rep, err := sys.ApplyPolicy(xyzPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Touched() != 0 || rep.RulesAdded != 0 || rep.RulesRemoved != 0 ||
+		len(rep.UsersAdded) != 0 || len(rep.UsersRemoved) != 0 {
+		t.Fatalf("unchanged policy regenerated something: %+v", rep)
+	}
+
+	after := sys.Rules()
+	if len(after) != len(before) {
+		t.Fatalf("rule count changed: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].Name != after[i].Name || before[i].On != after[i].On ||
+			before[i].Priority != after[i].Priority || before[i].Enabled != after[i].Enabled {
+			t.Errorf("rule %d changed: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+
+	findingsAfter := sys.Analyze()
+	if len(findingsAfter) != len(findingsBefore) {
+		t.Fatalf("reapply changed findings: %v -> %v", findingsBefore, findingsAfter)
+	}
+	for i := range findingsBefore {
+		if findingsBefore[i] != findingsAfter[i] {
+			t.Errorf("finding %d changed: %v -> %v", i, findingsBefore[i], findingsAfter[i])
+		}
+	}
+}
+
+// TestExamplePoliciesAnalyzeClean sweeps every policy shipped in the
+// repo — the backquoted policy literals embedded in examples/*/main.go
+// and the parser's golden testdata — and asserts the analyzer accepts
+// them all with zero error-severity findings.
+func TestExamplePoliciesAnalyzeClean(t *testing.T) {
+	for _, src := range collectRepoPolicies(t) {
+		findings, err := activerbac.AnalyzePolicy(src.text, time.Time{})
+		if err != nil {
+			t.Errorf("%s: %v", src.origin, err)
+			continue
+		}
+		for _, f := range findings {
+			if f.Severity == activerbac.AnalysisError {
+				t.Errorf("%s: %v", src.origin, f)
+			}
+		}
+	}
+}
+
+type policySource struct {
+	origin string
+	text   string
+}
+
+// collectRepoPolicies extracts every policy literal from the example
+// programs (string literals containing a `policy "..."` header) plus
+// the .acp files under internal/policy/testdata.
+func collectRepoPolicies(t *testing.T) []policySource {
+	t.Helper()
+	var out []policySource
+
+	mains, err := filepath.Glob("examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range mains {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			text, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.Contains(text, "policy \"") {
+				return true
+			}
+			pos := fset.Position(lit.Pos())
+			out = append(out, policySource{
+				origin: pos.Filename + ":" + strconv.Itoa(pos.Line),
+				text:   text,
+			})
+			return true
+		})
+	}
+
+	acps, err := filepath.Glob(filepath.Join("internal", "policy", "testdata", "*.acp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range acps {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, policySource{origin: path, text: string(data)})
+	}
+
+	if len(out) < 5 {
+		t.Fatalf("expected several repo policies, found %d", len(out))
+	}
+	return out
+}

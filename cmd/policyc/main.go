@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	policyc [-check] [-graph] [-rules] [-format] policy.acp
+//	policyc [-check] [-analyze] [-graph] [-rules] [-format] policy.acp
 //
 // With no mode flags, policyc runs all of check, graph and rules.
+// -analyze additionally runs the static analyzer (internal/analyze)
+// over the compiled policy and its generated rule set, printing each
+// finding as one greppable "CODE severity subject: message" line; any
+// error-severity finding fails the compile with a non-zero exit.
 package main
 
 import (
@@ -24,11 +28,12 @@ import (
 
 func main() {
 	checkOnly := flag.Bool("check", false, "only run the consistency checker")
+	analyzeFlag := flag.Bool("analyze", false, "run the static analyzer; error-severity findings fail the compile")
 	showGraph := flag.Bool("graph", false, "print the access specification graph")
 	showRules := flag.Bool("rules", false, "print the generated rule inventory")
 	format := flag.Bool("format", false, "print the canonical form of the policy")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: policyc [-check] [-graph] [-rules] [-format] policy.acp\n")
+		fmt.Fprintf(os.Stderr, "usage: policyc [-check] [-analyze] [-graph] [-rules] [-format] policy.acp\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,18 +41,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *checkOnly, *showGraph, *showRules, *format); err != nil {
+	if err := run(flag.Arg(0), *checkOnly, *analyzeFlag, *showGraph, *showRules, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "policyc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, checkOnly, showGraph, showRules, format bool) error {
+func run(path string, checkOnly, analyzeFlag, showGraph, showRules, format bool) error {
 	spec, err := policy.ParseFile(path)
 	if err != nil {
 		return err
 	}
-	all := !checkOnly && !showGraph && !showRules && !format
+	all := !checkOnly && !analyzeFlag && !showGraph && !showRules && !format
 
 	issues := policy.Check(spec)
 	for _, is := range issues {
@@ -59,6 +64,29 @@ func run(path string, checkOnly, showGraph, showRules, format bool) error {
 	fmt.Printf("policy %q: consistent (%d roles, %d users)\n", spec.Name, len(spec.Roles), len(spec.Users))
 	if checkOnly {
 		return nil
+	}
+
+	if analyzeFlag {
+		findings, err := activerbac.AnalyzePolicy(policy.Format(spec), time.Time{})
+		if err != nil {
+			return err
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		nErr := 0
+		for _, f := range findings {
+			if f.Severity == activerbac.AnalysisError {
+				nErr++
+			}
+		}
+		if nErr > 0 {
+			return fmt.Errorf("policy %q has %d error-severity analysis finding(s)", spec.Name, nErr)
+		}
+		fmt.Printf("analysis: %d finding(s), none at error severity\n", len(findings))
+		if !showGraph && !showRules && !format {
+			return nil
+		}
 	}
 
 	if format {

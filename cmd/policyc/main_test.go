@@ -27,39 +27,59 @@ cardinality PM 1
 func TestRunAllModes(t *testing.T) {
 	path := writePolicy(t, goodPolicy)
 	// All-mode (default) must succeed: check + graph + rules.
-	if err := run(path, false, false, false, false); err != nil {
+	if err := run(path, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true, false, false, false); err != nil {
+	if err := run(path, true, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, true, false, false); err != nil {
+	if err := run(path, false, true, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, true, false); err != nil {
+	if err := run(path, false, false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, false, true); err != nil {
+	if err := run(path, false, false, false, true, false); err != nil {
 		t.Fatal(err)
+	}
+	if err := run(path, false, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalyzeRejectsConflict(t *testing.T) {
+	// CEO is a common ancestor of both SSoD members — invisible to the
+	// statement-level checker, caught by the analyzer (RV001).
+	path := writePolicy(t, `
+policy "conflict"
+role CEO
+role PC
+role AC
+hierarchy CEO > PC
+hierarchy CEO > AC
+ssd purchase 2: PC, AC
+`)
+	if err := run(path, false, true, false, false, false); err == nil {
+		t.Fatal("analyzer accepted an SSoD/hierarchy conflict")
 	}
 }
 
 func TestRunRejectsInconsistentPolicy(t *testing.T) {
 	path := writePolicy(t, "role A\nrole A\n")
-	if err := run(path, true, false, false, false); err == nil {
+	if err := run(path, true, false, false, false, false); err == nil {
 		t.Fatal("inconsistent policy accepted")
 	}
 }
 
 func TestRunRejectsBadSyntax(t *testing.T) {
 	path := writePolicy(t, "bogus statement\n")
-	if err := run(path, false, false, false, false); err == nil {
+	if err := run(path, false, false, false, false, false); err == nil {
 		t.Fatal("bad syntax accepted")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "none.acp"), false, false, false, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "none.acp"), false, false, false, false, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -25,6 +25,11 @@
 //	policy apply <file.acp>                 swap the policy (regenerates rules)
 //	trace [id] [-n N]                       print recent decision traces, or one by id
 //	metrics                                 print the Prometheus metrics page
+//	analyze                                 run the static analyzer on the live system
+//
+// analyze prints one finding per line in the stable greppable form
+// "CODE severity subject: message" and exits non-zero when any finding
+// is error severity.
 package main
 
 import (
@@ -60,7 +65,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] <command> [args]
 commands: session new|end, activate, deactivate, check, assign, deassign,
           user add, role enable|disable, context set|get, verify,
-          rules, stats, alerts, policy get|apply, trace [id] [-n N], metrics`)
+          rules, stats, alerts, policy get|apply, trace [id] [-n N],
+          metrics, analyze`)
 }
 
 type client struct {
@@ -149,9 +155,46 @@ func (c *client) dispatch(args []string) error {
 		if len(rest) == 0 {
 			return c.getRaw("/metrics")
 		}
+	case "analyze":
+		if len(rest) == 0 {
+			return c.analyze()
+		}
 	}
 	usage()
 	return fmt.Errorf("unknown or malformed command %q", strings.Join(args, " "))
+}
+
+// analyze fetches /v1/analyze and prints each finding in the stable
+// one-line form; error-severity findings make the command exit 1.
+func (c *client) analyze() error {
+	resp, err := http.Get(c.base + "/v1/analyze")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		OK       bool `json:"ok"`
+		Findings []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Subject  string `json:"subject"`
+			Msg      string `json:"msg"`
+		} `json:"findings"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&payload); err != nil {
+		return fmt.Errorf("decoding /v1/analyze response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	for _, f := range payload.Findings {
+		fmt.Printf("%s %s %s: %s\n", f.Code, f.Severity, f.Subject, f.Msg)
+	}
+	if !payload.OK {
+		return fmt.Errorf("static analysis reported error-severity findings")
+	}
+	fmt.Printf("analysis: %d finding(s), none at error severity\n", len(payload.Findings))
+	return nil
 }
 
 func (c *client) post(path string, body map[string]string) error {

@@ -7,6 +7,12 @@
 //
 //	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-audit-sync 3s]
 //	      [-snapshot state.json] [-lanes N] [-trace-buffer 256] [-debug-addr :6060]
+//	      [-analyze off|warn|strict]
+//
+// -analyze gates both startup and policy hot reloads on the static
+// analyzer (internal/analyze): "warn" (the default) logs every finding,
+// "strict" refuses to start — and rejects POST /v1/policy — when any
+// finding is error severity, "off" skips analysis entirely.
 //
 // Endpoints (all JSON unless noted):
 //
@@ -30,6 +36,7 @@
 //	GET    /v1/policy                                          -> current policy source
 //	GET    /v1/traces[?n=N]                                    -> recent decision traces
 //	GET    /v1/traces/{id}                                     -> one decision trace
+//	GET    /v1/analyze                                         -> static-analysis findings
 //	GET    /metrics                  (Prometheus text format)  -> metric registry
 //
 // With -debug-addr set, net/http/pprof is served on that (separate,
@@ -64,6 +71,7 @@ type config struct {
 	auditSync                                 time.Duration
 	traceBuffer                               int
 	debugAddr                                 string
+	analyzeMode                               string
 }
 
 func main() {
@@ -77,9 +85,17 @@ func main() {
 	flag.IntVar(&cfg.lanes, "lanes", 0, "enforcement lanes: 0 = one per CPU, 1 = fully serialized")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "decision traces retained for /v1/traces; 0 disables tracing")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (off when empty)")
+	flag.StringVar(&cfg.analyzeMode, "analyze", "warn",
+		"static-analysis gate for startup and hot reloads: off, warn or strict")
 	flag.Parse()
 	if cfg.policyPath == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	switch cfg.analyzeMode {
+	case "off", "warn", "strict":
+	default:
+		fmt.Fprintf(os.Stderr, "rbacd: -analyze must be off, warn or strict (got %q)\n", cfg.analyzeMode)
 		os.Exit(2)
 	}
 	if err := run(cfg); err != nil {
@@ -105,6 +121,19 @@ func run(cfg config) error {
 	// Close quiesces the lanes once more and releases the audit log; it
 	// runs after the shutdown sequence below has drained everything.
 	defer sys.Close()
+
+	// Startup analysis gate: the rule pool just generated is vetted
+	// before the listener opens; strict mode refuses to serve a policy
+	// with error-severity conflicts.
+	if cfg.analyzeMode != "off" {
+		findings := sys.Analyze()
+		for _, f := range findings {
+			log.Print("rbacd: analyze: ", f)
+		}
+		if cfg.analyzeMode == "strict" && activerbac.HasAnalysisErrors(findings) {
+			return fmt.Errorf("policy %s has error-severity analysis findings (run with -analyze=warn to serve anyway)", cfg.policyPath)
+		}
+	}
 
 	// Buffered audit mode: a background timer bounds how much trail a
 	// crash can lose to one flush interval.
@@ -136,7 +165,7 @@ func run(cfg config) error {
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 
-	srv := &server{sys: sys}
+	srv := &server{sys: sys, analyzeMode: cfg.analyzeMode}
 	httpSrv := &http.Server{Handler: srv.routes()}
 	log.Printf("rbacd: serving on %s (policy %s, %d rules, %d lanes)",
 		ln.Addr(), cfg.policyPath, len(sys.Rules()), sys.Lanes())
@@ -209,8 +238,9 @@ func serve(sys *activerbac.System, httpSrv *http.Server, ln net.Listener,
 // against request handling (enforcement itself is already
 // engine-serialized).
 type server struct {
-	mu  sync.RWMutex
-	sys *activerbac.System
+	mu          sync.RWMutex
+	sys         *activerbac.System
+	analyzeMode string
 }
 
 func (s *server) routes() http.Handler {
@@ -235,6 +265,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/policy", s.putPolicy)
 	mux.HandleFunc("GET /v1/traces", s.traces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.traceByID)
+	mux.HandleFunc("GET /v1/analyze", s.analyze)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
@@ -524,11 +555,42 @@ func (s *server) getPolicy(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, s.system().PolicySource())
 }
 
+// analyze runs the static analyzer over the live system.
+func (s *server) analyze(w http.ResponseWriter, _ *http.Request) {
+	findings := s.system().Analyze()
+	if findings == nil {
+		findings = []activerbac.Finding{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       !activerbac.HasAnalysisErrors(findings),
+		"findings": findings,
+	})
+}
+
 func (s *server) putPolicy(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
 	if err != nil {
 		http.Error(w, `{"error":"bad body"}`, http.StatusBadRequest)
 		return
+	}
+	// Hot-reload analysis gate: the incoming policy is compiled and
+	// analyzed on a scratch engine *before* the live pool is touched.
+	if s.analyzeMode != "off" {
+		findings, err := activerbac.AnalyzePolicy(string(body), time.Now())
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		for _, f := range findings {
+			log.Print("rbacd: analyze: ", f)
+		}
+		if s.analyzeMode == "strict" && activerbac.HasAnalysisErrors(findings) {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error":    "policy rejected by static analysis",
+				"findings": findings,
+			})
+			return
+		}
 	}
 	s.mu.Lock()
 	rep, err := s.sys.ApplyPolicy(string(body))

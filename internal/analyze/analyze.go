@@ -1,0 +1,152 @@
+// Package analyze is the static analyzer over compiled policies and
+// generated OWTE rule sets. It runs *before installation* — on the
+// policy compiler's output, on rbacd's startup and hot-reload path —
+// and reports conflicts that the per-statement consistency checker
+// (policy.Check) cannot see because they span layers: the role
+// hierarchy versus separation-of-duty sets, GTRBAC periodic expressions
+// versus each other, and the generated rule graph versus the event
+// registry it will run on.
+//
+// Finding codes are stable and greppable:
+//
+//	RV001 error  SSoD set conflicts with the role hierarchy: some role's
+//	             assignment path authorizes N or more of the set's
+//	             members (NIST SSD semantics over the junior closure).
+//	RV002 error  DSoD set makes a role unactivatable: activating the
+//	             role alone brings N or more members into the session's
+//	             active closure, so every activation is denied.
+//	RV003 warn   DSoD set can never be violated: a static SoD set
+//	             already prevents any user from being authorized for
+//	             enough members (the dynamic constraint is vacuous).
+//	RV004 error  Dead temporal window: the enable pattern never occurs,
+//	             or every enable instant coincides with a disable
+//	             instant, so the window contains no time at all.
+//	RV005 warn   Temporal ambiguity: the enable and disable patterns can
+//	             fire at the same instant (the engine resolves stop-wins,
+//	             but the policy is underspecified at those instants).
+//	RV006 warn   Shadowed rule: a higher-priority rule on the same event
+//	             has a condition set subsuming a lower-priority rule's
+//	             and actions covering it — the lower rule adds nothing.
+//	RV007 error  Unreachable rule: the rule listens on an event that is
+//	             not registered with the detector, so it can never fire.
+//	RV008 error  Cascade cycle: following "raise" actions from rule to
+//	             rule returns to the starting rule — an unbounded event
+//	             cascade; the finding carries the full proof path.
+//	RV009 warn   Temporal SoD conflict: within a disabling-time SoD
+//	             window the periodic shift schedules leave every member
+//	             role disabled, so the schedules alone drive the system
+//	             into the forbidden state.
+//	RV000 error  The policy failed the consistency checker; one finding
+//	             per checker error (rule-level analyses are skipped).
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"activerbac/internal/core"
+	"activerbac/internal/policy"
+)
+
+// Severity classifies a finding.
+type Severity int
+
+// Finding severities. Error-severity findings fail `policyc -analyze`
+// and, under `-analyze=strict`, rbacd startup and policy hot reloads.
+const (
+	Warn Severity = iota
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warn"
+}
+
+// MarshalJSON renders the severity as its string form, so API clients
+// see "error"/"warn" instead of enum ordinals.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Finding is one analysis result.
+type Finding struct {
+	// Code is the stable finding code ("RV001", ...).
+	Code string `json:"code"`
+	// Severity is Error or Warn.
+	Severity Severity `json:"severity"`
+	// Subject identifies the offending constraint or rule, e.g.
+	// "ssd:purchase-approval", "shift:DayDoctor", "rule:AAR1.PC".
+	Subject string `json:"subject"`
+	// Msg explains the conflict.
+	Msg string `json:"msg"`
+}
+
+// String renders the stable one-line form "CODE severity subject: msg".
+func (f Finding) String() string {
+	return f.Code + " " + f.Severity.String() + " " + f.Subject + ": " + f.Msg
+}
+
+// HasErrors reports whether any finding is Error severity.
+func HasErrors(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Input is everything the analyzer inspects. Spec is required; Rules
+// and Events are optional (without them the rule-graph analyses are
+// skipped — policyc and rbacd always provide them).
+type Input struct {
+	// Spec is the parsed policy.
+	Spec *policy.Spec
+	// Rules is the generated rule inventory (pool snapshot).
+	Rules []core.RuleInfo
+	// Events lists every event name registered with the detector; when
+	// empty the reachability analysis (RV007) is skipped.
+	Events []string
+	// Anchor is the instant temporal searches start from; zero selects
+	// a fixed epoch so analysis output is deterministic.
+	Anchor time.Time
+}
+
+// defaultAnchor keeps temporal analysis deterministic when the caller
+// does not supply an instant (patterns with wild years are periodic, so
+// any anchor sees the same structure).
+var defaultAnchor = time.Date(2024, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Analyze runs every analysis and returns the findings, errors first,
+// then by code, then by subject — a deterministic order for golden
+// tests and greppable output.
+func Analyze(in Input) []Finding {
+	if in.Spec == nil {
+		return nil
+	}
+	if in.Anchor.IsZero() {
+		in.Anchor = defaultAnchor
+	}
+	var fs []Finding
+	fs = append(fs, analyzeSoD(in.Spec)...)
+	fs = append(fs, analyzeTemporal(in.Spec, in.Anchor)...)
+	fs = append(fs, analyzeRuleGraph(in.Rules, in.Events)...)
+	sortFindings(fs)
+	return fs
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity
+		}
+		if fs[i].Code != fs[j].Code {
+			return fs[i].Code < fs[j].Code
+		}
+		return fs[i].Subject < fs[j].Subject
+	})
+}

@@ -1,0 +1,352 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"activerbac/internal/clock"
+	"activerbac/internal/core"
+	"activerbac/internal/policy"
+)
+
+// parse is a helper: the golden policies below must be syntactically
+// valid AND pass the statement-level consistency checker, so every
+// conflict the analyzer reports is one the checker could not see.
+func parse(t *testing.T, src string) *policy.Spec {
+	t.Helper()
+	spec, err := policy.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if issues := policy.Check(spec); policy.HasErrors(issues) {
+		t.Fatalf("golden policy must pass policy.Check, got %v", issues)
+	}
+	return spec
+}
+
+// codes extracts the finding codes, preserving analyzer order.
+func codes(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Code
+	}
+	return out
+}
+
+func wantFinding(t *testing.T, fs []Finding, code string, sev Severity, subject string) Finding {
+	t.Helper()
+	for _, f := range fs {
+		if f.Code == code && f.Subject == subject {
+			if f.Severity != sev {
+				t.Errorf("%s %s: severity = %v, want %v", code, subject, f.Severity, sev)
+			}
+			return f
+		}
+	}
+	t.Fatalf("no %s finding for %s in %v", code, subject, fs)
+	return Finding{}
+}
+
+// TestGoldenPolicies runs one golden policy per spec-level finding code.
+// Each policy is loadable (parses and passes policy.Check) so the
+// conflict is visible only to the cross-statement analyzer.
+func TestGoldenPolicies(t *testing.T) {
+	tests := []struct {
+		name    string
+		src     string
+		code    string
+		sev     Severity
+		subject string
+	}{
+		{
+			// CEO is a common ancestor of both SSoD members: assigning it
+			// authorizes the whole set, which NIST SSD forbids. The
+			// statement checker only examines in-set roles, so this loads.
+			name: "RV001 ssd vs hierarchy",
+			src: `
+policy "g1"
+role CEO
+role PC
+role AC
+hierarchy CEO > PC
+hierarchy CEO > AC
+ssd purchase 2: PC, AC
+`,
+			code: "RV001", sev: Error, subject: "ssd:purchase",
+		},
+		{
+			// Activating Supervisor alone brings both DSD members into the
+			// active junior closure, so the role is unactivatable.
+			name: "RV002 dsd dead role",
+			src: `
+policy "g2"
+role Supervisor
+role Teller
+role Auditor
+hierarchy Supervisor > Teller
+hierarchy Supervisor > Auditor
+dsd till 2: Teller, Auditor
+`,
+			code: "RV002", sev: Error, subject: "dsd:till",
+		},
+		{
+			// The SSD set already forbids holding both roles, so the DSD
+			// bound can never be reached at runtime: the constraint is
+			// vacuous.
+			name: "RV003 dsd vacuous under ssd",
+			src: `
+policy "g3"
+role Initiator
+role Approver
+ssd origination 2: Initiator, Approver
+dsd origination-live 2: Initiator, Approver
+`,
+			code: "RV003", sev: Warn, subject: "dsd:origination-live",
+		},
+		{
+			// Enable and disable patterns coincide: with stop-wins
+			// semantics the window never contains any instant.
+			name: "RV004 dead shift window",
+			src: `
+policy "g4"
+role NightAudit
+shift NightAudit 02:00:00-02:00:00
+`,
+			code: "RV004", sev: Error, subject: "shift:NightAudit",
+		},
+		{
+			// Both member roles are schedule-driven and both schedules are
+			// disjoint from the protected window, so the shifts alone put
+			// the system into the forbidden all-disabled state.
+			name: "RV009 timesod starved by shifts",
+			src: `
+policy "g9"
+role DayNurse
+role DayDoctor
+shift DayNurse 01:00:00-02:00:00
+shift DayDoctor 01:00:00-02:00:00
+timesod ward-coverage 10:00:00-17:00:00: DayNurse, DayDoctor
+`,
+			code: "RV009", sev: Warn, subject: "timesod:ward-coverage",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := Analyze(Input{Spec: parse(t, tc.src)})
+			wantFinding(t, fs, tc.code, tc.sev, tc.subject)
+		})
+	}
+}
+
+// TestCleanPolicy asserts a policy exercising most constraint kinds
+// produces zero findings of any severity.
+func TestCleanPolicy(t *testing.T) {
+	src := `
+policy "clean"
+role Manager
+role Clerk
+role Auditor
+hierarchy Manager > Clerk
+user ann: Manager
+user bob: Clerk
+user cas: Auditor
+ssd books 2: Clerk, Auditor
+cardinality Manager 2
+shift Auditor 09:00:00-17:00:00
+permission Clerk: read ledger
+`
+	if fs := Analyze(Input{Spec: parse(t, src)}); len(fs) != 0 {
+		t.Fatalf("clean policy produced findings: %v", fs)
+	}
+}
+
+// TestTemporalAmbiguity builds the spec directly: the .acp shift syntax
+// only takes concrete hh:mm:ss endpoints, but full periodic expressions
+// can intersect without either subsuming the other (RV005).
+func TestTemporalAmbiguity(t *testing.T) {
+	spec := &policy.Spec{
+		Name:  "amb",
+		Roles: []string{"R"},
+		Shifts: []policy.Shift{{
+			Role:  "R",
+			Start: clock.MustPattern("09:*:00"),
+			Stop:  clock.MustPattern("*:00:00"),
+		}},
+	}
+	fs := Analyze(Input{Spec: spec})
+	f := wantFinding(t, fs, "RV005", Warn, "shift:R")
+	// The message must materialize a concrete shared instant.
+	if !strings.Contains(f.Msg, "09:00:00") {
+		t.Errorf("RV005 message should show the 09:00:00 intersection, got %q", f.Msg)
+	}
+}
+
+// TestDeadWindowNoOccurrence covers the other RV004 arm: an enable
+// pattern that names a calendar date that never exists (Feb 30).
+func TestDeadWindowNoOccurrence(t *testing.T) {
+	spec := &policy.Spec{
+		Name:  "dead",
+		Roles: []string{"R"},
+		Shifts: []policy.Shift{{
+			Role:  "R",
+			Start: clock.MustPattern("09:00:00/2/30"),
+			Stop:  clock.MustPattern("17:00:00/2/30"),
+		}},
+	}
+	fs := Analyze(Input{Spec: spec})
+	f := wantFinding(t, fs, "RV004", Error, "shift:R")
+	if !strings.Contains(f.Msg, "no occurrence") {
+		t.Errorf("RV004 message should say the pattern never occurs, got %q", f.Msg)
+	}
+}
+
+// rule is a shorthand constructor for synthetic rule-graph inputs.
+func rule(name, on string, prio int, conds, then []string) core.RuleInfo {
+	return core.RuleInfo{
+		Name: name, On: on, Priority: prio, Enabled: true,
+		Conditions: conds, Then: then,
+	}
+}
+
+// TestRuleGraphShadowed covers RV006: an unconditional higher-priority
+// rule on the same event whose actions cover the lower rule's.
+func TestRuleGraphShadowed(t *testing.T) {
+	rules := []core.RuleInfo{
+		rule("deny-all", "op.read", 10, nil, []string{"deny"}),
+		rule("deny-guest", "op.read", 1, []string{"subject is guest"}, []string{"deny"}),
+	}
+	fs := analyzeRuleGraph(rules, []string{"op.read"})
+	f := wantFinding(t, fs, "RV006", Warn, "rule:deny-guest")
+	if !strings.Contains(f.Msg, "deny-all") {
+		t.Errorf("RV006 message should name the shadowing rule, got %q", f.Msg)
+	}
+	// The shadowing rule itself must not be reported.
+	for _, f := range fs {
+		if f.Code == "RV006" && f.Subject == "rule:deny-all" {
+			t.Errorf("shadowing rule reported as shadowed: %v", f)
+		}
+	}
+}
+
+// TestRuleGraphUnreachable covers RV007: a rule listening on an event
+// the detector never registered.
+func TestRuleGraphUnreachable(t *testing.T) {
+	rules := []core.RuleInfo{
+		rule("ok", "op.read", 1, nil, []string{"allow"}),
+		rule("orphan", "op.ghost", 1, nil, []string{"deny"}),
+	}
+	fs := analyzeRuleGraph(rules, []string{"op.read"})
+	wantFinding(t, fs, "RV007", Error, "rule:orphan")
+	if got := codes(fs); len(got) != 1 {
+		t.Fatalf("want exactly one finding, got %v", fs)
+	}
+	// With no event registry supplied the reachability pass is skipped.
+	if fs := analyzeRuleGraph(rules, nil); len(fs) != 0 {
+		t.Fatalf("RV007 must be skipped without an event registry, got %v", fs)
+	}
+}
+
+// TestRuleGraphCascadeCycle covers RV008: raise edges forming a loop,
+// reported once with the full proof path.
+func TestRuleGraphCascadeCycle(t *testing.T) {
+	rules := []core.RuleInfo{
+		rule("ping", "ev.a", 1, nil, []string{"raise ev.b"}),
+		rule("pong", "ev.b", 1, nil, []string{"raise ev.a"}),
+		rule("leaf", "ev.b", 1, nil, []string{"log"}),
+	}
+	fs := analyzeRuleGraph(rules, []string{"ev.a", "ev.b"})
+	f := wantFinding(t, fs, "RV008", Error, "rule:ping")
+	for _, frag := range []string{"ping", "pong", "-raise ev.a->", "-raise ev.b->"} {
+		if !strings.Contains(f.Msg, frag) {
+			t.Errorf("RV008 proof path missing %q: %q", frag, f.Msg)
+		}
+	}
+	n := 0
+	for _, f := range fs {
+		if f.Code == "RV008" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("cycle reported %d times, want once: %v", n, fs)
+	}
+}
+
+// TestRuleGraphCycleIgnoresDisabled: a disabled rule cannot sustain a
+// cascade, so disabling either endpoint clears the finding.
+func TestRuleGraphCycleIgnoresDisabled(t *testing.T) {
+	off := rule("ping", "ev.a", 1, nil, []string{"raise ev.b"})
+	off.Enabled = false
+	rules := []core.RuleInfo{
+		off,
+		rule("pong", "ev.b", 1, nil, []string{"raise ev.a"}),
+	}
+	for _, f := range analyzeRuleGraph(rules, []string{"ev.a", "ev.b"}) {
+		if f.Code == "RV008" {
+			t.Fatalf("cycle through a disabled rule reported: %v", f)
+		}
+	}
+}
+
+// TestSelfLoop: a rule that re-raises its own triggering event is the
+// depth-1 cascade cycle.
+func TestSelfLoop(t *testing.T) {
+	rules := []core.RuleInfo{rule("echo", "ev.a", 1, nil, []string{"raise ev.a"})}
+	fs := analyzeRuleGraph(rules, []string{"ev.a"})
+	f := wantFinding(t, fs, "RV008", Error, "rule:echo")
+	if !strings.Contains(f.Msg, "depth 1") {
+		t.Errorf("self-loop should be depth 1, got %q", f.Msg)
+	}
+}
+
+// TestFindingOrderAndFormat pins the stable output contract: errors
+// before warnings, then by code, and the one-line greppable rendering.
+func TestFindingOrderAndFormat(t *testing.T) {
+	fs := []Finding{
+		{Code: "RV006", Severity: Warn, Subject: "rule:x", Msg: "m1"},
+		{Code: "RV008", Severity: Error, Subject: "rule:y", Msg: "m2"},
+		{Code: "RV003", Severity: Warn, Subject: "dsd:z", Msg: "m3"},
+	}
+	sortFindings(fs)
+	if got := codes(fs); got[0] != "RV008" || got[1] != "RV003" || got[2] != "RV006" {
+		t.Fatalf("sort order = %v, want [RV008 RV003 RV006]", got)
+	}
+	if s := fs[0].String(); s != "RV008 error rule:y: m2" {
+		t.Fatalf("String() = %q", s)
+	}
+	if !HasErrors(fs) {
+		t.Fatal("HasErrors = false with an error finding present")
+	}
+	if HasErrors(fs[1:]) {
+		t.Fatal("HasErrors = true with only warnings")
+	}
+}
+
+// TestAnalyzeDeterministic: identical input yields identical findings —
+// the property the hot-reload gate and golden tests rely on.
+func TestAnalyzeDeterministic(t *testing.T) {
+	src := `
+policy "det"
+role CEO
+role PC
+role AC
+hierarchy CEO > PC
+hierarchy CEO > AC
+ssd purchase 2: PC, AC
+dsd purchase-live 2: PC, AC
+shift PC 02:00:00-02:00:00
+`
+	spec := parse(t, src)
+	anchor := time.Date(2025, time.June, 1, 0, 0, 0, 0, time.UTC)
+	a := Analyze(Input{Spec: spec, Anchor: anchor})
+	b := Analyze(Input{Spec: spec, Anchor: anchor})
+	if len(a) == 0 {
+		t.Fatal("expected findings")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

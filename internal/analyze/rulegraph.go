@@ -1,0 +1,253 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"activerbac/internal/core"
+)
+
+// Rule-graph analysis over the generated OWTE inventory. The pool's
+// snapshot exposes each rule's triggering event, priority and the
+// human-readable descriptions of its conditions and actions; "raise X"
+// action descriptions are the cascade edges (an action raising X feeds
+// every rule whose On is X — the Snoop propagation the engine performs
+// at runtime, walked here statically).
+
+func analyzeRuleGraph(rules []core.RuleInfo, events []string) []Finding {
+	if len(rules) == 0 {
+		return nil
+	}
+	var fs []Finding
+	fs = append(fs, findUnreachable(rules, events)...)
+	fs = append(fs, findShadowed(rules)...)
+	fs = append(fs, findCascadeCycles(rules)...)
+	return fs
+}
+
+// findUnreachable flags rules listening on events the detector never
+// registered (RV007): with no primitive or composite definition behind
+// the name, nothing can ever raise it and the rule is dead. Skipped
+// when the caller has no event registry to check against.
+func findUnreachable(rules []core.RuleInfo, events []string) []Finding {
+	if len(events) == 0 {
+		return nil
+	}
+	defined := make(map[string]bool, len(events))
+	for _, e := range events {
+		defined[e] = true
+	}
+	var fs []Finding
+	for _, r := range rules {
+		if !defined[r.On] {
+			fs = append(fs, Finding{
+				Code: "RV007", Severity: Error, Subject: "rule:" + r.Name,
+				Msg: fmt.Sprintf("listens on event %q, which is not registered with the detector; the rule can never fire", r.On),
+			})
+		}
+	}
+	return fs
+}
+
+// findShadowed flags RV006: rule low is shadowed by rule high when both
+// trigger on the same event, high fires first (higher priority, or equal
+// priority with an earlier pool position approximated by name order),
+// high's conditions are a subset of low's (so whenever low's Then runs,
+// high's already ran) and high's actions cover low's — the lower rule
+// contributes nothing to any decision.
+func findShadowed(rules []core.RuleInfo) []Finding {
+	byEvent := make(map[string][]core.RuleInfo)
+	for _, r := range rules {
+		byEvent[r.On] = append(byEvent[r.On], r)
+	}
+	var fs []Finding
+	for _, group := range byEvent {
+		for _, low := range group {
+			for _, high := range group {
+				if high.Name == low.Name || high.Priority < low.Priority {
+					continue
+				}
+				if high.Priority == low.Priority && high.Name >= low.Name {
+					continue
+				}
+				if stringsSubset(high.Conditions, low.Conditions) &&
+					stringsSubset(low.Then, high.Then) &&
+					stringsSubset(low.Else, high.Else) {
+					fs = append(fs, Finding{
+						Code: "RV006", Severity: Warn, Subject: "rule:" + low.Name,
+						Msg: fmt.Sprintf("shadowed by higher-priority rule %q on %q: its conditions subsume this rule's and its actions cover them", high.Name, low.On),
+					})
+				}
+			}
+		}
+	}
+	return fs
+}
+
+// stringsSubset reports whether every element of sub appears in super.
+// An empty sub is a subset of anything (an unconditional rule subsumes
+// every condition set).
+func stringsSubset(sub, super []string) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	set := make(map[string]bool, len(super))
+	for _, s := range super {
+		set[s] = true
+	}
+	for _, s := range sub {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// raiseTargets extracts the event names a rule's actions raise, from
+// the "raise X" action description convention the generator emits.
+func raiseTargets(r core.RuleInfo) []string {
+	var out []string
+	collect := func(descs []string) {
+		for _, d := range descs {
+			if rest, ok := strings.CutPrefix(d, "raise "); ok {
+				if ev, _, _ := strings.Cut(rest, " "); ev != "" {
+					out = append(out, ev)
+				}
+			}
+		}
+	}
+	collect(r.Then)
+	collect(r.Else)
+	return out
+}
+
+// findCascadeCycles flags RV008: a cycle in the rule/event graph means
+// one firing re-raises an event that (transitively) fires the same rule
+// again — an unbounded cascade only the engine's runaway safety valve
+// would stop. The search is depth-first with the path kept as the
+// bounded-depth proof; each cycle is reported once, anchored at its
+// lexicographically smallest rule.
+func findCascadeCycles(rules []core.RuleInfo) []Finding {
+	byEvent := make(map[string][]int)
+	for i, r := range rules {
+		if !r.Enabled {
+			continue
+		}
+		byEvent[r.On] = append(byEvent[r.On], i)
+	}
+	// succ[i] = rules fired by events rule i raises, with the edge label.
+	type edge struct {
+		to    int
+		event string
+	}
+	succ := make([][]edge, len(rules))
+	for i, r := range rules {
+		if !r.Enabled {
+			continue
+		}
+		for _, ev := range raiseTargets(r) {
+			for _, j := range byEvent[ev] {
+				succ[i] = append(succ[i], edge{to: j, event: ev})
+			}
+		}
+	}
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(rules))
+	var path []cascadeStep
+	seen := make(map[string]bool) // canonical cycle keys already reported
+	var fs []Finding
+
+	var visit func(i int)
+	visit = func(i int) {
+		color[i] = gray
+		for _, e := range succ[i] {
+			if color[e.to] == gray {
+				// Extract the cycle from the path.
+				var cyc []cascadeStep
+				for k, p := range path {
+					if p.rule == e.to {
+						cyc = append([]cascadeStep(nil), path[k:]...)
+						break
+					}
+				}
+				if cyc == nil { // self-loop not yet on path tail
+					cyc = []cascadeStep{{rule: e.to}}
+				}
+				cyc = append(cyc, cascadeStep{rule: e.to, event: e.event})
+				fs = append(fs, cycleFinding(rules, cyc, seen))
+			} else if color[e.to] == white {
+				path = append(path, cascadeStep{rule: e.to, event: e.event})
+				visit(e.to)
+				path = path[:len(path)-1]
+			}
+		}
+		color[i] = black
+	}
+	for i := range rules {
+		if color[i] == white && rules[i].Enabled {
+			path = path[:0]
+			path = append(path, cascadeStep{rule: i})
+			visit(i)
+		}
+	}
+	// Drop the zero-value placeholders from duplicate cycles.
+	out := fs[:0]
+	for _, f := range fs {
+		if f.Code != "" {
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// cascadeStep is one hop of a cascade proof path: the rule reached and
+// the raised event that led to it ("" for the path root).
+type cascadeStep struct {
+	rule  int
+	event string
+}
+
+// cycleFinding renders one cycle as a proof path, deduplicating on the
+// sorted member set; a duplicate returns the zero Finding.
+func cycleFinding(rules []core.RuleInfo, cyc []cascadeStep, seen map[string]bool) Finding {
+	names := make([]string, 0, len(cyc)-1)
+	for _, s := range cyc[:len(cyc)-1] {
+		names = append(names, rules[s.rule].Name)
+	}
+	key := canonicalKey(names)
+	if seen[key] {
+		return Finding{}
+	}
+	seen[key] = true
+
+	var proof strings.Builder
+	for i, s := range cyc {
+		if i > 0 {
+			fmt.Fprintf(&proof, " -raise %s-> ", s.event)
+		}
+		proof.WriteString(rules[s.rule].Name)
+	}
+	subject := names[0]
+	for _, n := range names {
+		if n < subject {
+			subject = n
+		}
+	}
+	return Finding{
+		Code: "RV008", Severity: Error, Subject: "rule:" + subject,
+		Msg: fmt.Sprintf("cascade cycle of depth %d: %s", len(names), proof.String()),
+	}
+}
+
+func canonicalKey(names []string) string {
+	cp := append([]string(nil), names...)
+	sort.Strings(cp)
+	return strings.Join(cp, "|")
+}

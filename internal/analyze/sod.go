@@ -1,0 +1,117 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"activerbac/internal/policy"
+)
+
+// Separation-of-duty versus hierarchy analysis. policy.Check already
+// rejects a set whose *own member* subsumes N co-members; the analyses
+// here look across the whole role graph and across constraint kinds:
+// a common ancestor outside the set (RV001), the activation closure the
+// dynamic checker counts at runtime (RV002), and static sets that make
+// a dynamic set unreachable (RV003).
+
+func analyzeSoD(s *policy.Spec) []Finding {
+	var fs []Finding
+	juniors := s.Juniors()
+
+	// RV001: NIST SSD semantics count the junior closure of every
+	// assignment, so ANY declared role whose closure covers >= N members
+	// of an SSoD set is unassignable — a conflict between the hierarchy
+	// and the constraint, invisible statement-by-statement when the role
+	// is a common ancestor outside the set.
+	for _, set := range s.SSD {
+		for _, role := range s.Roles {
+			cl := policy.JuniorClosure(juniors, role)
+			hits := membersIn(cl, set.Roles)
+			if len(hits) >= set.N && set.N >= 2 {
+				fs = append(fs, Finding{
+					Code: "RV001", Severity: Error, Subject: "ssd:" + set.Name,
+					Msg: fmt.Sprintf("conflicts with the role hierarchy: assigning %q authorizes %s — %d of the set's %d members (cardinality %d); the role is unassignable",
+						role, quoteList(hits), len(hits), len(set.Roles), set.N),
+				})
+			}
+		}
+	}
+
+	// RV002: the dynamic checker counts the junior closure of the
+	// session's active roles, so a single role whose closure covers >= N
+	// members of a DSD set can never be activated anywhere.
+	for _, set := range s.DSD {
+		for _, role := range s.Roles {
+			cl := policy.JuniorClosure(juniors, role)
+			hits := membersIn(cl, set.Roles)
+			if len(hits) >= set.N && set.N >= 2 {
+				fs = append(fs, Finding{
+					Code: "RV002", Severity: Error, Subject: "dsd:" + set.Name,
+					Msg: fmt.Sprintf("role %q can never be activated: one activation brings %s into the active closure — %d of %d members (cardinality %d)",
+						role, quoteList(hits), len(hits), len(set.Roles), set.N),
+				})
+			}
+		}
+	}
+
+	// RV003: a DSD set is vacuous when a static set already caps how
+	// many of its members any user can be authorized for. If an SSD set
+	// T ⊆ D satisfies D.N + |T| - |D| >= T.N, then holding D.N members
+	// of D necessarily includes T.N members of T, which SSD forbids — so
+	// no session can ever reach the dynamic bound.
+	for _, d := range s.DSD {
+		dset := toSet(d.Roles)
+		for _, t := range s.SSD {
+			if !subset(t.Roles, dset) {
+				continue
+			}
+			if d.N+len(t.Roles)-len(d.Roles) >= t.N {
+				fs = append(fs, Finding{
+					Code: "RV003", Severity: Warn, Subject: "dsd:" + d.Name,
+					Msg: fmt.Sprintf("can never be violated: ssd set %q already forbids any user from being authorized for %d of %s",
+						t.Name, t.N, quoteList(t.Roles)),
+				})
+				break
+			}
+		}
+	}
+	return fs
+}
+
+// membersIn returns the members of roles present in cl, in set order.
+func membersIn(cl map[string]bool, roles []string) []string {
+	var hits []string
+	for _, r := range roles {
+		if cl[r] {
+			hits = append(hits, r)
+		}
+	}
+	return hits
+}
+
+func toSet(roles []string) map[string]bool {
+	out := make(map[string]bool, len(roles))
+	for _, r := range roles {
+		out[r] = true
+	}
+	return out
+}
+
+func subset(roles []string, of map[string]bool) bool {
+	for _, r := range roles {
+		if !of[r] {
+			return false
+		}
+	}
+	return len(roles) > 0
+}
+
+func quoteList(roles []string) string {
+	qs := make([]string, len(roles))
+	for i, r := range roles {
+		qs[i] = fmt.Sprintf("%q", r)
+	}
+	sort.Strings(qs)
+	return strings.Join(qs, ", ")
+}

@@ -66,7 +66,7 @@ type exec struct {
 	casc *cascade
 }
 
-// item is one queued unit of drain work. at is the wall-clock enqueue
+// item is one queued unit of drain work. at is the engine-clock enqueue
 // instant, stamped only when lane-wait instrumentation is on.
 type item struct {
 	fn   func(exec)
@@ -118,7 +118,7 @@ func (ln *lane) post(c *cascade, fn func(exec)) {
 	ln.enqueued.Add(1)
 	it := item{fn: fn, casc: c}
 	if ins := ln.d.ins; ins != nil && ins.LaneWait != nil {
-		it.at = time.Now()
+		it.at = ln.d.clk.Now()
 	}
 	ln.qmu.Lock()
 	ln.queue = append(ln.queue, it)
@@ -162,7 +162,7 @@ func (ln *lane) drain() {
 		steps++
 		if !next.at.IsZero() {
 			if ins := ln.d.ins; ins != nil && ins.LaneWait != nil {
-				ins.LaneWait(ln.name, time.Since(next.at).Seconds())
+				ins.LaneWait(ln.name, ln.d.clk.Now().Sub(next.at).Seconds())
 			}
 		}
 		next.fn(exec{d: ln.d, ln: ln, casc: next.casc})

@@ -49,6 +49,9 @@ type Observer struct {
 	AuditAppend  *Histogram // activerbac_audit_append_seconds
 	AuditFlush   *Histogram // activerbac_audit_flush_seconds
 	AuditRecords *Counter   // activerbac_audit_records_total
+
+	// Static analysis (counted per analyzer run by the facade).
+	AnalyzeFindings *CounterVec // activerbac_analyze_findings_total{code,severity}
 }
 
 // NewObserver builds a registry with the full metric catalog
@@ -111,6 +114,9 @@ func NewObserver(traceCapacity int) *Observer {
 			"Latency of one audit-log flush + fsync.", nil).With(),
 		AuditRecords: r.Counter("activerbac_audit_records_total",
 			"Records appended to the audit log.").With(),
+
+		AnalyzeFindings: r.Counter("activerbac_analyze_findings_total",
+			"Static-analysis findings observed, by finding code and severity.", "code", "severity"),
 	}
 	if traceCapacity > 0 {
 		o.Traces = NewTraceRing(traceCapacity)

@@ -75,7 +75,6 @@ func Check(s *Spec) []Issue {
 
 	// Hierarchy: known roles, no self-edges, no duplicates, acyclic.
 	edgeSeen := make(map[Edge]bool)
-	juniors := make(map[string][]string)
 	for _, e := range s.Hierarchy {
 		needRole(e.Senior, "hierarchy")
 		needRole(e.Junior, "hierarchy")
@@ -85,31 +84,16 @@ func Check(s *Spec) []Issue {
 		}
 		if edgeSeen[e] {
 			warnf("duplicate hierarchy edge %s > %s", e.Senior, e.Junior)
-			continue
 		}
 		edgeSeen[e] = true
-		juniors[e.Senior] = append(juniors[e.Senior], e.Junior)
 	}
+	juniors := s.Juniors()
 	if cyc := findCycle(s.Roles, juniors); len(cyc) > 0 {
 		errf("hierarchy cycle: %v", cyc)
 	}
 
 	// juniorsClosure for SoD-vs-hierarchy conflicts.
-	closure := func(r string) map[string]bool {
-		out := map[string]bool{r: true}
-		stack := []string{r}
-		for len(stack) > 0 {
-			cur := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, j := range juniors[cur] {
-				if !out[j] {
-					out[j] = true
-					stack = append(stack, j)
-				}
-			}
-		}
-		return out
-	}
+	closure := func(r string) map[string]bool { return JuniorClosure(juniors, r) }
 
 	// SoD sets.
 	checkSoD := func(sets []SoD, kind string) {

@@ -211,6 +211,40 @@ func (s *Spec) RoleSet() map[string]bool {
 	return set
 }
 
+// Juniors returns the immediate senior -> juniors adjacency of the
+// hierarchy (self-edges and duplicates dropped).
+func (s *Spec) Juniors() map[string][]string {
+	adj := make(map[string][]string, len(s.Hierarchy))
+	seen := make(map[Edge]bool, len(s.Hierarchy))
+	for _, e := range s.Hierarchy {
+		if e.Senior == e.Junior || seen[e] {
+			continue
+		}
+		seen[e] = true
+		adj[e.Senior] = append(adj[e.Senior], e.Junior)
+	}
+	return adj
+}
+
+// JuniorClosure returns role plus every role it transitively inherits —
+// the authorized set one assignment of role grants (NIST RBAC
+// hierarchies). juniors is the adjacency from Juniors().
+func JuniorClosure(juniors map[string][]string, role string) map[string]bool {
+	out := map[string]bool{role: true}
+	stack := []string{role}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, j := range juniors[cur] {
+			if !out[j] {
+				out[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+	return out
+}
+
 // String summarizes the spec.
 func (s *Spec) String() string {
 	return fmt.Sprintf("policy %q: %d roles, %d edges, %d SSD, %d DSD, %d users",

@@ -286,14 +286,15 @@ func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error
 	p[DecisionKey] = dec
 	scope := scopeOf(p)
 
-	// Observability: wall clock for the latency histogram, engine clock
-	// for the trace timestamps (simulated time in tests). With a nil
-	// observer both branches collapse to the pre-observability path.
+	// Observability: the engine clock drives both the latency histogram
+	// and the trace timestamps, so simulated time in tests and benches
+	// stays consistent across every observable. With a nil observer both
+	// branches collapse to the pre-observability path.
 	o := e.obs
 	var tr *obs.Trace
 	var t0 time.Time
 	if o != nil {
-		t0 = time.Now()
+		t0 = e.clk.Now()
 		if o.Traces != nil {
 			tr = o.Traces.Start(eventName, scope, e.clk.Now())
 			dec.trace = tr // no concurrent access before the raise below
@@ -312,7 +313,7 @@ func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error
 			verdict = "allow"
 		}
 		o.Decisions.With(eventName, verdict).Inc()
-		o.DecisionLatency.With(eventName).Observe(time.Since(t0).Seconds())
+		o.DecisionLatency.With(eventName).Observe(e.clk.Now().Sub(t0).Seconds())
 	}
 	return dec, nil
 }

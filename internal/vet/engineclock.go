@@ -1,0 +1,58 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// EngineClock forbids reading the wall clock inside the enforcement
+// engine. All temporal behaviour — timers, trace timestamps, latency
+// observations, lane-wait stamps — must flow through the injected
+// clock.Clock so simulated time in tests and benchmarks is the *only*
+// time the engine ever sees. A stray time.Now() silently decouples one
+// observable from the rest (the two pre-fix violations skewed latency
+// histograms against trace timestamps under a Sim clock).
+var EngineClock = &Analyzer{
+	Name: "engineclock",
+	Doc:  "forbid time.Now/Since/Until in the engine packages; use the injected clock.Clock",
+	Run:  runEngineClock,
+}
+
+// engineClockPackages are the packages the invariant covers. The clock
+// package itself is exempt: it is where the real clock lives.
+var engineClockPackages = map[string]bool{
+	"internal/sentinel": true,
+	"internal/event":    true,
+}
+
+// engineClockBanned are the time functions that read the wall clock.
+var engineClockBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runEngineClock(pass *Pass) {
+	if !engineClockPackages[pass.Path] {
+		return
+	}
+	for _, f := range pass.Files {
+		timeName := importName(f, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || !engineClockBanned[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock inside %s; route it through the engine clock (internal/clock)",
+				sel.Sel.Name, pass.Path)
+			return true
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// LockOrder enforces the lane locking discipline documented in
+// internal/event/lane.go: emu (drain execution) is acquired before qmu
+// (queue + drain ownership), never the other way around. post() takes
+// qmu alone and must release it before calling drain(), which takes
+// emu then qmu inside its loop; a path that acquires emu while still
+// holding qmu inverts the order and can deadlock against a concurrent
+// drain. The check is a straight-line statement scan per function —
+// the granularity at which the lane code takes these locks.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lane mutexes must be acquired in the documented order: emu before qmu",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	if pass.Path != "internal/event" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			qmuHeld := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				// A deferred unlock does not release within the scan.
+				if _, isDefer := n.(*ast.DeferStmt); isDefer {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				mutex, method := lockCall(call)
+				switch {
+				case mutex == "qmu" && method == "Lock":
+					qmuHeld = true
+				case mutex == "qmu" && method == "Unlock":
+					qmuHeld = false
+				case mutex == "emu" && method == "Lock" && qmuHeld:
+					pass.Reportf(call.Pos(),
+						"emu.Lock while qmu is held inverts the documented lane lock order (emu before qmu)")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockCall matches X.<mutex>.Lock/Unlock calls, returning the mutex
+// field name and the method ("", "" otherwise).
+func lockCall(call *ast.CallExpr) (mutex, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return "", ""
+	}
+	base, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		// Also match a bare ident receiver (qmu.Lock() on a local).
+		if id, isIdent := sel.X.(*ast.Ident); isIdent {
+			return id.Name, sel.Sel.Name
+		}
+		return "", ""
+	}
+	return base.Sel.Name, sel.Sel.Name
+}

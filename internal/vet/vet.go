@@ -1,0 +1,183 @@
+// Package vet is a small go/analysis-style framework for the repo's
+// own invariants, built on the standard library's go/ast and go/parser
+// only (the module is dependency-free by policy, so golang.org/x/tools
+// is out of reach). cmd/rbacvet is the driver.
+//
+// The passes are purely syntactic: they need no type information, which
+// keeps the driver a plain parse-and-walk with no importer. Each pass
+// receives one package (a directory of non-test files) at a time,
+// together with its module-relative path so package-scoped invariants
+// ("no time.Now in internal/sentinel") can key off it.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the pass name ("engineclock").
+	Name string
+	// Doc states the invariant the pass enforces.
+	Doc string
+	// Run inspects one package and reports violations through the pass.
+	Run func(*Pass)
+}
+
+// Pass is the per-package execution context handed to an Analyzer.
+type Pass struct {
+	// Analyzer is the running check.
+	Analyzer *Analyzer
+	// Fset resolves token positions for the package's files.
+	Fset *token.FileSet
+	// Path is the package path relative to the module root
+	// ("internal/event").
+	Path string
+	// Files are the package's parsed non-test files.
+	Files []*ast.File
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the go-vet-style "file:line:col: pass: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one parsed package ready for analysis.
+type Package struct {
+	// Path is the module-relative package path.
+	Path string
+	// Fset positions the files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+}
+
+// Analyzers returns the repo's invariant checks.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{EngineClock, ObsNil, LockOrder}
+}
+
+// Run executes the analyzers over the packages and returns every
+// diagnostic, sorted by position.
+func Run(pkgs []Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: pkg.Fset, Path: pkg.Path, Files: pkg.Files, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// LoadPackage parses the non-test .go files of dir into a Package with
+// the given module-relative path. ok is false when the directory holds
+// no non-test Go files.
+func LoadPackage(dir, rel string) (Package, bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return Package{}, false, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return Package{}, false, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return Package{}, false, nil
+	}
+	return Package{Path: rel, Fset: fset, Files: files}, true, nil
+}
+
+// ParseSource builds a single-file Package from source text — the test
+// entry point.
+func ParseSource(rel, filename, src string) (Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return Package{}, err
+	}
+	return Package{Path: rel, Fset: fset, Files: []*ast.File{f}}, nil
+}
+
+// importName returns the local identifier the file binds the given
+// import path to ("" when not imported or blank/dot-imported).
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		// Default name: the last path element.
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// render flattens a selector chain ("e.obs.Traces") for comparison;
+// non-chain expressions render as "".
+func render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := render(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return render(x.X)
+	}
+	return ""
+}

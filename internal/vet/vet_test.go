@@ -1,0 +1,236 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+)
+
+// runOn parses one source file attributed to package path rel and runs
+// the given analyzer over it.
+func runOn(t *testing.T, a *Analyzer, rel, src string) []Diagnostic {
+	t.Helper()
+	pkg, err := ParseSource(rel, "src.go", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Run([]Package{pkg}, []*Analyzer{a})
+}
+
+func wantDiags(t *testing.T, diags []Diagnostic, want int) {
+	t.Helper()
+	if len(diags) != want {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), want, diags)
+	}
+}
+
+// --- engineclock ---------------------------------------------------
+
+// TestEngineClockFlagsWallClock reproduces the pre-fix state of
+// engine.go/lane.go: wall-clock reads inside the enforcement path.
+func TestEngineClockFlagsWallClock(t *testing.T) {
+	src := `package sentinel
+
+import "time"
+
+func (e *Engine) observe() {
+	t0 := time.Now()
+	_ = time.Since(t0)
+	_ = time.Until(t0)
+}
+`
+	diags := runOn(t, EngineClock, "internal/sentinel", src)
+	wantDiags(t, diags, 3)
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "engine clock") {
+			t.Errorf("diagnostic should point at the engine clock, got %q", d.Message)
+		}
+	}
+}
+
+// TestEngineClockHonorsImportRename: renaming the time package must not
+// hide the call.
+func TestEngineClockHonorsImportRename(t *testing.T) {
+	src := `package event
+
+import stdtime "time"
+
+func stamp() { _ = stdtime.Now() }
+`
+	wantDiags(t, runOn(t, EngineClock, "internal/event", src), 1)
+}
+
+// TestEngineClockAllowsEngineClockAndOtherPackages: clk.Now() is the
+// sanctioned form, time.Time values are fine, and packages outside the
+// enforcement path may use wall clocks freely.
+func TestEngineClockAllowsEngineClockAndOtherPackages(t *testing.T) {
+	clean := `package sentinel
+
+import "time"
+
+func (e *Engine) observe() {
+	t0 := e.clk.Now()
+	var d time.Duration
+	_ = e.clk.Now().Sub(t0)
+	_ = d
+}
+`
+	wantDiags(t, runOn(t, EngineClock, "internal/sentinel", clean), 0)
+
+	elsewhere := `package audit
+
+import "time"
+
+func stamp() { _ = time.Now() }
+`
+	wantDiags(t, runOn(t, EngineClock, "internal/audit", elsewhere), 0)
+}
+
+// --- obsnil --------------------------------------------------------
+
+// TestObsNilFlagsUnguardedDeref: touching e.obs.Decisions without a nil
+// check crashes every system built without an Observer.
+func TestObsNilFlagsUnguardedDeref(t *testing.T) {
+	src := `package sentinel
+
+func (e *Engine) count() {
+	e.obs.Decisions.Inc()
+}
+`
+	diags := runOn(t, ObsNil, "internal/sentinel", src)
+	wantDiags(t, diags, 1)
+	if !strings.Contains(diags[0].Message, "nil") {
+		t.Errorf("diagnostic should mention the missing nil check, got %q", diags[0].Message)
+	}
+}
+
+// TestObsNilAcceptsGuardedIdioms covers the three guard shapes used in
+// the codebase: direct compare, snapshot-into-local, and if-scoped
+// assignment.
+func TestObsNilAcceptsGuardedIdioms(t *testing.T) {
+	src := `package sentinel
+
+func (e *Engine) direct() {
+	if e.obs != nil {
+		e.obs.Decisions.Inc()
+	}
+}
+
+func (e *Engine) snapshot() {
+	o := e.obs
+	if o != nil {
+		o.Decisions.Inc()
+	}
+	if o.Traces != nil {
+		o.Traces.Start()
+	}
+}
+
+func (ln *lane) scoped() {
+	if ins := ln.d.ins; ins != nil {
+		ins.LaneWait("g", 0)
+	}
+}
+`
+	wantDiags(t, runOn(t, ObsNil, "internal/sentinel", src), 0)
+}
+
+// TestObsNilIgnoresOtherPackages: the rule only applies to the four
+// hot-path packages that treat observability as optional.
+func TestObsNilIgnoresOtherPackages(t *testing.T) {
+	src := `package rbacd
+
+func run(s *server) { s.obs.Decisions.Inc() }
+`
+	wantDiags(t, runOn(t, ObsNil, "cmd/rbacd", src), 0)
+}
+
+// --- lockorder -----------------------------------------------------
+
+// TestLockOrderFlagsInversion: taking emu while qmu is held inverts the
+// documented order and can deadlock against drain().
+func TestLockOrderFlagsInversion(t *testing.T) {
+	src := `package event
+
+func (ln *lane) bad() {
+	ln.qmu.Lock()
+	ln.emu.Lock()
+	ln.emu.Unlock()
+	ln.qmu.Unlock()
+}
+`
+	diags := runOn(t, LockOrder, "internal/event", src)
+	wantDiags(t, diags, 1)
+	if !strings.Contains(diags[0].Message, "qmu") {
+		t.Errorf("diagnostic should name the held mutex, got %q", diags[0].Message)
+	}
+}
+
+// TestLockOrderAcceptsDocumentedOrder mirrors drain(): emu first, qmu
+// taken and released repeatedly inside.
+func TestLockOrderAcceptsDocumentedOrder(t *testing.T) {
+	src := `package event
+
+func (ln *lane) drain() {
+	ln.emu.Lock()
+	for {
+		ln.qmu.Lock()
+		ln.qmu.Unlock()
+		break
+	}
+	ln.emu.Unlock()
+}
+
+func (ln *lane) sequential() {
+	ln.qmu.Lock()
+	ln.qmu.Unlock()
+	ln.emu.Lock()
+	ln.emu.Unlock()
+}
+`
+	wantDiags(t, runOn(t, LockOrder, "internal/event", src), 0)
+}
+
+// TestLockOrderSkipsDefer: a deferred emu.Lock runs at function exit,
+// after the linear body released qmu; the scan must not misread it.
+func TestLockOrderSkipsDefer(t *testing.T) {
+	src := `package event
+
+func (ln *lane) deferred() {
+	ln.qmu.Lock()
+	defer func() { ln.emu.Lock(); ln.emu.Unlock() }()
+	ln.qmu.Unlock()
+}
+`
+	wantDiags(t, runOn(t, LockOrder, "internal/event", src), 0)
+}
+
+// --- framework -----------------------------------------------------
+
+// TestDiagnosticFormat pins the go-vet-style rendering the driver and
+// editors rely on.
+func TestDiagnosticFormat(t *testing.T) {
+	diags := runOn(t, EngineClock, "internal/sentinel", `package sentinel
+
+import "time"
+
+func f() { _ = time.Now() }
+`)
+	wantDiags(t, diags, 1)
+	s := diags[0].String()
+	if !strings.HasPrefix(s, "src.go:5:") || !strings.Contains(s, "engineclock:") {
+		t.Errorf("diagnostic format = %q, want file:line:col: pass: message", s)
+	}
+}
+
+// TestAnalyzersRegistry: the driver must ship all three passes.
+func TestAnalyzersRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"engineclock", "obsnil", "lockorder"} {
+		if !names[want] {
+			t.Errorf("registry missing analyzer %q", want)
+		}
+	}
+}
