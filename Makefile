@@ -1,9 +1,11 @@
 # Developer entry points. `make check` is the tier-1 gate from
-# ROADMAP.md: build, tests, race detector, vet, lint.
+# ROADMAP.md: build, tests, race detector, vet, lint, plus a one-round
+# fast-path bench smoke so the cached and uncached Decide paths are
+# exercised end to end on every merge.
 
 GO ?= go
 
-.PHONY: build test race vet lint check bench-smoke bench bench-obs clean
+.PHONY: build test race vet lint check bench-smoke bench bench-obs bench-fastpath bench-fastpath-smoke bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -21,12 +23,12 @@ vet:
 
 # lint runs the repo's own static analysis: go vet plus rbacvet, the
 # custom passes enforcing engine invariants (engine-clock discipline,
-# observer nil guards, lane lock order).
+# observer nil guards, lane lock order, snapshot immutability).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rbacvet ./...
 
-check: build test race vet lint
+check: build test race vet lint bench-fastpath-smoke
 
 # bench-smoke runs the cheap experiments to confirm the bench harness
 # still works; `make bench` regenerates everything (slow).
@@ -42,6 +44,23 @@ bench: build
 bench-obs: build
 	$(GO) run ./cmd/bench -exp OBS
 
+# bench-fastpath regenerates the decision fast-path series
+# (BENCH_fastpath.json): the E1P parallel workload with the verdict
+# cache off and on. The smoke variant runs one short round and leaves
+# the committed JSON untouched.
+bench-fastpath: build
+	$(GO) run ./cmd/bench -exp FASTPATH
+
+bench-fastpath-smoke: build
+	$(GO) run ./cmd/bench -exp FASTPATH -smoke
+
+# bench-compare diffs two benchmark JSON series benchstat-style, e.g.
+#   make bench-compare OLD=BENCH_lanes.json NEW=BENCH_fastpath.json
+OLD ?= BENCH_lanes.json
+NEW ?= BENCH_fastpath.json
+bench-compare: build
+	$(GO) run ./cmd/bench -compare $(OLD) $(NEW)
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lanes.json BENCH_obs.json
+	rm -f BENCH_lanes.json BENCH_obs.json BENCH_fastpath.json

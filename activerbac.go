@@ -144,6 +144,14 @@ type Options struct {
 	// default should be paired with periodic SyncAudit calls (rbacd's
 	// -audit-sync flag) to bound crash loss.
 	AuditSyncEveryAppend bool
+	// FastPath enables the read-mostly decision fast path: repeat ALLOW
+	// verdicts of cacheable access checks are served from an
+	// epoch-tagged cache invalidated on every policy, rule or session
+	// change, and the engine runs its allocation diet (occurrence
+	// pooling). Audit-enabled systems register an outcome listener,
+	// which automatically forces every decision back onto the full
+	// cascade, so audit completeness is unaffected. Off by default.
+	FastPath bool
 }
 
 func (o *Options) laneCount() int {
@@ -193,6 +201,9 @@ func openSpec(spec *policy.Spec, source string, opts *Options) (*System, error) 
 		clk = clock.NewReal()
 	}
 	engOpts := []sentinel.EngineOption{sentinel.WithLanes(opts.laneCount())}
+	if opts.FastPath {
+		engOpts = append(engOpts, sentinel.WithFastPath())
+	}
 	var observer *obs.Observer
 	if opts.Metrics || opts.TraceBuffer > 0 {
 		observer = obs.NewObserver(opts.TraceBuffer)
@@ -299,6 +310,27 @@ func (s *System) TraceByID(id uint64) (TraceData, bool, error) {
 	return td, ok, nil
 }
 
+// FastPathStats is a snapshot of the decision fast path's counters.
+type FastPathStats = sentinel.FastPathStats
+
+// ErrFastPathOff is returned by FastPathStats when the System was
+// opened without Options.FastPath.
+var ErrFastPathOff = errors.New("activerbac: fast path not enabled")
+
+// FastPathStats snapshots the decision cache counters. Requires
+// Options.FastPath.
+func (s *System) FastPathStats() (FastPathStats, error) {
+	fp := s.gen.Engine().FastPath()
+	if fp == nil {
+		return FastPathStats{}, ErrFastPathOff
+	}
+	return fp.Stats(), nil
+}
+
+// SnapshotEpoch reports the policy epoch of the RBAC store's published
+// copy-on-write snapshot (bumped by every policy-grade mutation).
+func (s *System) SnapshotEpoch() uint64 { return s.gen.Engine().Store().Epoch() }
+
 // SyncAudit flushes buffered audit records to disk (a no-op without an
 // audit log). Servers running the buffered audit mode call this on a
 // timer to bound crash loss.
@@ -374,10 +406,10 @@ func (s *System) DropActiveRole(user UserID, sid SessionID, role RoleID) error {
 // rule CA1 decides, and denials feed the active-security monitors.
 func (s *System) CheckAccess(sid SessionID, p Permission) bool {
 	user, _ := s.gen.Engine().Store().SessionUser(sid)
-	dec, err := s.gen.Engine().Decide(rulegen.EvCheckAccess, event.Params{
-		"user": string(user), "session": string(sid),
-		"operation": p.Operation, "object": p.Object,
-	})
+	// The tuple form keeps a fast-path cache hit allocation-free: the
+	// Params map is only built if the cascade actually runs.
+	dec, err := s.gen.Engine().DecideCheck(rulegen.EvCheckAccess,
+		string(user), string(sid), p.Operation, p.Object)
 	return err == nil && dec.Allowed()
 }
 

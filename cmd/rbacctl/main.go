@@ -20,6 +20,7 @@
 //	verify                                  audit the rule pool against the policy
 //	rules                                   print the rule inventory
 //	stats                                   print engine counters
+//	fastpath                                print decision fast-path cache counters
 //	alerts                                  print active-security alerts
 //	policy get                              print the loaded policy
 //	policy apply <file.acp>                 swap the policy (regenerates rules)
@@ -65,7 +66,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] <command> [args]
 commands: session new|end, activate, deactivate, check, assign, deassign,
           user add, role enable|disable, context set|get, verify,
-          rules, stats, alerts, policy get|apply, trace [id] [-n N],
+          rules, stats, fastpath, alerts, policy get|apply, trace [id] [-n N],
           metrics, analyze`)
 }
 
@@ -129,6 +130,10 @@ func (c *client) dispatch(args []string) error {
 		return c.get("/v1/rules")
 	case "stats":
 		return c.get("/v1/stats")
+	case "fastpath":
+		if len(rest) == 0 {
+			return c.get("/v1/fastpath")
+		}
 	case "alerts":
 		return c.get("/v1/alerts")
 	case "policy":

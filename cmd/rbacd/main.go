@@ -31,6 +31,7 @@
 //	GET    /v1/verify                                          -> rule-pool verification result
 //	GET    /v1/rules                                           -> rule inventory
 //	GET    /v1/stats                                           -> engine counters
+//	GET    /v1/fastpath                                        -> decision fast-path cache counters
 //	GET    /v1/alerts                                          -> active-security alerts
 //	POST   /v1/policy                (text/plain .acp body)    -> regeneration report
 //	GET    /v1/policy                                          -> current policy source
@@ -72,6 +73,7 @@ type config struct {
 	traceBuffer                               int
 	debugAddr                                 string
 	analyzeMode                               string
+	fastpath                                  string
 }
 
 func main() {
@@ -87,6 +89,8 @@ func main() {
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 	flag.StringVar(&cfg.analyzeMode, "analyze", "warn",
 		"static-analysis gate for startup and hot reloads: off, warn or strict")
+	flag.StringVar(&cfg.fastpath, "fastpath", "off",
+		"decision fast path (off or on): serve repeat ALLOW access checks from an epoch-tagged cache; stats at /v1/fastpath")
 	flag.Parse()
 	if cfg.policyPath == "" {
 		flag.Usage()
@@ -96,6 +100,12 @@ func main() {
 	case "off", "warn", "strict":
 	default:
 		fmt.Fprintf(os.Stderr, "rbacd: -analyze must be off, warn or strict (got %q)\n", cfg.analyzeMode)
+		os.Exit(2)
+	}
+	switch cfg.fastpath {
+	case "off", "on":
+	default:
+		fmt.Fprintf(os.Stderr, "rbacd: -fastpath must be off or on (got %q)\n", cfg.fastpath)
 		os.Exit(2)
 	}
 	if err := run(cfg); err != nil {
@@ -113,6 +123,19 @@ func run(cfg config) error {
 		Metrics:              true,
 		TraceBuffer:          cfg.traceBuffer,
 		AuditSyncEveryAppend: cfg.auditSync == 0,
+		FastPath:             cfg.fastpath == "on",
+	}
+	if opts.FastPath {
+		// Precedence, not error: per-decision tracing needs the cascade
+		// steps a cached verdict does not have, and an audit trail needs
+		// every firing, so either feature forces decisions back onto the
+		// full cascade.
+		if cfg.traceBuffer > 0 {
+			log.Print("rbacd: -fastpath=on with decision tracing enabled; traced decisions bypass the cache (set -trace-buffer=0 for cache hits)")
+		}
+		if cfg.auditPath != "" {
+			log.Print("rbacd: -fastpath=on with an audit log; audited decisions bypass the cache for trail completeness")
+		}
 	}
 	sys, err := activerbac.OpenFile(cfg.policyPath, opts)
 	if err != nil {
@@ -260,6 +283,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/verify", s.verify)
 	mux.HandleFunc("GET /v1/rules", s.rules)
 	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /v1/fastpath", s.fastpath)
 	mux.HandleFunc("GET /v1/alerts", s.alerts)
 	mux.HandleFunc("GET /v1/policy", s.getPolicy)
 	mux.HandleFunc("POST /v1/policy", s.putPolicy)
@@ -494,6 +518,19 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		activerbac.Stats
 		Lanes []activerbac.LaneStat
 	}{sys.Stats(), sys.LaneStats()})
+}
+
+func (s *server) fastpath(w http.ResponseWriter, _ *http.Request) {
+	sys := s.system()
+	st, err := sys.FastPathStats()
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		activerbac.FastPathStats
+		SnapshotEpoch uint64 `json:"snapshotEpoch"`
+	}{st, sys.SnapshotEpoch()})
 }
 
 func (s *server) alerts(w http.ResponseWriter, _ *http.Request) {

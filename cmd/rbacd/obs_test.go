@@ -166,6 +166,12 @@ func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 		"activerbac_audit_append_seconds":   "histogram",
 		"activerbac_audit_flush_seconds":    "histogram",
 		"activerbac_audit_records_total":    "counter",
+
+		"activerbac_fastpath_hits_total":          "counter",
+		"activerbac_fastpath_misses_total":        "counter",
+		"activerbac_fastpath_bypass_total":        "counter",
+		"activerbac_fastpath_invalidations_total": "counter",
+		"activerbac_snapshot_epoch":               "gauge",
 	}
 	for name, typ := range want {
 		if families[name] != typ {
@@ -215,6 +221,75 @@ func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 				t.Errorf("%s: +Inf bucket %v != count %v", k, v, c)
 			}
 		}
+	}
+}
+
+// TestMetricsFastPathCounters scrapes a fast-path-enabled server (no
+// trace ring — traced decisions always cascade) and asserts the cache
+// counters move and still satisfy the strict Prometheus parse.
+func TestMetricsFastPathCounters(t *testing.T) {
+	sys, err := activerbac.Open(testPolicy, &activerbac.Options{
+		Clock:    activerbac.NewSimClock(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)),
+		Lanes:    4,
+		Metrics:  true,
+		FastPath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := httptest.NewServer((&server{sys: sys}).routes())
+	t.Cleanup(srv.Close)
+
+	var sess struct {
+		Session string `json:"session"`
+	}
+	if code := call(t, srv, "POST", "/v1/sessions", `{"user":"bob"}`, &sess); code != 200 {
+		t.Fatalf("create session: %d", code)
+	}
+	call(t, srv, "POST", "/v1/activate", `{"user":"bob","session":"`+sess.Session+`","role":"PC"}`, nil)
+	// First check misses and seeds the cache; the repeats hit.
+	for i := 0; i < 5; i++ {
+		call(t, srv, "GET", "/v1/check?session="+sess.Session+"&operation=write&object=po.dat", "", nil)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, samples := parseProm(t, string(body))
+	if samples["activerbac_fastpath_hits_total"] < 4 {
+		t.Errorf("fastpath hits = %v, want >= 4", samples["activerbac_fastpath_hits_total"])
+	}
+	if samples["activerbac_fastpath_misses_total"] < 1 {
+		t.Errorf("fastpath misses = %v, want >= 1", samples["activerbac_fastpath_misses_total"])
+	}
+	if samples["activerbac_snapshot_epoch"] < 1 {
+		t.Errorf("snapshot epoch = %v, want >= 1", samples["activerbac_snapshot_epoch"])
+	}
+	// Policy churn invalidates: applying an identical policy touches no
+	// rules, so grow it by one role to force regeneration, and re-scrape.
+	if code := call(t, srv, "POST", "/v1/policy", testPolicy+"role Auditor\n", nil); code != 200 {
+		t.Fatalf("apply policy: %d", code)
+	}
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, samples2 := parseProm(t, string(body2))
+	if samples2["activerbac_fastpath_invalidations_total"] <= samples["activerbac_fastpath_invalidations_total"] {
+		t.Errorf("invalidations did not grow across a policy apply: %v -> %v",
+			samples["activerbac_fastpath_invalidations_total"], samples2["activerbac_fastpath_invalidations_total"])
 	}
 }
 

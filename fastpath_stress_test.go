@@ -1,0 +1,242 @@
+package activerbac_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"activerbac"
+	"activerbac/internal/clock"
+)
+
+// stressPolicy builds the differential-stress policy: eight flat worker
+// roles with one permission each and 64 users spread across them, plus
+// two churn roles the mutator goroutines flip without ever changing a
+// worker verdict — C0 carries a GTRBAC shift window so clock advances
+// cross enable/disable boundaries, C1 is enabled/disabled directly.
+func stressPolicy(windowStart string) string {
+	var b strings.Builder
+	for r := 0; r < 8; r++ {
+		fmt.Fprintf(&b, "role W%d\n", r)
+		fmt.Fprintf(&b, "permission W%d: op%d obj%d\n", r, r, r)
+	}
+	b.WriteString("role C0\nrole C1\n")
+	fmt.Fprintf(&b, "shift C0 %s-17:00:00\n", windowStart)
+	for u := 0; u < 64; u++ {
+		fmt.Fprintf(&b, "user u%02d: W%d\n", u, u%8)
+	}
+	return b.String()
+}
+
+// TestFastPathDifferentialStress runs the same deterministic per-worker
+// operation sequence against two systems — fast path on and off — under
+// heavy interleaved churn (equivalent policy hot-reloads, enable/disable
+// of an unrelated role, GTRBAC window flips via simulated time, and
+// per-worker session drop/recreate), asserting after every single check
+// that the cached and full-cascade verdicts are identical and equal to
+// the worker's own model. Run with -race this doubles as the memory-
+// safety proof for the copy-on-write snapshot protocol.
+//
+// The state is partitioned so verdicts stay deterministic under
+// concurrency: each of the 64 workers owns its user and sessions on
+// both systems and only ever asserts about them, while the churn
+// goroutines touch nothing a worker verdict depends on — they exist to
+// hammer the invalidation paths between a worker's capture of the epoch
+// pair and its cache store.
+func TestFastPathDifferentialStress(t *testing.T) {
+	epoch := time.Date(2026, 7, 6, 9, 30, 0, 0, time.UTC) // inside C0's shift
+	simOn := clock.NewSim(epoch)
+	simOff := clock.NewSim(epoch)
+	src := stressPolicy("09:00:00")
+
+	sysOn, err := activerbac.Open(src, &activerbac.Options{Clock: simOn, FastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysOn.Close()
+	sysOff, err := activerbac.Open(src, &activerbac.Options{Clock: simOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysOff.Close()
+
+	iters := 150
+	if testing.Short() {
+		iters = 40
+	}
+
+	var stop atomic.Bool
+	var churn, workers sync.WaitGroup
+
+	// Churn 1: hot-reload between two policies that differ only in the
+	// churn role's shift window — regenerates C0's rules, publishes the
+	// pool and bumps the fast-path epoch, worker rules untouched.
+	altA, altB := stressPolicy("09:00:00"), stressPolicy("08:30:00")
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; !stop.Load(); i++ {
+			next := altA
+			if i%2 == 0 {
+				next = altB
+			}
+			for _, sys := range []*activerbac.System{sysOn, sysOff} {
+				if _, err := sys.ApplyPolicy(next); err != nil {
+					t.Errorf("ApplyPolicy: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Churn 2: flip the unrelated role C1 — policy-grade store publishes
+	// and epoch bumps on every flip.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; !stop.Load(); i++ {
+			for _, sys := range []*activerbac.System{sysOn, sysOff} {
+				var err error
+				if i%2 == 0 {
+					err = sys.DisableRole("C1")
+				} else {
+					err = sys.EnableRole("C1")
+				}
+				if err != nil {
+					t.Errorf("role flip: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Churn 3: advance both simulated clocks in lockstep so C0's GTRBAC
+	// window enables and disables it over and over.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for !stop.Load() {
+			simOn.Advance(4 * time.Hour)
+			simOff.Advance(4 * time.Hour)
+		}
+	}()
+
+	// Workers: each owns user u%02d with role W(i%8) on both systems.
+	for w := 0; w < 64; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			user := activerbac.UserID(fmt.Sprintf("u%02d", w))
+			role := activerbac.RoleID(fmt.Sprintf("W%d", w%8))
+			own := activerbac.Permission{Operation: fmt.Sprintf("op%d", w%8), Object: fmt.Sprintf("obj%d", w%8)}
+			other := activerbac.Permission{Operation: fmt.Sprintf("op%d", (w+1)%8), Object: fmt.Sprintf("obj%d", (w+1)%8)}
+
+			open := func() (onSid, offSid activerbac.SessionID, ok bool) {
+				onSid, err := sysOn.CreateSession(user)
+				if err != nil {
+					t.Errorf("worker %d: CreateSession(on): %v", w, err)
+					return "", "", false
+				}
+				offSid, err = sysOff.CreateSession(user)
+				if err != nil {
+					t.Errorf("worker %d: CreateSession(off): %v", w, err)
+					return "", "", false
+				}
+				if err := sysOn.AddActiveRole(user, onSid, role); err != nil {
+					t.Errorf("worker %d: AddActiveRole(on): %v", w, err)
+					return "", "", false
+				}
+				if err := sysOff.AddActiveRole(user, offSid, role); err != nil {
+					t.Errorf("worker %d: AddActiveRole(off): %v", w, err)
+					return "", "", false
+				}
+				return onSid, offSid, true
+			}
+			expect := func(onSid, offSid activerbac.SessionID, p activerbac.Permission, want bool, what string) bool {
+				gotOn := sysOn.CheckAccess(onSid, p)
+				gotOff := sysOff.CheckAccess(offSid, p)
+				if gotOn != gotOff {
+					t.Errorf("worker %d: %s: fast path %v, full cascade %v — verdicts diverged", w, what, gotOn, gotOff)
+					return false
+				}
+				if gotOn != want {
+					t.Errorf("worker %d: %s: verdict %v, model says %v", w, what, gotOn, want)
+					return false
+				}
+				return true
+			}
+
+			onSid, offSid, ok := open()
+			if !ok {
+				return
+			}
+			for i := 0; i < iters; i++ {
+				if !expect(onSid, offSid, own, true, "own permission, role active") ||
+					!expect(onSid, offSid, other, false, "foreign permission") {
+					return
+				}
+				if i%10 == 9 {
+					// Flip the worker's own role off and on: the session-
+					// grade invalidation must stop the stale ALLOW.
+					if err := sysOn.DropActiveRole(user, onSid, role); err != nil {
+						t.Errorf("worker %d: DropActiveRole(on): %v", w, err)
+						return
+					}
+					if err := sysOff.DropActiveRole(user, offSid, role); err != nil {
+						t.Errorf("worker %d: DropActiveRole(off): %v", w, err)
+						return
+					}
+					if !expect(onSid, offSid, own, false, "own permission, role dropped") {
+						return
+					}
+					if err := sysOn.AddActiveRole(user, onSid, role); err != nil {
+						t.Errorf("worker %d: AddActiveRole(on): %v", w, err)
+						return
+					}
+					if err := sysOff.AddActiveRole(user, offSid, role); err != nil {
+						t.Errorf("worker %d: AddActiveRole(off): %v", w, err)
+						return
+					}
+				}
+				if i%50 == 49 {
+					// Recreate the sessions entirely.
+					if err := sysOn.DeleteSession(onSid); err != nil {
+						t.Errorf("worker %d: DeleteSession(on): %v", w, err)
+						return
+					}
+					if err := sysOff.DeleteSession(offSid); err != nil {
+						t.Errorf("worker %d: DeleteSession(off): %v", w, err)
+						return
+					}
+					if !expect(onSid, offSid, own, false, "own permission, session deleted") {
+						return
+					}
+					if onSid, offSid, ok = open(); !ok {
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// The churn runs exactly as long as the workers need it.
+	workers.Wait()
+	stop.Store(true)
+	churn.Wait()
+
+	st, err := sysOn.FastPathStats()
+	if err != nil {
+		t.Fatalf("FastPathStats: %v", err)
+	}
+	if st.Hits == 0 {
+		t.Error("stress never hit the cache; the fast path was not exercised")
+	}
+	if st.Invalidations == 0 {
+		t.Error("stress never invalidated the cache; the churn was not exercised")
+	}
+	t.Logf("fastpath stats: hits=%d misses=%d bypass=%d invalidations=%d epoch=%d",
+		st.Hits, st.Misses, st.Bypass, st.Invalidations, st.Epoch)
+}

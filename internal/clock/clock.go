@@ -14,6 +14,7 @@ package clock
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,18 +100,30 @@ type Sim struct {
 	now time.Time
 	pq  timerQueue
 	seq uint64
+
+	// nowA mirrors now so Now() is a single atomic load on the hot
+	// path (Decide reads the clock per decision). Writers update it
+	// under mtx; the published *time.Time is never mutated.
+	nowA atomic.Pointer[time.Time]
 }
 
 // NewSim returns a simulated clock whose current instant is start.
 func NewSim(start time.Time) *Sim {
-	return &Sim{now: start}
+	s := &Sim{now: start}
+	s.nowA.Store(&start)
+	return s
 }
 
 // Now implements Clock.
 func (s *Sim) Now() time.Time {
-	s.mtx.Lock()
-	defer s.mtx.Unlock()
-	return s.now
+	return *s.nowA.Load()
+}
+
+// setNowLocked advances the canonical instant and republishes the
+// lock-free mirror. Callers hold mtx.
+func (s *Sim) setNowLocked(t time.Time) {
+	s.now = t
+	s.nowA.Store(&t)
 }
 
 // AfterFunc implements Clock.
@@ -156,7 +169,7 @@ func (s *Sim) AdvanceTo(target time.Time) int {
 		s.mtx.Lock()
 		if len(s.pq) == 0 || s.pq[0].when.After(target) {
 			if target.After(s.now) {
-				s.now = target
+				s.setNowLocked(target)
 			}
 			s.mtx.Unlock()
 			return fired
@@ -168,7 +181,7 @@ func (s *Sim) AdvanceTo(target time.Time) int {
 			continue
 		}
 		if t.when.After(s.now) {
-			s.now = t.when
+			s.setNowLocked(t.when)
 		}
 		fn := t.fn
 		s.mtx.Unlock()

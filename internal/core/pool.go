@@ -45,10 +45,38 @@ type RuleInfo struct {
 	Else        []string
 }
 
+// fireTable is the published per-event firing plan: the enabled rules
+// in priority order plus the facts lane routing and the decision fast
+// path need. Fields are written only by the builder (publishLocked) and
+// are immutable once published.
+type fireTable struct {
+	states []*ruleState // enabled rules only, (priority desc, order asc)
+	// local reports whether every rule bound to the event (enabled or
+	// not) is scope-local — the detector's routing advisor answer.
+	local bool
+	// cacheSafe reports whether the event's decisions may be served
+	// from the fast-path cache: at least one enabled rule, and every
+	// enabled rule marked Rule.CacheSafe.
+	cacheSafe bool
+	// subID is the pool's detector subscription id for the event.
+	subID int
+}
+
+// fireView is the immutable read-side projection of the rule pool,
+// republished by every mutation and read lock-free (one atomic load,
+// zero allocation) by the firing hot path.
+//
+// rbacvet:snapshot
+type fireView struct {
+	byEvent   map[string]*fireTable
+	listeners []OutcomeListener
+}
+
 // Pool holds the active authorization rules of one system — the paper's
-// "rule pool" — and wires them to an event detector. All state is
-// guarded by one read/write mutex; rule firing happens on detector
-// lanes, concurrently across scopes when the detector is sharded.
+// "rule pool" — and wires them to an event detector. Mutations are
+// guarded by one mutex and republish an immutable fireView; rule firing
+// happens on detector lanes, concurrently across scopes when the
+// detector is sharded, reading only the published view.
 type Pool struct {
 	det *event.Detector
 
@@ -59,10 +87,10 @@ type Pool struct {
 	listeners []OutcomeListener
 	nextOrder int
 
-	// scopeCache memoizes, per event name, whether every rule bound to
-	// the event is scope-local (the detector's routing advisor answer).
-	// Any rule registration or unregistration invalidates it.
-	scopeCache map[string]bool
+	// view is the published projection above; never nil after NewPool.
+	view atomic.Pointer[fireView]
+	// chook, when set, runs after every view publication.
+	chook func()
 }
 
 // NewPool returns an empty rule pool bound to det and installs the pool
@@ -70,46 +98,85 @@ type Pool struct {
 // granularity of the registered rules.
 func NewPool(det *event.Detector) *Pool {
 	p := &Pool{
-		det:        det,
-		rules:      make(map[string]*ruleState),
-		byEvent:    make(map[string][]*ruleState),
-		subIDs:     make(map[string]int),
-		scopeCache: make(map[string]bool),
+		det:     det,
+		rules:   make(map[string]*ruleState),
+		byEvent: make(map[string][]*ruleState),
+		subIDs:  make(map[string]int),
 	}
+	p.view.Store(&fireView{byEvent: map[string]*fireTable{}})
 	det.SetScopeAdvisor(p.EventScopeLocal)
 	return p
+}
+
+// publishLocked rebuilds the read-side fireView from the canonical rule
+// maps and publishes it. Caller holds p.mu (write side).
+func (p *Pool) publishLocked() {
+	v := &fireView{
+		byEvent:   make(map[string]*fireTable, len(p.byEvent)),
+		listeners: append([]OutcomeListener(nil), p.listeners...),
+	}
+	for evt, states := range p.byEvent {
+		t := &fireTable{local: true, cacheSafe: true, subID: p.subIDs[evt]}
+		for _, st := range states {
+			if !st.rule.Scope.Local() {
+				t.local = false
+			}
+			if !st.enabled {
+				continue
+			}
+			t.states = append(t.states, st)
+			if !st.rule.CacheSafe {
+				t.cacheSafe = false
+			}
+		}
+		if len(t.states) == 0 {
+			t.cacheSafe = false
+		}
+		v.byEvent[evt] = t
+	}
+	p.view.Store(v)
+	if h := p.chook; h != nil {
+		h()
+	}
+}
+
+// SetChangeHook installs a callback run after every rule-set or
+// listener change publishes a new fire view. The hook runs under the
+// pool mutex and must not block or call back into the pool; the
+// decision fast path uses it to bump its invalidation epoch. Install
+// once during engine assembly.
+func (p *Pool) SetChangeHook(fn func()) {
+	p.mu.Lock()
+	p.chook = fn
+	p.publishLocked()
+	p.mu.Unlock()
 }
 
 // EventScopeLocal reports whether every rule currently bound to evt is
 // scope-local (no ScopeGlobal rule), i.e. whether occurrences of evt
 // may execute on a scope lane as far as the rule pool is concerned.
-// Answers are cached per event until the rule set changes.
 func (p *Pool) EventScopeLocal(evt string) bool {
-	p.mu.RLock()
-	v, ok := p.scopeCache[evt]
-	p.mu.RUnlock()
-	if ok {
-		return v
-	}
-	p.mu.Lock()
-	local := true
-	for _, st := range p.byEvent[evt] {
-		if !st.rule.Scope.Local() {
-			local = false
-			break
-		}
-	}
-	p.scopeCache[evt] = local
-	p.mu.Unlock()
-	return local
+	t := p.view.Load().byEvent[evt]
+	return t == nil || t.local
 }
 
-// invalidateScopeCacheLocked drops all memoized routing answers; caller
-// holds p.mu (write side).
-func (p *Pool) invalidateScopeCacheLocked() {
-	for k := range p.scopeCache {
-		delete(p.scopeCache, k)
+// CacheVerdictSafe reports whether evt's ALLOW decisions may be served
+// from the fast-path cache: the pool's own subscription (confirmed by
+// subID, which the caller obtained from the detector as the event's
+// sole subscriber) fires at least one rule, every enabled rule is
+// CacheSafe, and no outcome listener (audit trail) observes firings.
+func (p *Pool) CacheVerdictSafe(evt string, subID int) bool {
+	v := p.view.Load()
+	if len(v.listeners) != 0 {
+		return false
 	}
+	t := v.byEvent[evt]
+	return t != nil && t.cacheSafe && t.subID == subID
+}
+
+// ListenerCount reports the number of registered outcome listeners.
+func (p *Pool) ListenerCount() int {
+	return len(p.view.Load().listeners)
 }
 
 // Detector returns the event detector the pool fires on.
@@ -120,6 +187,7 @@ func (p *Pool) OnOutcome(l OutcomeListener) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.listeners = append(p.listeners, l)
+	p.publishLocked()
 }
 
 // Add inserts a rule. The rule's On event must be defined in the
@@ -144,7 +212,6 @@ func (p *Pool) Add(r Rule) error {
 	p.nextOrder++
 	p.rules[r.Name] = st
 	p.byEvent[r.On] = insertOrdered(p.byEvent[r.On], st)
-	p.invalidateScopeCacheLocked()
 
 	if _, subscribed := p.subIDs[r.On]; !subscribed {
 		evt := r.On
@@ -161,6 +228,7 @@ func (p *Pool) Add(r Rule) error {
 		}
 		p.subIDs[evt] = id
 	}
+	p.publishLocked()
 	return nil
 }
 
@@ -204,7 +272,7 @@ func (p *Pool) Remove(name string) error {
 	}
 	delete(p.rules, name)
 	p.byEvent[st.rule.On] = removeRule(p.byEvent[st.rule.On], st)
-	p.invalidateScopeCacheLocked()
+	p.publishLocked()
 	return nil
 }
 
@@ -224,7 +292,7 @@ func (p *Pool) RemoveByTag(tag string) int {
 		}
 	}
 	if n > 0 {
-		p.invalidateScopeCacheLocked()
+		p.publishLocked()
 	}
 	return n
 }
@@ -239,6 +307,7 @@ func (p *Pool) SetEnabled(name string, enabled bool) error {
 		return fmt.Errorf("core: enable/disable of unknown rule %q", name)
 	}
 	st.enabled = enabled
+	p.publishLocked()
 	return nil
 }
 
@@ -253,6 +322,9 @@ func (p *Pool) SetEnabledByTag(tag string, enabled bool) int {
 			st.enabled = enabled
 			n++
 		}
+	}
+	if n > 0 {
+		p.publishLocked()
 	}
 	return n
 }
@@ -311,21 +383,24 @@ func (st *ruleState) info() RuleInfo {
 }
 
 // fire runs every enabled rule bound to evt against occurrence o, in
-// priority order. Runs on a detector lane.
+// priority order. Runs on a detector lane; the published fire view
+// makes it one atomic load with no locking and no per-firing
+// allocation.
 func (p *Pool) fire(evt string, o *event.Occurrence) {
-	p.mu.RLock()
-	states := make([]*ruleState, 0, len(p.byEvent[evt]))
-	for _, st := range p.byEvent[evt] {
-		if st.enabled {
-			states = append(states, st)
-		}
+	v := p.view.Load()
+	t := v.byEvent[evt]
+	if t == nil {
+		return
 	}
-	listeners := append([]OutcomeListener(nil), p.listeners...)
-	p.mu.RUnlock()
-
-	for _, st := range states {
+	if len(v.listeners) == 0 {
+		for _, st := range t.states {
+			p.runRule(st, o)
+		}
+		return
+	}
+	for _, st := range t.states {
 		out := p.runRule(st, o)
-		for _, l := range listeners {
+		for _, l := range v.listeners {
 			l(out)
 		}
 	}

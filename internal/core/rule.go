@@ -194,6 +194,16 @@ type Rule struct {
 	Tags []string
 	// Disabled marks the rule inactive at insertion time.
 	Disabled bool
+	// CacheSafe declares that the rule's verdict is a pure function of
+	// RBAC store state for a given parameter tuple: no condition or
+	// action reads temporal/GTRBAC windows, DSoD activation history,
+	// consent, environment context or monitor counters, and the Else
+	// branch's side effects (denial recording) are the only
+	// history-dependent part. The decision fast path may serve repeat
+	// ALLOW verdicts for an event from its cache only when every enabled
+	// rule on the event is CacheSafe; denials always run the cascade.
+	// Mark a rule cache-safe only after auditing every closure it holds.
+	CacheSafe bool
 }
 
 // HasTag reports whether the rule carries tag.

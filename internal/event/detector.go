@@ -88,6 +88,35 @@ type subEntry struct {
 	scoped bool
 }
 
+// graphView is the immutable read-side projection of the event graph.
+// Every structural mutation (define, subscribe, advisor install)
+// rebuilds one under smu and publishes it through an atomic pointer, so
+// the raise/deliver hot path — handler fanout, parent propagation, lane
+// routing — is a single pointer load with zero lock traffic and zero
+// per-delivery allocation. Fields must never be written after Store;
+// the builder is publishLocked.
+//
+// rbacvet:snapshot
+type graphView struct {
+	nodes    map[string]node
+	handlers map[string][]Handler // per event, subscription order
+	parents  map[string][]node    // per event; absent = no parents
+	info     map[string]eventInfo
+	advisor  func(eventName string) bool
+}
+
+// eventInfo carries the per-event facts lane routing and the decision
+// fast path need: the primitive node (nil for composites), whether the
+// node feeds composite operators, whether every subscriber is
+// scope-marked, and — when the event has exactly one subscriber and it
+// is scope-marked — that subscription's id (else -1).
+type eventInfo struct {
+	prim          *primitiveNode
+	hasParents    bool
+	allScoped     bool
+	soleScopedSub int
+}
+
 // Detector owns an event graph and propagates occurrences through drain
 // lanes. In the default single-lane configuration every occurrence is
 // serialized through one global lane — the single event-detector thread
@@ -111,6 +140,17 @@ type Detector struct {
 	anon    int
 	subSeq  int
 	advisor func(eventName string) bool
+
+	// view is the published read-side snapshot of the structure above;
+	// never nil after New. Readers load it once and never take smu.
+	view atomic.Pointer[graphView]
+	// chook, when set, runs after every view publication (the decision
+	// fast path invalidates its cache through it).
+	chook func()
+	// occPoolOK gates occurrence recycling. The engine enables it only
+	// when every subscriber is known not to retain occurrences past the
+	// callback (see SetOccurrencePooling).
+	occPoolOK atomic.Bool
 
 	// global serializes cross-scope propagation; scoped (empty in
 	// single-lane mode) partitions scope-local propagation by key hash.
@@ -162,8 +202,75 @@ func New(clk clock.Clock, opts ...Option) *Detector {
 			d.scoped[i] = newLane(d, fmt.Sprintf("scope-%d", i))
 		}
 	}
+	d.publishLocked()
 	return d
 }
+
+// publishLocked rebuilds the read-side graphView from the canonical
+// structure and publishes it. Caller holds smu (write side); New calls
+// it before the detector escapes.
+func (d *Detector) publishLocked() {
+	v := &graphView{
+		nodes:    make(map[string]node, len(d.nodes)),
+		handlers: make(map[string][]Handler, len(d.subs)),
+		parents:  make(map[string][]node, len(d.nodes)),
+		info:     make(map[string]eventInfo, len(d.nodes)),
+		advisor:  d.advisor,
+	}
+	for name, n := range d.nodes {
+		v.nodes[name] = n
+		ps := n.parentsOf()
+		if len(ps) > 0 {
+			v.parents[name] = ps
+		}
+		inf := eventInfo{hasParents: len(ps) > 0, allScoped: true, soleScopedSub: -1}
+		inf.prim, _ = n.(*primitiveNode)
+		subs := d.subs[name]
+		ids := make([]int, 0, len(subs))
+		for id, e := range subs {
+			ids = append(ids, id)
+			if !e.scoped {
+				inf.allScoped = false
+			}
+		}
+		sort.Ints(ids)
+		if len(ids) > 0 {
+			hs := make([]Handler, len(ids))
+			for i, id := range ids {
+				hs[i] = subs[id].h
+			}
+			v.handlers[name] = hs
+		}
+		if len(ids) == 1 && subs[ids[0]].scoped {
+			inf.soleScopedSub = ids[0]
+		}
+		v.info[name] = inf
+	}
+	d.view.Store(v)
+	if h := d.chook; h != nil {
+		h()
+	}
+}
+
+// SetChangeHook installs a callback run after every structural change
+// (event definition, subscription, advisor install) publishes a new
+// graph view. The hook runs under the structure lock and must not block
+// or call back into the detector; the decision fast path uses it to
+// bump its invalidation epoch. Install once during engine assembly.
+func (d *Detector) SetChangeHook(fn func()) {
+	d.smu.Lock()
+	d.chook = fn
+	d.smu.Unlock()
+}
+
+// SetOccurrencePooling enables recycling of primitive occurrences whose
+// event has no composite parents and exactly one scope-marked
+// subscriber. The caller asserts that subscriber (and any outcome
+// consumers behind it) extracts what it needs during the callback and
+// never retains the *Occurrence; the engine turns this on only for
+// fast-path systems whose sole subscriber is the rule pool with no
+// outcome listeners registered.
+func (d *Detector) SetOccurrencePooling(ok bool) { d.occPoolOK.Store(ok) }
 
 // Clock returns the clock the detector schedules temporal events on.
 func (d *Detector) Clock() clock.Clock { return d.clk }
@@ -183,6 +290,7 @@ func (d *Detector) Lanes() int { return d.lanes }
 func (d *Detector) SetScopeAdvisor(f func(eventName string) bool) {
 	d.smu.Lock()
 	d.advisor = f
+	d.publishLocked()
 	d.smu.Unlock()
 }
 
@@ -192,7 +300,11 @@ func (d *Detector) SetScopeAdvisor(f func(eventName string) bool) {
 func (d *Detector) DefinePrimitive(name string) error {
 	d.smu.Lock()
 	defer d.smu.Unlock()
-	return d.definePrimitiveLocked(name)
+	if err := d.definePrimitiveLocked(name); err != nil {
+		return err
+	}
+	d.publishLocked()
+	return nil
 }
 
 func (d *Detector) definePrimitiveLocked(name string) error {
@@ -219,22 +331,32 @@ func (d *Detector) MustPrimitive(name string) {
 // Defined reports whether name is a registered event (primitive or
 // composite).
 func (d *Detector) Defined(name string) bool {
-	d.smu.RLock()
-	defer d.smu.RUnlock()
-	_, ok := d.nodes[name]
+	_, ok := d.view.Load().info[name]
 	return ok
 }
 
 // Events returns the names of all defined events, sorted.
 func (d *Detector) Events() []string {
-	d.smu.RLock()
-	defer d.smu.RUnlock()
-	out := make([]string, 0, len(d.nodes))
-	for n := range d.nodes {
+	v := d.view.Load()
+	out := make([]string, 0, len(v.nodes))
+	for n := range v.nodes {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// SoleScopedSub reports whether name is a primitive event with no
+// composite parents and exactly one scope-marked subscriber — the shape
+// the decision fast path can cache — and, when so, that subscription's
+// id (so the caller can confirm the subscriber's identity with its
+// owner).
+func (d *Detector) SoleScopedSub(name string) (id int, ok bool) {
+	inf, defined := d.view.Load().info[name]
+	if !defined || inf.prim == nil || inf.hasParents || inf.soleScopedSub < 0 {
+		return 0, false
+	}
+	return inf.soleScopedSub, true
 }
 
 // Subscribe registers h to run on every detection of the named event and
@@ -268,6 +390,7 @@ func (d *Detector) subscribe(name string, h Handler, scoped bool) (int, error) {
 		d.subs[name] = m
 	}
 	m[id] = subEntry{h: h, scoped: scoped}
+	d.publishLocked()
 	return id, nil
 }
 
@@ -278,22 +401,20 @@ func (d *Detector) Unsubscribe(name string, id int) {
 	defer d.smu.Unlock()
 	if m, ok := d.subs[name]; ok {
 		delete(m, id)
+		d.publishLocked()
 	}
 }
 
 // resolvePrimitive looks up name and checks it is raisable.
 func (d *Detector) resolvePrimitive(name string) (*primitiveNode, error) {
-	d.smu.RLock()
-	n, ok := d.nodes[name]
-	d.smu.RUnlock()
+	inf, ok := d.view.Load().info[name]
 	if !ok {
 		return nil, fmt.Errorf("event: raise of undefined event %q", name)
 	}
-	prim, ok := n.(*primitiveNode)
-	if !ok {
+	if inf.prim == nil {
 		return nil, fmt.Errorf("event: cannot raise composite event %q directly", name)
 	}
-	return prim, nil
+	return inf.prim, nil
 }
 
 // laneFor picks the lane an occurrence of prim with the given scope key
@@ -305,19 +426,9 @@ func (d *Detector) laneFor(prim node, scope string) *lane {
 	if len(d.scoped) == 0 || scope == "" {
 		return d.global
 	}
-	d.smu.RLock()
-	local := len(prim.parentsOf()) == 0
-	if local {
-		for _, e := range d.subs[prim.name()] {
-			if !e.scoped {
-				local = false
-				break
-			}
-		}
-	}
-	adv := d.advisor
-	d.smu.RUnlock()
-	if !local || (adv != nil && !adv(prim.name())) {
+	v := d.view.Load()
+	inf := v.info[prim.name()]
+	if inf.hasParents || !inf.allScoped || (v.advisor != nil && !v.advisor(prim.name())) {
 		return d.global
 	}
 	return d.scoped[fnv1a(scope)%uint32(len(d.scoped))]
@@ -371,18 +482,50 @@ func (d *Detector) RaiseFrom(parent *Occurrence, name string, p Params) error {
 }
 
 func (d *Detector) raise(name string, p Params, scope string, casc *cascade, tr *obs.Trace) error {
+	return d.raiseWith(name, p, scope, casc, tr, false)
+}
+
+// occPool recycles primitive occurrences on the gated hot path (no
+// composite parents, sole scope-marked subscriber, pooling enabled, no
+// trace); everything else allocates as before.
+var occPool = sync.Pool{New: func() any { return new(Occurrence) }}
+
+// raiseWith is the shared raise implementation. owned marks params the
+// caller hands over (already private to this raise), skipping the
+// defensive clone on the lane.
+func (d *Detector) raiseWith(name string, p Params, scope string, casc *cascade, tr *obs.Trace, owned bool) error {
 	prim, err := d.resolvePrimitive(name)
 	if err != nil {
 		return err
 	}
+	d.postRaise(d.laneFor(prim, scope), prim, name, p, scope, casc, tr, owned)
+	return nil
+}
+
+// postRaise queues the occurrence-building closure on ln. Split from
+// raiseWith so the synchronous path can pin the lane it will await.
+func (d *Detector) postRaise(ln *lane, prim *primitiveNode, name string, p Params, scope string, casc *cascade, tr *obs.Trace, owned bool) {
 	now := d.clk.Now()
-	ln := d.laneFor(prim, scope)
 	ln.post(casc, func(ex exec) {
 		ex.d.raised.Add(1)
-		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone(), Scope: scope, trace: tr}
-		ex.d.deliver(ex, prim, occ)
+		params := p
+		if !owned {
+			params = p.Clone()
+		}
+		pooled := tr == nil && ex.d.occPoolOK.Load()
+		var occ *Occurrence
+		if pooled {
+			occ = occPool.Get().(*Occurrence)
+			*occ = Occurrence{Event: name, Start: now, End: now, Params: params, Scope: scope}
+		} else {
+			occ = &Occurrence{Event: name, Start: now, End: now, Params: params, Scope: scope, trace: tr}
+		}
+		recyclable := ex.d.deliver(ex, prim, occ)
+		if pooled && recyclable {
+			*occ = Occurrence{}
+			occPool.Put(occ)
+		}
 	})
-	return nil
 }
 
 // MustRaise is Raise that panics on error.
@@ -425,18 +568,26 @@ func (d *Detector) RaiseSyncScoped(name string, p Params, scope string) error {
 // cascaded raise of the request records a step into tr. A nil tr is
 // exactly RaiseSyncScoped.
 func (d *Detector) RaiseSyncTraced(name string, p Params, scope string, tr *obs.Trace) error {
+	return d.raiseSync(name, p, scope, tr, false)
+}
+
+// RaiseSyncTracedOwned is RaiseSyncTraced for callers that hand over
+// ownership of p: the detector uses the map directly instead of cloning
+// it on the lane. The caller must not read or write p after the call —
+// the enforcement engine builds a private param map per decision and
+// passes it here, eliminating the second per-request map allocation.
+func (d *Detector) RaiseSyncTracedOwned(name string, p Params, scope string, tr *obs.Trace) error {
+	return d.raiseSync(name, p, scope, tr, true)
+}
+
+func (d *Detector) raiseSync(name string, p Params, scope string, tr *obs.Trace, owned bool) error {
 	prim, err := d.resolvePrimitive(name)
 	if err != nil {
 		return err
 	}
-	now := d.clk.Now()
 	ln := d.laneFor(prim, scope)
 	casc := newCascade()
-	ln.post(casc, func(ex exec) {
-		ex.d.raised.Add(1)
-		occ := &Occurrence{Event: name, Start: now, End: now, Params: p.Clone(), Scope: scope, trace: tr}
-		ex.d.deliver(ex, prim, occ)
-	})
+	d.postRaise(ln, prim, name, p, scope, casc, tr, owned)
 	// First wait for the request's own cascade (which may hop lanes via
 	// RaiseFrom), then for the lane that ran it to go quiet — the latter
 	// preserves the seed's guarantee that same-lane work batched behind
@@ -491,8 +642,11 @@ func (d *Detector) LaneStats() []LaneStat {
 
 // deliver assigns a sequence number to occ, runs subscribers of the
 // source node's event, and propagates to parent operator nodes. Runs on
-// a lane drain only.
-func (d *Detector) deliver(ex exec, src node, occ *Occurrence) {
+// a lane drain only. It reports whether the occurrence is provably dead
+// after delivery — no composite parent buffered it and its sole
+// subscriber is scope-marked (the rule pool's firing handler) — so the
+// gated raise path can recycle it.
+func (d *Detector) deliver(ex exec, src node, occ *Occurrence) bool {
 	occ.Seq = d.seq.Add(1)
 	d.detected.Add(1)
 	occ.casc = ex.casc
@@ -512,16 +666,16 @@ func (d *Detector) deliver(ex exec, src node, occ *Occurrence) {
 		tr.Add(occ.End, ex.ln.name, kind, occ.Event, "", detail, true)
 	}
 
-	d.smu.RLock()
-	handlers := d.snapshotHandlers(src.name())
-	parents := src.parentsOf()
-	d.smu.RUnlock()
+	v := d.view.Load()
+	nm := src.name()
+	handlers := v.handlers[nm]
+	parents := v.parents[nm]
 
 	for _, h := range handlers {
 		h(occ)
 	}
 	if len(parents) == 0 {
-		return
+		return v.info[nm].soleScopedSub >= 0
 	}
 	if ex.ln != d.global {
 		// The node gained a composite parent after routing (a policy
@@ -532,11 +686,12 @@ func (d *Detector) deliver(ex exec, src node, occ *Occurrence) {
 				p.process(src, occ, gex)
 			}
 		})
-		return
+		return false
 	}
 	for _, p := range parents {
 		p.process(src, occ, ex)
 	}
+	return false
 }
 
 // traceDetail renders an occurrence's parameters for a trace step,
@@ -557,25 +712,6 @@ func traceDetail(p Params) string {
 	return vis.String()
 }
 
-// snapshotHandlers copies the handler set in subscription order; caller
-// holds smu (read side).
-func (d *Detector) snapshotHandlers(name string) []Handler {
-	m := d.subs[name]
-	if len(m) == 0 {
-		return nil
-	}
-	ids := make([]int, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	hs := make([]Handler, 0, len(ids))
-	for _, id := range ids {
-		hs = append(hs, m[id].h)
-	}
-	return hs
-}
-
 // Stats reports cumulative detector counters.
 type Stats struct {
 	Raised   uint64 // primitive occurrences injected via Raise
@@ -587,9 +723,7 @@ type Stats struct {
 // not synchronized with in-flight drains; call it when the system is
 // quiescent (tests, benchmarks) for exact values.
 func (d *Detector) Stats() Stats {
-	d.smu.RLock()
-	events := len(d.nodes)
-	d.smu.RUnlock()
+	events := len(d.view.Load().nodes)
 	return Stats{Raised: d.raised.Load(), Detected: d.detected.Load(), Events: events}
 }
 

@@ -364,6 +364,7 @@ func (d *Detector) Define(name string, e Expr) error {
 		return err
 	}
 	d.nodes[name] = n
+	d.publishLocked()
 	return nil
 }
 

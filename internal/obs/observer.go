@@ -18,6 +18,13 @@ type Observer struct {
 	Decisions       *CounterVec   // activerbac_decisions_total{event,verdict}
 	TracesTotal     *Counter      // activerbac_traces_total
 
+	// Decision fast path (scrape-set from the cache's atomic counters).
+	FastPathHits          *Counter // activerbac_fastpath_hits_total
+	FastPathMisses        *Counter // activerbac_fastpath_misses_total
+	FastPathBypass        *Counter // activerbac_fastpath_bypass_total
+	FastPathInvalidations *Counter // activerbac_fastpath_invalidations_total
+	SnapshotEpoch         *Gauge   // activerbac_snapshot_epoch
+
 	// Lanes (wait observed at drain time; depth/throughput scrape-set).
 	LaneWait      *HistogramVec // activerbac_lane_wait_seconds{lane}
 	LaneDepth     *GaugeVec     // activerbac_lane_queue_depth{lane}
@@ -68,6 +75,17 @@ func NewObserver(traceCapacity int) *Observer {
 			"Enforcement decisions by triggering event and verdict.", "event", "verdict"),
 		TracesTotal: r.Counter("activerbac_traces_total",
 			"Decision traces recorded into the ring buffer.").With(),
+
+		FastPathHits: r.Counter("activerbac_fastpath_hits_total",
+			"Decisions served from the fast-path cache.").With(),
+		FastPathMisses: r.Counter("activerbac_fastpath_misses_total",
+			"Cacheable decisions that ran the cascade and were considered for caching.").With(),
+		FastPathBypass: r.Counter("activerbac_fastpath_bypass_total",
+			"Decisions ineligible for the fast path (uncacheable event, rule set or parameters).").With(),
+		FastPathInvalidations: r.Counter("activerbac_fastpath_invalidations_total",
+			"Fast-path cache invalidations (whole-cache epoch bumps plus per-session bumps).").With(),
+		SnapshotEpoch: r.Gauge("activerbac_snapshot_epoch",
+			"Policy epoch of the RBAC store's published copy-on-write snapshot.").With(),
 
 		LaneWait: r.Histogram("activerbac_lane_wait_seconds",
 			"Time a work item spent queued on a lane before draining.", nil, "lane"),

@@ -41,6 +41,7 @@ func (s *Store) AddInheritance(senior, junior RoleID) error {
 		jr.seniors.del(senior)
 		return fmt.Errorf("inheritance %q -> %q violates SSD set %q: %w", senior, junior, name, ErrSSD)
 	}
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -63,6 +64,7 @@ func (s *Store) DeleteInheritance(senior, junior RoleID) error {
 	// Authorized sets shrank; activations made through the removed edge
 	// must not survive it.
 	s.pruneUnauthorizedAllLocked()
+	s.publishPolicyLocked()
 	return nil
 }
 

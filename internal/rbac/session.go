@@ -21,6 +21,7 @@ func (s *Store) CreateSession(u UserID) (SessionID, error) {
 	sid := SessionID(fmt.Sprintf("s%d", s.sessionSeq))
 	s.sessions[sid] = &sessionState{user: u, active: roleSet{}}
 	us.sessions[sid] = struct{}{}
+	s.publishSessionLocked(sid)
 	return sid, nil
 }
 
@@ -32,6 +33,7 @@ func (s *Store) DeleteSession(sid SessionID) error {
 		return fmt.Errorf("session %q: %w", sid, ErrNotFound)
 	}
 	s.deleteSessionLocked(sid)
+	s.publishSessionLocked(sid)
 	return nil
 }
 
@@ -49,32 +51,28 @@ func (s *Store) deleteSessionLocked(sid SessionID) {
 }
 
 // SessionExists reports whether sid names a live session (the paper's
-// "sessionId IN sessionL").
+// "sessionId IN sessionL"). Reads the published view: lock-free.
 func (s *Store) SessionExists(sid SessionID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.sessions[sid]
+	_, ok := s.view.Load().sessions[sid]
 	return ok
 }
 
-// SessionUser returns the owner of a session.
+// SessionUser returns the owner of a session. Reads the published view:
+// lock-free.
 func (s *Store) SessionUser(sid SessionID) (UserID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sess, ok := s.sessions[sid]
+	sv, ok := s.view.Load().sessions[sid]
 	if !ok {
 		return "", fmt.Errorf("session %q: %w", sid, ErrNotFound)
 	}
-	return sess.user, nil
+	return sv.user, nil
 }
 
 // CheckUserSession is the paper's "sessionId IN checkUserSessions(user)":
-// it reports whether sid is a live session owned by u.
+// it reports whether sid is a live session owned by u. Reads the
+// published view: lock-free.
 func (s *Store) CheckUserSession(u UserID, sid SessionID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sess, ok := s.sessions[sid]
-	return ok && sess.user == u
+	sv, ok := s.view.Load().sessions[sid]
+	return ok && sv.user == u
 }
 
 // UserExists reports whether u is a known user (the paper's
@@ -200,6 +198,7 @@ func (s *Store) RawAddSessionRole(sid SessionID, r RoleID) error {
 	}
 	sess.active.add(r)
 	rs.activeCount++
+	s.publishSessionLocked(sid)
 	return nil
 }
 
@@ -220,6 +219,7 @@ func (s *Store) RawDropSessionRole(sid SessionID, r RoleID) error {
 	}
 	sess.active.del(r)
 	rs.activeCount--
+	s.publishSessionLocked(sid)
 	return nil
 }
 
@@ -281,6 +281,7 @@ func (s *Store) AddActiveRole(u UserID, sid SessionID, r RoleID) error {
 	}
 	sess.active.add(r)
 	rs.activeCount++
+	s.publishSessionLocked(sid)
 	return nil
 }
 
@@ -304,27 +305,23 @@ func (s *Store) DropActiveRole(u UserID, sid SessionID, r RoleID) error {
 	}
 	sess.active.del(r)
 	rs.activeCount--
+	s.publishSessionLocked(sid)
 	return nil
 }
 
 // CheckAccess is the ANSI decision function: whether the session may
 // perform operation on object. An active role grants its own
-// permissions plus those of every role it inherits from.
+// permissions plus those of every role it inherits from. Reads the
+// published view — one atomic load, no lock, no allocation — so
+// concurrent decisions scale with cores.
 func (s *Store) CheckAccess(sid SessionID, p Permission) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sess, ok := s.sessions[sid]
-	if !ok {
+	sv, ok := s.view.Load().sessions[sid]
+	if !ok || sv.locked {
 		return false
 	}
-	if us, ok := s.users[sess.user]; ok && us.locked {
-		return false
-	}
-	for r := range sess.active {
-		for j := range s.juniorsClosureLocked(r) {
-			if _, ok := s.roles[j].perms[p]; ok {
-				return true
-			}
+	for _, eff := range sv.perms {
+		if _, ok := eff[p]; ok {
+			return true
 		}
 	}
 	return false

@@ -85,6 +85,9 @@ func (s *Store) Snapshot() Snapshot {
 func (s *Store) Restore(snap Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// State is replaced wholesale on every path out of here — success or
+	// the fail() cleanup — so republish unconditionally.
+	defer s.publishPolicyLocked()
 	s.users = make(map[UserID]*userState, len(snap.Users))
 	s.roles = make(map[RoleID]*roleState, len(snap.Roles))
 	s.sessions = make(map[SessionID]*sessionState, len(snap.Sessions))

@@ -54,6 +54,7 @@ func (s *Store) CreateSSD(set SoDSet) error {
 			return fmt.Errorf("SSD set %q already violated by user %q: %w", set.Name, u, ErrSSD)
 		}
 	}
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -65,6 +66,7 @@ func (s *Store) DeleteSSD(name string) error {
 		return fmt.Errorf("SSD set %q: %w", name, ErrNotFound)
 	}
 	delete(s.ssd, name)
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -87,6 +89,7 @@ func (s *Store) CreateDSD(set SoDSet) error {
 		}
 	}
 	s.dsd[set.Name] = &cp
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -98,6 +101,7 @@ func (s *Store) DeleteDSD(name string) error {
 		return fmt.Errorf("DSD set %q: %w", name, ErrNotFound)
 	}
 	delete(s.dsd, name)
+	s.publishPolicyLocked()
 	return nil
 }
 

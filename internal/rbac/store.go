@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // roleSet is a set of roles.
@@ -68,11 +69,15 @@ type Store struct {
 	// unlimited.
 	maxActiveRoles map[UserID]int
 	sessionSeq     int
+	// view is the published read-side projection (see view.go); chook is
+	// notified after every publication.
+	view  atomic.Pointer[accessView]
+	chook func(policy bool, sid SessionID)
 }
 
 // NewStore returns an empty RBAC store.
 func NewStore() *Store {
-	return &Store{
+	s := &Store{
 		users:          make(map[UserID]*userState),
 		roles:          make(map[RoleID]*roleState),
 		sessions:       make(map[SessionID]*sessionState),
@@ -80,6 +85,11 @@ func NewStore() *Store {
 		dsd:            make(map[string]*SoDSet),
 		maxActiveRoles: make(map[UserID]int),
 	}
+	s.view.Store(&accessView{
+		perms:    map[RoleID]map[Permission]struct{}{},
+		sessions: map[SessionID]*sessionView{},
+	})
+	return s
 }
 
 // ---------------------------------------------------------------------------
@@ -93,6 +103,7 @@ func (s *Store) AddUser(u UserID) error {
 		return fmt.Errorf("user %q: %w", u, ErrExists)
 	}
 	s.users[u] = &userState{assigned: roleSet{}, sessions: map[SessionID]struct{}{}}
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -109,6 +120,7 @@ func (s *Store) DeleteUser(u UserID) error {
 	}
 	delete(s.users, u)
 	delete(s.maxActiveRoles, u)
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -125,6 +137,7 @@ func (s *Store) AddRole(r RoleID) error {
 		seniors: roleSet{},
 		enabled: true,
 	}
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -157,6 +170,7 @@ func (s *Store) DeleteRole(r RoleID) error {
 	// Removing the role removed hierarchy paths; activations that relied
 	// on them are no longer authorized.
 	s.pruneUnauthorizedAllLocked()
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -199,6 +213,7 @@ func (s *Store) AssignUser(u UserID, r RoleID) error {
 		return fmt.Errorf("assigning %q to %q violates SSD set %q: %w", u, r, name, ErrSSD)
 	}
 	us.assigned.add(r)
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -211,6 +226,7 @@ func (s *Store) RawAssignUser(u UserID, r RoleID) error {
 		return rErr
 	}
 	us.assigned.add(r)
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -231,6 +247,7 @@ func (s *Store) DeassignUser(u UserID, r RoleID) error {
 	}
 	us.assigned.del(r)
 	s.pruneUnauthorizedUserLocked(u, us)
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -285,6 +302,7 @@ func (s *Store) GrantPermission(r RoleID, p Permission) error {
 		return fmt.Errorf("permission %v on %q: %w", p, r, ErrExists)
 	}
 	rs.perms[p] = struct{}{}
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -300,6 +318,7 @@ func (s *Store) RevokePermission(r RoleID, p Permission) error {
 		return fmt.Errorf("permission %v on %q: %w", p, r, ErrNotFound)
 	}
 	delete(rs.perms, p)
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -317,6 +336,7 @@ func (s *Store) SetRoleEnabled(r RoleID, enabled bool) error {
 		return fmt.Errorf("role %q: %w", r, ErrNotFound)
 	}
 	rs.enabled = enabled
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -337,6 +357,7 @@ func (s *Store) SetRoleCardinality(r RoleID, n int) error {
 		return fmt.Errorf("role %q: %w", r, ErrNotFound)
 	}
 	rs.cardinality = n
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -350,6 +371,7 @@ func (s *Store) SetUserMaxActiveRoles(u UserID, n int) error {
 		return fmt.Errorf("user %q: %w", u, ErrNotFound)
 	}
 	s.maxActiveRoles[u] = n
+	s.publishPolicyLocked()
 	return nil
 }
 
@@ -364,6 +386,7 @@ func (s *Store) SetUserLocked(u UserID, locked bool) error {
 		return fmt.Errorf("user %q: %w", u, ErrNotFound)
 	}
 	us.locked = locked
+	s.publishPolicyLocked()
 	return nil
 }
 

@@ -1,0 +1,132 @@
+package rbac
+
+// Copy-on-write read path. The hot enforcement predicates — CheckAccess
+// and the session lookups the CA1 rule and the facade issue per request
+// — read an immutable accessView published through an atomic pointer:
+// one pointer load, no lock traffic, no allocation. Mutators rebuild
+// the view under the store mutex before returning.
+//
+// Two publication grades keep writer cost proportional to the change:
+//
+//   - policy mutations (users, roles, permissions, hierarchy, SoD,
+//     locks, restore) recompute the per-role effective-permission maps
+//     and every session projection, and bump the view epoch — the
+//     decision fast path invalidates its cache wholesale on the bump;
+//   - session mutations (create/delete session, role (de)activation)
+//     copy the session map and rebuild only the touched session,
+//     reusing the effective-permission maps; the epoch is unchanged
+//     and the fast path invalidates just that session.
+
+// accessView is the immutable read-side projection of the store. Fields
+// are written only by the builders below and never after publication.
+//
+// rbacvet:snapshot
+type accessView struct {
+	// epoch counts policy publications; the fast path tags cache
+	// entries with it.
+	epoch uint64
+	// perms maps each role to its effective permission set: the union
+	// of the role's own permissions and those of every junior it
+	// inherits. Maps are freshly built per policy publication and never
+	// alias the store's canonical maps.
+	perms map[RoleID]map[Permission]struct{}
+	// sessions projects each live session for the access decision.
+	sessions map[SessionID]*sessionView
+}
+
+// sessionView is one session's projection: the owner, the owner's lock
+// state, and the effective permission set of each active role. Written
+// only by the accessView builders.
+//
+// rbacvet:snapshot
+type sessionView struct {
+	user   UserID
+	locked bool
+	perms  []map[Permission]struct{}
+}
+
+// SetChangeHook installs a callback run after every view publication:
+// policy=true with an empty sid for policy-grade changes, policy=false
+// with the touched session for session-grade changes. The hook runs
+// under the store mutex and must not block or call back into the
+// store; the decision fast path uses it for cache invalidation.
+// Install once during engine assembly.
+func (s *Store) SetChangeHook(fn func(policy bool, sid SessionID)) {
+	s.mu.Lock()
+	s.chook = fn
+	s.mu.Unlock()
+}
+
+// Epoch reports the current policy epoch of the published view.
+func (s *Store) Epoch() uint64 { return s.view.Load().epoch }
+
+// publishPolicyLocked rebuilds the whole view — effective permissions
+// and all session projections — and bumps the epoch. Caller holds s.mu
+// (write side).
+func (s *Store) publishPolicyLocked() {
+	old := s.view.Load()
+	v := &accessView{
+		epoch:    old.epoch + 1,
+		perms:    make(map[RoleID]map[Permission]struct{}, len(s.roles)),
+		sessions: make(map[SessionID]*sessionView, len(s.sessions)),
+	}
+	for r := range s.roles {
+		eff := make(map[Permission]struct{})
+		for j := range s.juniorsClosureLocked(r) {
+			for p := range s.roles[j].perms {
+				eff[p] = struct{}{}
+			}
+		}
+		v.perms[r] = eff
+	}
+	for sid := range s.sessions {
+		v.sessions[sid] = s.sessionViewLocked(sid, v.perms)
+	}
+	s.view.Store(v)
+	if h := s.chook; h != nil {
+		h(true, "")
+	}
+}
+
+// publishSessionLocked republishes the view with only sid's projection
+// rebuilt (or removed), reusing the effective-permission maps and
+// keeping the epoch. Caller holds s.mu (write side).
+func (s *Store) publishSessionLocked(sid SessionID) {
+	old := s.view.Load()
+	v := &accessView{
+		epoch:    old.epoch,
+		perms:    old.perms,
+		sessions: make(map[SessionID]*sessionView, len(s.sessions)+1),
+	}
+	for id, sv := range old.sessions {
+		if id != sid {
+			v.sessions[id] = sv
+		}
+	}
+	if _, live := s.sessions[sid]; live {
+		v.sessions[sid] = s.sessionViewLocked(sid, old.perms)
+	}
+	s.view.Store(v)
+	if h := s.chook; h != nil {
+		h(false, sid)
+	}
+}
+
+// sessionViewLocked projects one live session against the given
+// effective-permission maps. Caller holds s.mu.
+func (s *Store) sessionViewLocked(sid SessionID, perms map[RoleID]map[Permission]struct{}) *sessionView {
+	sess := s.sessions[sid]
+	sv := &sessionView{user: sess.user}
+	if us, ok := s.users[sess.user]; ok {
+		sv.locked = us.locked
+	}
+	if len(sess.active) > 0 {
+		sv.perms = make([]map[Permission]struct{}, 0, len(sess.active))
+		for r := range sess.active {
+			if eff, ok := perms[r]; ok {
+				sv.perms = append(sv.perms, eff)
+			}
+		}
+	}
+	return sv
+}

@@ -54,11 +54,14 @@ func (g *Generator) generateGlobalRules() error {
 	}
 
 	// CA1 (Rule 5): allow the operation iff some role in the session's
-	// active role set has the permission.
+	// active role set has the permission. CacheSafe: both conditions
+	// read only the store's published view for the request tuple, the
+	// Then branch just votes, and the Else branch (denial recording)
+	// only runs on the never-cached deny outcome.
 	if err := pool.Add(core.Rule{
 		Name: "CA1", On: EvCheckAccess,
 		Class: core.ActivityControl, Granularity: core.Globalized,
-		Scope: core.ScopeSession,
+		Scope: core.ScopeSession, CacheSafe: true,
 		Tags: []string{TagGlobal, TagCritical},
 		When: []core.Condition{
 			core.BoolCond("sessionId IN sessionL", func(o *event.Occurrence) bool {

@@ -33,6 +33,10 @@ type Vote struct {
 type Decision struct {
 	mu     sync.Mutex
 	votes  []Vote
+	// vbuf is inline backing for votes: Decide points votes at it so
+	// the common few-vote cascade records verdicts without a second
+	// allocation. Access only through votes, under mu.
+	vbuf   [4]Vote
 	result any
 	trace  *obs.Trace
 }
@@ -172,6 +176,7 @@ type Engine struct {
 	monitor *ExternalMonitor
 	env     *Env
 	obs     *obs.Observer // nil = observability off
+	fp      *FastPath     // nil = fast path off
 }
 
 // EngineOption configures a new Engine.
@@ -180,6 +185,7 @@ type EngineOption func(*engineConfig)
 type engineConfig struct {
 	lanes    int
 	observer *obs.Observer
+	fastpath bool
 }
 
 // WithLanes sets the detector lane count: 1 (the default) is the
@@ -187,6 +193,15 @@ type engineConfig struct {
 // enforcement over n parallel lanes next to the global lane.
 func WithLanes(n int) EngineOption {
 	return func(c *engineConfig) { c.lanes = n }
+}
+
+// WithFastPath enables the read-mostly decision fast path: Decide
+// serves repeat ALLOW verdicts for cacheable events from an
+// epoch-tagged cache (see fastpath.go), and occurrence pooling is
+// switched on while no outcome listener is registered. Traced requests
+// always run the full cascade.
+func WithFastPath() EngineOption {
+	return func(c *engineConfig) { c.fastpath = true }
 }
 
 // WithObserver attaches an observability bundle: the engine feeds the
@@ -221,7 +236,44 @@ func NewEngine(clk clock.Clock, opts ...EngineOption) *Engine {
 		})
 		o.Registry.OnScrape(e.collect)
 	}
+	if cfg.fastpath {
+		fp := newFastPath()
+		e.fp = fp
+		// Invalidation hooks. All three run under their component's
+		// writer lock and only touch atomics. Store mutations tell us
+		// whether the whole policy or one session moved; rule-pool and
+		// event-graph changes always invalidate wholesale. The pool hook
+		// also gates occurrence pooling on the absence of outcome
+		// listeners (audit retains occurrences, pooling would corrupt
+		// them); it fires once at install, setting the initial state.
+		e.store.SetChangeHook(func(policy bool, sid rbac.SessionID) {
+			if policy {
+				fp.Invalidate()
+			} else {
+				fp.InvalidateSession(string(sid))
+			}
+		})
+		det.SetChangeHook(fp.Invalidate)
+		e.pool.SetChangeHook(func() {
+			fp.Invalidate()
+			det.SetOccurrencePooling(e.pool.ListenerCount() == 0)
+		})
+	}
 	return e
+}
+
+// FastPath returns the decision cache, or nil when the fast path is
+// off.
+func (e *Engine) FastPath() *FastPath { return e.fp }
+
+// cacheable reports whether eventName's ALLOW verdicts may be served
+// from the fast-path cache: the detector must route it to exactly one
+// scope-marked subscriber (no composite parents, no escalation) and the
+// pool must confirm that subscriber is its own, firing only CacheSafe
+// rules with no outcome listeners.
+func (e *Engine) cacheable(eventName string) bool {
+	sub, ok := e.det.SoleScopedSub(eventName)
+	return ok && e.pool.CacheVerdictSafe(eventName, sub)
 }
 
 // Observer returns the engine's observability bundle (nil when off).
@@ -252,6 +304,14 @@ func (e *Engine) collect() {
 	o.Users.Set(float64(c.Users))
 	o.Roles.Set(float64(c.Roles))
 	o.Sessions.Set(float64(c.Sessions))
+	o.SnapshotEpoch.Set(float64(e.store.Epoch()))
+	if e.fp != nil {
+		fs := e.fp.Stats()
+		o.FastPathHits.Set(float64(fs.Hits))
+		o.FastPathMisses.Set(float64(fs.Misses))
+		o.FastPathBypass.Set(float64(fs.Bypass))
+		o.FastPathInvalidations.Set(float64(fs.Invalidations))
+	}
 }
 
 // Env returns the environmental context store.
@@ -277,31 +337,134 @@ func (e *Engine) Monitor() *ExternalMonitor { return e.monitor }
 // caller's params are not mutated. The occurrence is stamped with a
 // ScopeKey derived from the request — the session it concerns, else the
 // user — so a sharded detector can run independent scopes in parallel.
+//
+// With the fast path enabled, a repeat ALLOW verdict for a cacheable
+// request is served from the epoch-tagged cache, skipping the cascade
+// entirely. Traced requests always cascade: a cached verdict has no
+// steps to record.
 func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error) {
-	dec := &Decision{}
-	p := params.Clone()
-	if p == nil {
-		p = event.Params{}
-	}
-	p[DecisionKey] = dec
-	scope := scopeOf(p)
-
 	// Observability: the engine clock drives both the latency histogram
 	// and the trace timestamps, so simulated time in tests and benches
 	// stays consistent across every observable. With a nil observer both
 	// branches collapse to the pre-observability path.
 	o := e.obs
-	var tr *obs.Trace
 	var t0 time.Time
 	if o != nil {
 		t0 = e.clk.Now()
-		if o.Traces != nil {
-			tr = o.Traces.Start(eventName, scope, e.clk.Now())
-			dec.trace = tr // no concurrent access before the raise below
-		}
 	}
-	if err := e.det.RaiseSyncTraced(eventName, p, scope, tr); err != nil {
+	if fp := e.fp; fp != nil && (o == nil || o.Traces == nil) {
+		user, session, operation, object, ok := fpRequest(params)
+		if ok && e.cacheable(eventName) {
+			return e.decideCached(o, t0, eventName, user, session, operation, object, params)
+		}
+		fp.bypass.Add(1)
+	}
+	return e.cascade(o, t0, eventName, params, nil, nil, 0, 0)
+}
+
+// DecideCheck is Decide for the canonical four-field enforcement tuple
+// (user, session, operation, object). Callers on the CheckAccess hot
+// path pass the fields as plain strings, so a cache hit never builds
+// the Params map — the map and the four interface boxes it costs are
+// only paid when the cascade actually runs. Behaviour is otherwise
+// identical to Decide with those four params.
+func (e *Engine) DecideCheck(eventName, user, session, operation, object string) (*Decision, error) {
+	o := e.obs
+	var t0 time.Time
+	if o != nil {
+		t0 = e.clk.Now()
+	}
+	if fp := e.fp; fp != nil && (o == nil || o.Traces == nil) {
+		if e.cacheable(eventName) {
+			return e.decideCached(o, t0, eventName, user, session, operation, object, nil)
+		}
+		fp.bypass.Add(1)
+	}
+	return e.cascade(o, t0, eventName, checkParams(user, session, operation, object), nil, nil, 0, 0)
+}
+
+// checkParams builds the Params map for the four-field tuple.
+func checkParams(user, session, operation, object string) event.Params {
+	return event.Params{
+		"user": user, "session": session,
+		"operation": operation, "object": object,
+	}
+}
+
+// decideCached probes the fast-path cache for an already-validated
+// cacheable tuple and falls through to the cascade on a miss. The epoch
+// pair is captured BEFORE lookup (and, on a miss, before the cascade),
+// so any interleaved mutation — which publishes its snapshot and then
+// bumps the epoch or session generation — makes the hit invalid or the
+// stored entry stale. params may be nil (the DecideCheck entry); the
+// map is then only built if the cascade runs.
+func (e *Engine) decideCached(o *obs.Observer, t0 time.Time, eventName, user, session, operation, object string, params event.Params) (*Decision, error) {
+	fp := e.fp
+	buf := fpKeyPool.Get().(*[]byte)
+	key, fits := appendFPKey((*buf)[:0], eventName, user, session, operation, object)
+	if !fits {
+		fpKeyPool.Put(buf)
+		fp.bypass.Add(1)
+		if params == nil {
+			params = checkParams(user, session, operation, object)
+		}
+		return e.cascade(o, t0, eventName, params, nil, nil, 0, 0)
+	}
+	epoch := fp.epoch.Load()
+	sgen := fp.sgen(session)
+	if dec, hit := fp.lookup(key, epoch, sgen); hit {
+		*buf = key[:0]
+		fpKeyPool.Put(buf)
+		fp.hits.Add(1)
+		if o != nil {
+			o.Decisions.With(eventName, "allow").Inc()
+			o.DecisionLatency.With(eventName).Observe(e.clk.Now().Sub(t0).Seconds())
+		}
+		return dec, nil
+	}
+	fp.misses.Add(1)
+	if params == nil {
+		params = checkParams(user, session, operation, object)
+	}
+	return e.cascade(o, t0, eventName, params, buf, key, epoch, sgen)
+}
+
+// cascade runs the full rule cascade for one enforcement event. fpBuf
+// is non-nil only on a fast-path miss: the pooled key buffer is held
+// through the cascade so an ALLOW verdict can be stored under the
+// pre-captured epoch pair without re-encoding the tuple.
+func (e *Engine) cascade(o *obs.Observer, t0 time.Time, eventName string, params event.Params, fpBuf *[]byte, fpKey []byte, fpEpoch, fpSgen uint64) (*Decision, error) {
+	fp := e.fp
+	dec := &Decision{}
+	dec.votes = dec.vbuf[:0]
+	p := make(event.Params, len(params)+1)
+	for k, v := range params {
+		p[k] = v
+	}
+	p[DecisionKey] = dec
+	scope := scopeOf(p)
+
+	var tr *obs.Trace
+	if o != nil && o.Traces != nil {
+		tr = o.Traces.Start(eventName, scope, e.clk.Now())
+		dec.trace = tr // no concurrent access before the raise below
+	}
+	// p was built here and is never touched again: hand ownership to the
+	// detector so it skips its defensive clone.
+	if err := e.det.RaiseSyncTracedOwned(eventName, p, scope, tr); err != nil {
+		if fpBuf != nil {
+			*fpBuf = fpKey[:0]
+			fpKeyPool.Put(fpBuf)
+		}
 		return nil, err
+	}
+	allowed, _ := dec.Verdict()
+	if fpBuf != nil {
+		if allowed {
+			fp.store(fpKey, dec, fpEpoch, fpSgen)
+		}
+		*fpBuf = fpKey[:0]
+		fpKeyPool.Put(fpBuf)
 	}
 	if o != nil {
 		if tr != nil {
@@ -309,7 +472,7 @@ func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error
 			o.TracesTotal.Inc()
 		}
 		verdict := "deny"
-		if allowed, _ := dec.Verdict(); allowed {
+		if allowed {
 			verdict = "allow"
 		}
 		o.Decisions.With(eventName, verdict).Inc()

@@ -1,0 +1,232 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SnapImmut enforces the copy-on-write snapshot discipline behind the
+// read-mostly fast path: a struct whose doc comment carries an
+// `rbacvet:snapshot` marker (graphView, fireView, accessView,
+// sessionView) is immutable once published through an atomic pointer —
+// readers index it lock-free, so any later field write is a data race
+// the race detector only catches if a test happens to interleave it.
+//
+// The rule is construction-only mutation: writing a snapshot field (or
+// storing into a map or slice reached through one) is legal solely on a
+// value built from a composite literal, or declared, within the same
+// function — the builder still owns it. A snapshot that arrived from
+// anywhere else — a receiver, parameter, named result, or package
+// variable — is assumed published and must not be written.
+//
+// The pass is purely syntactic: it sees snapshot-typed identifiers
+// through declared types (receivers, params, results, var decls) and
+// composite literals. A value obtained through an untyped channel such
+// as `v := p.view.Load()` is invisible to it — acceptable, because
+// loads from the atomic pointer sit on read-only hot paths and every
+// builder in the codebase names its types.
+var SnapImmut = &Analyzer{
+	Name: "snapimmut",
+	Doc:  "rbacvet:snapshot structs are immutable after publication; field writes only on values the function itself constructed",
+	Run:  runSnapImmut,
+}
+
+// snapMarker is the doc-comment tag that opts a struct into the check.
+const snapMarker = "rbacvet:snapshot"
+
+func runSnapImmut(pass *Pass) {
+	// First pass: the package's marked snapshot types.
+	snap := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					continue
+				}
+				if hasSnapMarker(gd.Doc) || hasSnapMarker(ts.Doc) {
+					snap[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(snap) == 0 {
+		return
+	}
+	// Package-level snapshot-typed variables count as published in every
+	// function.
+	pkgVars := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || !snap[baseTypeName(vs.Type)] {
+					continue
+				}
+				for _, name := range vs.Names {
+					pkgVars[name.Name] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSnapFunc(pass, fn, snap, pkgVars)
+		}
+	}
+}
+
+func hasSnapMarker(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(doc.Text(), snapMarker)
+}
+
+// baseTypeName unwraps pointers and parens down to the named type.
+func baseTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// snapComposite reports whether e is a composite literal (possibly
+// behind &) of one of the snapshot types.
+func snapComposite(e ast.Expr, snap map[string]bool) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	return ok && snap[baseTypeName(cl.Type)]
+}
+
+// writeRoot walks a write target's selector/index/deref chain down to
+// its base identifier, reporting whether the chain actually dereferences
+// into the value (a bare `v = ...` rebinding is not a snapshot write).
+func writeRoot(e ast.Expr) (string, bool) {
+	deref := false
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e, deref = x.X, true
+		case *ast.IndexExpr:
+			e, deref = x.X, true
+		case *ast.StarExpr:
+			e, deref = x.X, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name, deref
+		default:
+			return "", false
+		}
+	}
+}
+
+func checkSnapFunc(pass *Pass, fn *ast.FuncDecl, snap, pkgVars map[string]bool) {
+	// Snapshot-typed identifiers that arrived from outside the function:
+	// receiver, parameters, named results and package variables.
+	published := map[string]bool{}
+	for name := range pkgVars {
+		published[name] = true
+	}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if !snap[baseTypeName(f.Type)] {
+				continue
+			}
+			for _, name := range f.Names {
+				published[name.Name] = true
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+
+	// Identifiers the function itself constructs: composite literals and
+	// zero-value var declarations. Construction overrides the published
+	// set — `sv := &sessionView{...}` shadows any like-named parameter
+	// for the purposes of this (scope-blind) scan, erring toward silence.
+	constructed := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if ok && snapComposite(st.Rhs[i], snap) {
+					constructed[id.Name] = true
+				}
+			}
+		case *ast.GenDecl:
+			if st.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				local := snap[baseTypeName(vs.Type)]
+				for i, name := range vs.Names {
+					if local || (i < len(vs.Values) && snapComposite(vs.Values[i], snap)) {
+						constructed[name.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	flag := func(target ast.Expr) {
+		root, deref := writeRoot(target)
+		if !deref || root == "" || !published[root] || constructed[root] {
+			return
+		}
+		pass.Reportf(target.Pos(),
+			"write through snapshot value %q received from outside this function; rbacvet:snapshot structs are immutable once published — build a fresh value and swap the atomic pointer instead",
+			root)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(st.X)
+		}
+		return true
+	})
+}

@@ -204,6 +204,80 @@ func (ln *lane) deferred() {
 	wantDiags(t, runOn(t, LockOrder, "internal/event", src), 0)
 }
 
+// --- snapimmut -----------------------------------------------------
+
+// TestSnapImmutFlagsPublishedWrites: mutating a snapshot that arrived
+// through a receiver, parameter or package variable is the race the
+// copy-on-write protocol exists to prevent.
+func TestSnapImmutFlagsPublishedWrites(t *testing.T) {
+	src := `package rbac
+
+// accessView is the published policy snapshot.
+//
+// rbacvet:snapshot
+type accessView struct {
+	epoch    int
+	sessions map[string]int
+}
+
+var current accessView
+
+func patchParam(v *accessView) {
+	v.epoch = 7
+	v.sessions["s"] = 1
+}
+
+func patchGlobal() {
+	current.epoch++
+}
+`
+	diags := runOn(t, SnapImmut, "internal/rbac", src)
+	wantDiags(t, diags, 3)
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "immutable") {
+			t.Errorf("diagnostic should explain the immutability invariant, got %q", d.Message)
+		}
+	}
+}
+
+// TestSnapImmutAllowsBuilders mirrors publishPolicyLocked and
+// sessionViewLocked: composite-literal construction plus population in
+// the same function is the sanctioned shape, and rebinding a local to a
+// fresh snapshot is not a write through one.
+func TestSnapImmutAllowsBuilders(t *testing.T) {
+	src := `package rbac
+
+// rbacvet:snapshot
+type accessView struct {
+	epoch    int
+	sessions map[string]int
+}
+
+func build(old *accessView) *accessView {
+	nv := &accessView{epoch: old.epoch + 1, sessions: map[string]int{}}
+	nv.sessions["s"] = 1
+	nv.epoch++
+	var zero accessView
+	zero.epoch = 1
+	old = nv // rebinding, not a field write
+	return old
+}
+`
+	wantDiags(t, runOn(t, SnapImmut, "internal/rbac", src), 0)
+}
+
+// TestSnapImmutIgnoresUnmarkedTypes: only structs carrying the doc
+// marker participate; ordinary mutable state is untouched.
+func TestSnapImmutIgnoresUnmarkedTypes(t *testing.T) {
+	src := `package rbac
+
+type scratch struct{ n int }
+
+func bump(s *scratch) { s.n++ }
+`
+	wantDiags(t, runOn(t, SnapImmut, "internal/rbac", src), 0)
+}
+
 // --- framework -----------------------------------------------------
 
 // TestDiagnosticFormat pins the go-vet-style rendering the driver and
@@ -228,7 +302,7 @@ func TestAnalyzersRegistry(t *testing.T) {
 	for _, a := range Analyzers() {
 		names[a.Name] = true
 	}
-	for _, want := range []string{"engineclock", "obsnil", "lockorder"} {
+	for _, want := range []string{"engineclock", "obsnil", "lockorder", "snapimmut"} {
 		if !names[want] {
 			t.Errorf("registry missing analyzer %q", want)
 		}
