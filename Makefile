@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the tier-1 gate from
-# ROADMAP.md: build, tests, race detector, vet, lint, plus a one-round
-# fast-path bench smoke so the cached and uncached Decide paths are
-# exercised end to end on every merge.
+# ROADMAP.md: build, tests, race detector, vet, lint, plus one-round
+# bench smokes (fast path, wire transports) and a short wire-codec fuzz
+# so the cached, uncached and remote decide paths are exercised end to
+# end on every merge.
 
 GO ?= go
 
-.PHONY: build test race vet lint check bench-smoke bench bench-obs bench-fastpath bench-fastpath-smoke bench-compare clean
+.PHONY: build test race vet lint check fuzz-wire bench-smoke bench bench-obs bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -28,7 +29,15 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rbacvet ./...
 
-check: build test race vet lint bench-fastpath-smoke
+check: build test race vet lint fuzz-wire bench-fastpath-smoke bench-wire-smoke
+
+# fuzz-wire gives each wire-codec fuzz target a short randomized budget
+# on top of the checked-in seed corpus (internal/wire/testdata/fuzz):
+# enough to catch a regressed panic path without stalling the gate.
+fuzz-wire:
+	$(GO) test ./internal/wire -fuzz=FuzzDecoder -fuzztime=5s
+	$(GO) test ./internal/wire -fuzz=FuzzPayloadCodecs -fuzztime=5s
+	$(GO) test ./internal/wire -fuzz=FuzzCheckRoundTrip -fuzztime=5s
 
 # bench-smoke runs the cheap experiments to confirm the bench harness
 # still works; `make bench` regenerates everything (slow).
@@ -54,6 +63,16 @@ bench-fastpath: build
 bench-fastpath-smoke: build
 	$(GO) run ./cmd/bench -exp FASTPATH -smoke
 
+# bench-wire regenerates the remote-transport series (BENCH_wire.json):
+# the same live engine checked over HTTP/JSON, single wire frames, and
+# wire batches. The smoke variant runs one short round and leaves the
+# committed JSON untouched.
+bench-wire: build
+	$(GO) run ./cmd/bench -exp WIRE
+
+bench-wire-smoke: build
+	$(GO) run ./cmd/bench -exp WIRE -smoke
+
 # bench-compare diffs two benchmark JSON series benchstat-style, e.g.
 #   make bench-compare OLD=BENCH_lanes.json NEW=BENCH_fastpath.json
 OLD ?= BENCH_lanes.json
@@ -63,4 +82,4 @@ bench-compare: build
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lanes.json BENCH_obs.json BENCH_fastpath.json
+	rm -f BENCH_lanes.json BENCH_obs.json BENCH_fastpath.json BENCH_wire.json

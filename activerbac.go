@@ -280,6 +280,11 @@ func (s *System) LaneStats() []LaneStat { return s.gen.Engine().LaneStats() }
 // Options.TraceBuffer.
 var ErrObservabilityOff = errors.New("activerbac: observability not enabled")
 
+// Observer exposes the metric catalog for transports that instrument
+// themselves (the wire server counts requests/errors/in-flight per
+// opcode). Returns nil when observability is off.
+func (s *System) Observer() *obs.Observer { return s.obs }
+
 // WriteMetrics renders the metric registry in Prometheus text
 // exposition format (0.0.4). Requires Options.Metrics or
 // Options.TraceBuffer.
@@ -405,11 +410,18 @@ func (s *System) DropActiveRole(user UserID, sid SessionID, role RoleID) error {
 // CheckAccess asks whether the session may perform the operation; the
 // rule CA1 decides, and denials feed the active-security monitors.
 func (s *System) CheckAccess(sid SessionID, p Permission) bool {
-	user, _ := s.gen.Engine().Store().SessionUser(sid)
-	// The tuple form keeps a fast-path cache hit allocation-free: the
-	// Params map is only built if the cascade actually runs.
+	return s.CheckAccessTuple(string(sid), p.Operation, p.Object)
+}
+
+// CheckAccessTuple is CheckAccess for callers that already hold the
+// check as plain strings — rbacd's GET /v1/check handler and the wire
+// server. It skips the SessionID/Permission wrappers so a fast-path
+// cache hit stays allocation-free end to end: the Params map is only
+// built if the cascade actually runs.
+func (s *System) CheckAccessTuple(session, operation, object string) bool {
+	user, _ := s.gen.Engine().Store().SessionUser(SessionID(session))
 	dec, err := s.gen.Engine().DecideCheck(rulegen.EvCheckAccess,
-		string(user), string(sid), p.Operation, p.Object)
+		string(user), session, operation, object)
 	return err == nil && dec.Allowed()
 }
 

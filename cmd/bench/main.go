@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bench [-exp all|F1|E1|E1P|OBS|FASTPATH|E2|E3|E4|E5|E6|E7|E8|E9] [-smoke]
+//	bench [-exp all|F1|E1|E1P|OBS|FASTPATH|WIRE|E2|E3|E4|E5|E6|E7|E8|E9] [-smoke]
 //	bench -compare OLD.json NEW.json
 //
 // E1P additionally writes BENCH_lanes.json with the parallel-throughput
@@ -17,19 +17,25 @@
 // retention. FASTPATH writes BENCH_fastpath.json with the decision
 // fast path off/on on the same parallel workload (repeat-heavy, so the
 // on series measures the cache hit path); -smoke shrinks it to one
-// short round for CI and skips the JSON file. -compare diffs two
-// benchmark JSON series benchstat-style.
+// short round for CI and skips the JSON file. WIRE writes
+// BENCH_wire.json comparing remote-check transports against one live
+// engine: HTTP/JSON vs single wire checks vs batched wire checks.
+// -compare diffs two benchmark JSON series benchstat-style.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -40,13 +46,14 @@ import (
 	"activerbac/internal/event"
 	"activerbac/internal/policy"
 	"activerbac/internal/security"
+	"activerbac/internal/wire"
 	"activerbac/internal/workload"
 )
 
 var epoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, F1, E1, E1P, OBS, FASTPATH, E2..E9)")
+	exp := flag.String("exp", "all", "experiment to run (all, F1, E1, E1P, OBS, FASTPATH, WIRE, E2..E9)")
 	smoke := flag.Bool("smoke", false, "one short round per experiment that supports it; skip JSON output")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON series: bench -compare OLD.json NEW.json")
 	flag.Parse()
@@ -71,6 +78,7 @@ func main() {
 	run("E1P", e1p)
 	run("OBS", obsBench)
 	run("FASTPATH", func() { fastpathBench(*smoke) })
+	run("WIRE", func() { wireBench(*smoke) })
 	run("E2", e2)
 	run("E3", e3)
 	run("E4", e4)
@@ -629,6 +637,254 @@ func fastpathBench(smoke bool) {
 	}
 	fmt.Println("wrote BENCH_fastpath.json")
 }
+
+// wireBench: remote-check transport comparison. One live engine (fast
+// path on, sharded lanes) serves the same repeat-heavy check workload
+// over three transports: rbacd-style HTTP/JSON (GET /v1/check), single
+// wire CHECK frames, and wire CHECK_BATCH frames of 64. Sweeps are
+// interleaved across the goroutine ladder like FASTPATH so host drift
+// cannot bias one transport; the best round per (transport, g) is kept.
+// Results go to BENCH_wire.json with each point's speedup over HTTP at
+// the same concurrency.
+func wireBench(smoke bool) {
+	header("WIRE", "remote check transports: HTTP/JSON vs wire single vs wire batched")
+	cfg := workload.EnterpriseConfig{
+		Roles: 64, Shape: workload.XYZShape, Branch: 4,
+		SSDFraction: 0.3, Users: 64, PermsPerRole: 3, Seed: 1,
+	}
+	spec := workload.MustEnterprise(cfg)
+	src := policy.Format(spec)
+	shard := runtime.NumCPU()
+	if shard < 2 {
+		shard = 4
+	}
+	checksPerGoroutine := 4096
+	goroutines := []int{1, 4, 16, 64}
+	sweeps, rounds := 3, 2
+	const batch = 64
+	if smoke {
+		checksPerGoroutine = 256
+		goroutines = []int{1, 4}
+		sweeps, rounds = 1, 1
+	}
+
+	opts := activerbac.Options{Lanes: shard, FastPath: true, Clock: clock.NewSim(epoch)}
+	sys, err := activerbac.Open(src, &opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+	clients := benchClients(sys, spec)
+	if len(clients) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: WIRE: no runnable clients")
+		os.Exit(1)
+	}
+
+	// HTTP side: the same hot path rbacd's GET /v1/check runs (string
+	// tuples into CheckAccessTuple, pre-encoded verdict body).
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	mux := http.NewServeMux()
+	allowBody, denyBody := []byte("{\"allowed\":true}\n"), []byte("{\"allowed\":false}\n")
+	mux.HandleFunc("GET /v1/check", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		body := denyBody
+		if sys.CheckAccessTuple(q.Get("session"), q.Get("operation"), q.Get("object")) {
+			body = allowBody
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	httpSrv := &http.Server{Handler: mux}
+	go httpSrv.Serve(httpLn)
+	defer httpSrv.Close()
+	httpClient := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: 256, MaxIdleConnsPerHost: 256,
+	}}
+
+	// Wire side: one server, one pooled client shared by every mode.
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	wireSrv := wire.NewServer(wireSysBackend{sys}, nil)
+	go wireSrv.Serve(wireLn)
+	defer wireSrv.Close()
+	conns := runtime.NumCPU()
+	if conns > 8 {
+		conns = 8
+	}
+	wc, err := wire.Dial(wireLn.Addr().String(), &wire.ClientOptions{
+		Conns: conns, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: wire dial:", err)
+		os.Exit(1)
+	}
+	defer wc.Close()
+
+	// Per-client prebuilt request forms; verdicts are sanity-checked once
+	// so a broken transport can't win by doing nothing.
+	urls := make([]string, len(clients))
+	tuples := make([]wire.CheckRequest, len(clients))
+	base := "http://" + httpLn.Addr().String() + "/v1/check?"
+	for i, c := range clients {
+		urls[i] = base + url.Values{
+			"session": {string(c.sid)}, "operation": {c.perm.Operation}, "object": {c.perm.Object},
+		}.Encode()
+		tuples[i] = wire.CheckRequest{
+			Session: string(c.sid), Operation: c.perm.Operation, Object: c.perm.Object,
+		}
+	}
+	var errs atomic.Uint64
+	httpCheck := func(u string) bool {
+		resp, err := httpClient.Get(u)
+		if err != nil {
+			errs.Add(1)
+			return false
+		}
+		var v struct {
+			Allowed bool `json:"allowed"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if derr != nil {
+			errs.Add(1)
+			return false
+		}
+		return v.Allowed
+	}
+	for i := range clients {
+		okW, err := wc.Check(tuples[i].Session, tuples[i].Operation, tuples[i].Object)
+		if err != nil || !okW || !httpCheck(urls[i]) {
+			fmt.Fprintf(os.Stderr, "bench: WIRE: transport sanity check failed for client %d (wire=%v err=%v)\n", i, okW, err)
+			os.Exit(1)
+		}
+	}
+
+	// Each round: g goroutines x perG checks over the given transport.
+	round := func(transport string, g, perG int) time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < g; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				u, tup := urls[i%len(urls)], tuples[i%len(tuples)]
+				switch transport {
+				case "http":
+					for j := 0; j < perG; j++ {
+						httpCheck(u)
+					}
+				case "wire":
+					for j := 0; j < perG; j++ {
+						if _, err := wc.Check(tup.Session, tup.Operation, tup.Object); err != nil {
+							errs.Add(1)
+						}
+					}
+				case "wire-batch":
+					reqs := make([]wire.CheckRequest, batch)
+					for k := range reqs {
+						reqs[k] = tup
+					}
+					for done := 0; done < perG; done += batch {
+						n := batch
+						if left := perG - done; left < n {
+							n = left
+						}
+						if _, err := wc.CheckMany(reqs[:n]); err != nil {
+							errs.Add(1)
+						}
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	transports := []string{"http", "wire", "wire-batch"}
+	best := map[string]map[int]time.Duration{}
+	for _, tr := range transports {
+		best[tr] = map[int]time.Duration{}
+	}
+	for s := 0; s < sweeps; s++ {
+		for _, g := range goroutines {
+			for _, tr := range transports {
+				round(tr, g, checksPerGoroutine/4+1) // warmup seeds caches and conns
+			}
+			for r := 0; r < rounds; r++ {
+				for _, tr := range transports {
+					d := round(tr, g, checksPerGoroutine)
+					if b, ok := best[tr][g]; !ok || d < b {
+						best[tr][g] = d
+					}
+				}
+			}
+		}
+	}
+	if n := errs.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bench: WIRE: %d transport errors during rounds\n", n)
+		os.Exit(1)
+	}
+
+	type point struct {
+		Transport  string  `json:"transport"`
+		Goroutines int     `json:"goroutines"`
+		Checks     int     `json:"checks"`
+		Batch      int     `json:"batch"`
+		OpsPerSec  float64 `json:"ops_per_sec"`
+		NsPerOp    float64 `json:"ns_per_op"`
+		SpeedupX   float64 `json:"speedup_vs_http"`
+	}
+	var series []point
+	fmt.Printf("%-11s %-12s %14s %10s %12s\n",
+		"transport", "goroutines", "checks/sec", "ns/op", "vs http")
+	for _, tr := range transports {
+		for _, g := range goroutines {
+			total := g * checksPerGoroutine
+			ops := float64(total) / best[tr][g].Seconds()
+			httpOps := float64(total) / best["http"][g].Seconds()
+			b := 0
+			if tr == "wire-batch" {
+				b = batch
+			}
+			series = append(series, point{
+				Transport: tr, Goroutines: g, Checks: total, Batch: b,
+				OpsPerSec: ops, NsPerOp: 1e9 / ops, SpeedupX: ops / httpOps,
+			})
+			fmt.Printf("%-11s %-12d %14.0f %10.0f %11.2fx\n",
+				tr, g, ops, 1e9/ops, ops/httpOps)
+		}
+	}
+	if smoke {
+		fmt.Println("smoke run: BENCH_wire.json not written")
+		return
+	}
+	data, err := json.MarshalIndent(series, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_wire.json", append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: BENCH_wire.json:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_wire.json")
+}
+
+// wireSysBackend adapts a bench-owned System to the wire Backend.
+type wireSysBackend struct{ sys *activerbac.System }
+
+func (b wireSysBackend) Check(session, operation, object string) bool {
+	return b.sys.CheckAccessTuple(session, operation, object)
+}
+
+func (b wireSysBackend) PolicyEpoch() uint64 { return b.sys.SnapshotEpoch() }
 
 // compareSeries prints a benchstat-style delta between two benchmark
 // JSON series files (any of BENCH_lanes.json / BENCH_obs.json /

@@ -2,7 +2,12 @@
 //
 // Usage:
 //
-//	rbacctl [-server http://localhost:8180] <command> [args]
+//	rbacctl [-server http://localhost:8180] [-wire host:port] <command> [args]
+//
+// With -wire set, the commands that the binary wire protocol carries —
+// check, check-many, ping and epoch — go over a wire connection to
+// rbacd's -wire-addr listener instead of HTTP; everything else still
+// needs the HTTP API.
 //
 // Commands:
 //
@@ -11,6 +16,9 @@
 //	activate <user> <session> <role>        activate a role
 //	deactivate <user> <session> <role>      deactivate a role
 //	check <session> <operation> <object> [purpose]
+//	check-many <session> <op:obj> [<op:obj> ...]    batched checks (wire only)
+//	ping                                    wire liveness probe (wire only)
+//	epoch                                   policy snapshot epoch (wire only)
 //	assign <user> <role>                    assign a role
 //	deassign <user> <role>                  remove an assignment
 //	user add <user>                         register a user
@@ -42,20 +50,33 @@ import (
 	"net/url"
 	"os"
 	"strings"
+	"time"
+
+	"activerbac/internal/wire"
 )
 
 func main() {
 	args := os.Args[1:]
 	server := "http://localhost:8180"
-	if len(args) >= 2 && args[0] == "-server" {
-		server = args[1]
-		args = args[2:]
+	wireAddr := ""
+	for len(args) >= 2 {
+		if args[0] == "-server" {
+			server = args[1]
+			args = args[2:]
+			continue
+		}
+		if args[0] == "-wire" {
+			wireAddr = args[1]
+			args = args[2:]
+			continue
+		}
+		break
 	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimSuffix(server, "/")}
+	c := &client{base: strings.TrimSuffix(server, "/"), wireAddr: wireAddr}
 	if err := c.dispatch(args); err != nil {
 		fmt.Fprintln(os.Stderr, "rbacctl:", err)
 		os.Exit(1)
@@ -63,15 +84,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] [-wire host:port] <command> [args]
 commands: session new|end, activate, deactivate, check, assign, deassign,
           user add, role enable|disable, context set|get, verify,
           rules, stats, fastpath, alerts, policy get|apply, trace [id] [-n N],
-          metrics, analyze`)
+          metrics, analyze
+wire:     check, check-many <session> <op:obj>..., ping, epoch`)
 }
 
 type client struct {
-	base string
+	base     string
+	wireAddr string // non-empty routes check/check-many/ping/epoch over wire
 }
 
 func (c *client) dispatch(args []string) error {
@@ -94,12 +117,30 @@ func (c *client) dispatch(args []string) error {
 			return c.post("/v1/deactivate", map[string]string{"user": rest[0], "session": rest[1], "role": rest[2]})
 		}
 	case "check":
+		if len(rest) == 3 && c.wireAddr != "" {
+			return c.wireCheck(rest[0], rest[1], rest[2])
+		}
 		if len(rest) == 3 || len(rest) == 4 {
+			if c.wireAddr != "" {
+				return fmt.Errorf("purpose checks are not carried on the wire protocol; drop -wire")
+			}
 			q := url.Values{"session": {rest[0]}, "operation": {rest[1]}, "object": {rest[2]}}
 			if len(rest) == 4 {
 				q.Set("purpose", rest[3])
 			}
 			return c.get("/v1/check?" + q.Encode())
+		}
+	case "check-many":
+		if len(rest) >= 2 {
+			return c.wireCheckMany(rest[0], rest[1:])
+		}
+	case "ping":
+		if len(rest) == 0 {
+			return c.wirePing()
+		}
+	case "epoch":
+		if len(rest) == 0 {
+			return c.wireEpoch()
 		}
 	case "assign":
 		if len(rest) == 2 {
@@ -167,6 +208,83 @@ func (c *client) dispatch(args []string) error {
 	}
 	usage()
 	return fmt.Errorf("unknown or malformed command %q", strings.Join(args, " "))
+}
+
+// wireClient dials the -wire address (one short-lived pooled client per
+// invocation; rbacctl is a one-shot tool).
+func (c *client) wireClient() (*wire.Client, error) {
+	if c.wireAddr == "" {
+		return nil, fmt.Errorf("this command needs -wire host:port (rbacd's -wire-addr listener)")
+	}
+	return wire.Dial(c.wireAddr, &wire.ClientOptions{Timeout: 10 * time.Second})
+}
+
+func (c *client) wireCheck(session, operation, object string) error {
+	wc, err := c.wireClient()
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+	allowed, err := wc.Check(session, operation, object)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("{\n  \"allowed\": %v\n}\n", allowed)
+	return nil
+}
+
+// wireCheckMany batches "op:obj" pairs for one session into a single
+// CHECK_BATCH frame and prints one verdict line per pair.
+func (c *client) wireCheckMany(session string, pairs []string) error {
+	reqs := make([]wire.CheckRequest, 0, len(pairs))
+	for _, p := range pairs {
+		op, obj, ok := strings.Cut(p, ":")
+		if !ok {
+			return fmt.Errorf("check-many wants op:obj pairs, got %q", p)
+		}
+		reqs = append(reqs, wire.CheckRequest{Session: session, Operation: op, Object: obj})
+	}
+	wc, err := c.wireClient()
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+	verdicts, err := wc.CheckMany(reqs)
+	if err != nil {
+		return err
+	}
+	for i, v := range verdicts {
+		fmt.Printf("%s %s: %v\n", reqs[i].Operation, reqs[i].Object, v)
+	}
+	return nil
+}
+
+func (c *client) wirePing() error {
+	wc, err := c.wireClient()
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+	start := time.Now()
+	if err := wc.Ping(); err != nil {
+		return err
+	}
+	fmt.Printf("pong (%s)\n", time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func (c *client) wireEpoch() error {
+	wc, err := c.wireClient()
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+	epoch, err := wc.PolicyVersion()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("{\n  \"snapshotEpoch\": %d\n}\n", epoch)
+	return nil
 }
 
 // analyze fetches /v1/analyze and prints each finding in the stable

@@ -7,12 +7,19 @@
 //
 //	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-audit-sync 3s]
 //	      [-snapshot state.json] [-lanes N] [-trace-buffer 256] [-debug-addr :6060]
-//	      [-analyze off|warn|strict]
+//	      [-analyze off|warn|strict] [-wire-addr :8181]
 //
 // -analyze gates both startup and policy hot reloads on the static
 // analyzer (internal/analyze): "warn" (the default) logs every finding,
 // "strict" refuses to start — and rejects POST /v1/policy — when any
 // finding is error severity, "off" skips analysis entirely.
+//
+// -wire-addr additionally serves the internal/wire binary decision
+// protocol (CHECK / CHECK_BATCH / PING / POLICY_VERSION) on a second
+// listener; -wire-max-inflight, -wire-read-timeout, -wire-write-timeout
+// and -wire-max-frame tune its per-connection backpressure. The HTTP
+// listener's own slow-client guards are -http-read-header-timeout and
+// -http-idle-timeout.
 //
 // Endpoints (all JSON unless noted):
 //
@@ -63,6 +70,7 @@ import (
 	"time"
 
 	"activerbac"
+	"activerbac/internal/wire"
 )
 
 // config collects the command-line settings.
@@ -74,6 +82,15 @@ type config struct {
 	debugAddr                                 string
 	analyzeMode                               string
 	fastpath                                  string
+
+	httpReadHeaderTimeout time.Duration
+	httpIdleTimeout       time.Duration
+
+	wireAddr         string
+	wireMaxInflight  int
+	wireMaxFrame     int
+	wireReadTimeout  time.Duration
+	wireWriteTimeout time.Duration
 }
 
 func main() {
@@ -91,6 +108,20 @@ func main() {
 		"static-analysis gate for startup and hot reloads: off, warn or strict")
 	flag.StringVar(&cfg.fastpath, "fastpath", "off",
 		"decision fast path (off or on): serve repeat ALLOW access checks from an epoch-tagged cache; stats at /v1/fastpath")
+	flag.DurationVar(&cfg.httpReadHeaderTimeout, "http-read-header-timeout", 10*time.Second,
+		"how long an HTTP client may take to send its request headers (slowloris guard); 0 disables")
+	flag.DurationVar(&cfg.httpIdleTimeout, "http-idle-timeout", 2*time.Minute,
+		"how long an idle HTTP keep-alive connection is kept open; 0 disables")
+	flag.StringVar(&cfg.wireAddr, "wire-addr", "",
+		"also serve the binary wire protocol on this address (off when empty)")
+	flag.IntVar(&cfg.wireMaxInflight, "wire-max-inflight", 0,
+		"wire: max requests admitted but unanswered per connection; 0 = protocol default")
+	flag.IntVar(&cfg.wireMaxFrame, "wire-max-frame", 0,
+		"wire: max frame size in bytes, larger frames drop the connection; 0 = protocol default")
+	flag.DurationVar(&cfg.wireReadTimeout, "wire-read-timeout", 0,
+		"wire: per-frame read deadline doubling as idle timeout; 0 = protocol default, negative disables")
+	flag.DurationVar(&cfg.wireWriteTimeout, "wire-write-timeout", 0,
+		"wire: per-flush write deadline; 0 = protocol default, negative disables")
 	flag.Parse()
 	if cfg.policyPath == "" {
 		flag.Usage()
@@ -189,10 +220,66 @@ func run(cfg config) error {
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 
 	srv := &server{sys: sys, analyzeMode: cfg.analyzeMode}
-	httpSrv := &http.Server{Handler: srv.routes()}
+	httpSrv := &http.Server{
+		Handler: srv.routes(),
+		// Slow-client guards: a client trickling headers or parking an
+		// idle keep-alive connection must not pin a conn goroutine
+		// forever. Per-request handler time stays unbounded (policy
+		// uploads can be large); these only bound the non-serving states.
+		ReadHeaderTimeout: cfg.httpReadHeaderTimeout,
+		IdleTimeout:       cfg.httpIdleTimeout,
+	}
+
+	var wireSrv *wire.Server
+	if cfg.wireAddr != "" {
+		wln, err := net.Listen("tcp", cfg.wireAddr)
+		if err != nil {
+			return fmt.Errorf("wire listener: %w", err)
+		}
+		wireSrv = wire.NewServer(wireBackend{srv}, &wire.ServerOptions{
+			MaxFrame:     cfg.wireMaxFrame,
+			MaxInFlight:  cfg.wireMaxInflight,
+			ReadTimeout:  cfg.wireReadTimeout,
+			WriteTimeout: cfg.wireWriteTimeout,
+			Instruments:  wireInstruments(sys),
+		})
+		log.Printf("rbacd: wire protocol on %s", wln.Addr())
+		go func() {
+			if err := wireSrv.Serve(wln); !errors.Is(err, wire.ErrServerClosed) {
+				log.Print("rbacd: wire server: ", err)
+			}
+		}()
+	}
+
 	log.Printf("rbacd: serving on %s (policy %s, %d rules, %d lanes)",
 		ln.Addr(), cfg.policyPath, len(sys.Rules()), sys.Lanes())
-	return serve(sys, httpSrv, ln, done, cfg.snapshotPath)
+	return serve(sys, httpSrv, wireSrv, ln, done, cfg.snapshotPath)
+}
+
+// wireBackend adapts the server (not the System directly, so wire
+// checks honor the same policy-swap serialization as HTTP handlers) to
+// the wire protocol's Backend interface.
+type wireBackend struct{ srv *server }
+
+func (b wireBackend) Check(session, operation, object string) bool {
+	return b.srv.system().CheckAccessTuple(session, operation, object)
+}
+
+func (b wireBackend) PolicyEpoch() uint64 { return b.srv.system().SnapshotEpoch() }
+
+// wireInstruments binds the wire server's transport hooks to the
+// activerbac_wire_* metric families. rbacd always opens the System with
+// Metrics on, but guard anyway: a nil Observer just disables the hooks.
+func wireInstruments(sys *activerbac.System) *wire.Instruments {
+	o := sys.Observer()
+	if o == nil {
+		return nil
+	}
+	return &wire.Instruments{
+		Request:  func(opcode string) { o.WireRequests.With(opcode).Inc() },
+		Error:    func(opcode string) { o.WireErrors.With(opcode).Inc() },
+		Inflight: func(delta float64) { o.WireInflight.Add(delta) },
+	}
 }
 
 // auditFlusher periodically flushes the buffered audit log until stop
@@ -226,11 +313,12 @@ func debugMux() *http.ServeMux {
 
 // serve runs httpSrv on ln until a signal arrives, then shuts down
 // gracefully: stop accepting connections, let in-flight requests finish
-// (http.Server.Shutdown blocks until handlers return), quiesce the
-// enforcement lanes so every admitted request's rule cascade settles,
-// and only then write the snapshot. The audit log is closed afterwards
-// by the caller's sys.Close.
-func serve(sys *activerbac.System, httpSrv *http.Server, ln net.Listener,
+// (http.Server.Shutdown blocks until handlers return; the wire server
+// drains its admitted frames the same way), quiesce the enforcement
+// lanes so every admitted request's rule cascade settles, and only then
+// write the snapshot. The audit log is closed afterwards by the
+// caller's sys.Close. wireSrv may be nil.
+func serve(sys *activerbac.System, httpSrv *http.Server, wireSrv *wire.Server, ln net.Listener,
 	signals <-chan os.Signal, snapshotPath string) error {
 	drained := make(chan struct{})
 	go func() {
@@ -238,9 +326,20 @@ func serve(sys *activerbac.System, httpSrv *http.Server, ln net.Listener,
 		log.Print("rbacd: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
+		var wg sync.WaitGroup
+		if wireSrv != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := wireSrv.Shutdown(ctx); err != nil {
+					log.Print("rbacd: wire shutdown: ", err)
+				}
+			}()
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Print("rbacd: shutdown: ", err)
 		}
+		wg.Wait()
 		close(drained)
 	}()
 
@@ -393,21 +492,39 @@ func (s *server) deactivate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// Pre-encoded GET /v1/check bodies: the plain-check hot path below
+// writes one of these instead of running json.Encoder per request.
+var (
+	checkBodyAllow = []byte("{\"allowed\":true}\n")
+	checkBodyDeny  = []byte("{\"allowed\":false}\n")
+)
+
 func (s *server) check(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	sid := activerbac.SessionID(q.Get("session"))
-	perm := activerbac.Permission{Operation: q.Get("operation"), Object: q.Get("object")}
 	if purpose := q.Get("purpose"); purpose != "" {
+		sid := activerbac.SessionID(q.Get("session"))
+		perm := activerbac.Permission{Operation: q.Get("operation"), Object: q.Get("object")}
 		allowed := s.system().CheckAccessForPurpose(sid, perm, purpose)
 		writeJSON(w, http.StatusOK, map[string]bool{"allowed": allowed})
 		return
 	}
 	if q.Get("explain") != "" {
+		sid := activerbac.SessionID(q.Get("session"))
+		perm := activerbac.Permission{Operation: q.Get("operation"), Object: q.Get("object")}
 		ex := s.system().ExplainAccess(sid, perm)
 		writeJSON(w, http.StatusOK, ex)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"allowed": s.system().CheckAccess(sid, perm)})
+	// The plain check is the hot path: the string-tuple entry reaches
+	// the zero-alloc DecideCheck fast path (no SessionID/Permission/
+	// Params wrappers) and the verdict body is pre-encoded.
+	body := checkBodyDeny
+	if s.system().CheckAccessTuple(q.Get("session"), q.Get("operation"), q.Get("object")) {
+		body = checkBodyAllow
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *server) assign(w http.ResponseWriter, r *http.Request) {

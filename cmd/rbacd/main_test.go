@@ -253,7 +253,7 @@ func TestGracefulShutdown(t *testing.T) {
 	signals := make(chan os.Signal, 1)
 	served := make(chan error, 1)
 	go func() {
-		served <- serve(sys, &http.Server{Handler: handler}, ln, signals, "")
+		served <- serve(sys, &http.Server{Handler: handler}, nil, ln, signals, "")
 	}()
 
 	type verdict struct {
@@ -273,8 +273,8 @@ func TestGracefulShutdown(t *testing.T) {
 		got <- verdict{code: resp.StatusCode, body: string(b)}
 	}()
 
-	<-inflight                   // the decision is now in-flight
-	signals <- os.Interrupt      // begin graceful shutdown
+	<-inflight              // the decision is now in-flight
+	signals <- os.Interrupt // begin graceful shutdown
 	time.Sleep(50 * time.Millisecond)
 	close(release) // let the held handler proceed
 

@@ -1,0 +1,322 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"activerbac"
+	"activerbac/internal/wire"
+)
+
+// wireStressPolicy is the partitioned differential policy: eight flat
+// worker roles with one permission each and 16 users spread across
+// them, plus two churn roles the mutators flip without ever changing a
+// worker verdict (C0 carries a GTRBAC shift window, C1 is flipped
+// directly).
+func wireStressPolicy(windowStart string) string {
+	var b strings.Builder
+	for r := 0; r < 8; r++ {
+		fmt.Fprintf(&b, "role W%d\n", r)
+		fmt.Fprintf(&b, "permission W%d: op%d obj%d\n", r, r, r)
+	}
+	b.WriteString("role C0\nrole C1\n")
+	fmt.Fprintf(&b, "shift C0 %s-17:00:00\n", windowStart)
+	for u := 0; u < 16; u++ {
+		fmt.Fprintf(&b, "user u%02d: W%d\n", u, u%8)
+	}
+	return b.String()
+}
+
+// TestWireDifferential serves ONE live system over three enforcement
+// paths at once — in-process CheckAccessTuple, rbacd's HTTP GET
+// /v1/check, and the binary wire protocol (single CHECK frames and
+// CHECK_BATCH) — and asserts after every check that all paths return
+// the same verdict and that the verdict matches the worker's model,
+// while churn goroutines hammer the invalidation machinery: equivalent
+// policy hot-reloads through POST /v1/policy (exercising the server's
+// swap lock against concurrent checks on every path), enable/disable
+// flips of an unrelated role, and simulated-clock advances that swing a
+// GTRBAC shift window. Run under -race this is the proof that the wire
+// transport introduces no verdict skew and no memory unsafety.
+//
+// State is partitioned for determinism exactly like the fast-path
+// stress test: each worker owns its user and session and only asserts
+// about them; the churn touches nothing a worker verdict depends on.
+func TestWireDifferential(t *testing.T) {
+	epoch := time.Date(2026, 7, 6, 9, 30, 0, 0, time.UTC) // inside C0's shift
+	sim := activerbac.NewSimClock(epoch)
+	sys, err := activerbac.Open(wireStressPolicy("09:00:00"), &activerbac.Options{
+		Clock:    sim,
+		FastPath: true, // the wire path must agree with cached verdicts too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	srv := &server{sys: sys, analyzeMode: "off"}
+	httpSrv := httptest.NewServer(srv.routes())
+	defer httpSrv.Close()
+
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireSrv := wire.NewServer(wireBackend{srv}, nil)
+	go wireSrv.Serve(wln)
+	defer wireSrv.Close()
+	wc, err := wire.Dial(wln.Addr().String(), &wire.ClientOptions{
+		Conns: 4, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+
+	httpCheck := func(session, operation, object string) (bool, error) {
+		u := httpSrv.URL + "/v1/check?" + url.Values{
+			"session": {session}, "operation": {operation}, "object": {object},
+		}.Encode()
+		resp, err := http.Get(u)
+		if err != nil {
+			return false, err
+		}
+		defer resp.Body.Close()
+		var v struct {
+			Allowed bool `json:"allowed"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			return false, err
+		}
+		return v.Allowed, nil
+	}
+
+	iters := 60
+	if testing.Short() {
+		iters = 20
+	}
+
+	var stop atomic.Bool
+	var churn, workers sync.WaitGroup
+
+	// Churn is throttled: each mutation quiesces lanes or bumps epochs,
+	// and worker checks pay a network round trip per path, so unthrottled
+	// mutator spins would starve the workers into a minutes-long run
+	// without exercising anything extra. A pause of a few check RTTs
+	// still interleaves invalidations into every worker's stream.
+	const churnPause = 2 * time.Millisecond
+
+	// Churn 1: equivalent policy hot-reloads over HTTP — only the churn
+	// role's shift window differs, so worker verdicts never change, but
+	// every reload takes the server's swap lock, regenerates the pool
+	// and bumps the fast-path epoch under the checks' feet.
+	altA, altB := wireStressPolicy("09:00:00"), wireStressPolicy("08:30:00")
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; !stop.Load(); i++ {
+			time.Sleep(churnPause)
+			next := altA
+			if i%2 == 0 {
+				next = altB
+			}
+			resp, err := http.Post(httpSrv.URL+"/v1/policy", "text/plain", strings.NewReader(next))
+			if err != nil {
+				t.Errorf("policy reload: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("policy reload: status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	// Churn 2: flip the unrelated role C1 in-process.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; !stop.Load(); i++ {
+			time.Sleep(churnPause)
+			var err error
+			if i%2 == 0 {
+				err = sys.DisableRole("C1")
+			} else {
+				err = sys.EnableRole("C1")
+			}
+			if err != nil {
+				t.Errorf("role flip: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Churn 3: swing C0's GTRBAC window via the simulated clock.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for !stop.Load() {
+			time.Sleep(churnPause)
+			sim.Advance(4 * time.Hour)
+		}
+	}()
+
+	for w := 0; w < 16; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			user := activerbac.UserID(fmt.Sprintf("u%02d", w))
+			role := activerbac.RoleID(fmt.Sprintf("W%d", w%8))
+			ownOp, ownObj := fmt.Sprintf("op%d", w%8), fmt.Sprintf("obj%d", w%8)
+			foreignOp, foreignObj := fmt.Sprintf("op%d", (w+1)%8), fmt.Sprintf("obj%d", (w+1)%8)
+
+			open := func() (activerbac.SessionID, bool) {
+				sid, err := sys.CreateSession(user)
+				if err != nil {
+					t.Errorf("worker %d: CreateSession: %v", w, err)
+					return "", false
+				}
+				if err := sys.AddActiveRole(user, sid, role); err != nil {
+					t.Errorf("worker %d: AddActiveRole: %v", w, err)
+					return "", false
+				}
+				return sid, true
+			}
+			// expect runs the same check over every path and requires
+			// unanimity with the model.
+			expect := func(sid activerbac.SessionID, op, obj string, want bool, what string) bool {
+				inProc := sys.CheckAccessTuple(string(sid), op, obj)
+				overHTTP, err := httpCheck(string(sid), op, obj)
+				if err != nil {
+					t.Errorf("worker %d: %s: http: %v", w, what, err)
+					return false
+				}
+				overWire, err := wc.Check(string(sid), op, obj)
+				if err != nil {
+					t.Errorf("worker %d: %s: wire: %v", w, what, err)
+					return false
+				}
+				batch, err := wc.CheckMany([]wire.CheckRequest{
+					{Session: string(sid), Operation: op, Object: obj},
+				})
+				if err != nil || len(batch) != 1 {
+					t.Errorf("worker %d: %s: wire batch: %v (%d verdicts)", w, what, err, len(batch))
+					return false
+				}
+				if inProc != overHTTP || inProc != overWire || inProc != batch[0] {
+					t.Errorf("worker %d: %s: verdicts diverged: in-process=%v http=%v wire=%v wire-batch=%v",
+						w, what, inProc, overHTTP, overWire, batch[0])
+					return false
+				}
+				if inProc != want {
+					t.Errorf("worker %d: %s: verdict %v, model says %v", w, what, inProc, want)
+					return false
+				}
+				return true
+			}
+
+			sid, ok := open()
+			if !ok {
+				return
+			}
+			for i := 0; i < iters; i++ {
+				if !expect(sid, ownOp, ownObj, true, "own permission, role active") ||
+					!expect(sid, foreignOp, foreignObj, false, "foreign permission") {
+					return
+				}
+				if i%10 == 9 {
+					// Flip the worker's own role: every path must see the
+					// session-grade invalidation, not a stale ALLOW.
+					if err := sys.DropActiveRole(user, sid, role); err != nil {
+						t.Errorf("worker %d: DropActiveRole: %v", w, err)
+						return
+					}
+					if !expect(sid, ownOp, ownObj, false, "own permission, role dropped") {
+						return
+					}
+					if err := sys.AddActiveRole(user, sid, role); err != nil {
+						t.Errorf("worker %d: AddActiveRole: %v", w, err)
+						return
+					}
+				}
+				if i%25 == 24 {
+					if err := sys.DeleteSession(sid); err != nil {
+						t.Errorf("worker %d: DeleteSession: %v", w, err)
+						return
+					}
+					if !expect(sid, ownOp, ownObj, false, "own permission, session deleted") {
+						return
+					}
+					if sid, ok = open(); !ok {
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	workers.Wait()
+	stop.Store(true)
+	churn.Wait()
+
+	if st, err := sys.FastPathStats(); err == nil {
+		if st.Hits == 0 {
+			t.Error("differential run never hit the verdict cache; the wire paths were not exercised against it")
+		}
+		if st.Invalidations == 0 {
+			t.Error("differential run never invalidated the cache; the churn was not exercised")
+		}
+		t.Logf("fastpath stats: hits=%d misses=%d bypass=%d invalidations=%d epoch=%d",
+			st.Hits, st.Misses, st.Bypass, st.Invalidations, st.Epoch)
+	}
+}
+
+// TestWireEpochTracksReload: POLICY_VERSION over the wire must report
+// the bumped snapshot epoch after a hot reload.
+func TestWireEpochTracksReload(t *testing.T) {
+	sys, err := activerbac.Open(wireStressPolicy("09:00:00"), &activerbac.Options{
+		Clock: activerbac.NewSimClock(time.Date(2026, 7, 6, 9, 30, 0, 0, time.UTC)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv := &server{sys: sys, analyzeMode: "off"}
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireSrv := wire.NewServer(wireBackend{srv}, nil)
+	go wireSrv.Serve(wln)
+	defer wireSrv.Close()
+	wc, err := wire.Dial(wln.Addr().String(), &wire.ClientOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+
+	before, err := wc.PolicyVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ApplyPolicy(wireStressPolicy("08:30:00")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := wc.PolicyVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatalf("epoch did not advance across reload: %d -> %d", before, after)
+	}
+}

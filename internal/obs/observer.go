@@ -59,6 +59,11 @@ type Observer struct {
 
 	// Static analysis (counted per analyzer run by the facade).
 	AnalyzeFindings *CounterVec // activerbac_analyze_findings_total{code,severity}
+
+	// Wire transport (counted by rbacd's wire server hooks).
+	WireRequests *CounterVec // activerbac_wire_requests_total{opcode}
+	WireErrors   *CounterVec // activerbac_wire_errors_total{opcode}
+	WireInflight *Gauge      // activerbac_wire_inflight
 }
 
 // NewObserver builds a registry with the full metric catalog
@@ -135,6 +140,13 @@ func NewObserver(traceCapacity int) *Observer {
 
 		AnalyzeFindings: r.Counter("activerbac_analyze_findings_total",
 			"Static-analysis findings observed, by finding code and severity.", "code", "severity"),
+
+		WireRequests: r.Counter("activerbac_wire_requests_total",
+			"Wire-protocol request frames decoded, by opcode.", "opcode"),
+		WireErrors: r.Counter("activerbac_wire_errors_total",
+			"Wire-protocol ERROR frames sent, by offending request opcode.", "opcode"),
+		WireInflight: r.Gauge("activerbac_wire_inflight",
+			"Wire-protocol requests admitted but not yet responded to.").With(),
 	}
 	if traceCapacity > 0 {
 		o.Traces = NewTraceRing(traceCapacity)

@@ -1,0 +1,312 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClientOptions tunes a Client; the zero value selects the defaults.
+type ClientOptions struct {
+	// Conns is the connection-pool size. Every connection is fully
+	// pipelined, so one connection already supports many concurrent
+	// callers; more connections spread the per-connection write lock
+	// and the server's per-connection in-flight cap. Default 1.
+	Conns int
+	// MaxFrame bounds one received frame. Default DefaultMaxFrame.
+	MaxFrame int
+	// Timeout bounds dialing and each request round trip. Default 10s.
+	Timeout time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	return o
+}
+
+// ErrClientClosed is returned by calls on a closed Client.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// Client is a connection-pooled, pipelined wire-protocol client. All
+// methods are safe for concurrent use; concurrent calls share pooled
+// connections and their responses are correlated by request id, so no
+// caller ever waits behind another caller's round trip.
+type Client struct {
+	addr   string
+	opts   ClientOptions
+	next   atomic.Uint32
+	closed atomic.Bool
+	slots  []*clientSlot
+}
+
+// clientSlot is one pool slot; the mutex covers (re)dialing only.
+type clientSlot struct {
+	mu sync.Mutex
+	cc *clientConn
+}
+
+// Dial builds a client for addr and eagerly dials the first pooled
+// connection so configuration errors surface immediately; the
+// remaining connections dial lazily on first use.
+func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	var o ClientOptions
+	if opts != nil {
+		o = *opts
+	}
+	c := &Client{addr: addr, opts: o.withDefaults()}
+	c.slots = make([]*clientSlot, c.opts.Conns)
+	for i := range c.slots {
+		c.slots[i] = &clientSlot{}
+	}
+	if _, err := c.conn(c.slots[0]); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Check runs one access check.
+func (c *Client) Check(session, operation, object string) (bool, error) {
+	payload := AppendCheck(make([]byte, 0, 64), session, operation, object)
+	resp, err := c.roundTrip(OpCheck, payload)
+	if err != nil {
+		return false, err
+	}
+	if len(resp) != 1 || resp[0] > 1 {
+		return false, fmt.Errorf("wire: bad CHECK response: %w", ErrBadPayload)
+	}
+	return resp[0] == 1, nil
+}
+
+// CheckMany runs a batch of access checks in one frame and returns the
+// verdicts in request order.
+func (c *Client) CheckMany(reqs []CheckRequest) ([]bool, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if len(reqs) > MaxBatch {
+		return nil, fmt.Errorf("wire: batch of %d exceeds MaxBatch %d", len(reqs), MaxBatch)
+	}
+	payload := AppendCheckBatch(make([]byte, 0, 16+64*len(reqs)), reqs)
+	resp, err := c.roundTrip(OpCheckBatch, payload)
+	if err != nil {
+		return nil, err
+	}
+	verdicts, err := ConsumeVerdicts(resp, make([]bool, 0, len(reqs)))
+	if err != nil {
+		return nil, err
+	}
+	if len(verdicts) != len(reqs) {
+		return nil, fmt.Errorf("wire: CHECK_BATCH answered %d of %d checks: %w",
+			len(verdicts), len(reqs), ErrBadPayload)
+	}
+	return verdicts, nil
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(OpPing, nil)
+	return err
+}
+
+// PolicyVersion fetches the server's policy snapshot epoch.
+func (c *Client) PolicyVersion() (uint64, error) {
+	resp, err := c.roundTrip(OpPolicyVersion, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ConsumeEpoch(resp)
+}
+
+// Close closes every pooled connection; in-flight calls fail.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	for _, slot := range c.slots {
+		slot.mu.Lock()
+		if slot.cc != nil {
+			slot.cc.fail(ErrClientClosed)
+			slot.cc = nil
+		}
+		slot.mu.Unlock()
+	}
+	return nil
+}
+
+// conn returns the slot's live connection, dialing if missing or dead.
+func (c *Client) conn(slot *clientSlot) (*clientConn, error) {
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if cc := slot.cc; cc != nil && !cc.dead() {
+		return cc, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{c: nc, pending: map[uint32]chan result{}}
+	go cc.readLoop(c.opts.MaxFrame)
+	slot.cc = cc
+	return cc, nil
+}
+
+// roundTrip sends one request on a pooled connection and waits for its
+// response, unwrapping ERROR frames into *RemoteError.
+func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
+	slot := c.slots[int(c.next.Add(1))%len(c.slots)]
+	cc, err := c.conn(slot)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cc.roundTrip(op, payload, c.opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if res.op == OpError {
+		code, msg, perr := ConsumeErrorPayload(res.payload)
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, &RemoteError{Code: code, Msg: msg}
+	}
+	if res.op != op|RespFlag {
+		return nil, fmt.Errorf("wire: response opcode %#x for request %#x: %w", res.op, op, ErrBadPayload)
+	}
+	return res.payload, nil
+}
+
+// result is one response delivered to a waiting caller. payload is an
+// owned copy.
+type result struct {
+	op      byte
+	payload []byte
+}
+
+// clientConn is one pipelined connection: writes are serialized under
+// wmu (one syscall per frame, the frame built in a reused buffer), a
+// background reader correlates responses to waiters by request id.
+type clientConn struct {
+	c net.Conn
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu      sync.Mutex
+	pending map[uint32]chan result
+	nextID  uint32
+	err     error
+}
+
+func (cc *clientConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+// fail marks the connection dead and wakes every waiter with err.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+	}
+	pending := cc.pending
+	cc.pending = map[uint32]chan result{}
+	cc.mu.Unlock()
+	cc.c.Close()
+	for _, ch := range pending {
+		close(ch) // a closed channel signals "connection failed"
+	}
+}
+
+// readLoop delivers response frames to their waiters until the
+// connection dies.
+func (cc *clientConn) readLoop(maxFrame int) {
+	dec := NewDecoder(bufio.NewReaderSize(cc.c, 32<<10), maxFrame)
+	for {
+		f, err := dec.Next()
+		if err != nil {
+			cc.fail(fmt.Errorf("wire: connection lost: %w", err))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[f.ID]
+		if ok {
+			delete(cc.pending, f.ID)
+		}
+		cc.mu.Unlock()
+		if !ok {
+			continue // response to a timed-out request; drop it
+		}
+		// The payload aliases the decoder buffer: copy before handoff.
+		var p []byte
+		if len(f.Payload) > 0 {
+			p = append([]byte(nil), f.Payload...)
+		}
+		ch <- result{op: f.Op, payload: p}
+	}
+}
+
+func (cc *clientConn) roundTrip(op byte, payload []byte, timeout time.Duration) (result, error) {
+	ch := make(chan result, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return result{}, err
+	}
+	id := cc.nextID
+	cc.nextID++
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
+	cc.wbuf = AppendFrame(cc.wbuf[:0], op, id, payload)
+	cc.c.SetWriteDeadline(time.Now().Add(timeout))
+	_, werr := cc.c.Write(cc.wbuf)
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.fail(fmt.Errorf("wire: write: %w", werr))
+		cc.forget(id)
+		return result{}, werr
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			cc.mu.Lock()
+			err := cc.err
+			cc.mu.Unlock()
+			if err == nil {
+				err = errors.New("wire: connection failed")
+			}
+			return result{}, err
+		}
+		return res, nil
+	case <-timer.C:
+		cc.forget(id)
+		return result{}, fmt.Errorf("wire: request %s timed out after %v", OpName(op), timeout)
+	}
+}
+
+// forget abandons a pending request id (timeout or write failure); a
+// late response for it is dropped by readLoop.
+func (cc *clientConn) forget(id uint32) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}

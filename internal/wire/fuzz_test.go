@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecoder feeds arbitrary byte streams to the frame decoder: it
+// must either yield valid frames or error, and must never panic, hang,
+// or over-read. Seeds cover valid frames, every rejection class, and
+// back-to-back frames.
+func FuzzDecoder(f *testing.F) {
+	f.Add(AppendFrame(nil, OpCheck, 1, AppendCheck(nil, "sid", "read", "doc")))
+	f.Add(AppendFrame(nil, OpPing, 2, nil))
+	f.Add(AppendFrame(nil, OpPolicyVersion|RespFlag, 3, AppendEpoch(nil, 42)))
+	f.Add(AppendFrame(AppendFrame(nil, OpPing, 4, []byte("a")), OpPing, 5, []byte("b")))
+	bad := AppendFrame(nil, OpCheck, 6, []byte("x"))
+	bad[0] = 0 // magic
+	f.Add(append([]byte(nil), bad...))
+	bad = AppendFrame(nil, OpCheck, 7, []byte("x"))
+	bad[2] = 9 // version
+	f.Add(append([]byte(nil), bad...))
+	f.Add(AppendFrame(nil, OpCheck, 8, make([]byte, 300))[:40])                         // truncated payload
+	f.Add([]byte{magic0, magic1, Version})                                              // truncated header
+	f.Add([]byte{magic0, magic1, Version, OpCheck, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // huge declared length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data), 1<<12)
+		for i := 0; ; i++ {
+			frame, err := dec.Next()
+			if err != nil {
+				if err == io.EOF && i == 0 && len(data) > 0 {
+					t.Fatalf("io.EOF with %d unconsumed bytes", len(data))
+				}
+				return
+			}
+			if len(frame.Payload) > 1<<12 {
+				t.Fatalf("frame payload %d exceeds the decoder limit", len(frame.Payload))
+			}
+			if i > len(data)/HeaderSize {
+				t.Fatalf("decoded more frames (%d) than the input can hold", i)
+			}
+		}
+	})
+}
+
+// FuzzPayloadCodecs throws arbitrary bytes at every payload Consume
+// function: errors are fine, panics are not, and anything that decodes
+// must survive a re-encode/re-decode with the same value. (Byte-exact
+// re-encoding is NOT required — uvarint accepts non-minimal input like
+// 0x80 0x00 for zero, which re-encodes shorter.)
+func FuzzPayloadCodecs(f *testing.F) {
+	f.Add(AppendCheck(nil, "sid", "read", "doc"))
+	f.Add(AppendCheckBatch(nil, []CheckRequest{{Session: "a", Operation: "b", Object: "c"}, {}}))
+	f.Add(AppendVerdicts(nil, []bool{true, false, true}))
+	f.Add(AppendErrorPayload(nil, ErrCodeBadRequest, "bad"))
+	f.Add(AppendEpoch(nil, 99))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // uvarint overflow
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if sess, op, obj, err := ConsumeCheck(data); err == nil {
+			s2, o2, b2, err := ConsumeCheck(AppendCheck(nil, sess, op, obj))
+			if err != nil || s2 != sess || o2 != op || b2 != obj {
+				t.Fatalf("CHECK re-decode mismatch: (%q %q %q) -> (%q %q %q, %v)",
+					sess, op, obj, s2, o2, b2, err)
+			}
+		}
+		if reqs, err := ConsumeCheckBatch(data, nil); err == nil {
+			got, err := ConsumeCheckBatch(AppendCheckBatch(nil, reqs), nil)
+			if err != nil || len(got) != len(reqs) {
+				t.Fatalf("CHECK_BATCH re-decode: len %d -> %d, %v", len(reqs), len(got), err)
+			}
+			for i := range reqs {
+				if got[i] != reqs[i] {
+					t.Fatalf("CHECK_BATCH re-decode req %d: %+v -> %+v", i, reqs[i], got[i])
+				}
+			}
+		}
+		if vs, err := ConsumeVerdicts(data, nil); err == nil {
+			got, err := ConsumeVerdicts(AppendVerdicts(nil, vs), nil)
+			if err != nil || len(got) != len(vs) {
+				t.Fatalf("verdicts re-decode: len %d -> %d, %v", len(vs), len(got), err)
+			}
+			for i := range vs {
+				if got[i] != vs[i] {
+					t.Fatalf("verdicts re-decode %d: %v -> %v", i, vs[i], got[i])
+				}
+			}
+		}
+		if code, msg, err := ConsumeErrorPayload(data); err == nil {
+			c2, m2, err := ConsumeErrorPayload(AppendErrorPayload(nil, code, msg))
+			if err != nil || c2 != code || m2 != msg {
+				t.Fatalf("error re-decode mismatch: (%d %q) -> (%d %q, %v)", code, msg, c2, m2, err)
+			}
+		}
+		if epoch, err := ConsumeEpoch(data); err == nil {
+			e2, err := ConsumeEpoch(AppendEpoch(nil, epoch))
+			if err != nil || e2 != epoch {
+				t.Fatalf("epoch re-decode mismatch: %d -> (%d, %v)", epoch, e2, err)
+			}
+		}
+	})
+}
+
+// FuzzCheckRoundTrip fuzzes the structured direction: any triple of
+// strings within the length limit must survive encode/decode exactly.
+func FuzzCheckRoundTrip(f *testing.F) {
+	f.Add("sid", "read", "doc")
+	f.Add("", "", "")
+	f.Add("s\x00id", "op\xFF", "obj with spaces and é")
+	f.Fuzz(func(t *testing.T, session, operation, object string) {
+		if len(session) > maxStringLen || len(operation) > maxStringLen || len(object) > maxStringLen {
+			t.Skip()
+		}
+		b := AppendCheck(nil, session, operation, object)
+		s2, op2, obj2, err := ConsumeCheck(b)
+		if err != nil {
+			t.Fatalf("ConsumeCheck(%x): %v", b, err)
+		}
+		if s2 != session || op2 != operation || obj2 != object {
+			t.Fatalf("round trip (%q %q %q) -> (%q %q %q)", session, operation, object, s2, op2, obj2)
+		}
+	})
+}

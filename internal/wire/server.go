@@ -1,0 +1,432 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is what a wire server enforces against. Implementations must
+// be safe for concurrent use; rbacd adapts *activerbac.System.
+type Backend interface {
+	// Check decides one access check for the session's user, resolving
+	// the user from the session exactly like GET /v1/check.
+	Check(session, operation, object string) bool
+	// PolicyEpoch reports the published policy snapshot epoch.
+	PolicyEpoch() uint64
+}
+
+// Instruments are optional transport metrics hooks; any field may be
+// nil. rbacd wires them to the activerbac_wire_* metric families.
+type Instruments struct {
+	// Request is called once per decoded request frame, labelled by
+	// opcode.
+	Request func(opcode string)
+	// Error is called once per ERROR frame sent, labelled by the
+	// offending request's opcode.
+	Error func(opcode string)
+	// Inflight tracks the server-wide in-flight request delta (+1 on
+	// admit, -1 after the response is written).
+	Inflight func(delta float64)
+}
+
+// ServerOptions tunes a Server; the zero value selects the defaults.
+type ServerOptions struct {
+	// MaxFrame bounds one frame (header + payload); larger frames drop
+	// the connection. Default DefaultMaxFrame.
+	MaxFrame int
+	// MaxInFlight caps requests admitted but not yet responded to, per
+	// connection: once reached the reader stops consuming frames and
+	// the kernel's TCP window pushes back on the client. Default 256.
+	MaxInFlight int
+	// ReadTimeout bounds how long one whole frame may take to arrive
+	// (it doubles as the idle timeout; pipelined clients ping to keep
+	// quiet connections alive). Default 3 minutes; <= 0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write. Default 10 seconds;
+	// <= 0 disables.
+	WriteTimeout time.Duration
+	// Workers is the per-connection handler pool executing CHECK and
+	// CHECK_BATCH, and therefore the out-of-order window of one
+	// connection. Default min(GOMAXPROCS, MaxInFlight).
+	Workers int
+	// Instruments hooks transport metrics; nil disables.
+	Instruments *Instruments
+}
+
+const (
+	defaultMaxInFlight  = 256
+	defaultReadTimeout  = 3 * time.Minute
+	defaultWriteTimeout = 10 * time.Second
+)
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = defaultMaxInFlight
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = defaultReadTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.MaxInFlight {
+		o.Workers = o.MaxInFlight
+	}
+	return o
+}
+
+// ErrServerClosed is returned by Serve after Close or Shutdown.
+var ErrServerClosed = errors.New("wire: server closed")
+
+// Server speaks the wire protocol on any number of listeners. All
+// methods are safe for concurrent use.
+type Server struct {
+	backend Backend
+	opts    ServerOptions
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[*srvConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server around backend; opts may be nil.
+func NewServer(backend Backend, opts *ServerOptions) *Server {
+	var o ServerOptions
+	if opts != nil {
+		o = *opts
+	}
+	return &Server{
+		backend: backend,
+		opts:    o.withDefaults(),
+		lns:     map[net.Listener]struct{}{},
+		conns:   map[*srvConn]struct{}{},
+	}
+}
+
+// Serve accepts connections on ln until Close or Shutdown, then
+// returns ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		sc := &srvConn{srv: s, c: c}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[sc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go sc.run()
+	}
+}
+
+// Shutdown stops accepting connections and lets every admitted request
+// finish: each connection stops reading new frames, drains its
+// in-flight work, flushes the responses and closes. It returns when
+// all connections have drained or ctx expires (remaining connections
+// are then closed hard). Mirrors http.Server.Shutdown for rbacd's
+// signal path.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	conns := make([]*srvConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.stopReading()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		return errors.New("wire: shutdown deadline exceeded")
+	}
+}
+
+// Close stops the server immediately: listeners and connections are
+// closed, in-flight requests are abandoned.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	conns := make([]*srvConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.c.Close()
+	}
+}
+
+// srvConn is one accepted connection: a reader decoding frames and
+// enforcing the in-flight cap, a worker pool executing checks (the
+// source of out-of-order responses), and a single writer serializing
+// and coalescing response frames.
+type srvConn struct {
+	srv *Server
+	c   net.Conn
+	// stopRead makes the next (or current) blocking frame read fail
+	// without closing the socket, so drained responses still flush.
+	stopped atomic.Bool
+}
+
+// request is one decoded unit of work handed to the worker pool.
+type request struct {
+	op    byte
+	id    uint32
+	check CheckRequest   // OpCheck
+	batch []CheckRequest // OpCheckBatch
+}
+
+// response is one frame queued for the writer.
+type response struct {
+	op      byte
+	id      uint32
+	payload []byte
+}
+
+// Static single-verdict payloads (read-only).
+var (
+	verdictAllow = []byte{1}
+	verdictDeny  = []byte{0}
+)
+
+func (sc *srvConn) stopReading() {
+	sc.stopped.Store(true)
+	sc.c.SetReadDeadline(time.Now())
+}
+
+func (sc *srvConn) run() {
+	defer sc.srv.wg.Done()
+	defer func() {
+		sc.srv.mu.Lock()
+		delete(sc.srv.conns, sc)
+		sc.srv.mu.Unlock()
+		sc.c.Close()
+	}()
+	opts := sc.srv.opts
+	ins := opts.Instruments
+
+	// sem admits at most MaxInFlight requests between decode and
+	// response write; out has the same capacity, so enqueues below
+	// never block longer than the writer takes to drain.
+	sem := make(chan struct{}, opts.MaxInFlight)
+	out := make(chan response, opts.MaxInFlight)
+	work := make(chan request, opts.MaxInFlight)
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		sc.writeLoop(out, sem, ins)
+	}()
+	var workerWG sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for req := range work {
+				out <- sc.execute(req)
+			}
+		}()
+	}
+
+	sc.readLoop(sem, out, work, ins)
+
+	// Drain: no more frames will be admitted; let the workers finish
+	// what was, then let the writer flush it.
+	close(work)
+	workerWG.Wait()
+	close(out)
+	writerWG.Wait()
+}
+
+// readLoop decodes frames, admits them against the in-flight cap and
+// dispatches: cheap opcodes answered inline onto out, checks handed to
+// the worker pool. Returns on any read or protocol error.
+func (sc *srvConn) readLoop(sem chan struct{}, out chan<- response, work chan<- request, ins *Instruments) {
+	opts := sc.srv.opts
+	dec := NewDecoder(bufio.NewReaderSize(sc.c, 32<<10), opts.MaxFrame)
+	for {
+		if opts.ReadTimeout > 0 {
+			sc.c.SetReadDeadline(time.Now().Add(opts.ReadTimeout))
+		}
+		// Checked after arming the deadline: a concurrent stopReading
+		// either is observed here or has already expired the deadline,
+		// so the read below cannot outlive a drain request.
+		if sc.stopped.Load() {
+			return
+		}
+		f, err := dec.Next()
+		if err != nil {
+			// Clean EOF, deadline, protocol garbage: all end the reading
+			// half. Responses already admitted still drain and flush.
+			return
+		}
+		if ins != nil && ins.Request != nil {
+			ins.Request(OpName(f.Op))
+		}
+		// Backpressure: block until a response slot frees up. The writer
+		// releases one slot per response written, so a stalled or slow
+		// client throttles its own request stream via TCP.
+		sem <- struct{}{}
+		if ins != nil && ins.Inflight != nil {
+			ins.Inflight(+1)
+		}
+		switch f.Op {
+		case OpPing:
+			// Echo. The payload aliases the decoder buffer; copy it.
+			var echo []byte
+			if len(f.Payload) > 0 {
+				echo = append([]byte(nil), f.Payload...)
+			}
+			out <- response{op: OpPing | RespFlag, id: f.ID, payload: echo}
+		case OpPolicyVersion:
+			out <- response{op: OpPolicyVersion | RespFlag, id: f.ID,
+				payload: AppendEpoch(nil, sc.srv.backend.PolicyEpoch())}
+		case OpCheck:
+			session, operation, object, err := ConsumeCheck(f.Payload)
+			if err != nil {
+				out <- sc.errorResponse(f, ErrCodeBadRequest, err, ins)
+				continue
+			}
+			work <- request{op: OpCheck, id: f.ID,
+				check: CheckRequest{Session: session, Operation: operation, Object: object}}
+		case OpCheckBatch:
+			batch, err := ConsumeCheckBatch(f.Payload, nil)
+			if err != nil {
+				out <- sc.errorResponse(f, ErrCodeBadRequest, err, ins)
+				continue
+			}
+			work <- request{op: OpCheckBatch, id: f.ID, batch: batch}
+		default:
+			out <- sc.errorResponse(f, ErrCodeUnknownOp,
+				errors.New("wire: unknown opcode"), ins)
+		}
+	}
+}
+
+func (sc *srvConn) errorResponse(f Frame, code byte, err error, ins *Instruments) response {
+	if ins != nil && ins.Error != nil {
+		ins.Error(OpName(f.Op))
+	}
+	return response{op: OpError, id: f.ID, payload: AppendErrorPayload(nil, code, err.Error())}
+}
+
+// execute runs one check request against the backend.
+func (sc *srvConn) execute(req request) response {
+	switch req.op {
+	case OpCheck:
+		p := verdictDeny
+		if sc.srv.backend.Check(req.check.Session, req.check.Operation, req.check.Object) {
+			p = verdictAllow
+		}
+		return response{op: OpCheck | RespFlag, id: req.id, payload: p}
+	default: // OpCheckBatch
+		payload := binary.AppendUvarint(make([]byte, 0, len(req.batch)+binary.MaxVarintLen64), uint64(len(req.batch)))
+		for _, r := range req.batch {
+			v := byte(0)
+			if sc.srv.backend.Check(r.Session, r.Operation, r.Object) {
+				v = 1
+			}
+			payload = append(payload, v)
+		}
+		return response{op: OpCheckBatch | RespFlag, id: req.id, payload: payload}
+	}
+}
+
+// writeLoop serializes responses onto the socket, flushing only when
+// the queue runs dry (write coalescing across pipelined responses), and
+// releases one in-flight slot per response.
+func (sc *srvConn) writeLoop(out <-chan response, sem <-chan struct{}, ins *Instruments) {
+	opts := sc.srv.opts
+	bw := bufio.NewWriterSize(sc.c, 32<<10)
+	var fbuf []byte
+	var werr error
+	for resp := range out {
+		if werr == nil {
+			if opts.WriteTimeout > 0 {
+				sc.c.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+			}
+			fbuf = AppendFrame(fbuf[:0], resp.op, resp.id, resp.payload)
+			if _, werr = bw.Write(fbuf); werr == nil && len(out) == 0 {
+				werr = bw.Flush()
+			}
+			if werr != nil {
+				// The socket is dead: unblock the reader (it may be
+				// parked on the in-flight cap) and discard the rest.
+				sc.c.Close()
+			}
+		}
+		if ins != nil && ins.Inflight != nil {
+			ins.Inflight(-1)
+		}
+		<-sem
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+}

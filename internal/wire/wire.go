@@ -1,0 +1,391 @@
+// Package wire implements the pipelined binary decision protocol: a
+// dependency-free, length-prefixed frame format that carries
+// authorization checks between an enforcement point and the engine at a
+// fraction of the HTTP/JSON cost. The engine's in-process check path
+// runs in nanoseconds (DESIGN §5.4); this package is the transport that
+// keeps up with it — and the substrate internal/cluster's cross-process
+// enforcement points grow onto.
+//
+// # Frame layout
+//
+// Every message is one frame: a fixed 12-byte header followed by an
+// opcode-specific payload. All integers are big-endian.
+//
+//	offset  size  field
+//	0       2     magic 0xAC 0x77
+//	2       1     protocol version (currently 1)
+//	3       1     opcode (response frames set bit 0x80)
+//	4       4     request id (chosen by the requester, echoed verbatim)
+//	8       4     payload length
+//	12      n     payload
+//
+// Strings inside payloads are uvarint-length-prefixed UTF-8. A CHECK
+// request carries (session, operation, object); the server resolves the
+// session's user itself, exactly like GET /v1/check. A CHECK_BATCH
+// request carries a uvarint count then that many triples; its response
+// carries the count then one verdict byte per check, in request order.
+// PING echoes its payload. POLICY_VERSION responds with the 8-byte
+// policy snapshot epoch. ERROR (0xFF, response-only) carries a code
+// byte and a message string, tagged with the failing request's id.
+//
+// # Versioning rules
+//
+// The magic pair and version byte are validated on every frame. A
+// reader that sees an unknown version (or bad magic, or a frame larger
+// than its configured maximum) cannot resynchronize a byte stream it no
+// longer understands, so it must drop the connection; version
+// negotiation is "reconnect speaking an older version". Adding opcodes
+// is backward compatible (unknown opcodes get an ERROR response and the
+// connection survives); changing the header or an existing payload
+// shape requires a version bump.
+//
+// # Pipelining and backpressure
+//
+// Connections are full-duplex pipes of frames: a requester may keep
+// many request ids in flight and responses may arrive in any order —
+// the request id, not arrival order, correlates them. The server bounds
+// the damage a fast or hostile client can do with three controls:
+// a per-connection in-flight cap (the reader stops consuming frames
+// until responses drain, pushing back through TCP), a read deadline
+// covering each whole frame (a trickling writer is disconnected), and
+// a write deadline per flush.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	magic0 = 0xAC
+	magic1 = 0x77
+
+	// Version is the protocol revision this package speaks. Frames
+	// carrying any other version are rejected and the connection dropped.
+	Version = 1
+
+	// HeaderSize is the fixed frame-header length in bytes.
+	HeaderSize = 12
+)
+
+// Opcodes. Response frames carry the request opcode with RespFlag set;
+// OpError is response-only.
+const (
+	// OpCheck is one access check: payload (session, operation, object),
+	// response payload a single verdict byte (1 allow, 0 deny).
+	OpCheck byte = 0x01
+	// OpCheckBatch is many access checks in one frame: payload a uvarint
+	// count then count triples, response the count then one verdict byte
+	// per check in request order.
+	OpCheckBatch byte = 0x02
+	// OpPing is a liveness and latency probe; the payload is echoed.
+	OpPing byte = 0x03
+	// OpPolicyVersion asks for the policy snapshot epoch; the response
+	// payload is the epoch as 8 big-endian bytes.
+	OpPolicyVersion byte = 0x04
+
+	// RespFlag marks a frame as the response to the request opcode in
+	// the low bits.
+	RespFlag byte = 0x80
+
+	// OpError is the response to a request the server could not serve:
+	// payload one code byte then a message string.
+	OpError byte = 0xFF
+)
+
+// Error codes carried by OpError payloads.
+const (
+	// ErrCodeBadRequest: the request payload did not decode.
+	ErrCodeBadRequest byte = 1
+	// ErrCodeUnknownOp: the request opcode is not known to this server.
+	ErrCodeUnknownOp byte = 2
+)
+
+// Limits.
+const (
+	// DefaultMaxFrame bounds a frame (header + payload) unless
+	// configured otherwise.
+	DefaultMaxFrame = 1 << 20
+	// MaxBatch bounds the check count of one CHECK_BATCH frame.
+	MaxBatch = 8192
+	// maxStringLen bounds one payload string; identifiers are short.
+	maxStringLen = 1 << 16
+)
+
+// Codec errors. Decoder errors other than io errors mean the stream is
+// unusable and the connection must be dropped; payload Consume errors
+// condemn only the one frame.
+var (
+	ErrBadMagic      = errors.New("wire: bad frame magic")
+	ErrVersion       = errors.New("wire: unsupported protocol version")
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrBadPayload    = errors.New("wire: malformed payload")
+)
+
+// OpName returns the stable label of an opcode (response flag ignored)
+// for metrics and logs.
+func OpName(op byte) string {
+	switch op &^ RespFlag {
+	case OpCheck:
+		return "check"
+	case OpCheckBatch:
+		return "check_batch"
+	case OpPing:
+		return "ping"
+	case OpPolicyVersion:
+		return "policy_version"
+	case OpError &^ RespFlag:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Frame is one decoded protocol frame. Payload aliases the Decoder's
+// internal buffer and is valid only until the next call to Next.
+type Frame struct {
+	Op      byte
+	ID      uint32
+	Payload []byte
+}
+
+// AppendFrame appends a complete frame (header + payload) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, op byte, id uint32, payload []byte) []byte {
+	dst = append(dst, magic0, magic1, Version, op)
+	dst = binary.BigEndian.AppendUint32(dst, id)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// Decoder reads frames from a byte stream, reusing one payload buffer
+// across frames (the returned Frame.Payload is only valid until the
+// next call).
+type Decoder struct {
+	r   io.Reader
+	max int
+	buf []byte
+	hdr [HeaderSize]byte
+}
+
+// NewDecoder wraps r with a frame decoder enforcing maxFrame (<= 0
+// means DefaultMaxFrame). r should be buffered by the caller if the
+// underlying stream is a socket.
+func NewDecoder(r io.Reader, maxFrame int) *Decoder {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Decoder{r: r, max: maxFrame}
+}
+
+// Next reads and validates one frame. io.EOF is returned only on a
+// clean boundary (no partial frame); a frame cut short decodes to
+// io.ErrUnexpectedEOF. Any non-io error means the stream is
+// desynchronized or hostile and the connection should be closed.
+func (d *Decoder) Next() (Frame, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		// ReadFull returns io.EOF only at a clean frame boundary (zero
+		// bytes read) and io.ErrUnexpectedEOF for a cut-off header.
+		return Frame{}, err
+	}
+	if d.hdr[0] != magic0 || d.hdr[1] != magic1 {
+		return Frame{}, ErrBadMagic
+	}
+	if d.hdr[2] != Version {
+		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrVersion, d.hdr[2], Version)
+	}
+	n := binary.BigEndian.Uint32(d.hdr[8:12])
+	if uint64(n)+HeaderSize > uint64(d.max) {
+		return Frame{}, fmt.Errorf("%w: %d payload bytes (max frame %d)", ErrFrameTooLarge, n, d.max)
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	buf := d.buf[:n]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{
+		Op:      d.hdr[3],
+		ID:      binary.BigEndian.Uint32(d.hdr[4:8]),
+		Payload: buf,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ConsumeString decodes one length-prefixed string from the front of b
+// and returns the remainder.
+func ConsumeString(b []byte) (s string, rest []byte, err error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > maxStringLen {
+		return "", nil, ErrBadPayload
+	}
+	b = b[w:]
+	if uint64(len(b)) < n {
+		return "", nil, ErrBadPayload
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// CheckRequest is one access check as carried on the wire.
+type CheckRequest struct {
+	Session   string
+	Operation string
+	Object    string
+}
+
+// AppendCheck appends a CHECK request payload.
+func AppendCheck(dst []byte, session, operation, object string) []byte {
+	dst = AppendString(dst, session)
+	dst = AppendString(dst, operation)
+	return AppendString(dst, object)
+}
+
+// ConsumeCheck decodes a CHECK request payload; trailing bytes are an
+// error.
+func ConsumeCheck(b []byte) (session, operation, object string, err error) {
+	if session, b, err = ConsumeString(b); err != nil {
+		return "", "", "", err
+	}
+	if operation, b, err = ConsumeString(b); err != nil {
+		return "", "", "", err
+	}
+	if object, b, err = ConsumeString(b); err != nil {
+		return "", "", "", err
+	}
+	if len(b) != 0 {
+		return "", "", "", ErrBadPayload
+	}
+	return session, operation, object, nil
+}
+
+// AppendCheckBatch appends a CHECK_BATCH request payload.
+func AppendCheckBatch(dst []byte, reqs []CheckRequest) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(reqs)))
+	for _, r := range reqs {
+		dst = AppendCheck(dst, r.Session, r.Operation, r.Object)
+	}
+	return dst
+}
+
+// ConsumeCheckBatch decodes a CHECK_BATCH request payload into into
+// (reused when capacity allows).
+func ConsumeCheckBatch(b []byte, into []CheckRequest) ([]CheckRequest, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > MaxBatch {
+		return nil, ErrBadPayload
+	}
+	b = b[w:]
+	reqs := into[:0]
+	for i := uint64(0); i < n; i++ {
+		var r CheckRequest
+		var err error
+		if r.Session, b, err = ConsumeString(b); err != nil {
+			return nil, err
+		}
+		if r.Operation, b, err = ConsumeString(b); err != nil {
+			return nil, err
+		}
+		if r.Object, b, err = ConsumeString(b); err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, r)
+	}
+	if len(b) != 0 {
+		return nil, ErrBadPayload
+	}
+	return reqs, nil
+}
+
+// AppendVerdicts appends a CHECK_BATCH response payload: the count then
+// one byte per verdict.
+func AppendVerdicts(dst []byte, verdicts []bool) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(verdicts)))
+	for _, v := range verdicts {
+		if v {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// ConsumeVerdicts decodes a CHECK_BATCH response payload.
+func ConsumeVerdicts(b []byte, into []bool) ([]bool, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > MaxBatch {
+		return nil, ErrBadPayload
+	}
+	b = b[w:]
+	if uint64(len(b)) != n {
+		return nil, ErrBadPayload
+	}
+	verdicts := into[:0]
+	for _, v := range b {
+		if v > 1 {
+			return nil, ErrBadPayload
+		}
+		verdicts = append(verdicts, v == 1)
+	}
+	return verdicts, nil
+}
+
+// AppendErrorPayload appends an ERROR response payload.
+func AppendErrorPayload(dst []byte, code byte, msg string) []byte {
+	dst = append(dst, code)
+	return AppendString(dst, msg)
+}
+
+// ConsumeErrorPayload decodes an ERROR response payload.
+func ConsumeErrorPayload(b []byte) (code byte, msg string, err error) {
+	if len(b) < 1 {
+		return 0, "", ErrBadPayload
+	}
+	code = b[0]
+	msg, rest, err := ConsumeString(b[1:])
+	if err != nil {
+		return 0, "", err
+	}
+	if len(rest) != 0 {
+		return 0, "", ErrBadPayload
+	}
+	return code, msg, nil
+}
+
+// AppendEpoch appends a POLICY_VERSION response payload.
+func AppendEpoch(dst []byte, epoch uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, epoch)
+}
+
+// ConsumeEpoch decodes a POLICY_VERSION response payload.
+func ConsumeEpoch(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, ErrBadPayload
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// RemoteError is an ERROR frame surfaced to the caller.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote error %d: %s", e.Code, e.Msg)
+}
