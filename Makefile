@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check fuzz-wire bench-smoke bench bench-obs bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-compare clean
+.PHONY: build test race vet lint check fuzz-wire bench-smoke bench bench-obs bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rbacvet ./...
 
-check: build test race vet lint fuzz-wire bench-fastpath-smoke bench-wire-smoke
+check: build test race vet lint fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-batch-smoke
 
 # fuzz-wire gives each wire-codec fuzz target a short randomized budget
 # on top of the checked-in seed corpus (internal/wire/testdata/fuzz):
@@ -72,6 +72,17 @@ bench-wire: build
 
 bench-wire-smoke: build
 	$(GO) run ./cmd/bench -exp WIRE -smoke
+
+# bench-batch regenerates the batch-native series (BENCH_batch.json):
+# per-tuple loops vs CheckAccessBatch in process, and the PR 5 per-tuple
+# CHECK_BATCH fan-out vs the batch-native backend over the wire. The
+# smoke variant runs one short round and leaves the committed JSON
+# untouched.
+bench-batch: build
+	$(GO) run ./cmd/bench -exp BATCH
+
+bench-batch-smoke: build
+	$(GO) run ./cmd/bench -exp BATCH -smoke
 
 # bench-compare diffs two benchmark JSON series benchstat-style, e.g.
 #   make bench-compare OLD=BENCH_lanes.json NEW=BENCH_fastpath.json

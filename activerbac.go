@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"activerbac/internal/clock"
@@ -424,6 +425,83 @@ func (s *System) CheckAccessTuple(session, operation, object string) bool {
 		string(user), session, operation, object)
 	return err == nil && dec.Allowed()
 }
+
+// BatchCheck is one access check of a CheckAccessBatch call, as plain
+// strings (the wire and HTTP batch endpoints decode straight into it).
+type BatchCheck struct {
+	Session   string `json:"session"`
+	Operation string `json:"operation"`
+	Object    string `json:"object"`
+}
+
+// CheckAccessBatch decides every check in one batch-native engine pass:
+// the engine captures its snapshot/epoch pair once, probes the fast
+// path for the whole batch, and crosses each lane boundary once per
+// scope group (see sentinel.Engine.DecideCheckBatch and DESIGN.md
+// §5.6). Verdicts come back in input order, appended to the passed
+// slice (reused when capacity allows). Each check is decided exactly as
+// CheckAccessTuple would decide it; an undefined check event fails
+// closed for the whole batch.
+func (s *System) CheckAccessBatch(checks []BatchCheck, verdicts []bool) []bool {
+	verdicts = verdicts[:0]
+	if len(checks) == 0 {
+		return verdicts
+	}
+	eng := s.gen.Engine()
+	store := eng.Store()
+	bb := batchBufPool.Get().(*batchBuf)
+	tuples := bb.tuples[:0]
+	// Session→user resolution is a lock-free view read; memoizing the
+	// previous session still saves the lookup for the common run of
+	// same-session checks within a batch.
+	var lastSession string
+	var lastUser string
+	for i, c := range checks {
+		user := lastUser
+		if i == 0 || c.Session != lastSession {
+			u, _ := store.SessionUser(SessionID(c.Session))
+			user = string(u)
+			lastSession, lastUser = c.Session, user
+		}
+		tuples = append(tuples, sentinel.CheckTuple{
+			User: user, Session: c.Session,
+			Operation: c.Operation, Object: c.Object,
+		})
+	}
+	vds, err := eng.DecideCheckBatch(rulegen.EvCheckAccess, tuples, bb.vds[:0])
+	if err != nil {
+		bb.reset(tuples, vds)
+		for range checks {
+			verdicts = append(verdicts, false)
+		}
+		return verdicts
+	}
+	for i := range vds {
+		verdicts = append(verdicts, vds[i].Allowed)
+	}
+	bb.reset(tuples, vds)
+	return verdicts
+}
+
+// batchBuf is the facade's pooled batch staging: the tuple slice handed
+// to the engine and the verdict slice it fills.
+type batchBuf struct {
+	tuples []sentinel.CheckTuple
+	vds    []sentinel.Verdict
+}
+
+func (b *batchBuf) reset(tuples []sentinel.CheckTuple, vds []sentinel.Verdict) {
+	for i := range tuples {
+		tuples[i] = sentinel.CheckTuple{}
+	}
+	b.tuples = tuples[:0]
+	b.vds = vds[:0]
+	batchBufPool.Put(b)
+}
+
+var batchBufPool = sync.Pool{New: func() any {
+	return &batchBuf{tuples: make([]sentinel.CheckTuple, 0, 256)}
+}}
 
 // Vote is one rule's verdict within a decision.
 type Vote = sentinel.Vote

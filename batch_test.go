@@ -1,0 +1,102 @@
+package activerbac_test
+
+import (
+	"strings"
+	"testing"
+
+	"activerbac"
+)
+
+// TestCheckAccessBatchMatchesSequential: the facade batch path must
+// agree with CheckAccessTuple on every element, in input order, with
+// duplicates and unknown sessions included, both cold and with the
+// fast path warm.
+func TestCheckAccessBatchMatchesSequential(t *testing.T) {
+	sys, err := activerbac.Open(xyzPolicy, &activerbac.Options{
+		Clock:    activerbac.NewSimClock(t0),
+		FastPath: true,
+		Metrics:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	bobSid, err := sys.CreateSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddActiveRole("bob", bobSid, "PC"); err != nil {
+		t.Fatal(err)
+	}
+	aliceSid, err := sys.CreateSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddActiveRole("alice", aliceSid, "PM"); err != nil {
+		t.Fatal(err)
+	}
+
+	checks := []activerbac.BatchCheck{
+		{Session: string(bobSid), Operation: "write", Object: "purchase-order.dat"},
+		{Session: string(aliceSid), Operation: "read", Object: "lobby.txt"},
+		{Session: string(bobSid), Operation: "approve", Object: "purchase-order.dat"},
+		{Session: string(bobSid), Operation: "write", Object: "purchase-order.dat"}, // duplicate of [0]
+		{Session: "no-such-session", Operation: "read", Object: "lobby.txt"},
+		{Session: string(aliceSid), Operation: "read", Object: "lobby.txt"}, // duplicate of [1]
+	}
+	want := make([]bool, len(checks))
+	for i, c := range checks {
+		want[i] = sys.CheckAccessTuple(c.Session, c.Operation, c.Object)
+	}
+
+	// Two rounds: the first populates the fast path, the second must be
+	// served (at least partly) from it — same verdicts either way.
+	buf := make([]bool, 0, len(checks))
+	for round := 0; round < 2; round++ {
+		got := sys.CheckAccessBatch(checks, buf[:0])
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d verdicts, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("round %d: verdict[%d] = %v, want %v (%+v)", round, i, got[i], want[i], checks[i])
+			}
+		}
+		if cap(got) != cap(buf) {
+			t.Errorf("round %d: verdict slice reallocated (cap %d, want %d)", round, cap(got), cap(buf))
+		}
+	}
+
+	stats, err := sys.FastPathStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits == 0 {
+		t.Errorf("fast path saw no hits across warm batch round: %+v", stats)
+	}
+
+	var sb strings.Builder
+	if err := sys.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, metric := range []string{
+		"activerbac_batch_size_sum",
+		"activerbac_batch_groups_total",
+		"activerbac_batch_fastpath_hits_total",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("metrics output missing %s", metric)
+		}
+	}
+}
+
+// TestCheckAccessBatchEmpty: zero checks answer zero verdicts without
+// touching the engine.
+func TestCheckAccessBatchEmpty(t *testing.T) {
+	sys := openXYZ(t)
+	if got := sys.CheckAccessBatch(nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %v", got)
+	}
+}

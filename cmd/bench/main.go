@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bench [-exp all|F1|E1|E1P|OBS|FASTPATH|WIRE|E2|E3|E4|E5|E6|E7|E8|E9] [-smoke]
+//	bench [-exp all|F1|E1|E1P|OBS|FASTPATH|WIRE|BATCH|E2|E3|E4|E5|E6|E7|E8|E9] [-smoke]
 //	bench -compare OLD.json NEW.json
 //
 // E1P additionally writes BENCH_lanes.json with the parallel-throughput
@@ -20,6 +20,10 @@
 // short round for CI and skips the JSON file. WIRE writes
 // BENCH_wire.json comparing remote-check transports against one live
 // engine: HTTP/JSON vs single wire checks vs batched wire checks.
+// BATCH writes BENCH_batch.json comparing the batch-native decision
+// path against per-tuple evaluation: in-process CheckAccessBatch vs a
+// CheckAccessTuple loop (fast path off and on), and wire CHECK_BATCH
+// served by a BatchBackend vs the plain-Backend per-tuple fan-out.
 // -compare diffs two benchmark JSON series benchstat-style.
 package main
 
@@ -53,7 +57,7 @@ import (
 var epoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, F1, E1, E1P, OBS, FASTPATH, WIRE, E2..E9)")
+	exp := flag.String("exp", "all", "experiment to run (all, F1, E1, E1P, OBS, FASTPATH, WIRE, BATCH, E2..E9)")
 	smoke := flag.Bool("smoke", false, "one short round per experiment that supports it; skip JSON output")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON series: bench -compare OLD.json NEW.json")
 	flag.Parse()
@@ -79,6 +83,7 @@ func main() {
 	run("OBS", obsBench)
 	run("FASTPATH", func() { fastpathBench(*smoke) })
 	run("WIRE", func() { wireBench(*smoke) })
+	run("BATCH", func() { batchBench(*smoke) })
 	run("E2", e2)
 	run("E3", e3)
 	run("E4", e4)
@@ -886,6 +891,369 @@ func (b wireSysBackend) Check(session, operation, object string) bool {
 
 func (b wireSysBackend) PolicyEpoch() uint64 { return b.sys.SnapshotEpoch() }
 
+// wireSysBatchBackend is wireSysBackend plus the batch-native upgrade:
+// CHECK_BATCH frames run one CheckAccessBatch instead of a per-tuple
+// fan-out. The bench serves the same System behind both adapters to
+// isolate the batch path's contribution.
+type wireSysBatchBackend struct{ wireSysBackend }
+
+var benchConvPool = sync.Pool{New: func() any { return new([]activerbac.BatchCheck) }}
+
+func (b wireSysBatchBackend) CheckBatch(reqs []wire.CheckRequest, vs []bool) []bool {
+	cp := benchConvPool.Get().(*[]activerbac.BatchCheck)
+	checks := (*cp)[:0]
+	for _, r := range reqs {
+		checks = append(checks, activerbac.BatchCheck{Session: r.Session, Operation: r.Operation, Object: r.Object})
+	}
+	vs = b.sys.CheckAccessBatch(checks, vs)
+	clear(checks)
+	*cp = checks[:0]
+	benchConvPool.Put(cp)
+	return vs
+}
+
+// batchBench: the batch-native decision path against per-tuple
+// evaluation, on one repeat-heavy workload whose batches cycle four
+// distinct sessions (so every batch splits into four scope groups).
+//
+// Two series:
+//   - inproc: a CheckAccessTuple loop vs one CheckAccessBatch call per
+//     batch, with the fast path off (every tuple runs the full cascade;
+//     the batch path amortizes the per-tuple raise/wait machinery into
+//     one lane crossing per group) and on (warm cache; the batch path
+//     probes the whole batch against one epoch capture).
+//   - wire: CHECK_BATCH frames against the same System behind a plain
+//     Backend (the server's per-tuple fan-out — the pre-batch baseline)
+//     vs a BatchBackend (batch-native), fast path off.
+//
+// Sweeps are interleaved and the best round per point is kept, like
+// WIRE/FASTPATH. Results go to BENCH_batch.json; speedups are stored as
+// *_pct columns so -compare keys row identity on the workload alone.
+func batchBench(smoke bool) {
+	header("BATCH", "batch-native evaluation: per-tuple loop vs CheckAccessBatch, fan-out vs batch-native CHECK_BATCH")
+	cfg := workload.EnterpriseConfig{
+		Roles: 64, Shape: workload.XYZShape, Branch: 4,
+		SSDFraction: 0.3, Users: 64, PermsPerRole: 3, Seed: 1,
+	}
+	spec := workload.MustEnterprise(cfg)
+	src := policy.Format(spec)
+	shard := runtime.NumCPU()
+	if shard < 2 {
+		shard = 4
+	}
+	const groups = 4 // distinct sessions cycled through every batch
+	sizes := []int{16, 256, 1024}
+	totalChecks := 32768
+	sweeps, rounds := 3, 2
+	if smoke {
+		sizes = []int{16, 64}
+		totalChecks = 2048
+		sweeps, rounds = 1, 1
+	}
+
+	type point struct {
+		Series     string  `json:"series"` // inproc | wire
+		Mode       string  `json:"mode"`   // per-tuple | batch | fanout | batch-native
+		FastPath   string  `json:"fastpath"`
+		Batch      int     `json:"batch"`
+		Groups     int     `json:"groups"`
+		Checks     int     `json:"checks"`
+		OpsPerSec  float64 `json:"ops_per_sec"`
+		NsPerOp    float64 `json:"ns_per_op"`
+		SpeedupPct float64 `json:"speedup_vs_baseline_pct"`
+	}
+	var series []point
+	fmt.Printf("%-7s %-13s %-9s %7s %14s %10s %12s\n",
+		"series", "mode", "fastpath", "batch", "checks/sec", "ns/op", "speedup")
+	emit := func(s, mode, fp string, batch int, d, base time.Duration) {
+		ops := float64(totalChecks) / d.Seconds()
+		series = append(series, point{
+			Series: s, Mode: mode, FastPath: fp, Batch: batch, Groups: groups,
+			Checks: totalChecks, OpsPerSec: ops, NsPerOp: 1e9 / ops,
+			SpeedupPct: (base.Seconds()/d.Seconds() - 1) * 100,
+		})
+		fmt.Printf("%-7s %-13s %-9s %7d %14.0f %10.0f %11.2fx\n",
+			s, mode, fp, batch, ops, 1e9/ops, base.Seconds()/d.Seconds())
+	}
+
+	// buildChecks cycles the first `groups` clients so a batch of n
+	// tuples lands on `groups` scope groups with n/groups tuples each.
+	buildChecks := func(clients []benchClient, n int) []activerbac.BatchCheck {
+		checks := make([]activerbac.BatchCheck, n)
+		for i := range checks {
+			c := clients[i%groups]
+			checks[i] = activerbac.BatchCheck{
+				Session: string(c.sid), Operation: c.perm.Operation, Object: c.perm.Object,
+			}
+		}
+		return checks
+	}
+
+	// --- in-process series ---------------------------------------------
+	for _, fp := range []bool{false, true} {
+		fpName := "off"
+		if fp {
+			fpName = "on"
+		}
+		sys, err := activerbac.Open(src, &activerbac.Options{
+			Lanes: shard, FastPath: fp, Clock: clock.NewSim(epoch),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		clients := benchClients(sys, spec)
+		if len(clients) < groups {
+			fmt.Fprintln(os.Stderr, "bench: BATCH: not enough runnable clients")
+			os.Exit(1)
+		}
+		perTuple := func(checks []activerbac.BatchCheck) time.Duration {
+			start := time.Now()
+			for done := 0; done < totalChecks; done += len(checks) {
+				for _, c := range checks {
+					sys.CheckAccessTuple(c.Session, c.Operation, c.Object)
+				}
+			}
+			return time.Since(start)
+		}
+		batched := func(checks []activerbac.BatchCheck, buf []bool) time.Duration {
+			start := time.Now()
+			for done := 0; done < totalChecks; done += len(checks) {
+				buf = sys.CheckAccessBatch(checks, buf[:0])
+			}
+			return time.Since(start)
+		}
+		// Sanity: the batch path must agree with the per-tuple path and
+		// the workload must be an allow workload (a broken path can't win
+		// by denying everything from a stale snapshot).
+		sanity := buildChecks(clients, sizes[0])
+		for i, v := range sys.CheckAccessBatch(sanity, nil) {
+			c := sanity[i]
+			if !v || v != sys.CheckAccessTuple(c.Session, c.Operation, c.Object) {
+				fmt.Fprintf(os.Stderr, "bench: BATCH: sanity check failed at tuple %d (fastpath %s)\n", i, fpName)
+				os.Exit(1)
+			}
+		}
+		bestSeq, bestBatch := map[int]time.Duration{}, map[int]time.Duration{}
+		for s := 0; s < sweeps; s++ {
+			for _, n := range sizes {
+				checks := buildChecks(clients, n)
+				buf := make([]bool, 0, n)
+				perTuple(checks[:min(n, totalChecks/8+1)]) // warmup
+				batched(checks, buf)
+				for r := 0; r < rounds; r++ {
+					if d := perTuple(checks); bestSeq[n] == 0 || d < bestSeq[n] {
+						bestSeq[n] = d
+					}
+					if d := batched(checks, buf); bestBatch[n] == 0 || d < bestBatch[n] {
+						bestBatch[n] = d
+					}
+				}
+			}
+		}
+		for _, n := range sizes {
+			emit("inproc", "per-tuple", fpName, n, bestSeq[n], bestSeq[n])
+			emit("inproc", "batch", fpName, n, bestBatch[n], bestSeq[n])
+		}
+		sys.Close()
+	}
+
+	// --- wire series ---------------------------------------------------
+	// Fast path off: the per-tuple fan-out pays the full cascade per
+	// tuple, which is exactly the cost the batch-native path amortizes.
+	sys, err := activerbac.Open(src, &activerbac.Options{
+		Lanes: shard, FastPath: false, Clock: clock.NewSim(epoch),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+	clients := benchClients(sys, spec)
+	if len(clients) < groups {
+		fmt.Fprintln(os.Stderr, "bench: BATCH: not enough runnable clients")
+		os.Exit(1)
+	}
+	dialServer := func(backend wire.Backend) (*wire.Client, func()) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		srv := wire.NewServer(backend, nil)
+		go srv.Serve(ln)
+		wc, err := wire.Dial(ln.Addr().String(), &wire.ClientOptions{
+			Conns: 2, Timeout: 30 * time.Second,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: wire dial:", err)
+			os.Exit(1)
+		}
+		return wc, func() { wc.Close(); srv.Close() }
+	}
+	fanoutClient, closeFanout := dialServer(wireSysBackend{sys})
+	defer closeFanout()
+	nativeClient, closeNative := dialServer(wireSysBatchBackend{wireSysBackend{sys}})
+	defer closeNative()
+
+	wireRound := func(wc *wire.Client, reqs []wire.CheckRequest) time.Duration {
+		start := time.Now()
+		for done := 0; done < totalChecks; done += len(reqs) {
+			if _, err := wc.CheckMany(reqs); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: BATCH: wire:", err)
+				os.Exit(1)
+			}
+		}
+		return time.Since(start)
+	}
+	bestFanout, bestNative := map[int]time.Duration{}, map[int]time.Duration{}
+	for s := 0; s < sweeps; s++ {
+		for _, n := range sizes {
+			checks := buildChecks(clients, n)
+			reqs := make([]wire.CheckRequest, n)
+			for i, c := range checks {
+				reqs[i] = wire.CheckRequest{Session: c.Session, Operation: c.Operation, Object: c.Object}
+			}
+			wireRound(fanoutClient, reqs[:min(n, totalChecks/8+1)]) // warmup
+			wireRound(nativeClient, reqs[:min(n, totalChecks/8+1)])
+			for r := 0; r < rounds; r++ {
+				if d := wireRound(fanoutClient, reqs); bestFanout[n] == 0 || d < bestFanout[n] {
+					bestFanout[n] = d
+				}
+				if d := wireRound(nativeClient, reqs); bestNative[n] == 0 || d < bestNative[n] {
+					bestNative[n] = d
+				}
+			}
+		}
+	}
+	for _, n := range sizes {
+		emit("wire", "fanout", "off", n, bestFanout[n], bestFanout[n])
+		emit("wire", "batch-native", "off", n, bestNative[n], bestFanout[n])
+	}
+
+	// --- PR 5 comparison series ----------------------------------------
+	// The committed BENCH_wire.json measured CHECK_BATCH against the
+	// per-tuple fan-out server: fast path on, 64-tuple frames of one
+	// repeated tuple per goroutine. Re-run that exact workload against
+	// the batch-native backend and emit rows under the same identity
+	// (transport/goroutines/batch), so
+	//   make bench-compare OLD=BENCH_wire.json NEW=BENCH_batch.json
+	// diffs this PR's CHECK_BATCH directly against the committed PR 5
+	// per-tuple fan-out numbers.
+	type wirePoint struct {
+		Transport  string  `json:"transport"`
+		Goroutines int     `json:"goroutines"`
+		Checks     int     `json:"checks"`
+		Batch      int     `json:"batch"`
+		OpsPerSec  float64 `json:"ops_per_sec"`
+		NsPerOp    float64 `json:"ns_per_op"`
+	}
+	cmpSys, err := activerbac.Open(src, &activerbac.Options{
+		Lanes: shard, FastPath: true, Clock: clock.NewSim(epoch),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer cmpSys.Close()
+	cmpClients := benchClients(cmpSys, spec)
+	if len(cmpClients) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: BATCH: no runnable comparison clients")
+		os.Exit(1)
+	}
+	cmpClient, closeCmp := dialServer(wireSysBatchBackend{wireSysBackend{cmpSys}})
+	defer closeCmp()
+	const cmpBatch = 64
+	cmpGoroutines := []int{1, 4, 16, 64}
+	cmpPerG := 4096
+	if smoke {
+		cmpGoroutines = []int{1, 4}
+		cmpPerG = 256
+	}
+	cmpTuples := make([]wire.CheckRequest, len(cmpClients))
+	for i, c := range cmpClients {
+		cmpTuples[i] = wire.CheckRequest{
+			Session: string(c.sid), Operation: c.perm.Operation, Object: c.perm.Object,
+		}
+	}
+	if vs, err := cmpClient.CheckMany(cmpTuples[:1]); err != nil || len(vs) != 1 || !vs[0] {
+		fmt.Fprintf(os.Stderr, "bench: BATCH: comparison sanity check failed (vs=%v err=%v)\n", vs, err)
+		os.Exit(1)
+	}
+	cmpRound := func(g, perG int) time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < g; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tup := cmpTuples[i%len(cmpTuples)]
+				reqs := make([]wire.CheckRequest, cmpBatch)
+				for k := range reqs {
+					reqs[k] = tup
+				}
+				for done := 0; done < perG; done += cmpBatch {
+					n := cmpBatch
+					if left := perG - done; left < n {
+						n = left
+					}
+					if _, err := cmpClient.CheckMany(reqs[:n]); err != nil {
+						fmt.Fprintln(os.Stderr, "bench: BATCH: wire-batch:", err)
+						os.Exit(1)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	bestCmp := map[int]time.Duration{}
+	for s := 0; s < sweeps; s++ {
+		for _, g := range cmpGoroutines {
+			cmpRound(g, cmpPerG/4+1) // warmup seeds caches and conns
+			for r := 0; r < rounds; r++ {
+				if d := cmpRound(g, cmpPerG); bestCmp[g] == 0 || d < bestCmp[g] {
+					bestCmp[g] = d
+				}
+			}
+		}
+	}
+	var compat []wirePoint
+	fmt.Println("-- PR 5 comparison series (wire-batch identity, fast path on):",
+		"diff with make bench-compare OLD=BENCH_wire.json NEW=BENCH_batch.json")
+	fmt.Printf("%-11s %-12s %14s %10s\n", "transport", "goroutines", "checks/sec", "ns/op")
+	for _, g := range cmpGoroutines {
+		total := g * cmpPerG
+		ops := float64(total) / bestCmp[g].Seconds()
+		compat = append(compat, wirePoint{
+			Transport: "wire-batch", Goroutines: g, Checks: total, Batch: cmpBatch,
+			OpsPerSec: ops, NsPerOp: 1e9 / ops,
+		})
+		fmt.Printf("%-11s %-12d %14.0f %10.0f\n", "wire-batch", g, ops, 1e9/ops)
+	}
+
+	if smoke {
+		fmt.Println("smoke run: BENCH_batch.json not written")
+		return
+	}
+	rows := make([]any, 0, len(series)+len(compat))
+	for _, p := range series {
+		rows = append(rows, p)
+	}
+	for _, p := range compat {
+		rows = append(rows, p)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_batch.json", append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: BENCH_batch.json:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_batch.json")
+}
+
 // compareSeries prints a benchstat-style delta between two benchmark
 // JSON series files (any of BENCH_lanes.json / BENCH_obs.json /
 // BENCH_fastpath.json, old and new need not come from the same
@@ -915,10 +1283,11 @@ func compareSeries(oldPath, newPath string) error {
 	}
 	compared := []string{"ops_per_sec", "ns_per_op", "b_per_op", "allocs_per_op"}
 	// Measurement and derived columns never participate in row identity;
-	// checks varies with round sizing and the *_pct columns are already
-	// relative to a same-file baseline.
+	// checks varies with round sizing and the *_pct / speedup_vs_*
+	// columns are already relative to a same-file baseline (a derived
+	// float in the identity would make rows unmatchable across runs).
 	isMetric := func(k string) bool {
-		if k == "checks" || strings.HasSuffix(k, "_pct") {
+		if k == "checks" || strings.HasSuffix(k, "_pct") || strings.HasPrefix(k, "speedup_vs_") {
 			return true
 		}
 		for _, m := range compared {

@@ -16,7 +16,7 @@
 //	activate <user> <session> <role>        activate a role
 //	deactivate <user> <session> <role>      deactivate a role
 //	check <session> <operation> <object> [purpose]
-//	check-many <session> <op:obj> [<op:obj> ...]    batched checks (wire only)
+//	check-many <session> <op:obj> [<op:obj> ...]    batched checks (wire or HTTP)
 //	ping                                    wire liveness probe (wire only)
 //	epoch                                   policy snapshot epoch (wire only)
 //	assign <user> <role>                    assign a role
@@ -132,7 +132,10 @@ func (c *client) dispatch(args []string) error {
 		}
 	case "check-many":
 		if len(rest) >= 2 {
-			return c.wireCheckMany(rest[0], rest[1:])
+			if c.wireAddr != "" {
+				return c.wireCheckMany(rest[0], rest[1:])
+			}
+			return c.httpCheckMany(rest[0], rest[1:])
 		}
 	case "ping":
 		if len(rest) == 0 {
@@ -255,6 +258,55 @@ func (c *client) wireCheckMany(session string, pairs []string) error {
 	}
 	for i, v := range verdicts {
 		fmt.Printf("%s %s: %v\n", reqs[i].Operation, reqs[i].Object, v)
+	}
+	return nil
+}
+
+// httpCheckMany is check-many over POST /v1/check-batch, printing the
+// same verdict lines as the wire transport.
+func (c *client) httpCheckMany(session string, pairs []string) error {
+	type batchCheck struct {
+		Session   string `json:"session"`
+		Operation string `json:"operation"`
+		Object    string `json:"object"`
+	}
+	checks := make([]batchCheck, 0, len(pairs))
+	for _, p := range pairs {
+		op, obj, ok := strings.Cut(p, ":")
+		if !ok {
+			return fmt.Errorf("check-many wants op:obj pairs, got %q", p)
+		}
+		checks = append(checks, batchCheck{Session: session, Operation: op, Object: obj})
+	}
+	data, err := json.Marshal(map[string]any{"checks": checks})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest("POST", c.base+"/v1/check-batch", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var payload struct {
+		Verdicts []bool `json:"verdicts"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&payload); err != nil {
+		return fmt.Errorf("decoding /v1/check-batch response: %w", err)
+	}
+	if len(payload.Verdicts) != len(checks) {
+		return fmt.Errorf("server answered %d of %d checks", len(payload.Verdicts), len(checks))
+	}
+	for i, v := range payload.Verdicts {
+		fmt.Printf("%s %s: %v\n", checks[i].Operation, checks[i].Object, v)
 	}
 	return nil
 }

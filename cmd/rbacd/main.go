@@ -28,6 +28,8 @@
 //	POST   /v1/activate              {"user":U,"session":S,"role":R}
 //	POST   /v1/deactivate            {"user":U,"session":S,"role":R}
 //	GET    /v1/check?session=&operation=&object=[&purpose=]    -> {"allowed":bool}
+//	POST   /v1/check-batch           {"checks":[{"session":S,"operation":OP,"object":O},...]}
+//	                                                           -> {"verdicts":[bool,...]} (input order)
 //	POST   /v1/assign                {"user":U,"role":R}
 //	POST   /v1/deassign              {"user":U,"role":R}
 //	POST   /v1/users                 {"user":U}
@@ -267,6 +269,32 @@ func (b wireBackend) Check(session, operation, object string) bool {
 
 func (b wireBackend) PolicyEpoch() uint64 { return b.srv.system().SnapshotEpoch() }
 
+// CheckBatch upgrades the backend to wire.BatchBackend: a CHECK_BATCH
+// frame becomes one batch-native engine pass instead of a per-tuple
+// fan-out. The conversion slice is pooled; the strings inside were
+// already allocated by the frame decode.
+func (b wireBackend) CheckBatch(reqs []wire.CheckRequest, vs []bool) []bool {
+	cb := checkConvPool.Get().(*[]activerbac.BatchCheck)
+	checks := (*cb)[:0]
+	for _, r := range reqs {
+		checks = append(checks, activerbac.BatchCheck{
+			Session: r.Session, Operation: r.Operation, Object: r.Object,
+		})
+	}
+	vs = b.srv.system().CheckAccessBatch(checks, vs)
+	for i := range checks {
+		checks[i] = activerbac.BatchCheck{}
+	}
+	*cb = checks[:0]
+	checkConvPool.Put(cb)
+	return vs
+}
+
+var checkConvPool = sync.Pool{New: func() any {
+	b := make([]activerbac.BatchCheck, 0, 256)
+	return &b
+}}
+
 // wireInstruments binds the wire server's transport hooks to the
 // activerbac_wire_* metric families. rbacd always opens the System with
 // Metrics on, but guard anyway: a nil Observer just disables the hooks.
@@ -372,6 +400,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/activate", s.activate)
 	mux.HandleFunc("POST /v1/deactivate", s.deactivate)
 	mux.HandleFunc("GET /v1/check", s.check)
+	mux.HandleFunc("POST /v1/check-batch", s.checkBatch)
 	mux.HandleFunc("POST /v1/assign", s.assign)
 	mux.HandleFunc("POST /v1/deassign", s.deassign)
 	mux.HandleFunc("POST /v1/users", s.addUser)
@@ -525,6 +554,30 @@ func (s *server) check(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
+}
+
+// checkBatch decides a whole batch of access checks in one batch-native
+// engine pass (System.CheckAccessBatch): one snapshot capture, one lane
+// crossing per scope group. The batch size shares the wire protocol's
+// MaxBatch bound so both transports accept the same frames.
+func (s *server) checkBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Checks []activerbac.BatchCheck `json:"checks"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		http.Error(w, `{"error":"bad request body"}`, http.StatusBadRequest)
+		return
+	}
+	if len(req.Checks) > wire.MaxBatch {
+		http.Error(w, fmt.Sprintf(`{"error":"batch of %d exceeds max %d"}`, len(req.Checks), wire.MaxBatch),
+			http.StatusBadRequest)
+		return
+	}
+	verdicts := s.system().CheckAccessBatch(req.Checks, nil)
+	if verdicts == nil {
+		verdicts = []bool{} // encode an empty batch as [], not null
+	}
+	writeJSON(w, http.StatusOK, map[string][]bool{"verdicts": verdicts})
 }
 
 func (s *server) assign(w http.ResponseWriter, r *http.Request) {

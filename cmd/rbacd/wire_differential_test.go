@@ -41,7 +41,11 @@ func wireStressPolicy(windowStart string) string {
 // /v1/check, and the binary wire protocol (single CHECK frames and
 // CHECK_BATCH) — and asserts after every check that all paths return
 // the same verdict and that the verdict matches the worker's model,
-// while churn goroutines hammer the invalidation machinery: equivalent
+// plus a periodic batch differential: one mixed batch (duplicates
+// included) through the sequential per-tuple path, in-process
+// CheckAccessBatch, HTTP POST /v1/check-batch, and the batch-native
+// CHECK_BATCH wire path, all required to agree element-wise in input
+// order, while churn goroutines hammer the invalidation machinery: equivalent
 // policy hot-reloads through POST /v1/policy (exercising the server's
 // swap lock against concurrent checks on every path), enable/disable
 // flips of an unrelated role, and simulated-clock advances that swing a
@@ -98,6 +102,27 @@ func TestWireDifferential(t *testing.T) {
 			return false, err
 		}
 		return v.Allowed, nil
+	}
+
+	httpCheckBatch := func(checks []activerbac.BatchCheck) ([]bool, error) {
+		body, err := json.Marshal(struct {
+			Checks []activerbac.BatchCheck `json:"checks"`
+		}{checks})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(httpSrv.URL+"/v1/check-batch", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var v struct {
+			Verdicts []bool `json:"verdicts"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			return nil, err
+		}
+		return v.Verdicts, nil
 	}
 
 	iters := 60
@@ -225,6 +250,58 @@ func TestWireDifferential(t *testing.T) {
 				return true
 			}
 
+			// expectBatch sends one mixed batch — own/foreign checks with
+			// duplicates — over the in-process batch path, HTTP
+			// /v1/check-batch, and the wire CHECK_BATCH (batch-native
+			// backend), and requires every element to agree with the
+			// sequential per-tuple path, in input order.
+			expectBatch := func(sid activerbac.SessionID, wantOwn bool, what string) bool {
+				checks := []activerbac.BatchCheck{
+					{Session: string(sid), Operation: ownOp, Object: ownObj},
+					{Session: string(sid), Operation: foreignOp, Object: foreignObj},
+					{Session: string(sid), Operation: ownOp, Object: ownObj}, // duplicate of [0]
+					{Session: string(sid), Operation: foreignOp, Object: foreignObj},
+					{Session: string(sid), Operation: ownOp, Object: ownObj},
+				}
+				want := []bool{wantOwn, false, wantOwn, false, wantOwn}
+				seq := make([]bool, len(checks))
+				for i, c := range checks {
+					seq[i] = sys.CheckAccessTuple(c.Session, c.Operation, c.Object)
+				}
+				inProc := sys.CheckAccessBatch(checks, nil)
+				overHTTP, err := httpCheckBatch(checks)
+				if err != nil {
+					t.Errorf("worker %d: %s: http batch: %v", w, what, err)
+					return false
+				}
+				reqs := make([]wire.CheckRequest, len(checks))
+				for i, c := range checks {
+					reqs[i] = wire.CheckRequest{Session: c.Session, Operation: c.Operation, Object: c.Object}
+				}
+				overWire, err := wc.CheckMany(reqs)
+				if err != nil {
+					t.Errorf("worker %d: %s: wire batch: %v", w, what, err)
+					return false
+				}
+				if len(inProc) != len(checks) || len(overHTTP) != len(checks) || len(overWire) != len(checks) {
+					t.Errorf("worker %d: %s: batch verdict counts: in-process=%d http=%d wire=%d, want %d",
+						w, what, len(inProc), len(overHTTP), len(overWire), len(checks))
+					return false
+				}
+				for i := range checks {
+					if seq[i] != inProc[i] || seq[i] != overHTTP[i] || seq[i] != overWire[i] {
+						t.Errorf("worker %d: %s: batch verdict[%d] diverged: sequential=%v in-process=%v http=%v wire=%v",
+							w, what, i, seq[i], inProc[i], overHTTP[i], overWire[i])
+						return false
+					}
+					if seq[i] != want[i] {
+						t.Errorf("worker %d: %s: batch verdict[%d] = %v, model says %v", w, what, i, seq[i], want[i])
+						return false
+					}
+				}
+				return true
+			}
+
 			sid, ok := open()
 			if !ok {
 				return
@@ -234,6 +311,11 @@ func TestWireDifferential(t *testing.T) {
 					!expect(sid, foreignOp, foreignObj, false, "foreign permission") {
 					return
 				}
+				if i%5 == 2 {
+					if !expectBatch(sid, true, "batch, role active") {
+						return
+					}
+				}
 				if i%10 == 9 {
 					// Flip the worker's own role: every path must see the
 					// session-grade invalidation, not a stale ALLOW.
@@ -241,7 +323,8 @@ func TestWireDifferential(t *testing.T) {
 						t.Errorf("worker %d: DropActiveRole: %v", w, err)
 						return
 					}
-					if !expect(sid, ownOp, ownObj, false, "own permission, role dropped") {
+					if !expect(sid, ownOp, ownObj, false, "own permission, role dropped") ||
+						!expectBatch(sid, false, "batch, role dropped") {
 						return
 					}
 					if err := sys.AddActiveRole(user, sid, role); err != nil {

@@ -1,0 +1,183 @@
+package event
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBatchEmptyWait: a batch with no groups (every tuple served from a
+// cache) must settle immediately instead of deadlocking on its own
+// cascade hold.
+func TestBatchEmptyWait(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("ev")
+	b, err := d.NewBatch("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RaiseGroupOwned(nil, "s1") // empty group: no-op
+	b.Wait()                     // must not block
+}
+
+// TestBatchUndefinedEvent: resolution happens once, up front.
+func TestBatchUndefinedEvent(t *testing.T) {
+	d, _ := newTestDetector()
+	if _, err := d.NewBatch("nope"); err == nil {
+		t.Fatal("undefined event accepted")
+	}
+	d.MustPrimitive("composite.base")
+}
+
+// TestBatchDeliversGroupsInOrder: one lane item per group, occurrences
+// of a group delivered in slice order, groups in posting order on a
+// shared lane.
+func TestBatchDeliversGroupsInOrder(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("ev")
+	var mu sync.Mutex
+	var got []string
+	if _, err := d.Subscribe("ev", func(o *Occurrence) {
+		mu.Lock()
+		got = append(got, o.Params["id"].(string))
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewBatch("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RaiseGroupOwned([]Params{{"id": "a1"}, {"id": "a2"}}, "sA")
+	b.RaiseGroupOwned([]Params{{"id": "b1"}}, "sB")
+	b.Wait()
+	want := []string{"a1", "a2", "b1"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", got, want)
+		}
+	}
+	if n := d.Stats().Raised; n != 3 {
+		t.Fatalf("raised = %d, want 3", n)
+	}
+}
+
+// TestBatchWaitCoversCascades: a handler cascading with RaiseFrom joins
+// the batch cascade; Wait must cover the cascaded work, including a
+// second batch reusing the detector afterwards.
+func TestBatchWaitCoversCascades(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("ev")
+	d.MustPrimitive("follow")
+	var mu sync.Mutex
+	follows := 0
+	if _, err := d.Subscribe("ev", func(o *Occurrence) {
+		if err := d.RaiseFrom(o, "follow", nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe("follow", func(*Occurrence) {
+		mu.Lock()
+		follows++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		b, err := d.NewBatch("ev")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.RaiseGroupOwned([]Params{{}, {}}, "s1")
+		b.Wait()
+		mu.Lock()
+		want := 2 * (round + 1)
+		if follows != want {
+			t.Fatalf("round %d: follows = %d, want %d (Wait returned early)", round, follows, want)
+		}
+		mu.Unlock()
+	}
+}
+
+// TestBatchCarrierDeliversValues: RaiseGroupFn delivers every index with
+// the values fill wrote, in order, through the reused carrier — the
+// sole-scoped-subscriber shape where nothing retains the occurrence.
+func TestBatchCarrierDeliversValues(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("ev")
+	var mu sync.Mutex
+	var got []string
+	if _, err := d.SubscribeScoped("ev", func(o *Occurrence) {
+		mu.Lock()
+		got = append(got, o.Params["id"].(string)+"@"+o.Scope)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"a1", "a2", "a3"}
+	b, err := d.NewBatch("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RaiseGroupFn("sA", len(ids), func(i int, p Params) { p["id"] = ids[i] })
+	b.RaiseGroupFn("sB", 1, func(i int, p Params) { p["id"] = "b1" })
+	b.Wait()
+	want := []string{"a1@sA", "a2@sA", "a3@sA", "b1@sB"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", got, want)
+		}
+	}
+	if n := d.Stats().Raised; n != 4 {
+		t.Fatalf("raised = %d, want 4", n)
+	}
+}
+
+// TestBatchCarrierDegradesWhenRetained: with a second subscriber the
+// shape is broken — deliver reports the occurrence escaped — so the
+// carrier must hand every index its own occurrence and params map. A
+// retaining handler proves it: each kept occurrence must still show its
+// own values after the batch.
+func TestBatchCarrierDegradesWhenRetained(t *testing.T) {
+	d, _ := newTestDetector()
+	d.MustPrimitive("ev")
+	var mu sync.Mutex
+	var kept []*Occurrence
+	if _, err := d.SubscribeScoped("ev", func(*Occurrence) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe("ev", func(o *Occurrence) {
+		mu.Lock()
+		kept = append(kept, o)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	b, err := d.NewBatch("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RaiseGroupFn("s1", n, func(i int, p Params) { p["i"] = i })
+	b.Wait()
+	if len(kept) != n {
+		t.Fatalf("retained %d occurrences, want %d", len(kept), n)
+	}
+	seen := make(map[*Occurrence]bool)
+	for want, o := range kept {
+		if seen[o] {
+			t.Fatalf("occurrence %d reused a retained struct", want)
+		}
+		seen[o] = true
+		if got := o.Params["i"].(int); got != want {
+			t.Fatalf("retained occurrence %d holds i=%d (carrier rewrote a retained map)", want, got)
+		}
+	}
+}

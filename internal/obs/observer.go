@@ -25,6 +25,11 @@ type Observer struct {
 	FastPathInvalidations *Counter // activerbac_fastpath_invalidations_total
 	SnapshotEpoch         *Gauge   // activerbac_snapshot_epoch
 
+	// Batch decision path (counted per DecideCheckBatch call).
+	BatchSizeSum      *Counter // activerbac_batch_size_sum
+	BatchGroups       *Counter // activerbac_batch_groups_total
+	BatchFastPathHits *Counter // activerbac_batch_fastpath_hits_total
+
 	// Lanes (wait observed at drain time; depth/throughput scrape-set).
 	LaneWait      *HistogramVec // activerbac_lane_wait_seconds{lane}
 	LaneDepth     *GaugeVec     // activerbac_lane_queue_depth{lane}
@@ -91,6 +96,13 @@ func NewObserver(traceCapacity int) *Observer {
 			"Fast-path cache invalidations (whole-cache epoch bumps plus per-session bumps).").With(),
 		SnapshotEpoch: r.Gauge("activerbac_snapshot_epoch",
 			"Policy epoch of the RBAC store's published copy-on-write snapshot.").With(),
+
+		BatchSizeSum: r.Counter("activerbac_batch_size_sum",
+			"Total tuples submitted through DecideCheckBatch (divide by batch count for mean size).").With(),
+		BatchGroups: r.Counter("activerbac_batch_groups_total",
+			"Scope groups batches fanned out to (one lane crossing each).").With(),
+		BatchFastPathHits: r.Counter("activerbac_batch_fastpath_hits_total",
+			"Batch tuples served from the fast-path cache during the up-front probe.").With(),
 
 		LaneWait: r.Histogram("activerbac_lane_wait_seconds",
 			"Time a work item spent queued on a lane before draining.", nil, "lane"),

@@ -282,6 +282,92 @@ func bump(s *scratch) { s.n++ }
 
 // TestDiagnosticFormat pins the go-vet-style rendering the driver and
 // editors rely on.
+// --- batchsnap -----------------------------------------------------
+
+// TestBatchSnapFlagsPerTupleRecapture: eligibility checks and epoch
+// loads inside a batch function's per-tuple loop revert the batch to
+// per-tuple snapshot cost and must be flagged.
+func TestBatchSnapFlagsPerTupleRecapture(t *testing.T) {
+	src := `package sentinel
+
+func (e *Engine) DecideCheckBatch(tuples []CheckTuple) {
+	for i := range tuples {
+		_ = e.cacheable("ev")
+		_ = e.fp.epoch.Load()
+		_, _ = e.det.SoleScopedSub("ev")
+		_ = e.store.Epoch()
+		_ = i
+	}
+}
+`
+	diags := runOn(t, BatchSnap, "internal/sentinel", src)
+	wantDiags(t, diags, 4)
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "once per batch") {
+			t.Errorf("diagnostic should demand one capture per batch, got %q", d.Message)
+		}
+	}
+}
+
+// TestBatchSnapAcceptsOneCapturePerBatch mirrors the real batch path:
+// captures before the loops, per-session generation reads and stores
+// inside them.
+func TestBatchSnapAcceptsOneCapturePerBatch(t *testing.T) {
+	clean := `package sentinel
+
+func (e *Engine) DecideCheckBatch(tuples []CheckTuple) {
+	fp := e.fp
+	cacheable := fp != nil && e.cacheable("ev")
+	var epoch uint64
+	if cacheable {
+		epoch = fp.epoch.Load()
+	}
+	for i := range tuples {
+		_ = fp.sgen(tuples[i].Session) // per-session state: allowed
+		fp.store(nil, nil, epoch, 0)
+	}
+}
+`
+	wantDiags(t, runOn(t, BatchSnap, "internal/sentinel", clean), 0)
+}
+
+// TestBatchSnapScope: non-batch functions and other packages are out of
+// scope, and nested loops report each violation exactly once.
+func TestBatchSnapScope(t *testing.T) {
+	nonBatch := `package sentinel
+
+func (e *Engine) decideCached() {
+	for i := 0; i < 3; i++ {
+		_ = e.cacheable("ev")
+		_ = i
+	}
+}
+`
+	wantDiags(t, runOn(t, BatchSnap, "internal/sentinel", nonBatch), 0)
+
+	otherPkg := `package wire
+
+func (s *Server) CheckBatch(reqs []int) {
+	for range reqs {
+		_ = s.cacheable("ev")
+	}
+}
+`
+	wantDiags(t, runOn(t, BatchSnap, "internal/wire", otherPkg), 0)
+
+	nested := `package sentinel
+
+func (e *Engine) DecideCheckBatch(groups [][]int) {
+	for _, g := range groups {
+		for range g {
+			_ = e.fp.epoch.Load()
+		}
+	}
+}
+`
+	wantDiags(t, runOn(t, BatchSnap, "internal/sentinel", nested), 1)
+}
+
 func TestDiagnosticFormat(t *testing.T) {
 	diags := runOn(t, EngineClock, "internal/sentinel", `package sentinel
 
@@ -296,13 +382,13 @@ func f() { _ = time.Now() }
 	}
 }
 
-// TestAnalyzersRegistry: the driver must ship all three passes.
+// TestAnalyzersRegistry: the driver must ship every pass.
 func TestAnalyzersRegistry(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range Analyzers() {
 		names[a.Name] = true
 	}
-	for _, want := range []string{"engineclock", "obsnil", "lockorder", "snapimmut"} {
+	for _, want := range []string{"engineclock", "obsnil", "lockorder", "snapimmut", "batchsnap"} {
 		if !names[want] {
 			t.Errorf("registry missing analyzer %q", want)
 		}

@@ -22,6 +22,18 @@ type Backend interface {
 	PolicyEpoch() uint64
 }
 
+// BatchBackend is optionally implemented by a Backend that can decide a
+// whole CHECK_BATCH natively — one engine pass for the frame instead of
+// a per-tuple fan-out. The server detects it once at construction; a
+// plain Backend keeps the per-tuple loop.
+type BatchBackend interface {
+	Backend
+	// CheckBatch decides every request of one batch, appending one
+	// verdict per request to vs in request order and returning the
+	// extended slice (reused when capacity allows).
+	CheckBatch(reqs []CheckRequest, vs []bool) []bool
+}
+
 // Instruments are optional transport metrics hooks; any field may be
 // nil. rbacd wires them to the activerbac_wire_* metric families.
 type Instruments struct {
@@ -95,7 +107,10 @@ var ErrServerClosed = errors.New("wire: server closed")
 // methods are safe for concurrent use.
 type Server struct {
 	backend Backend
-	opts    ServerOptions
+	// batch is backend's BatchBackend upgrade, asserted once at
+	// construction; nil keeps the per-tuple CHECK_BATCH fan-out.
+	batch BatchBackend
+	opts  ServerOptions
 
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
@@ -110,8 +125,10 @@ func NewServer(backend Backend, opts *ServerOptions) *Server {
 	if opts != nil {
 		o = *opts
 	}
+	batch, _ := backend.(BatchBackend)
 	return &Server{
 		backend: backend,
+		batch:   batch,
 		opts:    o.withDefaults(),
 		lns:     map[net.Listener]struct{}{},
 		conns:   map[*srvConn]struct{}{},
@@ -228,8 +245,9 @@ func (s *Server) closeConns() {
 type srvConn struct {
 	srv *Server
 	c   net.Conn
-	// stopRead makes the next (or current) blocking frame read fail
-	// without closing the socket, so drained responses still flush.
+	// stopped, set by stopReading, makes the next (or current) blocking
+	// frame read fail without closing the socket, so drained responses
+	// still flush.
 	stopped atomic.Bool
 }
 
@@ -376,6 +394,13 @@ func (sc *srvConn) errorResponse(f Frame, code byte, err error, ins *Instruments
 	return response{op: OpError, id: f.ID, payload: AppendErrorPayload(nil, code, err.Error())}
 }
 
+// verdictBufPool recycles the batch verdict staging slices; workers run
+// concurrently, so the buffer cannot live on the connection.
+var verdictBufPool = sync.Pool{New: func() any {
+	b := make([]bool, 0, 256)
+	return &b
+}}
+
 // execute runs one check request against the backend.
 func (sc *srvConn) execute(req request) response {
 	switch req.op {
@@ -386,13 +411,24 @@ func (sc *srvConn) execute(req request) response {
 		}
 		return response{op: OpCheck | RespFlag, id: req.id, payload: p}
 	default: // OpCheckBatch
-		payload := binary.AppendUvarint(make([]byte, 0, len(req.batch)+binary.MaxVarintLen64), uint64(len(req.batch)))
-		for _, r := range req.batch {
-			v := byte(0)
-			if sc.srv.backend.Check(r.Session, r.Operation, r.Object) {
-				v = 1
+		payload := make([]byte, 0, len(req.batch)+binary.MaxVarintLen64)
+		if bb := sc.srv.batch; bb != nil {
+			// Batch-native: one engine pass decides the whole frame and
+			// one append encodes it.
+			vb := verdictBufPool.Get().(*[]bool)
+			vs := bb.CheckBatch(req.batch, (*vb)[:0])
+			payload = AppendVerdicts(payload, vs)
+			*vb = vs[:0]
+			verdictBufPool.Put(vb)
+		} else {
+			payload = binary.AppendUvarint(payload, uint64(len(req.batch)))
+			for _, r := range req.batch {
+				v := byte(0)
+				if sc.srv.backend.Check(r.Session, r.Operation, r.Object) {
+					v = 1
+				}
+				payload = append(payload, v)
 			}
-			payload = append(payload, v)
 		}
 		return response{op: OpCheckBatch | RespFlag, id: req.id, payload: payload}
 	}

@@ -281,8 +281,8 @@ func AppendCheckBatch(dst []byte, reqs []CheckRequest) []byte {
 	return dst
 }
 
-// ConsumeCheckBatch decodes a CHECK_BATCH request payload into into
-// (reused when capacity allows).
+// ConsumeCheckBatch decodes a CHECK_BATCH request payload, appending
+// the requests to into (reused when capacity allows).
 func ConsumeCheckBatch(b []byte, into []CheckRequest) ([]CheckRequest, error) {
 	n, w := binary.Uvarint(b)
 	if w <= 0 || n > MaxBatch {
@@ -324,7 +324,8 @@ func AppendVerdicts(dst []byte, verdicts []bool) []byte {
 	return dst
 }
 
-// ConsumeVerdicts decodes a CHECK_BATCH response payload.
+// ConsumeVerdicts decodes a CHECK_BATCH response payload, appending
+// the verdicts to into (reused when capacity allows).
 func ConsumeVerdicts(b []byte, into []bool) ([]bool, error) {
 	n, w := binary.Uvarint(b)
 	if w <= 0 || n > MaxBatch {
