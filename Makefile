@@ -1,12 +1,12 @@
 # Developer entry points. `make check` is the tier-1 gate from
 # ROADMAP.md: build, tests, race detector, vet, lint, plus one-round
-# bench smokes (fast path, wire transports) and a short wire-codec fuzz
-# so the cached, uncached and remote decide paths are exercised end to
-# end on every merge.
+# bench smokes (fast path, wire transports, batch, telemetry overhead)
+# and a short wire-codec fuzz so the cached, uncached and remote decide
+# paths are exercised end to end on every merge.
 
 GO ?= go
 
-.PHONY: build test race vet lint check fuzz-wire bench-smoke bench bench-obs bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-compare clean
+.PHONY: build test race vet lint check fuzz-wire bench-smoke bench bench-obs bench-obs-smoke bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rbacvet ./...
 
-check: build test race vet lint fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-batch-smoke
+check: build test race vet lint fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-batch-smoke bench-obs-smoke
 
 # fuzz-wire gives each wire-codec fuzz target a short randomized budget
 # on top of the checked-in seed corpus (internal/wire/testdata/fuzz):
@@ -49,9 +49,14 @@ bench: build
 	$(GO) run ./cmd/bench
 
 # bench-obs regenerates the observability-overhead series (BENCH_obs.json):
-# the E1P parallel workload under tracing off / metrics / ring / full.
+# the E1P parallel workload under tracing off / metrics / sampled / ring /
+# full, on the uncached and verdict-cached paths. The smoke variant runs
+# one short round and leaves the committed JSON untouched.
 bench-obs: build
 	$(GO) run ./cmd/bench -exp OBS
+
+bench-obs-smoke: build
+	$(GO) run ./cmd/bench -exp OBS -smoke
 
 # bench-fastpath regenerates the decision fast-path series
 # (BENCH_fastpath.json): the E1P parallel workload with the verdict

@@ -74,7 +74,20 @@ type (
 	TraceData = obs.TraceData
 	// TraceStep is one step of a decision trace.
 	TraceStep = obs.Step
+	// TraceID is the 16-byte request-scoped trace identity minted at the
+	// edge and carried with a traced check across HTTP and the wire
+	// protocol.
+	TraceID = obs.TraceID
+	// SlowRecord is the structured capture of one decision that exceeded
+	// Options.SlowThreshold.
+	SlowRecord = obs.SlowRecord
 )
+
+// NewTraceID mints a random 16-byte trace id.
+func NewTraceID() TraceID { return obs.NewTraceID() }
+
+// ParseTraceID parses a 32-hex-character trace id.
+func ParseTraceID(s string) (TraceID, error) { return obs.ParseTraceID(s) }
 
 // Sentinel errors re-exported for errors.Is classification.
 var (
@@ -138,8 +151,26 @@ type Options struct {
 	Metrics bool
 	// TraceBuffer, when > 0, retains that many completed decision
 	// traces in a ring buffer (RecentTraces / TraceByID) and records the
-	// full OWTE cascade of every decision. Implies Metrics.
+	// full OWTE cascade of every decision — or, when TraceSample is also
+	// set, of the sampled subset. Implies Metrics.
 	TraceBuffer int
+	// TraceSample, when > 0, samples tracing instead of tracing every
+	// decision: each decision is traced with this probability (clamped to
+	// [0,1]), and unsampled decisions keep the full fast path. Client-
+	// requested traces (CheckAccessTupleTraced and friends) are always
+	// honoured regardless of the sample rate. Requires TraceBuffer > 0 to
+	// have any effect.
+	TraceSample float64
+	// TraceRateLimit caps sampled traces per second (approximate fixed
+	// window). 0 means no cap beyond the probability.
+	TraceRateLimit float64
+	// SlowThreshold, when > 0, captures every decision slower than this
+	// duration into a slow-decision ring (SlowDecisions), with the full
+	// cascade trace attached when the decision was traced. Implies
+	// Metrics.
+	SlowThreshold time.Duration
+	// SlowBuffer sizes the slow-decision ring; 0 means 64.
+	SlowBuffer int
 	// AuditSyncEveryAppend flushes and fsyncs the audit log on every
 	// append instead of buffering. Durable but slower; the buffered
 	// default should be paired with periodic SyncAudit calls (rbacd's
@@ -206,8 +237,18 @@ func openSpec(spec *policy.Spec, source string, opts *Options) (*System, error) 
 		engOpts = append(engOpts, sentinel.WithFastPath())
 	}
 	var observer *obs.Observer
-	if opts.Metrics || opts.TraceBuffer > 0 {
+	if opts.Metrics || opts.TraceBuffer > 0 || opts.SlowThreshold > 0 {
 		observer = obs.NewObserver(opts.TraceBuffer)
+		if opts.TraceSample > 0 && opts.TraceBuffer > 0 {
+			observer.Sampler = obs.NewSampler(opts.TraceSample, opts.TraceRateLimit)
+		}
+		if opts.SlowThreshold > 0 {
+			slowBuf := opts.SlowBuffer
+			if slowBuf <= 0 {
+				slowBuf = 64
+			}
+			observer.Slow = obs.NewSlowRing(slowBuf, opts.SlowThreshold)
+		}
 		engOpts = append(engOpts, sentinel.WithObserver(observer))
 	}
 	eng := sentinel.NewEngine(clk, engOpts...)
@@ -314,6 +355,27 @@ func (s *System) TraceByID(id uint64) (TraceData, bool, error) {
 	}
 	td, ok := s.obs.Traces.Get(id)
 	return td, ok, nil
+}
+
+// TraceByTraceID returns the retained decision trace carrying the given
+// client-minted trace id; ok is false when no retained trace carries it
+// (evicted, never traced, or zero id).
+func (s *System) TraceByTraceID(tid TraceID) (TraceData, bool, error) {
+	if s.obs == nil || s.obs.Traces == nil {
+		return TraceData{}, false, ErrObservabilityOff
+	}
+	td, ok := s.obs.Traces.GetByTraceID(tid)
+	return td, ok, nil
+}
+
+// SlowDecisions returns the n most recent slow-decision captures,
+// newest first (n <= 0 means all retained). Requires
+// Options.SlowThreshold > 0.
+func (s *System) SlowDecisions(n int) ([]SlowRecord, error) {
+	if s.obs == nil || s.obs.Slow == nil {
+		return nil, ErrObservabilityOff
+	}
+	return s.obs.Slow.Recent(n), nil
 }
 
 // FastPathStats is a snapshot of the decision fast path's counters.
@@ -426,6 +488,18 @@ func (s *System) CheckAccessTuple(session, operation, object string) bool {
 	return err == nil && dec.Allowed()
 }
 
+// CheckAccessTupleTraced is CheckAccessTuple with a client-minted trace
+// id: the decision always runs the full cascade (never the fast-path
+// cache), its trace is retained under tid, and TraceByTraceID resolves
+// it afterwards. Requires Options.TraceBuffer > 0 for the trace to be
+// retained; without it the check still decides correctly.
+func (s *System) CheckAccessTupleTraced(session, operation, object string, tid TraceID) bool {
+	user, _ := s.gen.Engine().Store().SessionUser(SessionID(session))
+	dec, err := s.gen.Engine().DecideCheckTraced(rulegen.EvCheckAccess,
+		string(user), session, operation, object, tid)
+	return err == nil && dec.Allowed()
+}
+
 // BatchCheck is one access check of a CheckAccessBatch call, as plain
 // strings (the wire and HTTP batch endpoints decode straight into it).
 type BatchCheck struct {
@@ -443,6 +517,18 @@ type BatchCheck struct {
 // CheckAccessTuple would decide it; an undefined check event fails
 // closed for the whole batch.
 func (s *System) CheckAccessBatch(checks []BatchCheck, verdicts []bool) []bool {
+	return s.checkAccessBatch(checks, verdicts, false, TraceID{})
+}
+
+// CheckAccessBatchTraced is CheckAccessBatch with a client-minted trace
+// id: the batch's first tuple runs a fully traced cascade retained
+// under tid (see sentinel.Engine.DecideCheckBatchTraced); the rest of
+// the batch stays on the batch-native path.
+func (s *System) CheckAccessBatchTraced(checks []BatchCheck, verdicts []bool, tid TraceID) []bool {
+	return s.checkAccessBatch(checks, verdicts, true, tid)
+}
+
+func (s *System) checkAccessBatch(checks []BatchCheck, verdicts []bool, traced bool, tid TraceID) []bool {
 	verdicts = verdicts[:0]
 	if len(checks) == 0 {
 		return verdicts
@@ -468,7 +554,13 @@ func (s *System) CheckAccessBatch(checks []BatchCheck, verdicts []bool) []bool {
 			Operation: c.Operation, Object: c.Object,
 		})
 	}
-	vds, err := eng.DecideCheckBatch(rulegen.EvCheckAccess, tuples, bb.vds[:0])
+	var vds []sentinel.Verdict
+	var err error
+	if traced {
+		vds, err = eng.DecideCheckBatchTraced(rulegen.EvCheckAccess, tuples, bb.vds[:0], tid)
+	} else {
+		vds, err = eng.DecideCheckBatch(rulegen.EvCheckAccess, tuples, bb.vds[:0])
+	}
 	if err != nil {
 		bb.reset(tuples, vds)
 		for range checks {

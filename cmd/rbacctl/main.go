@@ -15,7 +15,7 @@
 //	session end <session>                   end a session
 //	activate <user> <session> <role>        activate a role
 //	deactivate <user> <session> <role>      deactivate a role
-//	check <session> <operation> <object> [purpose]
+//	check [-trace] <session> <operation> <object> [purpose]
 //	check-many <session> <op:obj> [<op:obj> ...]    batched checks (wire or HTTP)
 //	ping                                    wire liveness probe (wire only)
 //	epoch                                   policy snapshot epoch (wire only)
@@ -33,8 +33,16 @@
 //	policy get                              print the loaded policy
 //	policy apply <file.acp>                 swap the policy (regenerates rules)
 //	trace [id] [-n N]                       print recent decision traces, or one by id
+//	slow [-n N]                             print recent slow-decision captures
+//	health                                  probe /healthz and /readyz (exit 1 when not ready)
 //	metrics                                 print the Prometheus metrics page
 //	analyze                                 run the static analyzer on the live system
+//
+// check -trace mints a 16-byte trace id client-side, carries it on the
+// request (the X-Activerbac-Trace header over HTTP, the TRACE opcode
+// flag over -wire), and then fetches the retained cascade trace back
+// from /v1/traces/{id} — an end-to-end round trip of one decision's
+// telemetry.
 //
 // analyze prints one finding per line in the stable greppable form
 // "CODE severity subject: message" and exits non-zero when any finding
@@ -52,16 +60,19 @@ import (
 	"strings"
 	"time"
 
+	"activerbac"
 	"activerbac/internal/wire"
 )
 
 func main() {
 	args := os.Args[1:]
 	server := "http://localhost:8180"
+	serverSet := false
 	wireAddr := ""
 	for len(args) >= 2 {
 		if args[0] == "-server" {
 			server = args[1]
+			serverSet = true
 			args = args[2:]
 			continue
 		}
@@ -76,7 +87,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimSuffix(server, "/"), wireAddr: wireAddr}
+	c := &client{base: strings.TrimSuffix(server, "/"), serverSet: serverSet, wireAddr: wireAddr}
 	if err := c.dispatch(args); err != nil {
 		fmt.Fprintln(os.Stderr, "rbacctl:", err)
 		os.Exit(1)
@@ -85,16 +96,17 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] [-wire host:port] <command> [args]
-commands: session new|end, activate, deactivate, check, assign, deassign,
+commands: session new|end, activate, deactivate, check [-trace], assign, deassign,
           user add, role enable|disable, context set|get, verify,
           rules, stats, fastpath, alerts, policy get|apply, trace [id] [-n N],
-          metrics, analyze
-wire:     check, check-many <session> <op:obj>..., ping, epoch`)
+          slow [-n N], health, metrics, analyze
+wire:     check [-trace], check-many <session> <op:obj>..., ping, epoch`)
 }
 
 type client struct {
-	base     string
-	wireAddr string // non-empty routes check/check-many/ping/epoch over wire
+	base      string
+	serverSet bool   // -server was given explicitly (not the default)
+	wireAddr  string // non-empty routes check/check-many/ping/epoch over wire
 }
 
 func (c *client) dispatch(args []string) error {
@@ -117,6 +129,17 @@ func (c *client) dispatch(args []string) error {
 			return c.post("/v1/deactivate", map[string]string{"user": rest[0], "session": rest[1], "role": rest[2]})
 		}
 	case "check":
+		traced := false
+		if len(rest) > 0 && rest[0] == "-trace" {
+			traced = true
+			rest = rest[1:]
+		}
+		if traced {
+			if len(rest) != 3 {
+				return fmt.Errorf("check -trace wants exactly <session> <operation> <object>")
+			}
+			return c.checkTraced(rest[0], rest[1], rest[2])
+		}
 		if len(rest) == 3 && c.wireAddr != "" {
 			return c.wireCheck(rest[0], rest[1], rest[2])
 		}
@@ -199,6 +222,17 @@ func (c *client) dispatch(args []string) error {
 			return c.get("/v1/traces?" + url.Values{"n": {rest[1]}}.Encode())
 		case len(rest) == 1:
 			return c.get("/v1/traces/" + url.PathEscape(rest[0]))
+		}
+	case "slow":
+		switch {
+		case len(rest) == 0:
+			return c.get("/v1/slow")
+		case len(rest) == 2 && rest[0] == "-n":
+			return c.get("/v1/slow?" + url.Values{"n": {rest[1]}}.Encode())
+		}
+	case "health":
+		if len(rest) == 0 {
+			return c.health()
 		}
 	case "metrics":
 		if len(rest) == 0 {
@@ -307,6 +341,80 @@ func (c *client) httpCheckMany(session string, pairs []string) error {
 	}
 	for i, v := range payload.Verdicts {
 		fmt.Printf("%s %s: %v\n", checks[i].Operation, checks[i].Object, v)
+	}
+	return nil
+}
+
+// checkTraced mints a trace id, runs the check with it over whichever
+// transport is selected, then fetches the retained cascade trace back
+// over HTTP and prints verdict, id and trace.
+func (c *client) checkTraced(session, operation, object string) error {
+	tid := activerbac.NewTraceID()
+	if tid.IsZero() {
+		return fmt.Errorf("could not mint a trace id")
+	}
+	var allowed bool
+	if c.wireAddr != "" {
+		wc, err := c.wireClient()
+		if err != nil {
+			return err
+		}
+		defer wc.Close()
+		allowed, err = wc.CheckTraced(session, operation, object, tid)
+		if err != nil {
+			return err
+		}
+	} else {
+		req, err := http.NewRequest("GET", c.base+"/v1/check?"+url.Values{
+			"session": {session}, "operation": {operation}, "object": {object},
+		}.Encode(), nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("X-Activerbac-Trace", tid.String())
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		var payload struct {
+			Allowed bool `json:"allowed"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			return fmt.Errorf("decoding /v1/check response: %w", err)
+		}
+		allowed = payload.Allowed
+	}
+	fmt.Printf("allowed: %v\ntrace id: %s\n", allowed, tid)
+	// The trace body is served over HTTP only. A wire check with no
+	// explicit -server would guess the default HTTP address and likely
+	// print a confusing dial error; leave the fetch to the caller.
+	if c.wireAddr != "" && !c.serverSet {
+		fmt.Printf("(wire carries no trace bodies: rerun with -server, or GET /v1/traces/%s)\n", tid)
+		return nil
+	}
+	return c.get("/v1/traces/" + tid.String())
+}
+
+// health probes liveness and readiness; an unready server (or one that
+// cannot be reached) makes the command exit non-zero.
+func (c *client) health() error {
+	resp, err := http.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz returned %s", resp.Status)
+	}
+	fmt.Println("live: true")
+	if err := c.get("/readyz"); err != nil {
+		return fmt.Errorf("not ready: %w", err)
 	}
 	return nil
 }

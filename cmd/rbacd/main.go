@@ -45,9 +45,20 @@
 //	POST   /v1/policy                (text/plain .acp body)    -> regeneration report
 //	GET    /v1/policy                                          -> current policy source
 //	GET    /v1/traces[?n=N]                                    -> recent decision traces
-//	GET    /v1/traces/{id}                                     -> one decision trace
+//	GET    /v1/traces/{id}                                     -> one decision trace (ring id or 32-hex trace id)
+//	GET    /v1/slow[?n=N]                                      -> recent slow-decision captures
 //	GET    /v1/analyze                                         -> static-analysis findings
 //	GET    /metrics                  (Prometheus text format)  -> metric registry
+//	GET    /healthz                  (text)                    -> liveness (always 200 once serving)
+//	GET    /readyz                                             -> readiness (503 until serving cleanly)
+//
+// Decision telemetry: -trace-sample keeps always-on sampled tracing at
+// ~rate (with -trace-rate-limit capping traces/second), and a client
+// can force a fully traced decision by sending an X-Activerbac-Trace
+// header (32 hex chars) on GET /v1/check or POST /v1/check-batch — the
+// trace is then retrievable at /v1/traces/{id} under that id. The wire
+// protocol carries the same id via the TRACE opcode flag. -slow-threshold
+// captures decisions slower than the threshold into the /v1/slow ring.
 //
 // With -debug-addr set, net/http/pprof is served on that (separate,
 // opt-in) listener.
@@ -68,6 +79,7 @@ import (
 	"os/signal"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -81,6 +93,10 @@ type config struct {
 	lanes                                     int
 	auditSync                                 time.Duration
 	traceBuffer                               int
+	traceSample                               float64
+	traceRateLimit                            float64
+	slowThreshold                             time.Duration
+	slowBuffer                                int
 	debugAddr                                 string
 	analyzeMode                               string
 	fastpath                                  string
@@ -105,6 +121,13 @@ func main() {
 	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "state snapshot path, written on shutdown (optional)")
 	flag.IntVar(&cfg.lanes, "lanes", 0, "enforcement lanes: 0 = one per CPU, 1 = fully serialized")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "decision traces retained for /v1/traces; 0 disables tracing")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0,
+		"sampled tracing: trace this fraction of decisions (0 = trace every decision, the pre-sampling behaviour); client-requested traces are always honoured")
+	flag.Float64Var(&cfg.traceRateLimit, "trace-rate-limit", 0,
+		"cap sampled traces per second (0 = no cap); only meaningful with -trace-sample")
+	flag.DurationVar(&cfg.slowThreshold, "slow-threshold", 0,
+		"capture decisions slower than this into the /v1/slow ring (0 disables)")
+	flag.IntVar(&cfg.slowBuffer, "slow-buffer", 64, "slow-decision captures retained for /v1/slow")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 	flag.StringVar(&cfg.analyzeMode, "analyze", "warn",
 		"static-analysis gate for startup and hot reloads: off, warn or strict")
@@ -155,6 +178,10 @@ func run(cfg config) error {
 		Lanes:                cfg.lanes,
 		Metrics:              true,
 		TraceBuffer:          cfg.traceBuffer,
+		TraceSample:          cfg.traceSample,
+		TraceRateLimit:       cfg.traceRateLimit,
+		SlowThreshold:        cfg.slowThreshold,
+		SlowBuffer:           cfg.slowBuffer,
 		AuditSyncEveryAppend: cfg.auditSync == 0,
 		FastPath:             cfg.fastpath == "on",
 	}
@@ -163,8 +190,8 @@ func run(cfg config) error {
 		// steps a cached verdict does not have, and an audit trail needs
 		// every firing, so either feature forces decisions back onto the
 		// full cascade.
-		if cfg.traceBuffer > 0 {
-			log.Print("rbacd: -fastpath=on with decision tracing enabled; traced decisions bypass the cache (set -trace-buffer=0 for cache hits)")
+		if cfg.traceBuffer > 0 && cfg.traceSample <= 0 {
+			log.Print("rbacd: -fastpath=on with full decision tracing enabled; traced decisions bypass the cache (set -trace-sample to keep cache hits, or -trace-buffer=0 to disable tracing)")
 		}
 		if cfg.auditPath != "" {
 			log.Print("rbacd: -fastpath=on with an audit log; audited decisions bypass the cache for trail completeness")
@@ -180,13 +207,16 @@ func run(cfg config) error {
 
 	// Startup analysis gate: the rule pool just generated is vetted
 	// before the listener opens; strict mode refuses to serve a policy
-	// with error-severity conflicts.
+	// with error-severity conflicts. Warn mode serves anyway but reports
+	// the degradation through /readyz.
+	analyzeErrors := false
 	if cfg.analyzeMode != "off" {
 		findings := sys.Analyze()
 		for _, f := range findings {
 			log.Print("rbacd: analyze: ", f)
 		}
-		if cfg.analyzeMode == "strict" && activerbac.HasAnalysisErrors(findings) {
+		analyzeErrors = activerbac.HasAnalysisErrors(findings)
+		if cfg.analyzeMode == "strict" && analyzeErrors {
 			return fmt.Errorf("policy %s has error-severity analysis findings (run with -analyze=warn to serve anyway)", cfg.policyPath)
 		}
 	}
@@ -221,7 +251,8 @@ func run(cfg config) error {
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 
-	srv := &server{sys: sys, analyzeMode: cfg.analyzeMode}
+	srv := &server{sys: sys, analyzeMode: cfg.analyzeMode, wireConfigured: cfg.wireAddr != ""}
+	srv.analyzeErrors.Store(analyzeErrors)
 	httpSrv := &http.Server{
 		Handler: srv.routes(),
 		// Slow-client guards: a client trickling headers or parking an
@@ -246,10 +277,12 @@ func run(cfg config) error {
 			Instruments:  wireInstruments(sys),
 		})
 		log.Printf("rbacd: wire protocol on %s", wln.Addr())
+		srv.wireReady.Store(true)
 		go func() {
 			if err := wireSrv.Serve(wln); !errors.Is(err, wire.ErrServerClosed) {
 				log.Print("rbacd: wire server: ", err)
 			}
+			srv.wireReady.Store(false)
 		}()
 	}
 
@@ -269,6 +302,13 @@ func (b wireBackend) Check(session, operation, object string) bool {
 
 func (b wireBackend) PolicyEpoch() uint64 { return b.srv.system().SnapshotEpoch() }
 
+// CheckTraced upgrades the backend to wire.TraceBackend: a TRACE-flagged
+// CHECK runs the fully traced cascade and retains the trace under the
+// client-minted id, resolvable at /v1/traces/{id}.
+func (b wireBackend) CheckTraced(session, operation, object string, tid [wire.TraceIDSize]byte) bool {
+	return b.srv.system().CheckAccessTupleTraced(session, operation, object, activerbac.TraceID(tid))
+}
+
 // CheckBatch upgrades the backend to wire.BatchBackend: a CHECK_BATCH
 // frame becomes one batch-native engine pass instead of a per-tuple
 // fan-out. The conversion slice is pooled; the strings inside were
@@ -282,6 +322,26 @@ func (b wireBackend) CheckBatch(reqs []wire.CheckRequest, vs []bool) []bool {
 		})
 	}
 	vs = b.srv.system().CheckAccessBatch(checks, vs)
+	for i := range checks {
+		checks[i] = activerbac.BatchCheck{}
+	}
+	*cb = checks[:0]
+	checkConvPool.Put(cb)
+	return vs
+}
+
+// CheckBatchTraced upgrades the backend to wire.BatchTraceBackend: the
+// batch's first tuple runs the traced cascade under the client id, the
+// remainder stays batch-native.
+func (b wireBackend) CheckBatchTraced(reqs []wire.CheckRequest, vs []bool, tid [wire.TraceIDSize]byte) []bool {
+	cb := checkConvPool.Get().(*[]activerbac.BatchCheck)
+	checks := (*cb)[:0]
+	for _, r := range reqs {
+		checks = append(checks, activerbac.BatchCheck{
+			Session: r.Session, Operation: r.Operation, Object: r.Object,
+		})
+	}
+	vs = b.srv.system().CheckAccessBatchTraced(checks, vs, activerbac.TraceID(tid))
 	for i := range checks {
 		checks[i] = activerbac.BatchCheck{}
 	}
@@ -307,6 +367,7 @@ func wireInstruments(sys *activerbac.System) *wire.Instruments {
 		Request:  func(opcode string) { o.WireRequests.With(opcode).Inc() },
 		Error:    func(opcode string) { o.WireErrors.With(opcode).Inc() },
 		Inflight: func(delta float64) { o.WireInflight.Add(delta) },
+		RTT:      func(opcode string, seconds float64) { o.WireRTT.With(opcode).Observe(seconds) },
 	}
 }
 
@@ -391,6 +452,14 @@ type server struct {
 	mu          sync.RWMutex
 	sys         *activerbac.System
 	analyzeMode string
+
+	// Readiness state for /readyz: whether the live policy carries
+	// error-severity analysis findings (warn mode serves it anyway, but
+	// readiness reports the degradation), and whether the optional wire
+	// listener is configured and accepting.
+	analyzeErrors  atomic.Bool
+	wireConfigured bool
+	wireReady      atomic.Bool
 }
 
 func (s *server) routes() http.Handler {
@@ -417,8 +486,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/policy", s.putPolicy)
 	mux.HandleFunc("GET /v1/traces", s.traces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.traceByID)
+	mux.HandleFunc("GET /v1/slow", s.slow)
 	mux.HandleFunc("GET /v1/analyze", s.analyze)
 	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /readyz", s.readyz)
 	return mux
 }
 
@@ -528,6 +600,28 @@ var (
 	checkBodyDeny  = []byte("{\"allowed\":false}\n")
 )
 
+// traceHeader is the HTTP carrier of a client-minted trace id: its
+// presence forces a fully traced decision retained under that id.
+const traceHeader = "X-Activerbac-Trace"
+
+// traceID pulls a client-minted trace id off the request. ok is false
+// only when the header is present but malformed (the caller answers
+// 400); an absent header yields a zero id with ok true.
+func traceID(w http.ResponseWriter, r *http.Request) (activerbac.TraceID, bool, bool) {
+	h := r.Header.Get(traceHeader)
+	if h == "" {
+		return activerbac.TraceID{}, false, true
+	}
+	tid, err := activerbac.ParseTraceID(h)
+	if err != nil || tid.IsZero() {
+		http.Error(w, `{"error":"bad `+traceHeader+` header: want 32 hex chars, nonzero"}`, http.StatusBadRequest)
+		return activerbac.TraceID{}, false, false
+	}
+	// Echo the id so callers correlate the response with /v1/traces/{id}.
+	w.Header().Set(traceHeader, tid.String())
+	return tid, true, true
+}
+
 func (s *server) check(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if purpose := q.Get("purpose"); purpose != "" {
@@ -546,9 +640,20 @@ func (s *server) check(w http.ResponseWriter, r *http.Request) {
 	}
 	// The plain check is the hot path: the string-tuple entry reaches
 	// the zero-alloc DecideCheck fast path (no SessionID/Permission/
-	// Params wrappers) and the verdict body is pre-encoded.
+	// Params wrappers) and the verdict body is pre-encoded. A trace
+	// header diverts onto the traced cascade instead.
+	tid, traced, ok := traceID(w, r)
+	if !ok {
+		return
+	}
+	var allowed bool
+	if traced {
+		allowed = s.system().CheckAccessTupleTraced(q.Get("session"), q.Get("operation"), q.Get("object"), tid)
+	} else {
+		allowed = s.system().CheckAccessTuple(q.Get("session"), q.Get("operation"), q.Get("object"))
+	}
 	body := checkBodyDeny
-	if s.system().CheckAccessTuple(q.Get("session"), q.Get("operation"), q.Get("object")) {
+	if allowed {
 		body = checkBodyAllow
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -573,7 +678,16 @@ func (s *server) checkBatch(w http.ResponseWriter, r *http.Request) {
 			http.StatusBadRequest)
 		return
 	}
-	verdicts := s.system().CheckAccessBatch(req.Checks, nil)
+	tid, traced, ok := traceID(w, r)
+	if !ok {
+		return
+	}
+	var verdicts []bool
+	if traced && len(req.Checks) > 0 {
+		verdicts = s.system().CheckAccessBatchTraced(req.Checks, nil, tid)
+	} else {
+		verdicts = s.system().CheckAccessBatch(req.Checks, nil)
+	}
 	if verdicts == nil {
 		verdicts = []bool{} // encode an empty batch as [], not null
 	}
@@ -739,13 +853,24 @@ func (s *server) traces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, traces)
 }
 
+// traceByID serves one retained trace by either identity: a 32-hex
+// client-minted trace id (as sent in X-Activerbac-Trace or on the wire
+// TRACE flag), or the ring's own numeric sequence id.
 func (s *server) traceByID(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
-	if err != nil {
-		http.Error(w, `{"error":"bad trace id"}`, http.StatusBadRequest)
-		return
+	raw := r.PathValue("id")
+	var td activerbac.TraceData
+	var ok bool
+	var err error
+	if tid, perr := activerbac.ParseTraceID(raw); perr == nil {
+		td, ok, err = s.system().TraceByTraceID(tid)
+	} else {
+		id, perr := strconv.ParseUint(raw, 10, 64)
+		if perr != nil {
+			http.Error(w, `{"error":"bad trace id: want a ring id or 32 hex chars"}`, http.StatusBadRequest)
+			return
+		}
+		td, ok, err = s.system().TraceByID(id)
 	}
-	td, ok, err := s.system().TraceByID(id)
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 		return
@@ -755,6 +880,61 @@ func (s *server) traceByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, td)
+}
+
+// slow serves the slow-decision ring, newest first.
+func (s *server) slow(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			http.Error(w, `{"error":"bad n parameter"}`, http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	recs, err := s.system().SlowDecisions(n)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	if recs == nil {
+		recs = []activerbac.SlowRecord{}
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+// healthz is pure liveness: the process is up and the handler runs.
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// laneReadyDepth is the per-lane queue depth beyond which /readyz
+// reports the engine as backlogged and flips to 503 so load balancers
+// shed traffic until the lanes drain.
+const laneReadyDepth = 4096
+
+// readyz is readiness: the policy is loaded and clean, the enforcement
+// lanes are draining, and the wire listener (when configured) accepts.
+func (s *server) readyz(w http.ResponseWriter, _ *http.Request) {
+	var problems []string
+	if s.analyzeErrors.Load() {
+		problems = append(problems, "live policy has error-severity analysis findings")
+	}
+	for _, ls := range s.system().LaneStats() {
+		if ls.Depth > laneReadyDepth {
+			problems = append(problems, fmt.Sprintf("lane %s backlogged: depth %d > %d", ls.Lane, ls.Depth, laneReadyDepth))
+		}
+	}
+	if s.wireConfigured && !s.wireReady.Load() {
+		problems = append(problems, "wire listener not accepting")
+	}
+	if len(problems) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "problems": problems})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func (s *server) getPolicy(w http.ResponseWriter, _ *http.Request) {
@@ -782,6 +962,7 @@ func (s *server) putPolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	// Hot-reload analysis gate: the incoming policy is compiled and
 	// analyzed on a scratch engine *before* the live pool is touched.
+	analyzeErrors := false
 	if s.analyzeMode != "off" {
 		findings, err := activerbac.AnalyzePolicy(string(body), time.Now())
 		if err != nil {
@@ -791,7 +972,8 @@ func (s *server) putPolicy(w http.ResponseWriter, r *http.Request) {
 		for _, f := range findings {
 			log.Print("rbacd: analyze: ", f)
 		}
-		if s.analyzeMode == "strict" && activerbac.HasAnalysisErrors(findings) {
+		analyzeErrors = activerbac.HasAnalysisErrors(findings)
+		if s.analyzeMode == "strict" && analyzeErrors {
 			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
 				"error":    "policy rejected by static analysis",
 				"findings": findings,
@@ -806,5 +988,6 @@ func (s *server) putPolicy(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
 	}
+	s.analyzeErrors.Store(analyzeErrors)
 	writeJSON(w, http.StatusOK, rep)
 }

@@ -61,6 +61,13 @@ func TestWireDifferential(t *testing.T) {
 	sys, err := activerbac.Open(wireStressPolicy("09:00:00"), &activerbac.Options{
 		Clock:    sim,
 		FastPath: true, // the wire path must agree with cached verdicts too
+		// Sampled tracing at a vanishing rate: the trace machinery is live
+		// (client-forced traces work, and the end-of-run traced
+		// differential below needs it) but unsampled checks keep hitting
+		// the verdict cache, so the fast-path assertions at the bottom
+		// still hold.
+		TraceBuffer: 256,
+		TraceSample: 1e-9,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -351,6 +358,113 @@ func TestWireDifferential(t *testing.T) {
 	workers.Wait()
 	stop.Store(true)
 	churn.Wait()
+
+	// Traced differential: the same check forced onto the traced cascade
+	// once per transport — a client-minted id via the X-Activerbac-Trace
+	// header, and the same id mechanism via the wire TRACE flag — must
+	// resolve at /v1/traces/{id} under each id with identical cascade
+	// step sequences.
+	fetchTrace := func(tid activerbac.TraceID) (activerbac.TraceData, bool) {
+		resp, err := http.Get(httpSrv.URL + "/v1/traces/" + tid.String())
+		if err != nil {
+			t.Errorf("traced differential: fetch %s: %v", tid, err)
+			return activerbac.TraceData{}, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("traced differential: /v1/traces/%s returned %d", tid, resp.StatusCode)
+			return activerbac.TraceData{}, false
+		}
+		var td activerbac.TraceData
+		if err := json.NewDecoder(resp.Body).Decode(&td); err != nil {
+			t.Errorf("traced differential: decode trace %s: %v", tid, err)
+			return activerbac.TraceData{}, false
+		}
+		return td, true
+	}
+	tracedDifferential := func() {
+		sid, err := sys.CreateSession("u00")
+		if err != nil {
+			t.Errorf("traced differential: CreateSession: %v", err)
+			return
+		}
+		if err := sys.AddActiveRole("u00", sid, "W0"); err != nil {
+			t.Errorf("traced differential: AddActiveRole: %v", err)
+			return
+		}
+
+		// HTTP: header-carried id.
+		httpTID := activerbac.NewTraceID()
+		req, err := http.NewRequest("GET", httpSrv.URL+"/v1/check?"+url.Values{
+			"session": {string(sid)}, "operation": {"op0"}, "object": {"obj0"},
+		}.Encode(), nil)
+		if err != nil {
+			t.Errorf("traced differential: build request: %v", err)
+			return
+		}
+		req.Header.Set("X-Activerbac-Trace", httpTID.String())
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("traced differential: http check: %v", err)
+			return
+		}
+		echoed := resp.Header.Get("X-Activerbac-Trace")
+		var v struct {
+			Allowed bool `json:"allowed"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil || !v.Allowed {
+			t.Errorf("traced differential: http check = (%v, %v), want allowed", v.Allowed, err)
+			return
+		}
+		if echoed != httpTID.String() {
+			t.Errorf("traced differential: header echo %q, want %q", echoed, httpTID)
+			return
+		}
+
+		// Wire: TRACE-flagged CHECK with the same machinery.
+		wireTID := activerbac.NewTraceID()
+		allowed, err := wc.CheckTraced(string(sid), "op0", "obj0", wireTID)
+		if err != nil || !allowed {
+			t.Errorf("traced differential: wire CheckTraced = (%v, %v), want allowed", allowed, err)
+			return
+		}
+
+		httpTD, ok := fetchTrace(httpTID)
+		if !ok {
+			return
+		}
+		wireTD, ok := fetchTrace(wireTID)
+		if !ok {
+			return
+		}
+		if httpTD.TraceID != httpTID.String() || wireTD.TraceID != wireTID.String() {
+			t.Errorf("traced differential: trace ids %q/%q, want %q/%q",
+				httpTD.TraceID, wireTD.TraceID, httpTID, wireTID)
+			return
+		}
+		if len(httpTD.Steps) == 0 || !httpTD.Complete || !wireTD.Complete {
+			t.Errorf("traced differential: incomplete traces: http %d steps complete=%v, wire %d steps complete=%v",
+				len(httpTD.Steps), httpTD.Complete, len(wireTD.Steps), wireTD.Complete)
+			return
+		}
+		// Identical cascades: same step count, and per step the same
+		// kind/event/rule/outcome (timestamps naturally differ).
+		if len(httpTD.Steps) != len(wireTD.Steps) {
+			t.Errorf("traced differential: step counts diverged: http=%d wire=%d\nhttp: %+v\nwire: %+v",
+				len(httpTD.Steps), len(wireTD.Steps), httpTD.Steps, wireTD.Steps)
+			return
+		}
+		for i := range httpTD.Steps {
+			h, w := httpTD.Steps[i], wireTD.Steps[i]
+			if h.Kind != w.Kind || h.Event != w.Event || h.Rule != w.Rule || h.OK != w.OK {
+				t.Errorf("traced differential: step %d diverged: http=%+v wire=%+v", i, h, w)
+				return
+			}
+		}
+	}
+	tracedDifferential()
 
 	if st, err := sys.FastPathStats(); err == nil {
 		if st.Hits == 0 {

@@ -25,6 +25,9 @@ type ruleState struct {
 	fired   atomic.Uint64
 	allowed atomic.Uint64
 	denied  atomic.Uint64
+	// evalNanos accumulates engine-clock time spent inside this rule
+	// (conditions + branch actions); only advanced when timing is on.
+	evalNanos atomic.Uint64
 }
 
 // RuleInfo is a read-only snapshot of one rule's state.
@@ -40,6 +43,7 @@ type RuleInfo struct {
 	Fired       uint64
 	Allowed     uint64
 	Denied      uint64
+	EvalNanos   uint64 // cumulative evaluation time; 0 unless rule timing is on
 	Conditions  []string
 	Then        []string
 	Else        []string
@@ -91,7 +95,14 @@ type Pool struct {
 	view atomic.Pointer[fireView]
 	// chook, when set, runs after every view publication.
 	chook func()
+	// timed turns on per-rule evaluation timing (one extra clock read
+	// per firing); set once by the engine when an observer is attached.
+	timed atomic.Bool
 }
+
+// SetRuleTiming switches per-rule cumulative evaluation timing on or
+// off. Off (the default) keeps rule firing at one clock read.
+func (p *Pool) SetRuleTiming(on bool) { p.timed.Store(on) }
 
 // NewPool returns an empty rule pool bound to det and installs the pool
 // as the detector's scope advisor, so lane routing follows the
@@ -378,6 +389,7 @@ func (st *ruleState) info() RuleInfo {
 		Scope: r.Scope, Priority: r.Priority, Tags: append([]string(nil), r.Tags...),
 		Enabled: st.enabled,
 		Fired:   st.fired.Load(), Allowed: st.allowed.Load(), Denied: st.denied.Load(),
+		EvalNanos:  st.evalNanos.Load(),
 		Conditions: conds, Then: then, Else: els,
 	}
 }
@@ -462,6 +474,11 @@ func (p *Pool) runRule(st *ruleState, o *event.Occurrence) Outcome {
 		st.allowed.Add(1)
 	} else {
 		st.denied.Add(1)
+	}
+	if p.timed.Load() {
+		// out.At was stamped from the same clock before the conditions
+		// ran, so the delta is this firing's full evaluation window.
+		st.evalNanos.Add(uint64(p.det.Clock().Now().Sub(out.At)))
 	}
 	return out
 }

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// unescapeLabelValue inverts the text-exposition label escaping
+// (\\ -> \, \n -> newline, \" -> ") exactly as a Prometheus scraper
+// does; any other escape sequence or a dangling backslash is an error.
+func unescapeLabelValue(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", fmt.Errorf("dangling backslash in %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("bad escape \\%c in %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}
+
+// unescapeHelp inverts HELP-line escaping (\\ -> \, \n -> newline;
+// quotes pass through unescaped).
+func unescapeHelp(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", fmt.Errorf("dangling backslash in %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("bad escape \\%c in %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}
+
+// extractLabelValue pulls the escaped value of the given label out of
+// the first sample line for metric name in the exposition text. The
+// scan honours escaping: a quote preceded by an unconsumed backslash
+// does not terminate the value.
+func extractLabelValue(t *testing.T, exposition, metric, label string) string {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, metric+"{") {
+			continue
+		}
+		marker := label + `="`
+		at := strings.Index(line, marker)
+		if at < 0 {
+			continue
+		}
+		rest := line[at+len(marker):]
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				i++ // consume the escaped character
+			case '"':
+				return rest[:i]
+			}
+		}
+		t.Fatalf("unterminated label value on line %q", line)
+	}
+	t.Fatalf("no sample line for %s{%s=...} in:\n%s", metric, label, exposition)
+	return ""
+}
+
+// Every awkward byte sequence a rule name or scope string could carry
+// must survive render -> parse byte-for-byte: that is what makes the
+// exposition safe for arbitrary policy-authored identifiers.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`with "quotes"`,
+		`back\slash`,
+		`trailing backslash \`,
+		`\ leading`,
+		"line\nbreak",
+		"\n",
+		`"`,
+		`\`,
+		`\\`,
+		`\n`, // literal backslash-n, must NOT collapse into a newline
+		`\"`,
+		"mix \"q\" and \\ and\nnewline",
+		"tab\tand bell\a", // pass through unescaped
+		"",
+	}
+	for i, v := range values {
+		r := NewRegistry()
+		r.Counter("test_esc_total", "Esc.", "name").With(v).Inc()
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		if v == "" {
+			// An empty value renders as name="": nothing to extract, just
+			// assert the line is well-formed.
+			if !strings.Contains(out, `test_esc_total{name=""} 1`) {
+				t.Errorf("empty label value rendered wrong:\n%s", out)
+			}
+			continue
+		}
+		escaped := extractLabelValue(t, out, "test_esc_total", "name")
+		got, err := unescapeLabelValue(escaped)
+		if err != nil {
+			t.Errorf("case %d: rendered %q does not parse: %v", i, escaped, err)
+			continue
+		}
+		if got != v {
+			t.Errorf("case %d: round trip %q -> %q -> %q", i, v, escaped, got)
+		}
+		// The rendered sample line must stay a single line: a raw newline
+		// in a label value would corrupt the whole exposition.
+		if strings.Contains(escaped, "\n") {
+			t.Errorf("case %d: escaped value %q contains a raw newline", i, escaped)
+		}
+	}
+}
+
+// Multi-label series keep values separated even when the values
+// themselves contain quotes, commas and equals signs.
+func TestLabelEscapingMultiLabel(t *testing.T) {
+	r := NewRegistry()
+	a, b := `x",evil="1`, `y\`
+	r.Counter("test_multi_total", "Esc.", "first", "second").With(a, b).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	gotA, err := unescapeLabelValue(extractLabelValue(t, out, "test_multi_total", "first"))
+	if err != nil || gotA != a {
+		t.Errorf("first = %q (%v), want %q", gotA, err, a)
+	}
+	gotB, err := unescapeLabelValue(extractLabelValue(t, out, "test_multi_total", "second"))
+	if err != nil || gotB != b {
+		t.Errorf("second = %q (%v), want %q", gotB, err, b)
+	}
+}
+
+// HELP text follows its own escaping rules: backslash and newline are
+// escaped, double quotes are left alone.
+func TestHelpEscapingRoundTrip(t *testing.T) {
+	helps := []string{
+		"Plain help.",
+		"Help with \"quotes\" kept verbatim.",
+		`Help with back\slash.`,
+		"Help with\nnewline.",
+		`Trailing \`,
+	}
+	for i, help := range helps {
+		r := NewRegistry()
+		r.Counter("test_help_total", help).With().Inc()
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		var escaped string
+		for _, line := range strings.Split(b.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "# HELP test_help_total "); ok {
+				escaped = rest
+				break
+			}
+		}
+		got, err := unescapeHelp(escaped)
+		if err != nil {
+			t.Errorf("case %d: HELP %q does not parse: %v", i, escaped, err)
+			continue
+		}
+		if got != help {
+			t.Errorf("case %d: HELP round trip %q -> %q -> %q", i, help, escaped, got)
+		}
+		if strings.Contains(help, `"`) && !strings.Contains(escaped, `"`) {
+			t.Errorf("case %d: HELP quotes must pass through unescaped, got %q", i, escaped)
+		}
+	}
+}
+
+// Histogram bucket lines append the synthetic le label after the
+// user's labels; escaping in those labels must not break the le
+// separator.
+func TestHistogramLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := `lane"0\`
+	r.Histogram("test_esc_seconds", "Esc.", []float64{1}, "lane").With(v).Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	got, err := unescapeLabelValue(extractLabelValue(t, out, "test_esc_seconds_bucket", "lane"))
+	if err != nil || got != v {
+		t.Errorf("bucket lane = %q (%v), want %q", got, err, v)
+	}
+	if !strings.Contains(out, `le="1"} 1`) {
+		t.Errorf("le label lost after escaped lane label:\n%s", out)
+	}
+}

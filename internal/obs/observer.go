@@ -1,5 +1,7 @@
 package obs
 
+import "time"
+
 // Observer bundles the metrics registry, the prebuilt engine
 // instruments, and (optionally) the decision-trace ring. A nil
 // *Observer disables all observability; a non-nil Observer with a nil
@@ -12,11 +14,22 @@ package obs
 type Observer struct {
 	Registry *Registry
 	Traces   *TraceRing // nil = decision tracing off
+	Sampler  *Sampler   // nil = trace every decision (no sampling)
+	Slow     *SlowRing  // nil = slow-decision capture off
 
 	// Decision path.
 	DecisionLatency *HistogramVec // activerbac_decision_seconds{event}
 	Decisions       *CounterVec   // activerbac_decisions_total{event,verdict}
 	TracesTotal     *Counter      // activerbac_traces_total
+	SlowDecisions   *Counter      // activerbac_slow_decisions_total
+
+	// Stage-latency attribution: where a decision's wall-clock went.
+	// The Vec is the registered family; the three fixed stages are
+	// pre-resolved so the hot path observes without a label lookup.
+	StageSeconds  *HistogramVec // activerbac_stage_seconds{stage}
+	StageFastPath *Histogram    // stage="fastpath_probe": key encode + cache probe
+	StageLaneWait *Histogram    // stage="lane_wait": queue time before drain
+	StageCascade  *Histogram    // stage="cascade": raise-to-settle rule evaluation
 
 	// Decision fast path (scrape-set from the cache's atomic counters).
 	FastPathHits          *Counter // activerbac_fastpath_hits_total
@@ -25,10 +38,15 @@ type Observer struct {
 	FastPathInvalidations *Counter // activerbac_fastpath_invalidations_total
 	SnapshotEpoch         *Gauge   // activerbac_snapshot_epoch
 
-	// Batch decision path (counted per DecideCheckBatch call).
-	BatchSizeSum      *Counter // activerbac_batch_size_sum
-	BatchGroups       *Counter // activerbac_batch_groups_total
-	BatchFastPathHits *Counter // activerbac_batch_fastpath_hits_total
+	// Batch decision path (counted per DecideCheckBatch call). The
+	// BatchSize histogram's _sum series carries the exact name, value
+	// and semantics of the retired activerbac_batch_size_sum counter,
+	// so that series survives the histogram migration unchanged — a
+	// second standalone counter would render a duplicate sample and
+	// break the exposition.
+	BatchSize         *Histogram // activerbac_batch_size (distribution of tuples per batch)
+	BatchGroups       *Counter   // activerbac_batch_groups_total
+	BatchFastPathHits *Counter   // activerbac_batch_fastpath_hits_total
 
 	// Lanes (wait observed at drain time; depth/throughput scrape-set).
 	LaneWait      *HistogramVec // activerbac_lane_wait_seconds{lane}
@@ -43,10 +61,11 @@ type Observer struct {
 	EventsDetected  *Counter    // activerbac_events_detected_total
 
 	// Rule pool (scrape-set from the pool's atomic per-rule counters).
-	RuleFired   *CounterVec // activerbac_rule_fired_total{rule}
-	RuleAllowed *CounterVec // activerbac_rule_allowed_total{rule}
-	RuleDenied  *CounterVec // activerbac_rule_denied_total{rule}
-	Rules       *Gauge      // activerbac_rules
+	RuleFired       *CounterVec // activerbac_rule_fired_total{rule}
+	RuleAllowed     *CounterVec // activerbac_rule_allowed_total{rule}
+	RuleDenied      *CounterVec // activerbac_rule_denied_total{rule}
+	RuleEvalSeconds *CounterVec // activerbac_rule_eval_seconds_total{rule}
+	Rules           *Gauge      // activerbac_rules
 
 	// RBAC store (scrape-set).
 	Users    *Gauge // activerbac_users
@@ -66,9 +85,33 @@ type Observer struct {
 	AnalyzeFindings *CounterVec // activerbac_analyze_findings_total{code,severity}
 
 	// Wire transport (counted by rbacd's wire server hooks).
-	WireRequests *CounterVec // activerbac_wire_requests_total{opcode}
-	WireErrors   *CounterVec // activerbac_wire_errors_total{opcode}
-	WireInflight *Gauge      // activerbac_wire_inflight
+	WireRequests *CounterVec   // activerbac_wire_requests_total{opcode}
+	WireErrors   *CounterVec   // activerbac_wire_errors_total{opcode}
+	WireInflight *Gauge        // activerbac_wire_inflight
+	WireRTT      *HistogramVec // activerbac_wire_rtt_seconds{opcode}
+}
+
+// Stage label values of activerbac_stage_seconds.
+const (
+	StageNameFastPath = "fastpath_probe"
+	StageNameLaneWait = "lane_wait"
+	StageNameCascade  = "cascade"
+)
+
+// BatchSizeBuckets are the activerbac_batch_size histogram bounds:
+// powers of two up to the wire protocol's batch cap.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// SampleTrace reports whether a decision beginning at the engine-clock
+// instant now should record a cascade trace: every decision when no
+// sampler is configured (the PR 2 behaviour), else the sampler's
+// probabilistic + rate-limited verdict. Callers must already have
+// checked that a trace ring exists.
+func (o *Observer) SampleTrace(now time.Time) bool {
+	if s := o.Sampler; s != nil {
+		return s.Sample(now)
+	}
+	return true
 }
 
 // NewObserver builds a registry with the full metric catalog
@@ -85,6 +128,8 @@ func NewObserver(traceCapacity int) *Observer {
 			"Enforcement decisions by triggering event and verdict.", "event", "verdict"),
 		TracesTotal: r.Counter("activerbac_traces_total",
 			"Decision traces recorded into the ring buffer.").With(),
+		SlowDecisions: r.Counter("activerbac_slow_decisions_total",
+			"Decisions whose latency met or exceeded the slow threshold.").With(),
 
 		FastPathHits: r.Counter("activerbac_fastpath_hits_total",
 			"Decisions served from the fast-path cache.").With(),
@@ -97,8 +142,8 @@ func NewObserver(traceCapacity int) *Observer {
 		SnapshotEpoch: r.Gauge("activerbac_snapshot_epoch",
 			"Policy epoch of the RBAC store's published copy-on-write snapshot.").With(),
 
-		BatchSizeSum: r.Counter("activerbac_batch_size_sum",
-			"Total tuples submitted through DecideCheckBatch (divide by batch count for mean size).").With(),
+		BatchSize: r.Histogram("activerbac_batch_size",
+			"Tuples per DecideCheckBatch call. The _sum series continues the former activerbac_batch_size_sum counter (DEPRECATED as a standalone family; alias kept one more release).", BatchSizeBuckets).With(),
 		BatchGroups: r.Counter("activerbac_batch_groups_total",
 			"Scope groups batches fanned out to (one lane crossing each).").With(),
 		BatchFastPathHits: r.Counter("activerbac_batch_fastpath_hits_total",
@@ -128,6 +173,8 @@ func NewObserver(traceCapacity int) *Observer {
 			"Rule firings whose conditions held (Then branch ran).", "rule"),
 		RuleDenied: r.Counter("activerbac_rule_denied_total",
 			"Rule firings routed to the Else branch.", "rule"),
+		RuleEvalSeconds: r.Counter("activerbac_rule_eval_seconds_total",
+			"Cumulative wall-clock time spent evaluating each rule (condition + actions).", "rule"),
 		Rules: r.Gauge("activerbac_rules",
 			"Rules currently in the pool.").With(),
 
@@ -159,7 +206,14 @@ func NewObserver(traceCapacity int) *Observer {
 			"Wire-protocol ERROR frames sent, by offending request opcode.", "opcode"),
 		WireInflight: r.Gauge("activerbac_wire_inflight",
 			"Wire-protocol requests admitted but not yet responded to.").With(),
+		WireRTT: r.Histogram("activerbac_wire_rtt_seconds",
+			"Server-side wire round trip per opcode: frame decoded to response flushed.", nil, "opcode"),
 	}
+	o.StageSeconds = r.Histogram("activerbac_stage_seconds",
+		"Decision latency attributed to one pipeline stage.", nil, "stage")
+	o.StageFastPath = o.StageSeconds.With(StageNameFastPath)
+	o.StageLaneWait = o.StageSeconds.With(StageNameLaneWait)
+	o.StageCascade = o.StageSeconds.With(StageNameCascade)
 	if traceCapacity > 0 {
 		o.Traces = NewTraceRing(traceCapacity)
 	}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowRecord is the structured capture of one decision that exceeded
+// the slow threshold: the tuple-level facts plus — when the decision
+// was traced — the full cascade trace, retained here even after the
+// trace ring evicts it.
+type SlowRecord struct {
+	At       time.Time  `json:"at"`
+	Event    string     `json:"event"`
+	Scope    string     `json:"scope,omitempty"`
+	Seconds  float64    `json:"seconds"`
+	Allowed  bool       `json:"allowed"`
+	Reason   string     `json:"reason,omitempty"`
+	TraceID  string     `json:"trace_id,omitempty"`
+	TraceSeq uint64     `json:"trace_seq,omitempty"` // ring id, for /v1/traces/{id}
+	Trace    *TraceData `json:"trace,omitempty"`
+}
+
+// SlowRing retains the most recent slow-decision records in a
+// fixed-size ring. The threshold lives with the ring so the engine's
+// per-decision check is one nil test plus one duration compare.
+type SlowRing struct {
+	threshold time.Duration
+
+	mu   sync.Mutex
+	buf  []SlowRecord
+	next int
+	size int
+}
+
+// NewSlowRing returns a ring retaining up to capacity records
+// (minimum 1) of decisions taking at least threshold.
+func NewSlowRing(capacity int, threshold time.Duration) *SlowRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowRing{buf: make([]SlowRecord, capacity), threshold: threshold}
+}
+
+// Threshold returns the configured slow threshold.
+func (r *SlowRing) Threshold() time.Duration { return r.threshold }
+
+// Exceeds reports whether a decision of duration d qualifies as slow.
+func (r *SlowRing) Exceeds(d time.Duration) bool { return d >= r.threshold }
+
+// Record retains one slow-decision record, evicting the oldest once
+// the ring is full.
+func (r *SlowRing) Record(rec SlowRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns the n most recent records, newest first. n <= 0 means
+// all retained records.
+func (r *SlowRing) Recent(n int) []SlowRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.size {
+		n = r.size
+	}
+	out := make([]SlowRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	tid := NewTraceID()
+	if tid.IsZero() {
+		t.Fatal("NewTraceID returned the zero id")
+	}
+	s := tid.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex chars", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil || back != tid {
+		t.Fatalf("ParseTraceID(%q) = (%v, %v), want original", s, back, err)
+	}
+	if (TraceID{}).String() != "" {
+		t.Error("zero id must render empty")
+	}
+	for _, bad := range []string{"", "xyz", s[:31], s + "0", "ZZ" + s[2:]} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceRingGetByTraceID(t *testing.T) {
+	ring := NewTraceRing(4)
+	tid := NewTraceID()
+	tr := ring.StartID(tid, "checkAccess", "s1", time.Unix(0, 0))
+	ring.Finish(tr, time.Unix(1, 0))
+	td, ok := ring.GetByTraceID(tid)
+	if !ok || td.TraceID != tid.String() {
+		t.Fatalf("GetByTraceID = (%+v, %v)", td, ok)
+	}
+	if _, ok := ring.GetByTraceID(NewTraceID()); ok {
+		t.Error("unknown id resolved")
+	}
+	if _, ok := ring.GetByTraceID(TraceID{}); ok {
+		t.Error("zero id must never resolve")
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	now := time.Unix(0, 0)
+	// Rate 1 samples everything, rate 0 nothing.
+	always := NewSampler(1, 0)
+	never := NewSampler(0, 0)
+	for i := 0; i < 100; i++ {
+		if !always.Sample(now) {
+			t.Fatal("rate-1 sampler rejected")
+		}
+		if never.Sample(now) {
+			t.Fatal("rate-0 sampler accepted")
+		}
+	}
+	// A fractional rate lands near its target over many draws. The band
+	// is ~50 standard deviations wide, so any seed of the per-thread
+	// source passes; a miss means the threshold math broke.
+	s := NewSampler(0.1, 0)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Sample(now) {
+			hits++
+		}
+	}
+	if hits < n/20 || hits > n/5 {
+		t.Fatalf("rate-0.1 sampler hit %d of %d", hits, n)
+	}
+}
+
+func TestSamplerRateLimit(t *testing.T) {
+	s := NewSampler(1, 3)
+	sec0 := time.Unix(100, 0)
+	hits := 0
+	for i := 0; i < 50; i++ {
+		if s.Sample(sec0) {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("limit-3 sampler admitted %d in one second", hits)
+	}
+	// A new second refills the budget.
+	if !s.Sample(time.Unix(101, 0)) {
+		t.Fatal("budget did not refill on the next second")
+	}
+}
+
+func TestSlowRing(t *testing.T) {
+	ring := NewSlowRing(2, 10*time.Millisecond)
+	if ring.Exceeds(5 * time.Millisecond) {
+		t.Error("5ms must not exceed a 10ms threshold")
+	}
+	if !ring.Exceeds(11 * time.Millisecond) {
+		t.Error("11ms must exceed a 10ms threshold")
+	}
+	for i := 0; i < 3; i++ {
+		ring.Record(SlowRecord{Event: "checkAccess", Seconds: float64(i)})
+	}
+	recs := ring.Recent(0)
+	if len(recs) != 2 {
+		t.Fatalf("ring kept %d records, want capacity 2", len(recs))
+	}
+	// Newest first, oldest evicted.
+	if recs[0].Seconds != 2 || recs[1].Seconds != 1 {
+		t.Fatalf("recent order wrong: %+v", recs)
+	}
+	if got := ring.Recent(1); len(got) != 1 || got[0].Seconds != 2 {
+		t.Fatalf("Recent(1) = %+v", got)
+	}
+}

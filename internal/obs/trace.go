@@ -71,6 +71,7 @@ func (s Step) String() string {
 // pointer check.
 type Trace struct {
 	id    uint64
+	tid   TraceID // client-supplied identity; zero when edge-anonymous
 	event string
 	scope string
 	begin time.Time
@@ -83,6 +84,10 @@ type Trace struct {
 
 // ID returns the ring-assigned trace id.
 func (t *Trace) ID() uint64 { return t.id }
+
+// TraceID returns the client-supplied 16-byte identity (zero when the
+// trace was started without one).
+func (t *Trace) TraceID() TraceID { return t.tid }
 
 // Add appends one step stamped at the engine-clock instant at.
 func (t *Trace) Add(at time.Time, lane string, kind StepKind, event, rule, detail string, ok bool) {
@@ -105,8 +110,11 @@ func (t *Trace) finish(at time.Time) {
 }
 
 // TraceData is an immutable snapshot of a trace, safe to serialize.
+// TraceID is the client-supplied hex identity ("" when the trace was
+// started without one and is addressable only by ID).
 type TraceData struct {
 	ID       uint64    `json:"id"`
+	TraceID  string    `json:"trace_id,omitempty"`
 	Event    string    `json:"event"`
 	Scope    string    `json:"scope,omitempty"`
 	Begin    time.Time `json:"begin"`
@@ -120,7 +128,7 @@ func (t *Trace) Snapshot() TraceData {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TraceData{
-		ID: t.id, Event: t.event, Scope: t.scope,
+		ID: t.id, TraceID: t.tid.String(), Event: t.event, Scope: t.scope,
 		Begin: t.begin, End: t.end, Complete: t.done,
 		Steps: append([]Step(nil), t.steps...),
 	}
@@ -154,7 +162,14 @@ func (r *TraceRing) Cap() int { return len(r.buf) }
 // Start creates a new in-flight trace for a decision on event with the
 // given scope key, beginning at the engine-clock instant at.
 func (r *TraceRing) Start(event, scope string, at time.Time) *Trace {
-	return &Trace{id: r.lastID.Add(1), event: event, scope: scope, begin: at}
+	return r.StartID(TraceID{}, event, scope, at)
+}
+
+// StartID is Start with a client-supplied 16-byte identity attached, so
+// the finished trace resolves under that id (GetByTraceID) as well as
+// its ring-assigned sequence number. A zero tid is an anonymous Start.
+func (r *TraceRing) StartID(tid TraceID, event, scope string, at time.Time) *Trace {
+	return &Trace{id: r.lastID.Add(1), tid: tid, event: event, scope: scope, begin: at}
 }
 
 // Finish stamps the trace's end and retains it in the ring.
@@ -195,6 +210,28 @@ func (r *TraceRing) Get(id uint64) (TraceData, bool) {
 	for i := 0; i < r.size; i++ {
 		t := r.buf[(r.next-1-i+len(r.buf))%len(r.buf)]
 		if t.id == id {
+			found = t
+			break
+		}
+	}
+	r.mu.Unlock()
+	if found == nil {
+		return TraceData{}, false
+	}
+	return found.Snapshot(), true
+}
+
+// GetByTraceID returns the most recently retained trace carrying the
+// given client-supplied identity. The zero id never matches.
+func (r *TraceRing) GetByTraceID(tid TraceID) (TraceData, bool) {
+	if tid.IsZero() {
+		return TraceData{}, false
+	}
+	r.mu.Lock()
+	var found *Trace
+	for i := 0; i < r.size; i++ {
+		t := r.buf[(r.next-1-i+len(r.buf))%len(r.buf)]
+		if t.tid == tid {
 			found = t
 			break
 		}

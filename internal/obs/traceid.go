@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// TraceID is the 16-byte request-scoped trace identity minted at the
+// edge (rbacctl, or any caller of the HTTP/wire transports) and carried
+// with the request through System → Engine → cascade. It is rendered as
+// 32 lowercase hex characters. The zero TraceID means "no client
+// identity": the trace is addressable only by its ring-assigned
+// sequence number.
+type TraceID [16]byte
+
+// IsZero reports whether the id is the zero (absent) identity.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters ("" when zero).
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// NewTraceID mints a random trace id. The extremely unlikely failure of
+// the system randomness source yields the zero id, which downgrades the
+// request to an anonymous (ring-id-only) trace rather than failing it.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		return TraceID{}
+	}
+	return t
+}
+
+// ParseTraceID parses a 32-hex-character trace id.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("obs: trace id must be 32 hex characters, got %d", len(s))
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("obs: bad trace id %q: %v", s, err)
+	}
+	return t, nil
+}

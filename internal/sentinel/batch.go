@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"activerbac/internal/event"
+	"activerbac/internal/obs"
 )
 
 // CheckTuple is one enforcement request of a batch: the canonical
@@ -150,8 +151,18 @@ func (bs *batchState) decSlab(n int) []Decision {
 //     mutation interleaving with the batch lands after the capture and
 //     the affected entries are already stale when stored.
 //
-// Traced engines fall back to per-tuple DecideCheck calls — a batch
-// work item records no per-decision cascade steps. See DESIGN.md §5.6.
+// Tracing interacts with batching per the observer's sampling policy
+// (a batch work item records no per-decision cascade steps, so a traced
+// tuple must leave the batch floor):
+//
+//   - trace ring without a sampler (trace-everything): the batch falls
+//     back to per-tuple DecideCheck calls, each fully traced;
+//   - trace ring with a sampler: a sampled batch traces exactly one
+//     tuple through the full per-tuple cascade while the remainder
+//     stays batch-native on the carrier fast path; an unsampled batch
+//     is entirely batch-native.
+//
+// See DESIGN.md §5.6 and §5.7.
 func (e *Engine) DecideCheckBatch(eventName string, tuples []CheckTuple, verdicts []Verdict) ([]Verdict, error) {
 	verdicts = verdicts[:0]
 	n := len(tuples)
@@ -164,17 +175,72 @@ func (e *Engine) DecideCheckBatch(eventName string, tuples []CheckTuple, verdict
 		t0 = e.clk.Now()
 	}
 	if o != nil && o.Traces != nil {
-		for i := range tuples {
-			t := &tuples[i]
-			dec, err := e.DecideCheck(eventName, t.User, t.Session, t.Operation, t.Object)
-			if err != nil {
-				return verdicts, err
+		if o.Sampler == nil {
+			for i := range tuples {
+				t := &tuples[i]
+				dec, err := e.DecideCheck(eventName, t.User, t.Session, t.Operation, t.Object)
+				if err != nil {
+					return verdicts, err
+				}
+				allowed, reason := dec.Verdict()
+				verdicts = append(verdicts, Verdict{Allowed: allowed, Reason: reason})
 			}
-			allowed, reason := dec.Verdict()
-			verdicts = append(verdicts, Verdict{Allowed: allowed, Reason: reason})
+			return verdicts, nil
+		}
+		if o.Sampler.Sample(t0) {
+			return e.decideBatchSplit(o, t0, eventName, tuples, verdicts, obs.TraceID{})
+		}
+	}
+	return e.decideBatchCore(o, t0, eventName, tuples, verdicts, n)
+}
+
+// DecideCheckBatchTraced is DecideCheckBatch with a caller-supplied
+// trace identity: the batch's first tuple runs the full per-tuple
+// cascade traced under tid (resolvable at /v1/traces/{id}), the rest
+// stays batch-native — the same one-tuple shape sampled batches take.
+func (e *Engine) DecideCheckBatchTraced(eventName string, tuples []CheckTuple, verdicts []Verdict, tid obs.TraceID) ([]Verdict, error) {
+	verdicts = verdicts[:0]
+	n := len(tuples)
+	if n == 0 {
+		return verdicts, nil
+	}
+	o := e.obs
+	var t0 time.Time
+	if o != nil {
+		t0 = e.clk.Now()
+	}
+	return e.decideBatchSplit(o, t0, eventName, tuples, verdicts, tid)
+}
+
+// decideBatchSplit decides tuples[0] through the traced per-tuple
+// cascade and the remainder batch-native: the shape both sampled and
+// client-traced batches take. The one-tuple detour shows up in the
+// per-tuple decision metrics instead of the batch row; the batch-size
+// distribution still records the full submitted size.
+func (e *Engine) decideBatchSplit(o *obs.Observer, t0 time.Time, eventName string, tuples []CheckTuple, verdicts []Verdict, tid obs.TraceID) ([]Verdict, error) {
+	t := &tuples[0]
+	dec, err := e.DecideCheckTraced(eventName, t.User, t.Session, t.Operation, t.Object, tid)
+	if err != nil {
+		return verdicts, err
+	}
+	allowed, reason := dec.Verdict()
+	verdicts = append(verdicts, Verdict{Allowed: allowed, Reason: reason})
+	if len(tuples) == 1 {
+		if o != nil {
+			o.BatchSize.Observe(1)
 		}
 		return verdicts, nil
 	}
+	return e.decideBatchCore(o, t0, eventName, tuples[1:], verdicts, len(tuples))
+}
+
+// decideBatchCore is the batch-native evaluation floor shared by every
+// entry point above: one snapshot capture, one up-front cache probe,
+// scope-group lane submission, one settle. batchN is the size of the
+// originally submitted batch (tuples may be a remainder after a traced
+// split), recorded once into the batch-size distribution.
+func (e *Engine) decideBatchCore(o *obs.Observer, t0 time.Time, eventName string, tuples []CheckTuple, verdicts []Verdict, batchN int) ([]Verdict, error) {
+	n := len(tuples)
 
 	bs := batchPool.Get().(*batchState)
 	defer bs.release()
@@ -346,7 +412,7 @@ func (e *Engine) DecideCheckBatch(eventName string, tuples []CheckTuple, verdict
 		// The batch is one decision round trip: its latency is observed
 		// once, not once per tuple.
 		o.DecisionLatency.With(eventName).Observe(e.clk.Now().Sub(t0).Seconds())
-		o.BatchSizeSum.Add(float64(n))
+		o.BatchSize.Observe(float64(batchN))
 		o.BatchGroups.Add(float64(len(bs.scopes)))
 		o.BatchFastPathHits.Add(float64(hits))
 	}

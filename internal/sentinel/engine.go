@@ -231,9 +231,13 @@ func NewEngine(clk clock.Clock, opts ...EngineOption) *Engine {
 	}
 	if o := cfg.observer; o != nil {
 		det.SetInstruments(&event.Instruments{
-			LaneWait:      func(lane string, s float64) { o.LaneWait.With(lane).Observe(s) },
+			LaneWait: func(lane string, s float64) {
+				o.LaneWait.With(lane).Observe(s)
+				o.StageLaneWait.Observe(s)
+			},
 			OperatorMatch: func(op string) { o.OperatorMatches.With(op).Inc() },
 		})
+		e.pool.SetRuleTiming(true)
 		o.Registry.OnScrape(e.collect)
 	}
 	if cfg.fastpath {
@@ -299,6 +303,7 @@ func (e *Engine) collect() {
 		o.RuleFired.With(r.Name).Set(float64(r.Fired))
 		o.RuleAllowed.With(r.Name).Set(float64(r.Allowed))
 		o.RuleDenied.With(r.Name).Set(float64(r.Denied))
+		o.RuleEvalSeconds.With(r.Name).Set(float64(r.EvalNanos) / 1e9)
 	}
 	c := e.store.Count()
 	o.Users.Set(float64(c.Users))
@@ -341,7 +346,10 @@ func (e *Engine) Monitor() *ExternalMonitor { return e.monitor }
 // With the fast path enabled, a repeat ALLOW verdict for a cacheable
 // request is served from the epoch-tagged cache, skipping the cascade
 // entirely. Traced requests always cascade: a cached verdict has no
-// steps to record.
+// steps to record. Which requests are traced is the observer's call:
+// every one when a trace ring is configured without a sampler, the
+// sampled fraction otherwise — so a sampled production engine keeps the
+// fast path live for the untraced majority.
 func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error) {
 	// Observability: the engine clock drives both the latency histogram
 	// and the trace timestamps, so simulated time in tests and benches
@@ -349,17 +357,21 @@ func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error
 	// branches collapse to the pre-observability path.
 	o := e.obs
 	var t0 time.Time
+	traced := false
 	if o != nil {
 		t0 = e.clk.Now()
+		if o.Traces != nil {
+			traced = o.SampleTrace(t0)
+		}
 	}
-	if fp := e.fp; fp != nil && (o == nil || o.Traces == nil) {
+	if fp := e.fp; fp != nil && !traced {
 		user, session, operation, object, ok := fpRequest(params)
 		if ok && e.cacheable(eventName) {
 			return e.decideCached(o, t0, eventName, user, session, operation, object, params)
 		}
 		fp.bypass.Add(1)
 	}
-	return e.cascade(o, t0, eventName, params, nil, nil, 0, 0)
+	return e.cascade(o, t0, eventName, params, nil, nil, 0, 0, traced, obs.TraceID{})
 }
 
 // DecideCheck is Decide for the canonical four-field enforcement tuple
@@ -371,16 +383,40 @@ func (e *Engine) Decide(eventName string, params event.Params) (*Decision, error
 func (e *Engine) DecideCheck(eventName, user, session, operation, object string) (*Decision, error) {
 	o := e.obs
 	var t0 time.Time
+	traced := false
 	if o != nil {
 		t0 = e.clk.Now()
+		if o.Traces != nil {
+			traced = o.SampleTrace(t0)
+		}
 	}
-	if fp := e.fp; fp != nil && (o == nil || o.Traces == nil) {
+	if fp := e.fp; fp != nil && !traced {
 		if e.cacheable(eventName) {
 			return e.decideCached(o, t0, eventName, user, session, operation, object, nil)
 		}
 		fp.bypass.Add(1)
 	}
-	return e.cascade(o, t0, eventName, checkParams(user, session, operation, object), nil, nil, 0, 0)
+	return e.cascade(o, t0, eventName, checkParams(user, session, operation, object), nil, nil, 0, 0, traced, obs.TraceID{})
+}
+
+// DecideCheckTraced is DecideCheck with a caller-supplied trace
+// identity: the request always runs the full cascade (a cached verdict
+// has no steps to record) and, when a trace ring is configured, its
+// trace is retained under tid so /v1/traces/{id} resolves the id the
+// client minted at the edge — regardless of the sampler's verdict.
+// With tracing off entirely the id is accepted and ignored.
+func (e *Engine) DecideCheckTraced(eventName, user, session, operation, object string, tid obs.TraceID) (*Decision, error) {
+	o := e.obs
+	var t0 time.Time
+	traced := false
+	if o != nil {
+		t0 = e.clk.Now()
+		traced = o.Traces != nil
+	}
+	if fp := e.fp; fp != nil && !traced {
+		fp.bypass.Add(1)
+	}
+	return e.cascade(o, t0, eventName, checkParams(user, session, operation, object), nil, nil, 0, 0, traced, tid)
 }
 
 // checkParams builds the Params map for the four-field tuple.
@@ -408,7 +444,7 @@ func (e *Engine) decideCached(o *obs.Observer, t0 time.Time, eventName, user, se
 		if params == nil {
 			params = checkParams(user, session, operation, object)
 		}
-		return e.cascade(o, t0, eventName, params, nil, nil, 0, 0)
+		return e.cascade(o, t0, eventName, params, nil, nil, 0, 0, false, obs.TraceID{})
 	}
 	epoch := fp.epoch.Load()
 	sgen := fp.sgen(session)
@@ -417,23 +453,39 @@ func (e *Engine) decideCached(o *obs.Observer, t0 time.Time, eventName, user, se
 		fpKeyPool.Put(buf)
 		fp.hits.Add(1)
 		if o != nil {
+			now := e.clk.Now()
+			elapsed := now.Sub(t0)
+			// On a hit the whole decision IS the probe: encode + lookup.
+			o.StageFastPath.Observe(elapsed.Seconds())
 			o.Decisions.With(eventName, "allow").Inc()
-			o.DecisionLatency.With(eventName).Observe(e.clk.Now().Sub(t0).Seconds())
+			o.DecisionLatency.With(eventName).Observe(elapsed.Seconds())
+			if sl := o.Slow; sl != nil && sl.Exceeds(elapsed) {
+				o.SlowDecisions.Inc()
+				sl.Record(obs.SlowRecord{
+					At: t0, Event: eventName, Scope: scopeOfCheck(user, session),
+					Seconds: elapsed.Seconds(), Allowed: true,
+				})
+			}
 		}
 		return dec, nil
 	}
 	fp.misses.Add(1)
+	if o != nil {
+		o.StageFastPath.Observe(e.clk.Now().Sub(t0).Seconds())
+	}
 	if params == nil {
 		params = checkParams(user, session, operation, object)
 	}
-	return e.cascade(o, t0, eventName, params, buf, key, epoch, sgen)
+	return e.cascade(o, t0, eventName, params, buf, key, epoch, sgen, false, obs.TraceID{})
 }
 
 // cascade runs the full rule cascade for one enforcement event. fpBuf
 // is non-nil only on a fast-path miss: the pooled key buffer is held
 // through the cascade so an ALLOW verdict can be stored under the
-// pre-captured epoch pair without re-encoding the tuple.
-func (e *Engine) cascade(o *obs.Observer, t0 time.Time, eventName string, params event.Params, fpBuf *[]byte, fpKey []byte, fpEpoch, fpSgen uint64) (*Decision, error) {
+// pre-captured epoch pair without re-encoding the tuple. traced asks
+// for a cascade trace (already sampled or forced by the caller); tid is
+// the client-supplied trace identity, zero for engine-sampled traces.
+func (e *Engine) cascade(o *obs.Observer, t0 time.Time, eventName string, params event.Params, fpBuf *[]byte, fpKey []byte, fpEpoch, fpSgen uint64, traced bool, tid obs.TraceID) (*Decision, error) {
 	fp := e.fp
 	dec := &Decision{}
 	dec.votes = dec.vbuf[:0]
@@ -445,9 +497,17 @@ func (e *Engine) cascade(o *obs.Observer, t0 time.Time, eventName string, params
 	scope := scopeOf(p)
 
 	var tr *obs.Trace
-	if o != nil && o.Traces != nil {
-		tr = o.Traces.Start(eventName, scope, e.clk.Now())
+	if traced && o != nil && o.Traces != nil {
+		tr = o.Traces.StartID(tid, eventName, scope, e.clk.Now())
 		dec.trace = tr // no concurrent access before the raise below
+	}
+	// Stage attribution: the raise-to-settle window is the cascade
+	// stage — rule matching, condition evaluation and actions across
+	// every lane the request touches (queue time is attributed
+	// separately, to lane_wait, by the drain instrument).
+	var tRaise time.Time
+	if o != nil {
+		tRaise = e.clk.Now()
 	}
 	// p was built here and is never touched again: hand ownership to the
 	// detector so it skips its defensive clone.
@@ -458,7 +518,7 @@ func (e *Engine) cascade(o *obs.Observer, t0 time.Time, eventName string, params
 		}
 		return nil, err
 	}
-	allowed, _ := dec.Verdict()
+	allowed, reason := dec.Verdict()
 	if fpBuf != nil {
 		if allowed {
 			fp.store(fpKey, dec, fpEpoch, fpSgen)
@@ -467,8 +527,10 @@ func (e *Engine) cascade(o *obs.Observer, t0 time.Time, eventName string, params
 		fpKeyPool.Put(fpBuf)
 	}
 	if o != nil {
+		now := e.clk.Now()
+		o.StageCascade.Observe(now.Sub(tRaise).Seconds())
 		if tr != nil {
-			o.Traces.Finish(tr, e.clk.Now())
+			o.Traces.Finish(tr, now)
 			o.TracesTotal.Inc()
 		}
 		verdict := "deny"
@@ -476,9 +538,35 @@ func (e *Engine) cascade(o *obs.Observer, t0 time.Time, eventName string, params
 			verdict = "allow"
 		}
 		o.Decisions.With(eventName, verdict).Inc()
-		o.DecisionLatency.With(eventName).Observe(e.clk.Now().Sub(t0).Seconds())
+		elapsed := now.Sub(t0)
+		o.DecisionLatency.With(eventName).Observe(elapsed.Seconds())
+		if sl := o.Slow; sl != nil && sl.Exceeds(elapsed) {
+			o.SlowDecisions.Inc()
+			rec := obs.SlowRecord{
+				At: t0, Event: eventName, Scope: scope,
+				Seconds: elapsed.Seconds(), Allowed: allowed, Reason: reason,
+			}
+			if tr != nil {
+				// Slow decisions force full trace retention: the snapshot
+				// embedded here outlives any trace-ring eviction.
+				td := tr.Snapshot()
+				rec.Trace = &td
+				rec.TraceID = td.TraceID
+				rec.TraceSeq = td.ID
+			}
+			sl.Record(rec)
+		}
 	}
 	return dec, nil
+}
+
+// scopeOfCheck is scopeOf for the four-field tuple entry points: the
+// session when present, else the user.
+func scopeOfCheck(user, session string) string {
+	if session != "" {
+		return session
+	}
+	return user
 }
 
 // scopeOf derives the sharding key of a request from its parameters:

@@ -18,10 +18,14 @@ var EngineClock = &Analyzer{
 }
 
 // engineClockPackages are the packages the invariant covers. The clock
-// package itself is exempt: it is where the real clock lives.
+// package itself is exempt: it is where the real clock lives; the wire
+// package is exempt too (transport RTT is wall-clock by design).
+// internal/core joined when per-rule evaluation timing landed there —
+// that timing must read the detector's injected clock, never the wall.
 var engineClockPackages = map[string]bool{
 	"internal/sentinel": true,
 	"internal/event":    true,
+	"internal/core":     true,
 }
 
 // engineClockBanned are the time functions that read the wall clock.

@@ -7,8 +7,9 @@ import (
 
 // ObsNil enforces the observability fast-path discipline: the optional
 // instrument pointers (an engine's obs observer, a detector's ins
-// hooks, an observer's Traces ring) default to nil, and hot paths must
-// check that before dereferencing. The idiomatic shapes —
+// hooks, an observer's Traces ring, its Sampler and its Slow ring)
+// default to nil, and hot paths must check that before dereferencing.
+// The idiomatic shapes —
 //
 //	o := e.obs; if o != nil { ... }            (alias then guard)
 //	if ins := ln.d.ins; ins != nil { ... }     (guard in the if init)
@@ -32,8 +33,13 @@ var obsNilPackages = map[string]bool{
 	"internal/store":    true,
 }
 
-// obsNilFields are the optional-pointer field names.
-var obsNilFields = map[string]bool{"obs": true, "ins": true, "Traces": true}
+// obsNilFields are the optional-pointer field names. Sampler and Slow
+// joined with the telemetry work: both stay nil unless sampled tracing
+// or slow-decision capture is configured, so every hot-path use must
+// guard them like the trace ring.
+var obsNilFields = map[string]bool{
+	"obs": true, "ins": true, "Traces": true, "Sampler": true, "Slow": true,
+}
 
 func runObsNil(pass *Pass) {
 	if !obsNilPackages[pass.Path] {

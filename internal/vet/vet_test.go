@@ -85,6 +85,25 @@ func stamp() { _ = time.Now() }
 	wantDiags(t, runOn(t, EngineClock, "internal/audit", elsewhere), 0)
 }
 
+// TestEngineClockCoversCore: per-rule evaluation timing lives in
+// internal/core now, so a wall-clock read there is a violation; the
+// injected-clock form (p.det.Clock().Now()) passes.
+func TestEngineClockCoversCore(t *testing.T) {
+	dirty := `package core
+
+import "time"
+
+func (p *Pool) runRule() { _ = time.Now() }
+`
+	wantDiags(t, runOn(t, EngineClock, "internal/core", dirty), 1)
+
+	clean := `package core
+
+func (p *Pool) runRule() { _ = p.det.Clock().Now() }
+`
+	wantDiags(t, runOn(t, EngineClock, "internal/core", clean), 0)
+}
+
 // --- obsnil --------------------------------------------------------
 
 // TestObsNilFlagsUnguardedDeref: touching e.obs.Decisions without a nil
@@ -132,6 +151,34 @@ func (ln *lane) scoped() {
 }
 `
 	wantDiags(t, runOn(t, ObsNil, "internal/sentinel", src), 0)
+}
+
+// TestObsNilCoversSamplerAndSlow: the telemetry pointers added with
+// sampled tracing and slow-decision capture are optional like the trace
+// ring — unguarded chains through them are violations, guarded ones
+// pass.
+func TestObsNilCoversSamplerAndSlow(t *testing.T) {
+	dirty := `package sentinel
+
+func (e *Engine) sample(o *Observer) {
+	_ = o.Sampler.Sample(e.clk.Now())
+	o.Slow.Record(rec)
+}
+`
+	wantDiags(t, runOn(t, ObsNil, "internal/sentinel", dirty), 2)
+
+	clean := `package sentinel
+
+func (e *Engine) sample(o *Observer) {
+	if s := o.Sampler; s != nil {
+		_ = s.Sample(e.clk.Now())
+	}
+	if sl := o.Slow; sl != nil && sl.Exceeds(d) {
+		sl.Record(rec)
+	}
+}
+`
+	wantDiags(t, runOn(t, ObsNil, "internal/sentinel", clean), 0)
 }
 
 // TestObsNilIgnoresOtherPackages: the rule only applies to the four

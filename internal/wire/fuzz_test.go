@@ -101,6 +101,15 @@ func FuzzPayloadCodecs(f *testing.F) {
 				t.Fatalf("epoch re-decode mismatch: %d -> (%d, %v)", epoch, e2, err)
 			}
 		}
+		if tid, rest, err := ConsumeTraceID(data); err == nil {
+			t2, rest2, err := ConsumeTraceID(AppendTraceID(nil, tid))
+			if err != nil || t2 != tid || len(rest2) != 0 {
+				t.Fatalf("trace-id re-decode mismatch: %v -> (%v, %d rest, %v)", tid, t2, len(rest2), err)
+			}
+			if len(rest) != len(data)-TraceIDSize {
+				t.Fatalf("trace-id rest length %d, want %d", len(rest), len(data)-TraceIDSize)
+			}
+		}
 	})
 }
 

@@ -34,6 +34,26 @@ type BatchBackend interface {
 	CheckBatch(reqs []CheckRequest, vs []bool) []bool
 }
 
+// TraceBackend is optionally implemented by a Backend that can run a
+// client-traced check: the decision's cascade trace is retained under
+// the supplied 16-byte id. A plain Backend serves TraceFlag CHECKs as
+// ordinary checks (the id is dropped).
+type TraceBackend interface {
+	Backend
+	// CheckTraced is Check with the decision traced under tid.
+	CheckTraced(session, operation, object string, tid [TraceIDSize]byte) bool
+}
+
+// BatchTraceBackend is optionally implemented by a BatchBackend that
+// can decide a TraceFlag CHECK_BATCH natively: the first tuple's trace
+// is retained under tid, the rest stays batch-native.
+type BatchTraceBackend interface {
+	BatchBackend
+	// CheckBatchTraced is CheckBatch with the first tuple traced under
+	// tid.
+	CheckBatchTraced(reqs []CheckRequest, vs []bool, tid [TraceIDSize]byte) []bool
+}
+
 // Instruments are optional transport metrics hooks; any field may be
 // nil. rbacd wires them to the activerbac_wire_* metric families.
 type Instruments struct {
@@ -46,6 +66,10 @@ type Instruments struct {
 	// Inflight tracks the server-wide in-flight request delta (+1 on
 	// admit, -1 after the response is written).
 	Inflight func(delta float64)
+	// RTT observes the server-side round trip of one request frame —
+	// decode to response write — in seconds, labelled by opcode. Wiring
+	// it costs two wall-clock reads per request.
+	RTT func(opcode string, seconds float64)
 }
 
 // ServerOptions tunes a Server; the zero value selects the defaults.
@@ -110,7 +134,11 @@ type Server struct {
 	// batch is backend's BatchBackend upgrade, asserted once at
 	// construction; nil keeps the per-tuple CHECK_BATCH fan-out.
 	batch BatchBackend
-	opts  ServerOptions
+	// trace and btrace are the trace-capable upgrades, asserted once at
+	// construction; nil serves TraceFlag requests untraced.
+	trace  TraceBackend
+	btrace BatchTraceBackend
+	opts   ServerOptions
 
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
@@ -126,9 +154,13 @@ func NewServer(backend Backend, opts *ServerOptions) *Server {
 		o = *opts
 	}
 	batch, _ := backend.(BatchBackend)
+	trace, _ := backend.(TraceBackend)
+	btrace, _ := backend.(BatchTraceBackend)
 	return &Server{
 		backend: backend,
 		batch:   batch,
+		trace:   trace,
+		btrace:  btrace,
 		opts:    o.withDefaults(),
 		lns:     map[net.Listener]struct{}{},
 		conns:   map[*srvConn]struct{}{},
@@ -253,10 +285,13 @@ type srvConn struct {
 
 // request is one decoded unit of work handed to the worker pool.
 type request struct {
-	op    byte
-	id    uint32
-	check CheckRequest   // OpCheck
-	batch []CheckRequest // OpCheckBatch
+	op     byte
+	id     uint32
+	check  CheckRequest   // OpCheck
+	batch  []CheckRequest // OpCheckBatch
+	traced bool           // TraceFlag was set on the request opcode
+	tid    [TraceIDSize]byte
+	start  time.Time // decode instant; zero unless the RTT hook is wired
 }
 
 // response is one frame queued for the writer.
@@ -264,6 +299,7 @@ type response struct {
 	op      byte
 	id      uint32
 	payload []byte
+	start   time.Time // propagated request.start for the RTT hook
 }
 
 // Static single-verdict payloads (read-only).
@@ -354,6 +390,10 @@ func (sc *srvConn) readLoop(sem chan struct{}, out chan<- response, work chan<- 
 		if ins != nil && ins.Inflight != nil {
 			ins.Inflight(+1)
 		}
+		var start time.Time
+		if ins != nil && ins.RTT != nil {
+			start = time.Now()
+		}
 		switch f.Op {
 		case OpPing:
 			// Echo. The payload aliases the decoder buffer; copy it.
@@ -361,25 +401,46 @@ func (sc *srvConn) readLoop(sem chan struct{}, out chan<- response, work chan<- 
 			if len(f.Payload) > 0 {
 				echo = append([]byte(nil), f.Payload...)
 			}
-			out <- response{op: OpPing | RespFlag, id: f.ID, payload: echo}
+			out <- response{op: OpPing | RespFlag, id: f.ID, payload: echo, start: start}
 		case OpPolicyVersion:
 			out <- response{op: OpPolicyVersion | RespFlag, id: f.ID,
-				payload: AppendEpoch(nil, sc.srv.backend.PolicyEpoch())}
-		case OpCheck:
-			session, operation, object, err := ConsumeCheck(f.Payload)
+				payload: AppendEpoch(nil, sc.srv.backend.PolicyEpoch()), start: start}
+		case OpCheck, OpCheck | TraceFlag:
+			payload := f.Payload
+			req := request{op: f.Op, id: f.ID, start: start}
+			if f.Op&TraceFlag != 0 {
+				var err error
+				if req.tid, payload, err = ConsumeTraceID(payload); err != nil {
+					out <- sc.errorResponse(f, ErrCodeBadRequest, err, ins)
+					continue
+				}
+				req.traced = true
+			}
+			session, operation, object, err := ConsumeCheck(payload)
 			if err != nil {
 				out <- sc.errorResponse(f, ErrCodeBadRequest, err, ins)
 				continue
 			}
-			work <- request{op: OpCheck, id: f.ID,
-				check: CheckRequest{Session: session, Operation: operation, Object: object}}
-		case OpCheckBatch:
-			batch, err := ConsumeCheckBatch(f.Payload, nil)
+			req.check = CheckRequest{Session: session, Operation: operation, Object: object}
+			work <- req
+		case OpCheckBatch, OpCheckBatch | TraceFlag:
+			payload := f.Payload
+			req := request{op: f.Op, id: f.ID, start: start}
+			if f.Op&TraceFlag != 0 {
+				var err error
+				if req.tid, payload, err = ConsumeTraceID(payload); err != nil {
+					out <- sc.errorResponse(f, ErrCodeBadRequest, err, ins)
+					continue
+				}
+				req.traced = true
+			}
+			batch, err := ConsumeCheckBatch(payload, nil)
 			if err != nil {
 				out <- sc.errorResponse(f, ErrCodeBadRequest, err, ins)
 				continue
 			}
-			work <- request{op: OpCheckBatch, id: f.ID, batch: batch}
+			req.batch = batch
+			work <- req
 		default:
 			out <- sc.errorResponse(f, ErrCodeUnknownOp,
 				errors.New("wire: unknown opcode"), ins)
@@ -401,36 +462,56 @@ var verdictBufPool = sync.Pool{New: func() any {
 	return &b
 }}
 
-// execute runs one check request against the backend.
+// execute runs one check request against the backend. Responses echo
+// the request opcode (trace flag included) with RespFlag set; a traced
+// response payload is shaped exactly like the untraced one — the trace
+// is retained server-side under the request's id.
 func (sc *srvConn) execute(req request) response {
-	switch req.op {
+	switch req.op &^ TraceFlag {
 	case OpCheck:
+		allowed := false
+		if tb := sc.srv.trace; req.traced && tb != nil {
+			allowed = tb.CheckTraced(req.check.Session, req.check.Operation, req.check.Object, req.tid)
+		} else {
+			allowed = sc.srv.backend.Check(req.check.Session, req.check.Operation, req.check.Object)
+		}
 		p := verdictDeny
-		if sc.srv.backend.Check(req.check.Session, req.check.Operation, req.check.Object) {
+		if allowed {
 			p = verdictAllow
 		}
-		return response{op: OpCheck | RespFlag, id: req.id, payload: p}
+		return response{op: req.op | RespFlag, id: req.id, payload: p, start: req.start}
 	default: // OpCheckBatch
 		payload := make([]byte, 0, len(req.batch)+binary.MaxVarintLen64)
 		if bb := sc.srv.batch; bb != nil {
 			// Batch-native: one engine pass decides the whole frame and
 			// one append encodes it.
 			vb := verdictBufPool.Get().(*[]bool)
-			vs := bb.CheckBatch(req.batch, (*vb)[:0])
+			var vs []bool
+			if tb := sc.srv.btrace; req.traced && tb != nil {
+				vs = tb.CheckBatchTraced(req.batch, (*vb)[:0], req.tid)
+			} else {
+				vs = bb.CheckBatch(req.batch, (*vb)[:0])
+			}
 			payload = AppendVerdicts(payload, vs)
 			*vb = vs[:0]
 			verdictBufPool.Put(vb)
 		} else {
 			payload = binary.AppendUvarint(payload, uint64(len(req.batch)))
-			for _, r := range req.batch {
+			for i, r := range req.batch {
 				v := byte(0)
-				if sc.srv.backend.Check(r.Session, r.Operation, r.Object) {
+				allowed := false
+				if tb := sc.srv.trace; req.traced && i == 0 && tb != nil {
+					allowed = tb.CheckTraced(r.Session, r.Operation, r.Object, req.tid)
+				} else {
+					allowed = sc.srv.backend.Check(r.Session, r.Operation, r.Object)
+				}
+				if allowed {
 					v = 1
 				}
 				payload = append(payload, v)
 			}
 		}
-		return response{op: OpCheckBatch | RespFlag, id: req.id, payload: payload}
+		return response{op: req.op | RespFlag, id: req.id, payload: payload, start: req.start}
 	}
 }
 
@@ -456,6 +537,9 @@ func (sc *srvConn) writeLoop(out <-chan response, sem <-chan struct{}, ins *Inst
 				// parked on the in-flight cap) and discard the rest.
 				sc.c.Close()
 			}
+		}
+		if ins != nil && ins.RTT != nil && !resp.start.IsZero() {
+			ins.RTT(OpName(resp.op), time.Since(resp.start).Seconds())
 		}
 		if ins != nil && ins.Inflight != nil {
 			ins.Inflight(-1)

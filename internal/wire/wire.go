@@ -28,6 +28,16 @@
 // policy snapshot epoch. ERROR (0xFF, response-only) carries a code
 // byte and a message string, tagged with the failing request's id.
 //
+// CHECK and CHECK_BATCH requests may additionally set the TRACE bit
+// (0x40) on the opcode byte; the payload is then prefixed with a raw
+// 16-byte trace id, and the server — when tracing is configured —
+// retains the decision's cascade trace under that id for later
+// retrieval (/v1/traces/{id}). The response echoes the flagged opcode
+// with RespFlag set and is otherwise shaped exactly like the unflagged
+// response: the trace stays server-side. Within a traced CHECK_BATCH
+// only the first tuple is traced; the remainder keeps the batch-native
+// path.
+//
 // # Versioning rules
 //
 // The magic pair and version byte are validated on every frame. A
@@ -91,10 +101,21 @@ const (
 	// the low bits.
 	RespFlag byte = 0x80
 
+	// TraceFlag, set on a CHECK or CHECK_BATCH request opcode, prefixes
+	// the payload with a raw 16-byte trace id the server records the
+	// decision's cascade trace under. Adding the flag is an additive
+	// protocol change: servers predating it answer flagged opcodes with
+	// an UnknownOp ERROR and the connection survives.
+	TraceFlag byte = 0x40
+
 	// OpError is the response to a request the server could not serve:
 	// payload one code byte then a message string.
 	OpError byte = 0xFF
 )
+
+// TraceIDSize is the raw trace-id length a TraceFlag payload prefix
+// carries.
+const TraceIDSize = 16
 
 // Error codes carried by OpError payloads.
 const (
@@ -125,10 +146,13 @@ var (
 	ErrBadPayload    = errors.New("wire: malformed payload")
 )
 
-// OpName returns the stable label of an opcode (response flag ignored)
-// for metrics and logs.
+// OpName returns the stable label of an opcode (response and trace
+// flags ignored) for metrics and logs.
 func OpName(op byte) string {
-	switch op &^ RespFlag {
+	if op == OpError {
+		return "error"
+	}
+	switch op &^ (RespFlag | TraceFlag) {
 	case OpCheck:
 		return "check"
 	case OpCheckBatch:
@@ -137,8 +161,6 @@ func OpName(op byte) string {
 		return "ping"
 	case OpPolicyVersion:
 		return "policy_version"
-	case OpError &^ RespFlag:
-		return "error"
 	}
 	return "unknown"
 }
@@ -343,6 +365,22 @@ func ConsumeVerdicts(b []byte, into []bool) ([]bool, error) {
 		verdicts = append(verdicts, v == 1)
 	}
 	return verdicts, nil
+}
+
+// AppendTraceID appends the raw 16-byte trace-id prefix a TraceFlag
+// payload starts with.
+func AppendTraceID(dst []byte, tid [TraceIDSize]byte) []byte {
+	return append(dst, tid[:]...)
+}
+
+// ConsumeTraceID splits the 16-byte trace-id prefix off a TraceFlag
+// payload.
+func ConsumeTraceID(b []byte) (tid [TraceIDSize]byte, rest []byte, err error) {
+	if len(b) < TraceIDSize {
+		return tid, nil, ErrBadPayload
+	}
+	copy(tid[:], b)
+	return tid, b[TraceIDSize:], nil
 }
 
 // AppendErrorPayload appends an ERROR response payload.
