@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check fuzz-wire bench-smoke bench bench-obs bench-obs-smoke bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-compare clean
+.PHONY: build test race vet lint check verify-policies fuzz-wire bench-smoke bench bench-obs bench-obs-smoke bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,34 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rbacvet ./...
 
-check: build test race vet lint fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-batch-smoke bench-obs-smoke
+check: build test race vet lint verify-policies fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-batch-smoke bench-obs-smoke
+
+# verify-policies runs the bounded symbolic verifier over every example
+# policy. Files named *-violating.acp are seeded-unsafe fixtures and
+# MUST be rejected (error-severity finding, non-zero exit); every other
+# policy must verify clean at error severity. Findings go to
+# verify-findings.log so CI can upload them when the gate fails.
+verify-policies: build
+	@rm -f verify-findings.log
+	@status=0; \
+	for f in examples/policies/*.acp; do \
+		case "$$f" in \
+		*-violating.acp) \
+			if $(GO) run ./cmd/policyc -verify "$$f" >>verify-findings.log 2>&1; then \
+				echo "verify-policies: FAIL $$f (seeded violation not caught)"; status=1; \
+			else \
+				echo "verify-policies: ok   $$f (rejected as expected)"; \
+			fi ;; \
+		*) \
+			if $(GO) run ./cmd/policyc -verify "$$f" >>verify-findings.log 2>&1; then \
+				echo "verify-policies: ok   $$f"; \
+			else \
+				echo "verify-policies: FAIL $$f"; status=1; \
+			fi ;; \
+		esac; \
+	done; \
+	if [ $$status -ne 0 ]; then echo "verify-policies: findings in verify-findings.log"; fi; \
+	exit $$status
 
 # fuzz-wire gives each wire-codec fuzz target a short randomized budget
 # on top of the checked-in seed corpus (internal/wire/testdata/fuzz):
@@ -98,4 +125,4 @@ bench-compare: build
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lanes.json BENCH_obs.json BENCH_fastpath.json BENCH_wire.json
+	rm -f BENCH_lanes.json BENCH_obs.json BENCH_fastpath.json BENCH_wire.json verify-findings.log

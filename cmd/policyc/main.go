@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	policyc [-check] [-analyze] [-graph] [-rules] [-format] policy.acp
+//	policyc [-check] [-analyze] [-verify] [-graph] [-rules] [-format] policy.acp
 //
 // With no mode flags, policyc runs all of check, graph and rules.
 // -analyze additionally runs the static analyzer (internal/analyze)
 // over the compiled policy and its generated rule set, printing each
 // finding as one greppable "CODE severity subject: message" line; any
 // error-severity finding fails the compile with a non-zero exit.
+// -verify additionally runs the bounded symbolic verifier
+// (internal/analyze/reach): it explores every reachable session state
+// within bounds, prints RV1xx findings with their replayable
+// counterexample traces, and fails the compile on error-severity
+// findings the same way -analyze does.
 package main
 
 import (
@@ -29,11 +34,12 @@ import (
 func main() {
 	checkOnly := flag.Bool("check", false, "only run the consistency checker")
 	analyzeFlag := flag.Bool("analyze", false, "run the static analyzer; error-severity findings fail the compile")
+	verifyFlag := flag.Bool("verify", false, "run the bounded symbolic verifier; error-severity findings fail the compile")
 	showGraph := flag.Bool("graph", false, "print the access specification graph")
 	showRules := flag.Bool("rules", false, "print the generated rule inventory")
 	format := flag.Bool("format", false, "print the canonical form of the policy")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: policyc [-check] [-analyze] [-graph] [-rules] [-format] policy.acp\n")
+		fmt.Fprintf(os.Stderr, "usage: policyc [-check] [-analyze] [-verify] [-graph] [-rules] [-format] policy.acp\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,18 +47,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *checkOnly, *analyzeFlag, *showGraph, *showRules, *format); err != nil {
+	if err := run(flag.Arg(0), *checkOnly, *analyzeFlag, *verifyFlag, *showGraph, *showRules, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "policyc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, checkOnly, analyzeFlag, showGraph, showRules, format bool) error {
+func run(path string, checkOnly, analyzeFlag, verifyFlag, showGraph, showRules, format bool) error {
 	spec, err := policy.ParseFile(path)
 	if err != nil {
 		return err
 	}
-	all := !checkOnly && !analyzeFlag && !showGraph && !showRules && !format
+	all := !checkOnly && !analyzeFlag && !verifyFlag && !showGraph && !showRules && !format
 
 	issues := policy.Check(spec)
 	for _, is := range issues {
@@ -84,6 +90,30 @@ func run(path string, checkOnly, analyzeFlag, showGraph, showRules, format bool)
 			return fmt.Errorf("policy %q has %d error-severity analysis finding(s)", spec.Name, nErr)
 		}
 		fmt.Printf("analysis: %d finding(s), none at error severity\n", len(findings))
+		if !verifyFlag && !showGraph && !showRules && !format {
+			return nil
+		}
+	}
+
+	if verifyFlag {
+		res, err := activerbac.VerifyPolicy(policy.Format(spec), activerbac.VerifyConfig{})
+		if err != nil {
+			return err
+		}
+		nErr := 0
+		for _, f := range res.Findings {
+			fmt.Println(f.String())
+			if f.Counterexample != nil {
+				printCounterexample(f.Counterexample)
+			}
+			if f.Severity == activerbac.AnalysisError {
+				nErr++
+			}
+		}
+		if nErr > 0 {
+			return fmt.Errorf("policy %q has %d error-severity verification finding(s)", spec.Name, nErr)
+		}
+		fmt.Printf("verification: %d state(s) explored, %d finding(s), none at error severity\n", res.States, len(res.Findings))
 		if !showGraph && !showRules && !format {
 			return nil
 		}
@@ -173,4 +203,28 @@ func run(path string, checkOnly, analyzeFlag, showGraph, showRules, format bool)
 		}
 	}
 	return nil
+}
+
+// printCounterexample renders a finding's replayable trace, one
+// indented line per step.
+func printCounterexample(cex *activerbac.Counterexample) {
+	for _, st := range cex.Steps {
+		fmt.Printf("    %s\n", formatStep(st))
+	}
+}
+
+// formatStep renders one counterexample step in the compact trace
+// syntax used across policyc, rbacctl and the docs.
+func formatStep(st activerbac.VerifyStep) string {
+	switch st.Op {
+	case "session":
+		return fmt.Sprintf("session %s for %s", st.Session, st.User)
+	case "activate", "drop":
+		return fmt.Sprintf("%s %s in %s", st.Op, st.Role, st.Session)
+	case "tick":
+		return fmt.Sprintf("tick -> %s", st.At)
+	case "check":
+		return fmt.Sprintf("check %s %s in %s (allowed)", st.Operation, st.Object, st.Session)
+	}
+	return st.Op
 }

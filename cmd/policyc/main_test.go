@@ -27,23 +27,55 @@ cardinality PM 1
 func TestRunAllModes(t *testing.T) {
 	path := writePolicy(t, goodPolicy)
 	// All-mode (default) must succeed: check + graph + rules.
-	if err := run(path, false, false, false, false, false); err != nil {
+	if err := run(path, false, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true, false, false, false, false); err != nil {
+	if err := run(path, true, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, true, false, false, false); err != nil {
+	if err := run(path, false, true, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, true, false, false); err != nil {
+	if err := run(path, false, false, false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, false, true, false); err != nil {
+	if err := run(path, false, false, false, false, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, false, false, true); err != nil {
+	if err := run(path, false, false, false, false, false, true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunVerifyAcceptsCleanPolicy(t *testing.T) {
+	path := writePolicy(t, `
+policy "clean"
+role Manager
+role Clerk
+hierarchy Manager > Clerk
+permission Clerk: write po.dat
+user meg: Manager
+user carl: Clerk
+`)
+	if err := run(path, false, false, true, false, false, false); err != nil {
+		t.Fatalf("verifier rejected a clean policy: %v", err)
+	}
+}
+
+func TestRunVerifyRejectsDSoDBypass(t *testing.T) {
+	// One user authorized for both members of a dynamic SoD set can
+	// split them across two sessions — unreachable for the per-session
+	// engine check, found by the bounded explorer (RV101).
+	path := writePolicy(t, `
+policy "bypass"
+role Teller
+role Auditor
+dsd bank 2: Teller, Auditor
+permission Teller: write ledger.dat
+user bob: Teller, Auditor
+`)
+	if err := run(path, false, false, true, false, false, false); err == nil {
+		t.Fatal("verifier accepted a cross-session DSoD bypass")
 	}
 }
 
@@ -59,27 +91,27 @@ hierarchy CEO > PC
 hierarchy CEO > AC
 ssd purchase 2: PC, AC
 `)
-	if err := run(path, false, true, false, false, false); err == nil {
+	if err := run(path, false, true, false, false, false, false); err == nil {
 		t.Fatal("analyzer accepted an SSoD/hierarchy conflict")
 	}
 }
 
 func TestRunRejectsInconsistentPolicy(t *testing.T) {
 	path := writePolicy(t, "role A\nrole A\n")
-	if err := run(path, true, false, false, false, false); err == nil {
+	if err := run(path, true, false, false, false, false, false); err == nil {
 		t.Fatal("inconsistent policy accepted")
 	}
 }
 
 func TestRunRejectsBadSyntax(t *testing.T) {
 	path := writePolicy(t, "bogus statement\n")
-	if err := run(path, false, false, false, false, false); err == nil {
+	if err := run(path, false, false, false, false, false, false); err == nil {
 		t.Fatal("bad syntax accepted")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "none.acp"), false, false, false, false, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "none.acp"), false, false, false, false, false, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -25,7 +25,7 @@
 //	role enable <role> | role disable <role>
 //	context set <key> <value>               report an environmental change
 //	context get <key>                       read an environmental value
-//	verify                                  audit the rule pool against the policy
+//	verify                                  rule-pool audit + bounded-verification findings
 //	rules                                   print the rule inventory
 //	stats                                   print engine counters
 //	fastpath                                print decision fast-path cache counters
@@ -44,9 +44,13 @@
 // from /v1/traces/{id} — an end-to-end round trip of one decision's
 // telemetry.
 //
-// analyze prints one finding per line in the stable greppable form
-// "CODE severity subject: message" and exits non-zero when any finding
-// is error severity.
+// analyze and verify print one finding per line in the stable
+// greppable form "CODE severity subject: message" (verify additionally
+// prints each finding's replayable counterexample trace, indented) and
+// exit non-zero only when a finding is error severity — warnings never
+// fail the command, so scripts can gate on exit codes against
+// -analyze=warn / -verify=warn servers. verify also fails on rule-pool
+// problems, which are errors by nature.
 package main
 
 import (
@@ -192,7 +196,9 @@ func (c *client) dispatch(args []string) error {
 			return c.get("/v1/context?" + url.Values{"key": {rest[1]}}.Encode())
 		}
 	case "verify":
-		return c.get("/v1/verify")
+		if len(rest) == 0 {
+			return c.verify()
+		}
 	case "rules":
 		return c.get("/v1/rules")
 	case "stats":
@@ -447,8 +453,58 @@ func (c *client) wireEpoch() error {
 	return nil
 }
 
+// clientFinding is the finding shape both /v1/analyze and /v1/verify
+// serve; verify findings may carry a counterexample.
+type clientFinding struct {
+	Code           string `json:"code"`
+	Severity       string `json:"severity"`
+	Subject        string `json:"subject"`
+	Msg            string `json:"msg"`
+	Counterexample *struct {
+		Steps []clientStep `json:"steps"`
+	} `json:"counterexample"`
+}
+
+// clientStep is one counterexample event as served by /v1/verify.
+type clientStep struct {
+	Op        string `json:"op"`
+	User      string `json:"user"`
+	Session   string `json:"session"`
+	Role      string `json:"role"`
+	Operation string `json:"operation"`
+	Object    string `json:"object"`
+	At        string `json:"at"`
+}
+
+func (st clientStep) String() string {
+	switch st.Op {
+	case "session":
+		return fmt.Sprintf("session %s for %s", st.Session, st.User)
+	case "activate", "drop":
+		return fmt.Sprintf("%s %s in %s", st.Op, st.Role, st.Session)
+	case "tick":
+		return fmt.Sprintf("tick -> %s", st.At)
+	case "check":
+		return fmt.Sprintf("check %s %s in %s (allowed)", st.Operation, st.Object, st.Session)
+	}
+	return st.Op
+}
+
+// countErrors tallies error-severity findings — the only severity that
+// makes analyze/verify exit non-zero.
+func countErrors(fs []clientFinding) int {
+	n := 0
+	for _, f := range fs {
+		if f.Severity == "error" {
+			n++
+		}
+	}
+	return n
+}
+
 // analyze fetches /v1/analyze and prints each finding in the stable
-// one-line form; error-severity findings make the command exit 1.
+// one-line form; only error-severity findings make the command exit 1
+// (warnings are reported but never fail scripting).
 func (c *client) analyze() error {
 	resp, err := http.Get(c.base + "/v1/analyze")
 	if err != nil {
@@ -456,13 +512,7 @@ func (c *client) analyze() error {
 	}
 	defer resp.Body.Close()
 	var payload struct {
-		OK       bool `json:"ok"`
-		Findings []struct {
-			Code     string `json:"code"`
-			Severity string `json:"severity"`
-			Subject  string `json:"subject"`
-			Msg      string `json:"msg"`
-		} `json:"findings"`
+		Findings []clientFinding `json:"findings"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&payload); err != nil {
 		return fmt.Errorf("decoding /v1/analyze response: %w", err)
@@ -473,10 +523,61 @@ func (c *client) analyze() error {
 	for _, f := range payload.Findings {
 		fmt.Printf("%s %s %s: %s\n", f.Code, f.Severity, f.Subject, f.Msg)
 	}
-	if !payload.OK {
-		return fmt.Errorf("static analysis reported error-severity findings")
+	if nErr := countErrors(payload.Findings); nErr > 0 {
+		return fmt.Errorf("static analysis reported %d error-severity finding(s)", nErr)
 	}
 	fmt.Printf("analysis: %d finding(s), none at error severity\n", len(payload.Findings))
+	return nil
+}
+
+// verify fetches /v1/verify and prints the rule-pool problems plus the
+// bounded-verification findings with their counterexample traces.
+// Error-severity findings and pool problems make the command exit 1;
+// warnings do not.
+func (c *client) verify() error {
+	resp, err := http.Get(c.base + "/v1/verify")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Problems  []string        `json:"problems"`
+		Mode      string          `json:"mode"`
+		States    int             `json:"states"`
+		Truncated bool            `json:"truncated"`
+		Findings  []clientFinding `json:"findings"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&payload); err != nil {
+		return fmt.Errorf("decoding /v1/verify response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	for _, p := range payload.Problems {
+		fmt.Println("rule-pool problem:", p)
+	}
+	for _, f := range payload.Findings {
+		fmt.Printf("%s %s %s: %s\n", f.Code, f.Severity, f.Subject, f.Msg)
+		if f.Counterexample != nil {
+			for _, st := range f.Counterexample.Steps {
+				fmt.Printf("    %s\n", st)
+			}
+		}
+	}
+	nErr := countErrors(payload.Findings)
+	if len(payload.Problems) > 0 || nErr > 0 {
+		return fmt.Errorf("verification reported %d rule-pool problem(s) and %d error-severity finding(s)", len(payload.Problems), nErr)
+	}
+	if payload.Mode == "off" {
+		fmt.Println("verification: rule pool consistent (bounded verification off; start rbacd with -verify=warn)")
+		return nil
+	}
+	trunc := ""
+	if payload.Truncated {
+		trunc = ", search truncated"
+	}
+	fmt.Printf("verification: %d state(s) explored, %d finding(s), none at error severity%s\n",
+		payload.States, len(payload.Findings), trunc)
 	return nil
 }
 

@@ -139,6 +139,59 @@ func TestDispatchRejectsBadCommands(t *testing.T) {
 	}
 }
 
+// jsonServer serves a fixed JSON body for any request.
+func jsonServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// Exit contract: analyze and verify exit non-zero only on
+// error-severity findings (or, for verify, rule-pool problems) —
+// warnings alone never fail the command.
+func TestAnalyzeExitCode(t *testing.T) {
+	warnOnly := jsonServer(t, `{"ok":true,"findings":[
+		{"code":"RA010","severity":"warn","subject":"role:PM","msg":"unreachable role"}]}`)
+	if err := (&client{base: warnOnly.URL}).dispatch([]string{"analyze"}); err != nil {
+		t.Fatalf("warn-only findings failed analyze: %v", err)
+	}
+
+	// ok:false alone must not fail the exit code — only the client-side
+	// error-severity count decides.
+	withError := jsonServer(t, `{"ok":false,"findings":[
+		{"code":"RA010","severity":"warn","subject":"role:PM","msg":"unreachable role"},
+		{"code":"RA001","severity":"error","subject":"ssd:purchase","msg":"conflict"}]}`)
+	if err := (&client{base: withError.URL}).dispatch([]string{"analyze"}); err == nil {
+		t.Fatal("error-severity finding did not fail analyze")
+	}
+}
+
+func TestVerifyExitCode(t *testing.T) {
+	warnOnly := jsonServer(t, `{"ok":true,"mode":"warn","states":42,"problems":[],"findings":[
+		{"code":"RV104","severity":"warn","subject":"grant:PM","msg":"dead grant"}]}`)
+	if err := (&client{base: warnOnly.URL}).dispatch([]string{"verify"}); err != nil {
+		t.Fatalf("warn-only findings failed verify: %v", err)
+	}
+
+	withError := jsonServer(t, `{"ok":false,"mode":"warn","states":42,"problems":[],"findings":[
+		{"code":"RV101","severity":"error","subject":"dsd:bank","msg":"cross-session bypass",
+		 "counterexample":{"steps":[
+			{"op":"session","user":"bob","session":"bob#1"},
+			{"op":"activate","session":"bob#1","role":"Teller"}]}}]}`)
+	if err := (&client{base: withError.URL}).dispatch([]string{"verify"}); err == nil {
+		t.Fatal("error-severity finding did not fail verify")
+	}
+
+	poolProblem := jsonServer(t, `{"ok":false,"mode":"off","problems":["rule r1: dangling role"],"findings":[]}`)
+	if err := (&client{base: poolProblem.URL}).dispatch([]string{"verify"}); err == nil {
+		t.Fatal("rule-pool problem did not fail verify")
+	}
+}
+
 func TestServerErrorSurfaced(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, `{"error":"denied"}`, http.StatusForbidden)

@@ -7,12 +7,20 @@
 //
 //	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-audit-sync 3s]
 //	      [-snapshot state.json] [-lanes N] [-trace-buffer 256] [-debug-addr :6060]
-//	      [-analyze off|warn|strict] [-wire-addr :8181]
+//	      [-analyze off|warn|strict] [-verify off|warn|strict] [-wire-addr :8181]
 //
 // -analyze gates both startup and policy hot reloads on the static
 // analyzer (internal/analyze): "warn" (the default) logs every finding,
 // "strict" refuses to start — and rejects POST /v1/policy — when any
 // finding is error severity, "off" skips analysis entirely.
+//
+// -verify gates startup and hot reloads on the bounded symbolic
+// verifier (internal/analyze/reach), which explores every reachable
+// session state within bounds and emits RV1xx findings with replayable
+// counterexamples. "off" (the default — verification explores a state
+// space and is heavier than analysis), "warn" logs findings and serves
+// them at GET /v1/verify, "strict" refuses to start — and rejects
+// POST /v1/policy with 422 — on any error-severity finding.
 //
 // -wire-addr additionally serves the internal/wire binary decision
 // protocol (CHECK / CHECK_BATCH / PING / POLICY_VERSION) on a second
@@ -37,7 +45,7 @@
 //	POST   /v1/roles/disable         {"role":R}
 //	POST   /v1/context               {"key":K,"value":V}       context update (may revoke roles)
 //	GET    /v1/context?key=K                                   -> current value
-//	GET    /v1/verify                                          -> rule-pool verification result
+//	GET    /v1/verify                                          -> rule-pool check + bounded-verification findings/counterexamples
 //	GET    /v1/rules                                           -> rule inventory
 //	GET    /v1/stats                                           -> engine counters
 //	GET    /v1/fastpath                                        -> decision fast-path cache counters
@@ -99,6 +107,7 @@ type config struct {
 	slowBuffer                                int
 	debugAddr                                 string
 	analyzeMode                               string
+	verifyMode                                string
 	fastpath                                  string
 
 	httpReadHeaderTimeout time.Duration
@@ -131,6 +140,8 @@ func main() {
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 	flag.StringVar(&cfg.analyzeMode, "analyze", "warn",
 		"static-analysis gate for startup and hot reloads: off, warn or strict")
+	flag.StringVar(&cfg.verifyMode, "verify", "off",
+		"bounded-verification gate for startup and hot reloads: off, warn or strict")
 	flag.StringVar(&cfg.fastpath, "fastpath", "off",
 		"decision fast path (off or on): serve repeat ALLOW access checks from an epoch-tagged cache; stats at /v1/fastpath")
 	flag.DurationVar(&cfg.httpReadHeaderTimeout, "http-read-header-timeout", 10*time.Second,
@@ -156,6 +167,12 @@ func main() {
 	case "off", "warn", "strict":
 	default:
 		fmt.Fprintf(os.Stderr, "rbacd: -analyze must be off, warn or strict (got %q)\n", cfg.analyzeMode)
+		os.Exit(2)
+	}
+	switch cfg.verifyMode {
+	case "off", "warn", "strict":
+	default:
+		fmt.Fprintf(os.Stderr, "rbacd: -verify must be off, warn or strict (got %q)\n", cfg.verifyMode)
 		os.Exit(2)
 	}
 	switch cfg.fastpath {
@@ -221,6 +238,28 @@ func run(cfg config) error {
 		}
 	}
 
+	// Startup verification gate: the bounded symbolic verifier explores
+	// the policy's reachable session states and replays every
+	// counterexample before the listener opens. Strict mode refuses to
+	// serve a policy with a reachable violation; warn mode serves the
+	// findings (and their counterexamples) at GET /v1/verify.
+	verifyErrors := false
+	var verifyRes activerbac.VerifyResult
+	if cfg.verifyMode != "off" {
+		res, err := sys.Verify(activerbac.VerifyConfig{})
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		verifyRes = res
+		for _, f := range res.Findings {
+			log.Print("rbacd: verify: ", f.String())
+		}
+		verifyErrors = activerbac.HasVerifyErrors(res.Findings)
+		if cfg.verifyMode == "strict" && verifyErrors {
+			return fmt.Errorf("policy %s has error-severity verification findings (run with -verify=warn to serve anyway)", cfg.policyPath)
+		}
+	}
+
 	// Buffered audit mode: a background timer bounds how much trail a
 	// crash can lose to one flush interval.
 	if cfg.auditPath != "" && cfg.auditSync > 0 {
@@ -251,8 +290,10 @@ func run(cfg config) error {
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 
-	srv := &server{sys: sys, analyzeMode: cfg.analyzeMode, wireConfigured: cfg.wireAddr != ""}
+	srv := &server{sys: sys, analyzeMode: cfg.analyzeMode, verifyMode: cfg.verifyMode,
+		verifyRes: verifyRes, wireConfigured: cfg.wireAddr != ""}
 	srv.analyzeErrors.Store(analyzeErrors)
+	srv.verifyErrors.Store(verifyErrors)
 	httpSrv := &http.Server{
 		Handler: srv.routes(),
 		// Slow-client guards: a client trickling headers or parking an
@@ -452,12 +493,18 @@ type server struct {
 	mu          sync.RWMutex
 	sys         *activerbac.System
 	analyzeMode string
+	verifyMode  string
+
+	// verifyRes caches the last bounded-verification run (startup or
+	// hot reload) for GET /v1/verify; guarded by mu.
+	verifyRes activerbac.VerifyResult
 
 	// Readiness state for /readyz: whether the live policy carries
-	// error-severity analysis findings (warn mode serves it anyway, but
-	// readiness reports the degradation), and whether the optional wire
-	// listener is configured and accepting.
+	// error-severity analysis or verification findings (warn modes
+	// serve it anyway, but readiness reports the degradation), and
+	// whether the optional wire listener is configured and accepting.
 	analyzeErrors  atomic.Bool
+	verifyErrors   atomic.Bool
 	wireConfigured bool
 	wireReady      atomic.Bool
 }
@@ -783,13 +830,32 @@ func (s *server) getContext(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"key": key, "value": value, "set": ok})
 }
 
+// verify serves the live rule-pool consistency check plus the cached
+// bounded-verification findings from the last startup or hot-reload
+// run (empty when -verify=off). The legacy {ok, problems} fields keep
+// their pre-verifier meaning extended by the new findings: ok is false
+// when the pool is inconsistent or any finding is error severity.
 func (s *server) verify(w http.ResponseWriter, _ *http.Request) {
 	errs := s.system().VerifyRules()
 	msgs := make([]string, len(errs))
 	for i, e := range errs {
 		msgs[i] = e.Error()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": len(errs) == 0, "problems": msgs})
+	s.mu.RLock()
+	res := s.verifyRes
+	s.mu.RUnlock()
+	findings := res.Findings
+	if findings == nil {
+		findings = []activerbac.VerifyFinding{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        len(errs) == 0 && !activerbac.HasVerifyErrors(findings),
+		"problems":  msgs,
+		"mode":      s.verifyMode,
+		"findings":  findings,
+		"states":    res.States,
+		"truncated": res.Truncated,
+	})
 }
 
 func (s *server) rules(w http.ResponseWriter, _ *http.Request) {
@@ -922,6 +988,9 @@ func (s *server) readyz(w http.ResponseWriter, _ *http.Request) {
 	if s.analyzeErrors.Load() {
 		problems = append(problems, "live policy has error-severity analysis findings")
 	}
+	if s.verifyErrors.Load() {
+		problems = append(problems, "live policy has error-severity verification findings")
+	}
 	for _, ls := range s.system().LaneStats() {
 		if ls.Depth > laneReadyDepth {
 			problems = append(problems, fmt.Sprintf("lane %s backlogged: depth %d > %d", ls.Lane, ls.Depth, laneReadyDepth))
@@ -981,13 +1050,41 @@ func (s *server) putPolicy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Hot-reload verification gate: the incoming policy's reachable
+	// states are explored (and counterexamples replayed) on scratch
+	// engines before the live pool is touched.
+	verifyErrors := false
+	var verifyRes activerbac.VerifyResult
+	if s.verifyMode != "off" {
+		res, err := activerbac.VerifyPolicy(string(body), activerbac.VerifyConfig{})
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		for _, f := range res.Findings {
+			log.Print("rbacd: verify: ", f.String())
+		}
+		verifyRes = res
+		verifyErrors = activerbac.HasVerifyErrors(res.Findings)
+		if s.verifyMode == "strict" && verifyErrors {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error":    "policy rejected by bounded verification",
+				"findings": res.Findings,
+			})
+			return
+		}
+	}
 	s.mu.Lock()
 	rep, err := s.sys.ApplyPolicy(string(body))
+	if err == nil && s.verifyMode != "off" {
+		s.verifyRes = verifyRes
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
 	}
 	s.analyzeErrors.Store(analyzeErrors)
+	s.verifyErrors.Store(verifyErrors)
 	writeJSON(w, http.StatusOK, rep)
 }

@@ -397,6 +397,146 @@ func TestContextAndVerifyEndpoints(t *testing.T) {
 	}
 }
 
+// violatingPolicyPath is the seeded-unsafe example: one user authorized
+// for both members of a DSoD set, exploitable only across sessions.
+const violatingPolicyPath = "../../examples/policies/sod-violating.acp"
+
+// TestVerifyStrictRefusesSeededPolicy: rbacd started on the seeded
+// SoD-violating example with -verify=strict must refuse to come up,
+// before any listener opens.
+func TestVerifyStrictRefusesSeededPolicy(t *testing.T) {
+	err := run(config{
+		policyPath:  violatingPolicyPath,
+		addr:        "127.0.0.1:0",
+		analyzeMode: "off",
+		verifyMode:  "strict",
+	})
+	if err == nil {
+		t.Fatal("strict verify gate accepted the seeded SoD-violating policy")
+	}
+	if !strings.Contains(err.Error(), "verification") {
+		t.Fatalf("startup error should blame verification, got: %v", err)
+	}
+}
+
+// TestVerifyWarnServesCounterexample: in warn mode the server comes up
+// degraded and serves the finding with its replayable counterexample at
+// GET /v1/verify.
+func TestVerifyWarnServesCounterexample(t *testing.T) {
+	src, err := os.ReadFile(violatingPolicyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := activerbac.Open(string(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	res, err := sys.Verify(activerbac.VerifyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{sys: sys, analyzeMode: "off", verifyMode: "warn", verifyRes: res}
+	srv.verifyErrors.Store(activerbac.HasVerifyErrors(res.Findings))
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	var ver struct {
+		OK       bool   `json:"ok"`
+		Mode     string `json:"mode"`
+		States   int    `json:"states"`
+		Findings []struct {
+			Code           string `json:"code"`
+			Severity       string `json:"severity"`
+			Counterexample *struct {
+				Steps []struct {
+					Op      string `json:"op"`
+					Session string `json:"session"`
+					Role    string `json:"role"`
+				} `json:"steps"`
+			} `json:"counterexample"`
+		} `json:"findings"`
+	}
+	if code := call(t, ts, "GET", "/v1/verify", "", &ver); code != 200 {
+		t.Fatalf("verify: code=%d", code)
+	}
+	if ver.OK || ver.Mode != "warn" || ver.States == 0 {
+		t.Fatalf("verify payload: %+v", ver)
+	}
+	var found bool
+	for _, f := range ver.Findings {
+		if f.Code != "RV101" {
+			continue
+		}
+		found = true
+		if f.Severity != "error" {
+			t.Fatalf("RV101 severity = %q", f.Severity)
+		}
+		if f.Counterexample == nil || len(f.Counterexample.Steps) < 4 {
+			t.Fatalf("RV101 counterexample missing or too short: %+v", f.Counterexample)
+		}
+		steps := f.Counterexample.Steps
+		if steps[0].Op != "session" || steps[len(steps)-1].Op != "activate" {
+			t.Fatalf("unexpected counterexample shape: %+v", steps)
+		}
+		// The bypass needs two distinct sessions.
+		if steps[len(steps)-1].Session == steps[len(steps)-2].Session {
+			t.Fatalf("counterexample does not split across sessions: %+v", steps)
+		}
+	}
+	if !found {
+		t.Fatalf("no RV101 finding served: %+v", ver.Findings)
+	}
+
+	// The degradation shows up on /readyz.
+	var ready struct {
+		Ready    bool     `json:"ready"`
+		Problems []string `json:"problems"`
+	}
+	if code := call(t, ts, "GET", "/readyz", "", &ready); code != http.StatusServiceUnavailable || ready.Ready {
+		t.Fatalf("readyz: code=%d %+v", code, ready)
+	}
+}
+
+// TestVerifyStrictHotReloadRejected: a strict server vets an incoming
+// policy on scratch engines and rejects a reachable violation with 422,
+// keeping the live policy untouched.
+func TestVerifyStrictHotReloadRejected(t *testing.T) {
+	sys, err := activerbac.Open(testPolicy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := &server{sys: sys, analyzeMode: "off", verifyMode: "strict"}
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	src, err := os.ReadFile(violatingPolicyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rej struct {
+		Error    string            `json:"error"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if code := call(t, ts, "POST", "/v1/policy", string(src), &rej); code != http.StatusUnprocessableEntity {
+		t.Fatalf("hot reload of violating policy: code=%d, want 422", code)
+	}
+	if rej.Error == "" || len(rej.Findings) == 0 {
+		t.Fatalf("rejection payload: %+v", rej)
+	}
+	// Live policy is untouched.
+	resp, err := http.Get(ts.URL + "/v1/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "enterprise-xyz") {
+		t.Fatalf("live policy changed after rejected reload: %q", body)
+	}
+}
+
 func TestActiveSecurityOverHTTP(t *testing.T) {
 	srv := newTestServer(t)
 	var sess struct {

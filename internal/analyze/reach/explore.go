@@ -1,0 +1,449 @@
+package reach
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+
+	"activerbac/internal/analyze"
+)
+
+// trans is one transition along an exploration path.
+type trans struct {
+	kind  byte // 'a' activate, 'd' drop, 't' tick
+	agent int
+	role  int
+	tick  int // boundary index, for 't'
+}
+
+// node is the BFS parent pointer: how a state was first reached.
+// The initial state's parent is the empty key.
+type node struct {
+	parent string
+	step   trans
+}
+
+// encode renders a state as its canonical key: phase byte followed by
+// one little-endian bitset per agent.
+func (m *model) encode(phase int, active []uint64) string {
+	buf := make([]byte, 1+8*len(active))
+	buf[0] = byte(phase)
+	for i, a := range active {
+		binary.LittleEndian.PutUint64(buf[1+8*i:], a)
+	}
+	return string(buf)
+}
+
+func cloneActive(active []uint64) []uint64 {
+	na := make([]uint64, len(active))
+	copy(na, active)
+	return na
+}
+
+func equalActive(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// explore runs the breadth-first search. BFS guarantees every
+// counterexample is a shortest witness, which together with the
+// deterministic transition order makes the output stable across runs.
+func (m *model) explore() Result {
+	res := Result{}
+	active0 := make([]uint64, m.nAgents)
+	key0 := m.encode(0, active0)
+	seen := map[string]node{key0: {}}
+
+	type qitem struct {
+		key    string
+		phase  int
+		active []uint64
+	}
+	queue := []qitem{{key0, 0, active0}}
+
+	reported := map[string]bool{}
+	// report dedupes per (code, subject) and builds the counterexample
+	// lazily, so already-witnessed violations cost nothing per state.
+	report := func(code string, sev analyze.Severity, subject, msg string, mk func() *Counterexample) {
+		k := code + "|" + subject
+		if reported[k] {
+			return
+		}
+		reported[k] = true
+		var cex *Counterexample
+		if mk != nil {
+			cex = mk()
+		}
+		res.Findings = append(res.Findings, Finding{
+			Finding:        analyze.Finding{Code: code, Severity: sev, Subject: subject, Msg: msg},
+			Counterexample: cex,
+		})
+	}
+
+	var directEver, closureEver uint64
+	budgetHit := false
+
+	push := func(parentKey string, step trans, phase int, active []uint64) {
+		res.Transitions++
+		key := m.encode(phase, active)
+		if _, ok := seen[key]; ok {
+			return
+		}
+		if len(seen) >= m.cfg.MaxStates {
+			budgetHit = true
+			return
+		}
+		seen[key] = node{parent: parentKey, step: step}
+		queue = append(queue, qitem{key, phase, active})
+		for _, a := range active {
+			directEver |= a
+			closureEver |= m.closureOf(a)
+		}
+		m.checkState(key, phase, active, seen, report)
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for a := 0; a < m.nAgents; a++ {
+			u := m.userOf[a]
+			for r := 0; r < len(m.roles); r++ {
+				if !m.canActivate(cur.phase, cur.active, a, u, r) {
+					continue
+				}
+				na := cloneActive(cur.active)
+				na[a] |= 1 << r
+				push(cur.key, trans{kind: 'a', agent: a, role: r}, cur.phase, na)
+			}
+			for b := cur.active[a]; b != 0; b &= b - 1 {
+				r := bits.TrailingZeros64(b)
+				na, ok, msg := m.applyDrop(cur.active, a, r)
+				if !ok {
+					report("RV106", analyze.Error, "cascade:"+m.roles[r], msg, nil)
+					continue
+				}
+				push(cur.key, trans{kind: 'd', agent: a, role: r}, cur.phase, na)
+			}
+		}
+		if cur.phase < len(m.boundaries) {
+			push(cur.key, trans{kind: 't', tick: cur.phase}, cur.phase+1, cloneActive(cur.active))
+		}
+	}
+
+	res.States = len(seen)
+	if budgetHit {
+		res.Truncated = true
+		report("RV100", analyze.Warn, "search", fmt.Sprintf(
+			"state budget %d exhausted before the search completed — liveness findings suppressed, reachability findings remain valid", m.cfg.MaxStates), nil)
+	}
+	if m.liveOK && !budgetHit {
+		m.checkLiveness(directEver, closureEver, report)
+	}
+	return res
+}
+
+// canActivate mirrors the engine's AddActiveRole guard chain exactly;
+// any divergence here is caught by the differential replay harness.
+func (m *model) canActivate(phase int, active []uint64, a, u, r int) bool {
+	bit := uint64(1) << r
+	if active[a]&bit != 0 {
+		return false
+	}
+	if m.contextGated&bit != 0 {
+		return false
+	}
+	if m.enabled[phase]&bit == 0 {
+		return false
+	}
+	if m.userAuth[u]&bit == 0 {
+		return false
+	}
+	if lim := m.userMax[u]; lim >= 0 && bits.OnesCount64(active[a]) >= lim {
+		return false
+	}
+	if lim := m.card[r]; lim >= 0 {
+		count := 0
+		for _, s := range active {
+			if s&bit != 0 {
+				count++
+			}
+		}
+		if count >= lim {
+			return false
+		}
+	}
+	newCl := m.closureOf(active[a]) | m.closure[r]
+	for _, set := range m.dsd {
+		if bits.OnesCount64(newCl&set.mask) >= set.n {
+			return false
+		}
+	}
+	if m.prereq[r]&^active[a] != 0 {
+		return false
+	}
+	for _, q := range m.requires[r] {
+		if !directActive(active, q) {
+			return false
+		}
+	}
+	return true
+}
+
+func directActive(active []uint64, r int) bool {
+	bit := uint64(1) << r
+	for _, s := range active {
+		if s&bit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// applyDrop removes the activation and runs the Rule 9 revocation
+// cascade to a fixpoint, proving termination (iteration budget) and
+// confluence (two processing orders reach the same fixpoint) as it
+// goes. ok=false carries the RV106 message.
+func (m *model) applyDrop(active []uint64, agent, role int) ([]uint64, bool, string) {
+	na := cloneActive(active)
+	na[agent] &^= 1 << role
+	fwd, okF := m.cascade(na, false)
+	bwd, okB := m.cascade(na, true)
+	if !okF || !okB {
+		return nil, false, fmt.Sprintf(
+			"revocation cascade after dropping %q did not reach a fixpoint within %d iterations — termination unproven", m.roles[role], m.cfg.CascadeBudget)
+	}
+	if !equalActive(fwd, bwd) {
+		return nil, false, fmt.Sprintf(
+			"revocation cascade after dropping %q reaches different fixpoints under different processing orders — not confluent", m.roles[role])
+	}
+	return fwd, true, ""
+}
+
+// cascade revokes dependents of roles whose last direct activation is
+// gone, repeating until nothing changes. One dependency edge is
+// processed per iteration round, so a require-chain of depth d needs d
+// rounds; the budget bounds pathological (or unprovable) cascades.
+func (m *model) cascade(active []uint64, reverse bool) ([]uint64, bool) {
+	na := cloneActive(active)
+	for iter := 0; ; iter++ {
+		if iter >= m.cfg.CascadeBudget {
+			return nil, false
+		}
+		changed := false
+		for i := 0; i < len(m.roles); i++ {
+			q := i
+			if reverse {
+				q = len(m.roles) - 1 - i
+			}
+			if len(m.dependents[q]) == 0 || directActive(na, q) {
+				continue
+			}
+			for _, d := range m.dependents[q] {
+				bit := uint64(1) << d
+				for ai := range na {
+					if na[ai]&bit != 0 {
+						na[ai] &^= bit
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return na, true
+		}
+	}
+}
+
+// checkState evaluates the safety properties on a newly discovered
+// state and reports violations with shortest-path counterexamples.
+func (m *model) checkState(key string, phase int, active []uint64, seen map[string]node, report func(string, analyze.Severity, string, string, func() *Counterexample)) {
+	// RV101: cross-session DSoD bypass. The engine checks each session
+	// in isolation; the union of one user's sessions is unchecked.
+	for ui, uname := range m.users {
+		var union uint64
+		for a := 0; a < m.nAgents; a++ {
+			if m.userOf[a] == ui && active[a] != 0 {
+				union |= m.closureOf(active[a])
+			}
+		}
+		for _, set := range m.dsd {
+			hits := union & set.mask
+			if bits.OnesCount64(hits) < set.n {
+				continue
+			}
+			roles := m.roleNames(hits)
+			var sess []string
+			for a := 0; a < m.nAgents; a++ {
+				if m.userOf[a] == ui && m.closureOf(active[a])&set.mask != 0 {
+					sess = append(sess, m.sessName[a])
+				}
+			}
+			uname, set := uname, set
+			v := Violation{Kind: "dsd-cross-session", Set: set.name, User: uname,
+				Roles: roles, Sessions: sess, Limit: set.n, Count: len(roles)}
+			report("RV101", analyze.Error, "dsd:"+set.name, fmt.Sprintf(
+				"user %q can hold %d of dsd set %q {%s} concurrently by splitting them across sessions (limit %d); the per-session check never sees the union",
+				uname, len(roles), set.name, strings.Join(roles, ", "), set.n),
+				func() *Counterexample { return m.buildCex(seen, key, v, nil) })
+		}
+	}
+
+	// RV102: cardinality bypass via the hierarchy. The counter bounds
+	// direct activations; seniors inherit the role's permissions
+	// without counting against it.
+	for r, lim := range m.card {
+		if lim < 0 {
+			continue
+		}
+		bit := uint64(1) << r
+		var sess []string
+		for a := 0; a < m.nAgents; a++ {
+			if m.closureOf(active[a])&bit != 0 {
+				sess = append(sess, m.sessName[a])
+			}
+		}
+		if len(sess) <= lim {
+			continue
+		}
+		r, lim, sess := r, lim, sess
+		v := Violation{Kind: "cardinality-overrun", Role: m.roles[r],
+			Sessions: sess, Limit: lim, Count: len(sess)}
+		report("RV102", analyze.Error, "cardinality:"+m.roles[r], fmt.Sprintf(
+			"%d sessions can act with role %q (cardinality %d): seniors inherit its permissions without counting against the direct-activation bound",
+			len(sess), m.roles[r], lim),
+			func() *Counterexample { return m.buildCex(seen, key, v, nil) })
+	}
+
+	// RV103: window escape — an activation of a shift-bound role
+	// survives the window close, because disabling does not revoke.
+	escaped := m.shifted &^ m.enabled[phase]
+	if escaped == 0 {
+		return
+	}
+	for a := 0; a < m.nAgents; a++ {
+		for b := active[a] & escaped; b != 0; b &= b - 1 {
+			r := bits.TrailingZeros64(b)
+			a, r := a, r
+			v := Violation{Kind: "window-escape", Role: m.roles[r],
+				User: m.users[m.userOf[a]], Sessions: []string{m.sessName[a]}}
+			check := m.checkStepFor(a, r)
+			report("RV103", analyze.Warn, "shift:"+m.roles[r], fmt.Sprintf(
+				"an activation of %q in session %s survives the enabling-window close: disabling does not revoke live activations, so the role's permissions stay exercisable outside the window",
+				m.roles[r], m.sessName[a]),
+				func() *Counterexample { return m.buildCex(seen, key, v, check) })
+		}
+	}
+}
+
+// checkStepFor finds a permission reachable from role r (its own grant
+// or an inherited one) to append as the proving "check" step of a
+// window-escape counterexample; nil when the role grants nothing.
+func (m *model) checkStepFor(agent, r int) *Step {
+	for b := m.closure[r]; b != 0; b &= b - 1 {
+		j := bits.TrailingZeros64(b)
+		if len(m.permsOf[j]) > 0 {
+			p := m.permsOf[j][0]
+			return &Step{Op: "check", User: m.users[m.userOf[agent]],
+				Session: m.sessName[agent], Operation: p.Operation, Object: p.Object}
+		}
+	}
+	return nil
+}
+
+// checkLiveness reports dead roles (RV105) and dead grants (RV104)
+// once the search has provably covered every reachable state.
+func (m *model) checkLiveness(directEver, closureEver uint64, report func(string, analyze.Severity, string, string, func() *Counterexample)) {
+	dead := make(map[int]bool)
+	for r := range m.roles {
+		bit := uint64(1) << r
+		if m.contextGated&bit != 0 || directEver&bit != 0 {
+			continue
+		}
+		authorized := false
+		for ui := range m.users {
+			if m.userAuth[ui]&bit != 0 {
+				authorized = true
+				break
+			}
+		}
+		if !authorized {
+			continue
+		}
+		dead[r] = true
+		report("RV105", analyze.Warn, "role:"+m.roles[r], fmt.Sprintf(
+			"role %q is authorized but never activatable in any reachable state within bounds (check enabling windows, prerequisites and Rule 9 dependencies)", m.roles[r]), nil)
+	}
+	for r, perms := range m.permsOf {
+		bit := uint64(1) << r
+		if len(perms) == 0 || m.contextGated&bit != 0 || dead[r] || closureEver&bit != 0 {
+			continue
+		}
+		for _, p := range perms {
+			report("RV104", analyze.Warn,
+				fmt.Sprintf("grant:%s:%s:%s", p.Role, p.Operation, p.Object), fmt.Sprintf(
+					"permission (%s %s) on role %q can never be exercised: the role never enters any session's active closure within bounds", p.Operation, p.Object, p.Role), nil)
+		}
+	}
+}
+
+// roleNames renders a role bitset as declaration-ordered names.
+func (m *model) roleNames(bitset uint64) []string {
+	var out []string
+	for b := bitset; b != 0; b &= b - 1 {
+		out = append(out, m.roles[bits.TrailingZeros64(b)])
+	}
+	return out
+}
+
+// buildCex reconstructs the shortest event sequence to the violating
+// state by walking the BFS parent pointers, then renders it as
+// replayable steps: session creations first (in order of first use),
+// then the activate/drop/tick sequence, then the optional proving
+// check.
+func (m *model) buildCex(seen map[string]node, key string, v Violation, check *Step) *Counterexample {
+	var path []trans
+	for cur := key; ; {
+		nd := seen[cur]
+		if nd.parent == "" {
+			break
+		}
+		path = append(path, nd.step)
+		cur = nd.parent
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+
+	var steps []Step
+	usedSet := map[int]bool{}
+	for _, tr := range path {
+		if (tr.kind == 'a' || tr.kind == 'd') && !usedSet[tr.agent] {
+			usedSet[tr.agent] = true
+			steps = append(steps, Step{Op: "session",
+				User: m.users[m.userOf[tr.agent]], Session: m.sessName[tr.agent]})
+		}
+	}
+	for _, tr := range path {
+		switch tr.kind {
+		case 'a':
+			steps = append(steps, Step{Op: "activate",
+				User: m.users[m.userOf[tr.agent]], Session: m.sessName[tr.agent], Role: m.roles[tr.role]})
+		case 'd':
+			steps = append(steps, Step{Op: "drop",
+				User: m.users[m.userOf[tr.agent]], Session: m.sessName[tr.agent], Role: m.roles[tr.role]})
+		case 't':
+			steps = append(steps, Step{Op: "tick",
+				At: m.boundaries[tr.tick].UTC().Format(time.RFC3339)})
+		}
+	}
+	if check != nil {
+		steps = append(steps, *check)
+	}
+	return &Counterexample{Steps: steps, Violation: v}
+}

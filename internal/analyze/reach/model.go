@@ -1,0 +1,289 @@
+package reach
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"activerbac/internal/policy"
+)
+
+// maxRoleBits is the role-width cap: a session's direct activations are
+// one uint64 bitset.
+const maxRoleBits = 64
+
+// sodSet is a compiled SoD relation: member bitset plus cardinality.
+type sodSet struct {
+	name string
+	mask uint64
+	n    int
+}
+
+// model is the compiled finite transition system.
+type model struct {
+	spec *policy.Spec
+	cfg  Config
+
+	// Roles, declaration order; index is the bit position.
+	roles   []string
+	roleIdx map[string]int
+	// closure[i] is i's junior closure including i itself.
+	closure []uint64
+	// contextGated marks roles with context constraints: treated as
+	// never activatable and excluded from liveness findings.
+	contextGated uint64
+	// shifted marks roles with a GTRBAC shift (only these can be
+	// disabled by a phase, so only these can window-escape).
+	shifted uint64
+
+	dsd []sodSet
+	// card[i] is role i's activation cardinality, or -1.
+	card []int
+	// prereq[i] is the bitset of roles that must be active in the same
+	// session before activating i.
+	prereq []uint64
+	// requires[i] lists roles that must be directly active somewhere
+	// before activating i (Rule 9); dependents is the reverse edge.
+	requires   [][]int
+	dependents [][]int
+
+	// Modelled users (first MaxUsers declared) and their derived sets.
+	users    []string
+	userAuth []uint64 // activatable roles: union of assigned closures
+	userMax  []int    // per-session maxroles bound, or -1
+
+	// Agents: users × sessions, flattened. userOf[a] indexes users;
+	// sessName[a] is the stable label used in counterexample steps.
+	nAgents  int
+	userOf   []int
+	sessName []string
+
+	// Timeline: boundaries[k] is the instant of tick k; enabled[p] is
+	// the role-enabled bitset during phase p (phase 0 starts at the
+	// anchor, phase k+1 at boundaries[k]).
+	boundaries []time.Time
+	enabled    []uint64
+
+	// liveOK gates RV104/RV105: false when any truncation means the
+	// exploration cannot prove absence of an activation.
+	liveOK bool
+
+	// permsOf[i] collects role i's direct grants, for "check" steps.
+	permsOf [][]policy.Perm
+}
+
+// compile lowers spec into the transition system. The returned notes
+// describe truncations (roles beyond the 64-bit width, users beyond
+// MaxUsers); each becomes an RV100 finding.
+func compile(spec *policy.Spec, cfg Config) (*model, []string) {
+	m := &model{spec: spec, cfg: cfg, liveOK: true}
+	var notes []string
+
+	nr := len(spec.Roles)
+	if nr > maxRoleBits {
+		notes = append(notes, fmt.Sprintf(
+			"policy has %d roles; only the first %d are modelled (bitset width) — liveness findings suppressed", nr, maxRoleBits))
+		nr = maxRoleBits
+		m.liveOK = false
+	}
+	m.roles = spec.Roles[:nr]
+	m.roleIdx = make(map[string]int, nr)
+	for i, r := range m.roles {
+		m.roleIdx[r] = i
+	}
+
+	juniors := spec.Juniors()
+	m.closure = make([]uint64, nr)
+	for i, r := range m.roles {
+		cl := policy.JuniorClosure(juniors, r)
+		var bitset uint64
+		for j := range cl {
+			if idx, ok := m.roleIdx[j]; ok {
+				bitset |= 1 << idx
+			}
+		}
+		m.closure[i] = bitset | 1<<i
+	}
+
+	for _, c := range spec.Contexts {
+		if i, ok := m.roleIdx[c.Role]; ok {
+			m.contextGated |= 1 << i
+		}
+	}
+
+	for _, set := range spec.DSD {
+		var mask uint64
+		for _, r := range set.Roles {
+			if i, ok := m.roleIdx[r]; ok {
+				mask |= 1 << i
+			}
+		}
+		m.dsd = append(m.dsd, sodSet{name: set.Name, mask: mask, n: set.N})
+	}
+
+	m.card = make([]int, nr)
+	for i := range m.card {
+		m.card[i] = -1
+	}
+	for _, c := range spec.Cardinalities {
+		if i, ok := m.roleIdx[c.Role]; ok {
+			m.card[i] = c.N
+		}
+	}
+
+	m.prereq = make([]uint64, nr)
+	for _, p := range spec.Prereqs {
+		ri, ok1 := m.roleIdx[p.Role]
+		pi, ok2 := m.roleIdx[p.Prereq]
+		if ok1 && ok2 {
+			m.prereq[ri] |= 1 << pi
+		}
+	}
+
+	m.requires = make([][]int, nr)
+	m.dependents = make([][]int, nr)
+	for _, rq := range spec.Requires {
+		di, ok1 := m.roleIdx[rq.Dependent]
+		qi, ok2 := m.roleIdx[rq.Required]
+		if ok1 && ok2 {
+			m.requires[di] = append(m.requires[di], qi)
+			m.dependents[qi] = append(m.dependents[qi], di)
+		}
+	}
+
+	m.permsOf = make([][]policy.Perm, nr)
+	for _, p := range spec.Permissions {
+		if i, ok := m.roleIdx[p.Role]; ok {
+			m.permsOf[i] = append(m.permsOf[i], p)
+		}
+	}
+
+	// Users: the first MaxUsers declared. Policies with no users have
+	// no agents — only the initial state exists, and liveness would
+	// flag everything, so it is suppressed.
+	userSpecs := spec.Users
+	if len(userSpecs) > cfg.MaxUsers {
+		notes = append(notes, fmt.Sprintf(
+			"policy declares %d users; only the first %d are modelled — liveness findings suppressed", len(userSpecs), cfg.MaxUsers))
+		userSpecs = userSpecs[:cfg.MaxUsers]
+		m.liveOK = false
+	}
+	maxByUser := make(map[string]int, len(spec.MaxRoles))
+	for _, mr := range spec.MaxRoles {
+		maxByUser[mr.User] = mr.N
+	}
+	for _, u := range userSpecs {
+		var auth uint64
+		for _, r := range u.Roles {
+			if i, ok := m.roleIdx[r]; ok {
+				auth |= m.closure[i]
+			}
+		}
+		m.users = append(m.users, u.Name)
+		m.userAuth = append(m.userAuth, auth)
+		if n, ok := maxByUser[u.Name]; ok {
+			m.userMax = append(m.userMax, n)
+		} else {
+			m.userMax = append(m.userMax, -1)
+		}
+	}
+	if len(m.users) == 0 {
+		m.liveOK = false
+	}
+
+	for ui := range m.users {
+		for s := 1; s <= cfg.MaxSessions; s++ {
+			m.userOf = append(m.userOf, ui)
+			m.sessName = append(m.sessName, fmt.Sprintf("%s#%d", m.users[ui], s))
+		}
+	}
+	m.nAgents = len(m.userOf)
+
+	m.compileTimeline()
+	return m, notes
+}
+
+// compileTimeline abstracts the shift windows to the ordered sequence
+// of boundary instants within a two-day horizon from the anchor, and
+// precomputes the enabled bitset for every phase. Two days cover two
+// full cycles of the daily patterns the shift statement produces, so a
+// window escape reachable at all is reachable within the horizon.
+func (m *model) compileTimeline() {
+	type shiftw struct {
+		bit int
+		w   interface {
+			Contains(time.Time) bool
+			NextStart(time.Time) (time.Time, bool)
+			NextStop(time.Time) (time.Time, bool)
+		}
+	}
+	var shifts []shiftw
+	for _, sh := range m.spec.Shifts {
+		if i, ok := m.roleIdx[sh.Role]; ok {
+			m.shifted |= 1 << i
+			shifts = append(shifts, shiftw{bit: i, w: sh.Window()})
+		}
+	}
+
+	enabledAt := func(t time.Time) uint64 {
+		all := ^uint64(0)
+		if n := len(m.roles); n < maxRoleBits {
+			all = 1<<n - 1
+		}
+		for _, sw := range shifts {
+			if !sw.w.Contains(t) {
+				all &^= 1 << sw.bit
+			}
+		}
+		return all
+	}
+
+	m.enabled = []uint64{enabledAt(m.cfg.Anchor)}
+	if len(shifts) == 0 {
+		return
+	}
+	horizon := m.cfg.Anchor.Add(48 * time.Hour)
+	t := m.cfg.Anchor
+	for len(m.boundaries) < m.cfg.MaxTicks {
+		next := time.Time{}
+		for _, sw := range shifts {
+			for _, cand := range nextTransitions(sw.w, t) {
+				if cand.After(t) && !cand.After(horizon) && (next.IsZero() || cand.Before(next)) {
+					next = cand
+				}
+			}
+		}
+		if next.IsZero() {
+			break
+		}
+		m.boundaries = append(m.boundaries, next)
+		m.enabled = append(m.enabled, enabledAt(next))
+		t = next
+	}
+}
+
+// nextTransitions returns the candidate boundary instants of w strictly
+// relevant after t (the next start and next stop).
+func nextTransitions(w interface {
+	NextStart(time.Time) (time.Time, bool)
+	NextStop(time.Time) (time.Time, bool)
+}, t time.Time) []time.Time {
+	var out []time.Time
+	if s, ok := w.NextStart(t); ok {
+		out = append(out, s)
+	}
+	if e, ok := w.NextStop(t); ok {
+		out = append(out, e)
+	}
+	return out
+}
+
+// closureOf expands a direct-activation bitset to its active closure
+// (every activated role plus all its juniors).
+func (m *model) closureOf(active uint64) uint64 {
+	var cl uint64
+	for b := active; b != 0; b &= b - 1 {
+		cl |= m.closure[bits.TrailingZeros64(b)]
+	}
+	return cl
+}

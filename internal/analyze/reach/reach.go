@@ -1,0 +1,224 @@
+// Package reach is the bounded symbolic verifier over compiled
+// policies: it compiles the policy's constraint system — role
+// hierarchy, SSoD/DSoD sets, cardinality counters, GTRBAC enabling
+// windows, CFD activation dependencies and prerequisites — into a
+// finite transition system over abstract sessions, explores every
+// reachable state breadth-first within configurable bounds, and
+// refutes safety properties with concrete, replayable event-sequence
+// counterexamples.
+//
+// The abstraction (DESIGN §5.8 has the full treatment):
+//
+//   - Agents: the first MaxUsers users declared in the policy, each
+//     with MaxSessions pre-creatable sessions. A state is one role
+//     bitset per session (direct activations only) plus a time phase.
+//   - Time: GTRBAC shift windows are abstracted to the finite sequence
+//     of window-boundary instants within a two-day horizon from the
+//     anchor; a "tick" transition crosses one boundary. Role
+//     enabledness is a pure function of the phase, mirroring the
+//     engine's stop-wins half-open windows.
+//   - Transitions: activate (guarded exactly as the engine's
+//     AddActiveRole: enabled, authorized via the junior closure,
+//     not already active, session-scoped DSoD over active closures,
+//     global direct-activation cardinality, per-session maxroles,
+//     same-session prerequisites, Rule 9 required-active), drop (with
+//     the Rule 9 revocation cascade run to a fixpoint), and tick.
+//
+// Deliberate approximations, each documented and each caught by the
+// differential replay harness if it ever produces a false witness:
+// durations are subsumed by voluntary drops (sound for safety),
+// context-gated roles are treated as never activatable and excluded
+// from liveness, Rule 8 couples and Rule 6 disabling-time SoD vetoes
+// are not modelled, and delegation does not exist in the engine.
+//
+// Finding codes are stable and greppable, continuing the analyzer's
+// RV-series in the RV1xx block:
+//
+//	RV100 warn   Search truncated: the state budget, role width (64),
+//	             or user bound cut the exploration short. Reachability
+//	             findings remain valid (under-approximation); liveness
+//	             findings are suppressed.
+//	RV101 error  Cross-session DSoD bypass: a user can hold N or more
+//	             members of a dynamic SoD set by activating them in
+//	             different sessions — the per-session check never sees
+//	             the union. Counterexample replayable.
+//	RV102 error  Cardinality bypass via the hierarchy: more than N
+//	             sessions can act with a role's permissions while the
+//	             direct-activation counter stays within bound, because
+//	             seniors inherit without counting. Counterexample
+//	             replayable.
+//	RV103 warn   Window escape: an activation survives its role's
+//	             enabling-window close (disabling does not revoke live
+//	             activations), so the role's permissions remain
+//	             exercisable outside the window. Counterexample
+//	             replayable via a tick step.
+//	RV104 warn   Dead grant: a permission's role never enters any
+//	             session's active closure in any reachable state, so
+//	             the grant can never be exercised within bounds.
+//	RV105 warn   Dead role: a role some user is authorized for is never
+//	             activatable in any reachable state (for example a
+//	             mutual Rule 9 dependency). Suppresses RV104 for the
+//	             role's own grants.
+//	RV106 error  Cascade divergence: a drop's revocation cascade failed
+//	             to reach a fixpoint within the iteration budget, or
+//	             reached different fixpoints under different processing
+//	             orders — termination/confluence cannot be proven.
+//	RV199 error  Verifier self-check failed: a counterexample did not
+//	             reproduce its violation when replayed against a real
+//	             engine. Always a verifier bug; reported instead of the
+//	             original finding. (Emitted by the replay harness in
+//	             the root package, never by this package.)
+package reach
+
+import (
+	"sort"
+	"time"
+
+	"activerbac/internal/analyze"
+	"activerbac/internal/policy"
+)
+
+// Config bounds the search. The zero value selects the defaults.
+type Config struct {
+	// MaxUsers is the number of declared users modelled (first K by
+	// declaration order). Default 3.
+	MaxUsers int
+	// MaxSessions is the number of sessions modelled per user.
+	// Default 2.
+	MaxSessions int
+	// MaxStates is the explored-state budget; hitting it truncates the
+	// search (RV100). Default 200000.
+	MaxStates int
+	// MaxTicks caps the number of window-boundary instants modelled
+	// within the two-day horizon. Default 8.
+	MaxTicks int
+	// CascadeBudget bounds the Rule 9 revocation-cascade fixpoint
+	// iterations per drop; exceeding it is RV106. Default 64.
+	CascadeBudget int
+	// Anchor is the instant exploration starts from; zero selects the
+	// analyzer's fixed deterministic epoch.
+	Anchor time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxUsers <= 0 {
+		c.MaxUsers = 3
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 2
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 200000
+	}
+	if c.MaxTicks <= 0 {
+		c.MaxTicks = 8
+	}
+	if c.CascadeBudget <= 0 {
+		c.CascadeBudget = 64
+	}
+	if c.Anchor.IsZero() {
+		c.Anchor = time.Date(2024, time.January, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return c
+}
+
+// Step is one event in a counterexample trace. Op is one of
+// "session" (create Session for User), "activate"/"drop" (User's
+// Session and Role), "tick" (advance the clock to At, a window
+// boundary), or "check" (an access check on Session proving the
+// violated permission is live).
+type Step struct {
+	Op        string `json:"op"`
+	User      string `json:"user,omitempty"`
+	Session   string `json:"session,omitempty"`
+	Role      string `json:"role,omitempty"`
+	Operation string `json:"operation,omitempty"`
+	Object    string `json:"object,omitempty"`
+	At        string `json:"at,omitempty"`
+}
+
+// Violation is the machine-checkable claim a counterexample's final
+// state must satisfy; the replay harness asserts it against a real
+// engine. Kind is "dsd-cross-session", "cardinality-overrun" or
+// "window-escape".
+type Violation struct {
+	Kind     string   `json:"kind"`
+	Set      string   `json:"set,omitempty"`
+	Roles    []string `json:"roles,omitempty"`
+	Role     string   `json:"role,omitempty"`
+	User     string   `json:"user,omitempty"`
+	Sessions []string `json:"sessions,omitempty"`
+	Limit    int      `json:"limit,omitempty"`
+	Count    int      `json:"count,omitempty"`
+}
+
+// Counterexample is a concrete event sequence driving a freshly loaded
+// engine from its initial state into the violating state.
+type Counterexample struct {
+	Steps     []Step    `json:"steps"`
+	Violation Violation `json:"violation"`
+}
+
+// Finding is one verification result: the analyzer's stable
+// code/severity/subject/message quadruple, plus the replayable
+// counterexample for reachability findings.
+type Finding struct {
+	analyze.Finding
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+}
+
+// HasErrors reports whether any finding is error severity — the gate
+// policyc -verify and rbacd -verify=strict fail on.
+func HasErrors(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Severity == analyze.Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of one bounded exploration.
+type Result struct {
+	// Findings, errors first, then by code, then by subject.
+	Findings []Finding `json:"findings"`
+	// States is the number of distinct reachable states visited.
+	States int `json:"states"`
+	// Transitions is the number of transitions taken (including ones
+	// reaching already-visited states).
+	Transitions int `json:"transitions"`
+	// Truncated reports whether any bound cut the search short.
+	Truncated bool `json:"truncated"`
+}
+
+// Verify compiles spec into the bounded transition system and explores
+// it exhaustively. It never touches a live engine; counterexample
+// replay is the caller's job (the root package's VerifyPolicy).
+func Verify(spec *policy.Spec, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	m, notes := compile(spec, cfg)
+	res := m.explore()
+	for _, n := range notes {
+		res.Truncated = true
+		res.Findings = append(res.Findings, Finding{Finding: analyze.Finding{
+			Code: "RV100", Severity: analyze.Warn, Subject: "search", Msg: n,
+		}})
+	}
+	SortFindings(res.Findings)
+	return res
+}
+
+// SortFindings puts findings in the analyzer's deterministic order:
+// severity descending (errors first), then code, then subject. Exposed
+// for the replay harness, which splices RV199 findings in.
+func SortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity
+		}
+		if fs[i].Code != fs[j].Code {
+			return fs[i].Code < fs[j].Code
+		}
+		return fs[i].Subject < fs[j].Subject
+	})
+}

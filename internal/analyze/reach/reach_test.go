@@ -1,0 +1,274 @@
+package reach
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"activerbac/internal/policy"
+)
+
+func mustSpec(t *testing.T, src string) *policy.Spec {
+	t.Helper()
+	spec, err := policy.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if issues := policy.Check(spec); policy.HasErrors(issues) {
+		t.Fatalf("check: %v", issues)
+	}
+	return spec
+}
+
+func codes(res Result) []string {
+	var out []string
+	for _, f := range res.Findings {
+		out = append(out, f.Code)
+	}
+	return out
+}
+
+func findByCode(t *testing.T, res Result, code string) Finding {
+	t.Helper()
+	for _, f := range res.Findings {
+		if f.Code == code {
+			return f
+		}
+	}
+	t.Fatalf("no %s finding; got %v", code, codes(res))
+	return Finding{}
+}
+
+// RV101: a DSoD set is bypassable by splitting the members across two
+// sessions of the same user.
+const dsdBypassPolicy = `
+policy "dsd-bypass"
+role Teller
+role Auditor
+dsd bank 2: Teller, Auditor
+permission Teller: write ledger.dat
+permission Auditor: audit ledger.dat
+user bob: Teller, Auditor
+`
+
+func TestRV101CrossSessionDSoD(t *testing.T) {
+	res := Verify(mustSpec(t, dsdBypassPolicy), Config{})
+	f := findByCode(t, res, "RV101")
+	if f.Severity.String() != "error" || f.Subject != "dsd:bank" {
+		t.Fatalf("bad finding: %s", f.String())
+	}
+	cex := f.Counterexample
+	if cex == nil {
+		t.Fatal("RV101 without counterexample")
+	}
+	if cex.Violation.Kind != "dsd-cross-session" || cex.Violation.User != "bob" || cex.Violation.Limit != 2 {
+		t.Fatalf("bad violation: %+v", cex.Violation)
+	}
+	// Shortest witness: two sessions, two activations.
+	var ops []string
+	for _, s := range cex.Steps {
+		ops = append(ops, s.Op)
+	}
+	want := []string{"session", "session", "activate", "activate"}
+	if !reflect.DeepEqual(ops, want) {
+		t.Fatalf("steps = %v, want %v", ops, want)
+	}
+}
+
+// RV102: cardinality on a junior role is bypassable because seniors
+// inherit its permissions without counting against the bound.
+const cardBypassPolicy = `
+policy "card-bypass"
+role Director
+role PM
+hierarchy Director > PM
+cardinality PM 1
+permission PM: approve po.dat
+user ann: Director
+user ben: PM
+`
+
+func TestRV102CardinalityBypass(t *testing.T) {
+	res := Verify(mustSpec(t, cardBypassPolicy), Config{})
+	f := findByCode(t, res, "RV102")
+	if f.Subject != "cardinality:PM" || f.Severity.String() != "error" {
+		t.Fatalf("bad finding: %s", f.String())
+	}
+	cex := f.Counterexample
+	if cex == nil || cex.Violation.Kind != "cardinality-overrun" || cex.Violation.Count <= cex.Violation.Limit {
+		t.Fatalf("bad counterexample: %+v", cex)
+	}
+}
+
+// RV103: an activation made inside the window survives the window
+// close (disabling does not revoke).
+const windowEscapePolicy = `
+policy "window-escape"
+role DayDoctor
+shift DayDoctor 09:00:00-17:00:00
+permission DayDoctor: read chart.dat
+user dora: DayDoctor
+`
+
+func TestRV103WindowEscape(t *testing.T) {
+	res := Verify(mustSpec(t, windowEscapePolicy), Config{})
+	f := findByCode(t, res, "RV103")
+	if f.Subject != "shift:DayDoctor" || f.Severity.String() != "warn" {
+		t.Fatalf("bad finding: %s", f.String())
+	}
+	cex := f.Counterexample
+	if cex == nil || cex.Violation.Kind != "window-escape" {
+		t.Fatalf("bad counterexample: %+v", cex)
+	}
+	last := cex.Steps[len(cex.Steps)-1]
+	if last.Op != "check" || last.Operation != "read" || last.Object != "chart.dat" {
+		t.Fatalf("missing proving check step: %+v", last)
+	}
+	var ticks int
+	for _, s := range cex.Steps {
+		if s.Op == "tick" {
+			ticks++
+			if !strings.Contains(s.At, "T") {
+				t.Fatalf("tick without RFC3339 instant: %+v", s)
+			}
+		}
+	}
+	if ticks == 0 {
+		t.Fatal("window escape without a tick step")
+	}
+}
+
+// RV104: a grant on a role nobody is authorized for is dead.
+const deadGrantPolicy = `
+policy "dead-grant"
+role Orphan
+role Clerk
+permission Orphan: read secrets.dat
+permission Clerk: read files.dat
+user cleo: Clerk
+`
+
+func TestRV104DeadGrant(t *testing.T) {
+	res := Verify(mustSpec(t, deadGrantPolicy), Config{})
+	f := findByCode(t, res, "RV104")
+	if f.Subject != "grant:Orphan:read:secrets.dat" {
+		t.Fatalf("bad subject: %s", f.Subject)
+	}
+	for _, g := range res.Findings {
+		if g.Code == "RV104" && strings.Contains(g.Subject, "Clerk") {
+			t.Fatalf("live grant flagged dead: %s", g.String())
+		}
+	}
+}
+
+// RV105: mutually dependent roles deadlock — neither is ever
+// activatable; their grants are suppressed from RV104.
+const deadRolePolicy = `
+policy "dead-role"
+role Opener
+role Closer
+require Opener needs-active Closer
+require Closer needs-active Opener
+permission Opener: open vault.dat
+user vic: Opener, Closer
+`
+
+func TestRV105DeadRole(t *testing.T) {
+	res := Verify(mustSpec(t, deadRolePolicy), Config{})
+	var dead []string
+	for _, f := range res.Findings {
+		switch f.Code {
+		case "RV105":
+			dead = append(dead, f.Subject)
+		case "RV104":
+			t.Fatalf("RV104 not suppressed for dead role's grant: %s", f.String())
+		}
+	}
+	if !reflect.DeepEqual(dead, []string{"role:Closer", "role:Opener"}) {
+		t.Fatalf("dead roles = %v", dead)
+	}
+}
+
+// RV106: a deep require-chain with a tiny cascade budget cannot be
+// proven terminating.
+const cascadePolicy = `
+policy "cascade"
+role A1
+role A2
+role A3
+role A4
+role A5
+require A2 needs-active A1
+require A3 needs-active A2
+require A4 needs-active A3
+require A5 needs-active A4
+user ada: A1, A2, A3, A4, A5
+`
+
+func TestRV106CascadeBudget(t *testing.T) {
+	res := Verify(mustSpec(t, cascadePolicy), Config{CascadeBudget: 2, MaxSessions: 1})
+	f := findByCode(t, res, "RV106")
+	if f.Severity.String() != "error" || !strings.HasPrefix(f.Subject, "cascade:") {
+		t.Fatalf("bad finding: %s", f.String())
+	}
+	// With the default budget the same policy proves out clean.
+	res = Verify(mustSpec(t, cascadePolicy), Config{MaxSessions: 1})
+	for _, g := range res.Findings {
+		if g.Code == "RV106" {
+			t.Fatalf("default budget still diverges: %s", g.String())
+		}
+	}
+}
+
+// RV100: exhausting the state budget truncates the search and
+// suppresses liveness.
+func TestRV100Truncation(t *testing.T) {
+	res := Verify(mustSpec(t, cardBypassPolicy), Config{MaxStates: 3})
+	if !res.Truncated {
+		t.Fatal("budget of 3 did not truncate")
+	}
+	findByCode(t, res, "RV100")
+	for _, f := range res.Findings {
+		if f.Code == "RV104" || f.Code == "RV105" {
+			t.Fatalf("liveness finding on a truncated search: %s", f.String())
+		}
+	}
+}
+
+// A clean policy produces zero findings.
+const cleanPolicy = `
+policy "clean"
+role Manager
+role Clerk
+role Auditor
+hierarchy Manager > Clerk
+ssd audit-sep 2: Manager, Auditor
+permission Manager: approve po.dat
+permission Clerk: write po.dat
+permission Auditor: audit po.dat
+user meg: Manager
+user carl: Clerk
+user abe: Auditor
+`
+
+func TestCleanPolicyNoFindings(t *testing.T) {
+	res := Verify(mustSpec(t, cleanPolicy), Config{})
+	if len(res.Findings) != 0 {
+		t.Fatalf("clean policy has findings: %v", res.Findings)
+	}
+	if res.States == 0 || res.Transitions == 0 {
+		t.Fatalf("no exploration happened: %+v", res)
+	}
+}
+
+// Verification is deterministic: identical runs produce identical
+// findings, messages and counterexamples.
+func TestDeterminism(t *testing.T) {
+	for _, src := range []string{dsdBypassPolicy, cardBypassPolicy, windowEscapePolicy, deadRolePolicy} {
+		a := Verify(mustSpec(t, src), Config{})
+		b := Verify(mustSpec(t, src), Config{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("nondeterministic verification for %q:\n%+v\nvs\n%+v", src, a, b)
+		}
+	}
+}

@@ -38,12 +38,7 @@ type Observer struct {
 	FastPathInvalidations *Counter // activerbac_fastpath_invalidations_total
 	SnapshotEpoch         *Gauge   // activerbac_snapshot_epoch
 
-	// Batch decision path (counted per DecideCheckBatch call). The
-	// BatchSize histogram's _sum series carries the exact name, value
-	// and semantics of the retired activerbac_batch_size_sum counter,
-	// so that series survives the histogram migration unchanged — a
-	// second standalone counter would render a duplicate sample and
-	// break the exposition.
+	// Batch decision path (counted per DecideCheckBatch call).
 	BatchSize         *Histogram // activerbac_batch_size (distribution of tuples per batch)
 	BatchGroups       *Counter   // activerbac_batch_groups_total
 	BatchFastPathHits *Counter   // activerbac_batch_fastpath_hits_total
@@ -83,6 +78,11 @@ type Observer struct {
 
 	// Static analysis (counted per analyzer run by the facade).
 	AnalyzeFindings *CounterVec // activerbac_analyze_findings_total{code,severity}
+
+	// Bounded verification (counted per verifier run by the facade).
+	VerifyStates   *Counter    // activerbac_verify_states_total
+	VerifyFindings *CounterVec // activerbac_verify_findings_total{code}
+	VerifySeconds  *Histogram  // activerbac_verify_seconds
 
 	// Wire transport (counted by rbacd's wire server hooks).
 	WireRequests *CounterVec   // activerbac_wire_requests_total{opcode}
@@ -143,7 +143,7 @@ func NewObserver(traceCapacity int) *Observer {
 			"Policy epoch of the RBAC store's published copy-on-write snapshot.").With(),
 
 		BatchSize: r.Histogram("activerbac_batch_size",
-			"Tuples per DecideCheckBatch call. The _sum series continues the former activerbac_batch_size_sum counter (DEPRECATED as a standalone family; alias kept one more release).", BatchSizeBuckets).With(),
+			"Tuples per DecideCheckBatch call.", BatchSizeBuckets).With(),
 		BatchGroups: r.Counter("activerbac_batch_groups_total",
 			"Scope groups batches fanned out to (one lane crossing each).").With(),
 		BatchFastPathHits: r.Counter("activerbac_batch_fastpath_hits_total",
@@ -199,6 +199,13 @@ func NewObserver(traceCapacity int) *Observer {
 
 		AnalyzeFindings: r.Counter("activerbac_analyze_findings_total",
 			"Static-analysis findings observed, by finding code and severity.", "code", "severity"),
+
+		VerifyStates: r.Counter("activerbac_verify_states_total",
+			"States visited by the bounded symbolic verifier, cumulative over runs.").With(),
+		VerifyFindings: r.Counter("activerbac_verify_findings_total",
+			"Bounded-verification findings observed, by finding code.", "code"),
+		VerifySeconds: r.Histogram("activerbac_verify_seconds",
+			"Wall-clock duration of one bounded verification run (exploration plus counterexample replay).", nil).With(),
 
 		WireRequests: r.Counter("activerbac_wire_requests_total",
 			"Wire-protocol request frames decoded, by opcode.", "opcode"),

@@ -1,0 +1,280 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// PoolReturn enforces the buffer-recycling discipline around sync.Pool
+// (and pool-shaped slab helpers): a function that takes a buffer out of
+// a pool must not have a return path that neither puts the buffer back
+// nor hands it off. The classic leak looks like
+//
+//	b := bufPool.Get().(*buf)
+//	if err != nil {
+//	    return err // leak: b never returns to the pool
+//	}
+//	...
+//	bufPool.Put(b)
+//
+// The pass is purely syntactic. It recognises a pool by name — an
+// identifier or selector chain whose last segment is "pool" or ends in
+// "Pool" — and tracks variables bound by `v := pool.Get()` (with or
+// without a type assertion). A return path is covered when one of the
+// following appears before it in source order, or anywhere as a defer:
+//
+//   - pool.Put(...) on the same pool
+//   - a hand-off: v passed as a call argument (including &v), returned,
+//     sent on a channel, or stored into a field/element/map
+//
+// Source order approximates path order; that is exact for the
+// straight-line early-return shape above and errs toward silence for
+// exotic control flow, which keeps the pass useful without a CFG.
+var PoolReturn = &Analyzer{
+	Name: "poolreturn",
+	Doc:  "a value taken from a sync.Pool must be put back or handed off on every return path",
+	Run:  runPoolReturn,
+}
+
+func runPoolReturn(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolReturnFunc(pass, fn)
+		}
+	}
+}
+
+// poolGet is one tracked `v := pool.Get()` binding.
+type poolGet struct {
+	varName string
+	pool    string // rendered pool chain, e.g. "batchBufPool" or "sh.pool"
+	pos     token.Pos
+}
+
+func checkPoolReturnFunc(pass *Pass, fn *ast.FuncDecl) {
+	gets := collectPoolGets(fn.Body)
+	if len(gets) == 0 {
+		return
+	}
+
+	// Covering events per tracked get: Put calls on its pool and
+	// hand-offs of its variable, by source position. Deferred events
+	// cover every return path regardless of position.
+	type cover struct {
+		positions []token.Pos
+		deferred  bool
+	}
+	covers := make([]cover, len(gets))
+	record := func(i int, pos token.Pos, inDefer bool) {
+		if inDefer {
+			covers[i].deferred = true
+			return
+		}
+		covers[i].positions = append(covers[i].positions, pos)
+	}
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.DeferStmt:
+				// The deferred call and everything inside a deferred
+				// closure runs on every exit path.
+				walk(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" {
+					if p := render(sel.X); p != "" {
+						for i, g := range gets {
+							if g.pool == p {
+								record(i, x.Pos(), inDefer)
+							}
+						}
+					}
+				}
+				if id, ok := x.Fun.(*ast.Ident); ok && nonRetainingBuiltin[id.Name] {
+					return true
+				}
+				for _, arg := range x.Args {
+					for i, g := range gets {
+						if usesVar(arg, g.varName) {
+							record(i, x.Pos(), inDefer)
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range x.Results {
+					for i, g := range gets {
+						if usesVar(res, g.varName) {
+							record(i, x.Pos(), inDefer)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				for i, g := range gets {
+					if usesVar(x.Value, g.varName) {
+						record(i, x.Pos(), inDefer)
+					}
+				}
+			case *ast.AssignStmt:
+				// Storing the buffer into a field, element or map hands
+				// ownership to the containing structure.
+				for j, rhs := range x.Rhs {
+					for i, g := range gets {
+						if !usesVar(rhs, g.varName) {
+							continue
+						}
+						lhs := x.Lhs[0]
+						if len(x.Lhs) == len(x.Rhs) {
+							lhs = x.Lhs[j]
+						}
+						switch lhs.(type) {
+						case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+							record(i, x.Pos(), inDefer)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+
+	coveredAt := func(i int, pos token.Pos) bool {
+		if covers[i].deferred {
+			return true
+		}
+		for _, p := range covers[i].positions {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	report := func(i int, pos token.Pos) {
+		g := gets[i]
+		pass.Reportf(pos,
+			"return path drops %q taken from pool %s at %s without Put or hand-off",
+			g.varName, g.pool, pass.Fset.Position(g.pos))
+	}
+
+	// Every explicit return after the Get must be covered.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures have their own exit paths
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, g := range gets {
+			if ret.Pos() > g.pos && !coveredAt(i, ret.Pos()) && !usesVar(retExprs(ret), g.varName) {
+				report(i, ret.Pos())
+			}
+		}
+		return true
+	})
+
+	// A function body that can fall off the end is one more exit path.
+	if fn.Type.Results == nil {
+		end := fn.Body.Rbrace
+		for i := range gets {
+			if !coveredAt(i, end) {
+				report(i, end)
+			}
+		}
+	}
+}
+
+// nonRetainingBuiltin lists builtins whose arguments never escape into
+// a longer-lived owner — passing the buffer to these is not a hand-off.
+var nonRetainingBuiltin = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"clear": true, "min": true, "max": true, "print": true, "println": true,
+}
+
+// collectPoolGets finds `v := pool.Get()` bindings (with or without a
+// trailing type assertion) for pool-named receivers in top-level
+// statements of the function, skipping closures.
+func collectPoolGets(body *ast.BlockStmt) []poolGet {
+	var gets []poolGet
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if pool, ok := poolGetExpr(as.Rhs[0]); ok {
+			gets = append(gets, poolGet{varName: id.Name, pool: pool, pos: as.Pos()})
+		}
+		return true
+	})
+	return gets
+}
+
+// poolGetExpr matches `pool.Get()` and `pool.Get().(T)` where the
+// rendered pool chain is pool-named, returning the chain.
+func poolGetExpr(e ast.Expr) (string, bool) {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return "", false
+	}
+	chain := render(sel.X)
+	if chain == "" {
+		return "", false
+	}
+	last := chain
+	if i := strings.LastIndex(chain, "."); i >= 0 {
+		last = chain[i+1:]
+	}
+	if last != "pool" && !strings.HasSuffix(last, "Pool") {
+		return "", false
+	}
+	return chain, true
+}
+
+// retExprs bundles a return's results into one expression tree for
+// usesVar; nil-safe for bare returns.
+func retExprs(ret *ast.ReturnStmt) ast.Expr {
+	if len(ret.Results) == 1 {
+		return ret.Results[0]
+	}
+	// Multiple results: usesVar walks each via a synthetic call-free
+	// container. A composite literal keeps the walker happy.
+	return &ast.CompositeLit{Elts: ret.Results}
+}
+
+// usesVar reports whether the expression mentions the identifier (bare
+// or under &).
+func usesVar(e ast.Expr, name string) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

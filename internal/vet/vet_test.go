@@ -415,6 +415,123 @@ func (e *Engine) DecideCheckBatch(groups [][]int) {
 	wantDiags(t, runOn(t, BatchSnap, "internal/sentinel", nested), 1)
 }
 
+// --- poolreturn ----------------------------------------------------
+
+// TestPoolReturnFlagsEarlyReturnLeak: the classic shape — an error
+// return between Get and Put drops the buffer.
+func TestPoolReturnFlagsEarlyReturnLeak(t *testing.T) {
+	src := `package sentinel
+
+func decide(fail bool) error {
+	b := bufPool.Get().(*buf)
+	if fail {
+		return errBad
+	}
+	use(b)
+	bufPool.Put(b)
+	return nil
+}
+`
+	diags := runOn(t, PoolReturn, "internal/sentinel", src)
+	wantDiags(t, diags, 1)
+	if !strings.Contains(diags[0].Message, "bufPool") {
+		t.Errorf("diagnostic should name the pool, got %q", diags[0].Message)
+	}
+}
+
+// TestPoolReturnFlagsFallOffEnd: a void function that never puts the
+// buffer back leaks on its implicit return.
+func TestPoolReturnFlagsFallOffEnd(t *testing.T) {
+	src := `package sentinel
+
+func fill() {
+	b := keyPool.Get().(*[]byte)
+	_ = len(*b)
+}
+`
+	wantDiags(t, runOn(t, PoolReturn, "internal/sentinel", src), 1)
+}
+
+// TestPoolReturnAcceptsCoveredPaths: deferred Put covers every path;
+// Put or a hand-off before the return covers that path.
+func TestPoolReturnAcceptsCoveredPaths(t *testing.T) {
+	for _, src := range []string{
+		// Deferred Put covers the early return.
+		`package sentinel
+
+func decide(fail bool) error {
+	b := bufPool.Get().(*buf)
+	defer bufPool.Put(b)
+	if fail {
+		return errBad
+	}
+	return nil
+}
+`,
+		// Put before the early return.
+		`package sentinel
+
+func decide(fail bool) error {
+	b := bufPool.Get().(*buf)
+	if fail {
+		bufPool.Put(b)
+		return errBad
+	}
+	bufPool.Put(b)
+	return nil
+}
+`,
+		// Hand-off: the buffer escapes into the verdict before returning,
+		// so ownership moved with it.
+		`package sentinel
+
+func decide() *buf {
+	b := bufPool.Get().(*buf)
+	return b
+}
+`,
+		// Hand-off to a releasing helper, PR 6 carrier style.
+		`package sentinel
+
+func decide(fail bool) error {
+	b := bufPool.Get().(*buf)
+	release(b)
+	if fail {
+		return errBad
+	}
+	return nil
+}
+`,
+		// Hand-off into a field.
+		`package sentinel
+
+func attach(v *verdict) {
+	b := bufPool.Get().(*buf)
+	v.scratch = b
+}
+`,
+	} {
+		wantDiags(t, runOn(t, PoolReturn, "internal/sentinel", src), 0)
+	}
+}
+
+// TestPoolReturnIgnoresNonPools: Get on something not pool-named is out
+// of scope.
+func TestPoolReturnIgnoresNonPools(t *testing.T) {
+	src := `package sentinel
+
+func load(fail bool) error {
+	v := cache.Get().(*entry)
+	if fail {
+		return errBad
+	}
+	_ = v
+	return nil
+}
+`
+	wantDiags(t, runOn(t, PoolReturn, "internal/sentinel", src), 0)
+}
+
 func TestDiagnosticFormat(t *testing.T) {
 	diags := runOn(t, EngineClock, "internal/sentinel", `package sentinel
 
@@ -435,7 +552,7 @@ func TestAnalyzersRegistry(t *testing.T) {
 	for _, a := range Analyzers() {
 		names[a.Name] = true
 	}
-	for _, want := range []string{"engineclock", "obsnil", "lockorder", "snapimmut", "batchsnap"} {
+	for _, want := range []string{"engineclock", "obsnil", "lockorder", "snapimmut", "batchsnap", "poolreturn"} {
 		if !names[want] {
 			t.Errorf("registry missing analyzer %q", want)
 		}
