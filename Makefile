@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check verify-policies fuzz-wire bench-smoke bench bench-obs bench-obs-smoke bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-compare clean
+.PHONY: build test race vet lint check verify-policies fuzz-wire bench-smoke bench bench-obs bench-obs-smoke bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-client bench-client-smoke bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rbacvet ./...
 
-check: build test race vet lint verify-policies fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-batch-smoke bench-obs-smoke
+check: build test race vet lint verify-policies fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-client-smoke bench-batch-smoke bench-obs-smoke
 
 # verify-policies runs the bounded symbolic verifier over every example
 # policy. Files named *-violating.acp are seeded-unsafe fixtures and
@@ -96,14 +96,24 @@ bench-fastpath-smoke: build
 	$(GO) run ./cmd/bench -exp FASTPATH -smoke
 
 # bench-wire regenerates the remote-transport series (BENCH_wire.json):
-# the same live engine checked over HTTP/JSON, single wire frames, and
-# wire batches. The smoke variant runs one short round and leaves the
-# committed JSON untouched.
+# the same live engine checked over HTTP/JSON, single wire frames, wire
+# batches, and the embedded client decision cache (the client_cached
+# series — repeat allows served locally under epoch-push invalidation).
+# The smoke variant runs one short round and leaves the committed JSON
+# untouched.
 bench-wire: build
 	$(GO) run ./cmd/bench -exp WIRE
 
 bench-wire-smoke: build
 	$(GO) run ./cmd/bench -exp WIRE -smoke
+
+# bench-client produces the client_cached transport series: it rides
+# the WIRE experiment (one shared live engine keeps the four series
+# comparable), so these are dependency aliases — `make check` lists
+# bench-client-smoke explicitly, and make runs the shared recipe once.
+bench-client: bench-wire
+
+bench-client-smoke: bench-wire-smoke
 
 # bench-batch regenerates the batch-native series (BENCH_batch.json):
 # per-tuple loops vs CheckAccessBatch in process, and the PR 5 per-tuple

@@ -488,6 +488,32 @@ func (s *System) CheckAccessTuple(session, operation, object string) bool {
 	return err == nil && dec.Allowed()
 }
 
+// CheckAccessTupleCacheable is CheckAccessTuple plus the cacheability
+// classification an embedded client cache needs: cacheable is true only
+// for allowed verdicts of the pure-snapshot checkAccess shape (the
+// fastpath CA1 classification — sole scoped subscriber, CacheSafe rules
+// only, no outcome listeners), i.e. verdicts that stay valid until the
+// next push-epoch bump. Time- or history-dependent decisions and
+// denials are never cacheable.
+func (s *System) CheckAccessTupleCacheable(session, operation, object string) (allowed, cacheable bool) {
+	allowed = s.CheckAccessTuple(session, operation, object)
+	return allowed, allowed && s.gen.Engine().CacheableEvent(rulegen.EvCheckAccess)
+}
+
+// PushEpoch reports the engine's push epoch: a monotonic counter
+// bumped by every change that can invalidate a cached verdict —
+// policy-grade mutations (like SnapshotEpoch) and session-grade ones
+// (role drops, session deletes) alike. Epoch-push subscribers and
+// client.Cache key on it.
+func (s *System) PushEpoch() uint64 { return s.gen.Engine().PushEpoch() }
+
+// OnEpochBump installs fn to be called with the new push epoch after
+// every bump. fn runs under engine-internal locks and must not block
+// (atomics and non-blocking channel work only); rbacd wires it to the
+// wire server's subscriber fan-out. Installing replaces any previous
+// hook; nil clears it.
+func (s *System) OnEpochBump(fn func(epoch uint64)) { s.gen.Engine().SetPushHook(fn) }
+
 // CheckAccessTupleTraced is CheckAccessTuple with a client-minted trace
 // id: the decision always runs the full cascade (never the fast-path
 // cache), its trace is retained under tid, and TraceByTraceID resolves

@@ -1,0 +1,339 @@
+// Package client is the embeddable decision cache: a wire-protocol
+// client that serves repeat ALLOW verdicts locally, deleting the
+// network round trip for read-heavy enforcement points.
+//
+// Cache extends the engine's born-stale epoch discipline (DESIGN §5.4)
+// across the network. Every cached entry is tagged with the push epoch
+// captured before its remote check was issued; a lookup hits only while
+// that tag still equals the current epoch. The server pushes every
+// epoch bump to the subscribed connection (wire EPOCH_PUSH), so one
+// atomic epoch store invalidates the whole cache the moment any
+// policy-, session-, detector- or rule-grade change lands. Only
+// verdicts the server marks cacheable are stored — the same
+// pure-snapshot classification the in-process fast path uses — and only
+// allows: denials always re-ask, keeping the active-security denial
+// monitors fed.
+//
+// Safety does not degrade when the subscription drops: the cache stops
+// serving entirely (every check goes remote), hard-drops its entries —
+// a restarted server may reuse old epoch numbers — and a background
+// loop polls POLICY_VERSION for liveness and re-subscribes; local
+// serving resumes only once pushes flow again.
+package client
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"activerbac/internal/wire"
+)
+
+// Options tunes a Cache; the zero value selects the defaults.
+type Options struct {
+	// Conns is the wire connection-pool size. Default 1.
+	Conns int
+	// MaxFrame bounds one received frame. Default wire.DefaultMaxFrame.
+	MaxFrame int
+	// Timeout bounds dialing and each remote round trip. Default 10s.
+	Timeout time.Duration
+	// PollInterval paces the fallback loop that, while the subscription
+	// is down, polls POLICY_VERSION for liveness and retries SUBSCRIBE.
+	// Default 1s.
+	PollInterval time.Duration
+	// Instruments hooks cache metrics (e.g. the
+	// activerbac_client_cache_* families); nil disables. The callbacks
+	// run on check and push paths and must be cheap.
+	Instruments *Instruments
+}
+
+// Instruments are optional metric hooks; any field may be nil.
+type Instruments struct {
+	// Hit is called once per check served from the local cache.
+	Hit func()
+	// Miss is called once per check that went to the server (including
+	// all checks while the subscription is down).
+	Miss func()
+	// Invalidation is called once per wholesale invalidation: every
+	// epoch push and every subscription loss.
+	Invalidation func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = time.Second
+	}
+	return o
+}
+
+// Stats is a snapshot of a Cache's counters.
+type Stats struct {
+	// Hits counts checks served locally; Misses counts checks that went
+	// to the server.
+	Hits, Misses uint64
+	// Invalidations counts wholesale drops: epoch pushes and
+	// subscription losses.
+	Invalidations uint64
+}
+
+const numShards = 64
+
+// shard is one lock-striped slice of the verdict cache: tuple key →
+// the push epoch the allow was stored under.
+type shard struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// Cache is a wire client with an embedded epoch-tagged verdict cache.
+// All methods are safe for concurrent use.
+type Cache struct {
+	cl   *wire.Client
+	opts Options
+
+	// epoch is the local view of the server's push epoch; a cached
+	// entry hits only while its tag equals it. active gates local
+	// serving on a live subscription. gen counts activation
+	// transitions, fencing in-flight stores against a drop-and-
+	// reactivate (a restarted server may reuse epoch numbers).
+	// All three are written only under mu.
+	mu     sync.Mutex
+	epoch  atomic.Uint64
+	active atomic.Bool
+	gen    atomic.Uint64
+
+	shards [numShards]shard
+	seed   maphash.Seed
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+
+	lost   chan struct{} // coalescing resubscribe-now signal
+	closed chan struct{}
+	once   sync.Once
+}
+
+// New dials addr and returns a Cache wrapping the connection pool. It
+// subscribes eagerly; if the subscription cannot be established (the
+// server predates epoch push, or the subscriber cap is reached) the
+// Cache still works — every check goes remote — and keeps retrying in
+// the background.
+func New(addr string, opts *Options) (*Cache, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	c := &Cache{
+		opts:   o.withDefaults(),
+		seed:   maphash.MakeSeed(),
+		lost:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i].m = map[string]uint64{}
+	}
+	cl, err := wire.Dial(addr, &wire.ClientOptions{
+		Conns:              o.Conns,
+		MaxFrame:           o.MaxFrame,
+		Timeout:            c.opts.Timeout,
+		OnEpochPush:        c.onPush,
+		OnSubscriptionLost: c.onLost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.cl = cl
+	if epoch, err := cl.Subscribe(); err == nil {
+		c.activate(epoch)
+	}
+	go c.maintain()
+	return c, nil
+}
+
+// Check decides one access check, serving repeat allows locally while
+// the subscription is live. Denials, non-cacheable verdicts and every
+// check while unsubscribed go to the server.
+func (c *Cache) Check(session, operation, object string) (bool, error) {
+	if !c.active.Load() {
+		c.misses.Add(1)
+		if ins := c.opts.Instruments; ins != nil && ins.Miss != nil {
+			ins.Miss()
+		}
+		return c.cl.Check(session, operation, object)
+	}
+	// Born-stale: capture epoch and generation before anything else. An
+	// entry stored under this epoch is already invalid if a push lands
+	// before the store — the tag mismatch silently retires it.
+	e := c.epoch.Load()
+	g := c.gen.Load()
+	key := cacheKey(session, operation, object)
+	sh := &c.shards[maphash.String(c.seed, key)%numShards]
+	sh.mu.Lock()
+	tag, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok && tag == e {
+		c.hits.Add(1)
+		if ins := c.opts.Instruments; ins != nil && ins.Hit != nil {
+			ins.Hit()
+		}
+		return true, nil // allow-only: a stored entry is an allow
+	}
+	c.misses.Add(1)
+	if ins := c.opts.Instruments; ins != nil && ins.Miss != nil {
+		ins.Miss()
+	}
+	allowed, cacheable, err := c.cl.CheckCacheable(session, operation, object)
+	if err != nil {
+		return false, err
+	}
+	if allowed && cacheable {
+		sh.mu.Lock()
+		// The generation fence keeps a check that straddled a
+		// deactivate/reactivate from seeding the fresh map with an
+		// old-world verdict whose epoch tag could collide after a
+		// server restart.
+		if c.gen.Load() == g {
+			sh.m[key] = e
+		}
+		sh.mu.Unlock()
+	}
+	return allowed, nil
+}
+
+// Epoch reports the local view of the server's push epoch.
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// Subscribed reports whether the cache currently serves locally (a
+// live epoch-push subscription backs it).
+func (c *Cache) Subscribed() bool { return c.active.Load() }
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// Client exposes the underlying wire client for calls the cache does
+// not mediate (batches, pings, traced checks).
+func (c *Cache) Client() *wire.Client { return c.cl }
+
+// Close stops the background loop and closes the connection pool.
+func (c *Cache) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.cl.Close()
+}
+
+// onPush is the wire client's epoch-push callback: one atomic store
+// retires every entry tagged with an older epoch.
+func (c *Cache) onPush(epoch uint64) {
+	c.mu.Lock()
+	if c.epoch.Load() != epoch {
+		c.epoch.Store(epoch)
+		c.invalidations.Add(1)
+		if ins := c.opts.Instruments; ins != nil && ins.Invalidation != nil {
+			ins.Invalidation()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// onLost is the wire client's subscription-loss callback: local
+// serving stops immediately — pushes may already have been missed —
+// and the maintenance loop takes over.
+func (c *Cache) onLost() {
+	c.deactivate()
+	select {
+	case c.lost <- struct{}{}:
+	default:
+	}
+}
+
+// activate installs a fresh subscription: bump the generation, drop
+// every entry (a restarted server may reuse epoch numbers, so nothing
+// stored under the old subscription may survive), then enable local
+// serving at the subscribed epoch. A push racing this and landing
+// first is not lost: its epoch overwrite is undone here, but the
+// entries it would have retired were just dropped wholesale, and any
+// verdict cached afterwards was computed after that push's bump.
+func (c *Cache) activate(epoch uint64) {
+	c.mu.Lock()
+	c.gen.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = map[string]uint64{}
+		sh.mu.Unlock()
+	}
+	c.epoch.Store(epoch)
+	c.active.Store(true)
+	c.mu.Unlock()
+}
+
+// deactivate stops local serving and hard-drops the entries.
+func (c *Cache) deactivate() {
+	c.mu.Lock()
+	if c.active.Load() {
+		c.active.Store(false)
+		c.invalidations.Add(1)
+		if ins := c.opts.Instruments; ins != nil && ins.Invalidation != nil {
+			ins.Invalidation()
+		}
+	}
+	c.gen.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = map[string]uint64{}
+		sh.mu.Unlock()
+	}
+	c.mu.Unlock()
+}
+
+// maintain is the fallback loop: while the subscription is down it
+// polls POLICY_VERSION (liveness — is the server back?) and retries
+// SUBSCRIBE each PollInterval, resuming local serving on success.
+func (c *Cache) maintain() {
+	t := time.NewTicker(c.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-c.lost:
+		case <-t.C:
+		}
+		if c.active.Load() {
+			continue
+		}
+		if _, err := c.cl.PolicyVersion(); err != nil {
+			continue
+		}
+		epoch, err := c.cl.Subscribe()
+		if err != nil {
+			continue
+		}
+		c.activate(epoch)
+	}
+}
+
+// cacheKey builds the length-prefixed tuple key; prefixes keep
+// ("a","b\x00c") and ("a\x00b","c") from colliding.
+func cacheKey(session, operation, object string) string {
+	b := make([]byte, 0, len(session)+len(operation)+len(object)+3*binary.MaxVarintLen32)
+	b = binary.AppendUvarint(b, uint64(len(session)))
+	b = append(b, session...)
+	b = binary.AppendUvarint(b, uint64(len(operation)))
+	b = append(b, operation...)
+	b = binary.AppendUvarint(b, uint64(len(object)))
+	b = append(b, object...)
+	return string(b)
+}

@@ -21,7 +21,9 @@
 // on series measures the cache hit path); -smoke shrinks it to one
 // short round for CI and skips the JSON file. WIRE writes
 // BENCH_wire.json comparing remote-check transports against one live
-// engine: HTTP/JSON vs single wire checks vs batched wire checks.
+// engine: HTTP/JSON vs single wire checks vs batched wire checks vs
+// the embedded client decision cache (client_cached: repeat allows
+// served locally under epoch-push invalidation).
 // BATCH writes BENCH_batch.json comparing the batch-native decision
 // path against per-tuple evaluation: in-process CheckAccessBatch vs a
 // CheckAccessTuple loop (fast path off and on), and wire CHECK_BATCH
@@ -47,6 +49,7 @@ import (
 	"time"
 
 	"activerbac"
+	clientcache "activerbac/client"
 	"activerbac/internal/baseline"
 	"activerbac/internal/clock"
 	"activerbac/internal/conformance"
@@ -105,6 +108,11 @@ func nsPerOp(fn func(b *testing.B)) float64 {
 	r := testing.Benchmark(fn)
 	return float64(r.NsPerOp())
 }
+
+// round3 rounds a JSON-bound metric to 3 decimals: digits past that are
+// measurement jitter, and stable digits keep BENCH_*.json diffs and
+// bench-compare output readable.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
 func open(src string) *activerbac.System {
 	sys, err := activerbac.Open(src, &activerbac.Options{Clock: clock.NewSim(epoch)})
@@ -251,8 +259,8 @@ func e1p() {
 			const checksPerGoroutine = 4000
 			st := parallelChecks(sys, clients, g, checksPerGoroutine)
 			series = append(series, point{
-				Lanes: lanes, Goroutines: g, Checks: st.total, OpsPerSec: st.ops,
-				NsPerOp: st.nsPerOp, BPerOp: st.bPerOp, AllocsPerOp: st.allocsPerOp,
+				Lanes: lanes, Goroutines: g, Checks: st.total, OpsPerSec: round3(st.ops),
+				NsPerOp: round3(st.nsPerOp), BPerOp: round3(st.bPerOp), AllocsPerOp: round3(st.allocsPerOp),
 			})
 			fmt.Printf("%-8d %-12d %14.0f %10.0f %10.1f %12.2f\n",
 				lanes, g, st.ops, st.nsPerOp, st.bPerOp, st.allocsPerOp)
@@ -585,7 +593,7 @@ func obsBench(smoke bool) {
 			series = append(series, point{
 				Mode: c.name, FastPath: c.fastpath, Baseline: cands[c.baseline].name,
 				TraceBuffer: c.buffer, TraceSample: c.sample, TraceLimit: c.limit,
-				Goroutines: g, Checks: total, OpsPerSec: ops, OverheadPct: over,
+				Goroutines: g, Checks: total, OpsPerSec: round3(ops), OverheadPct: round3(over),
 			})
 			fmt.Printf("%-8s %-9v %-9s %-8d %-8.2f %-8.0f %-12d %14.0f %9.1f%%\n",
 				c.name, c.fastpath, cands[c.baseline].name, c.buffer, c.sample, c.limit, g, ops, over)
@@ -598,7 +606,7 @@ func obsBench(smoke bool) {
 		series = append(series, point{
 			Mode: c.name, FastPath: c.fastpath, Baseline: cands[c.baseline].name,
 			TraceBuffer: c.buffer, TraceSample: c.sample, TraceLimit: c.limit,
-			Goroutines: 0, OverheadPct: geo,
+			Goroutines: 0, OverheadPct: round3(geo),
 		})
 		fmt.Printf("%-8s %-9v %-9s %-8d %-8.2f %-8.0f %-12s %14s %9.1f%%\n",
 			c.name, c.fastpath, cands[c.baseline].name, c.buffer, c.sample, c.limit, "geomean", "", geo)
@@ -736,10 +744,10 @@ func fastpathBench(smoke bool) {
 			checks := float64(total) * float64(c.rounds[g])
 			series = append(series, point{
 				Mode: c.name, Lanes: shard, Goroutines: g, Checks: total,
-				OpsPerSec: ops, NsPerOp: 1e9 / ops,
-				BPerOp:      float64(c.bytes[g]) / checks,
-				AllocsPerOp: float64(c.mallocs[g]) / checks,
-				SpeedupPct:  speed,
+				OpsPerSec: round3(ops), NsPerOp: round3(1e9 / ops),
+				BPerOp:      round3(float64(c.bytes[g]) / checks),
+				AllocsPerOp: round3(float64(c.mallocs[g]) / checks),
+				SpeedupPct:  round3(speed),
 			})
 			fmt.Printf("%-6s %-12d %14.0f %10.0f %10.1f %12.2f %+8.1f%%\n",
 				c.name, g, ops, 1e9/ops,
@@ -776,7 +784,7 @@ func fastpathBench(smoke bool) {
 // Results go to BENCH_wire.json with each point's speedup over HTTP at
 // the same concurrency.
 func wireBench(smoke bool) {
-	header("WIRE", "remote check transports: HTTP/JSON vs wire single vs wire batched")
+	header("WIRE", "remote check transports: HTTP/JSON vs wire single vs wire batched vs client-cached")
 	cfg := workload.EnterpriseConfig{
 		Roles: 64, Shape: workload.XYZShape, Branch: 4,
 		SSDFraction: 0.3, Users: 64, PermsPerRole: 3, Seed: 1,
@@ -856,6 +864,22 @@ func wireBench(smoke bool) {
 		os.Exit(1)
 	}
 	defer wc.Close()
+	// The embedded decision cache: subscribed to epoch pushes, serving
+	// repeat allows locally. The workload is repeat-heavy and the policy
+	// never changes mid-round, so after warmup nearly every check is a
+	// local hit — the series measures the deleted round trip.
+	ccache, err := clientcache.New(wireLn.Addr().String(), &clientcache.Options{
+		Conns: conns, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: client cache dial:", err)
+		os.Exit(1)
+	}
+	defer ccache.Close()
+	if !ccache.Subscribed() {
+		fmt.Fprintln(os.Stderr, "bench: client cache did not subscribe")
+		os.Exit(1)
+	}
 
 	// Per-client prebuilt request forms; verdicts are sanity-checked once
 	// so a broken transport can't win by doing nothing.
@@ -894,6 +918,11 @@ func wireBench(smoke bool) {
 			fmt.Fprintf(os.Stderr, "bench: WIRE: transport sanity check failed for client %d (wire=%v err=%v)\n", i, okW, err)
 			os.Exit(1)
 		}
+		okC, err := ccache.Check(tuples[i].Session, tuples[i].Operation, tuples[i].Object)
+		if err != nil || !okC {
+			fmt.Fprintf(os.Stderr, "bench: WIRE: cached transport sanity check failed for client %d (cached=%v err=%v)\n", i, okC, err)
+			os.Exit(1)
+		}
 	}
 
 	// Each round: g goroutines x perG checks over the given transport.
@@ -913,6 +942,12 @@ func wireBench(smoke bool) {
 				case "wire":
 					for j := 0; j < perG; j++ {
 						if _, err := wc.Check(tup.Session, tup.Operation, tup.Object); err != nil {
+							errs.Add(1)
+						}
+					}
+				case "client_cached":
+					for j := 0; j < perG; j++ {
+						if _, err := ccache.Check(tup.Session, tup.Operation, tup.Object); err != nil {
 							errs.Add(1)
 						}
 					}
@@ -937,7 +972,7 @@ func wireBench(smoke bool) {
 		return time.Since(start)
 	}
 
-	transports := []string{"http", "wire", "wire-batch"}
+	transports := []string{"http", "wire", "wire-batch", "client_cached"}
 	best := map[string]map[int]time.Duration{}
 	for _, tr := range transports {
 		best[tr] = map[int]time.Duration{}
@@ -972,7 +1007,7 @@ func wireBench(smoke bool) {
 		SpeedupX   float64 `json:"speedup_vs_http"`
 	}
 	var series []point
-	fmt.Printf("%-11s %-12s %14s %10s %12s\n",
+	fmt.Printf("%-13s %-12s %14s %10s %12s\n",
 		"transport", "goroutines", "checks/sec", "ns/op", "vs http")
 	for _, tr := range transports {
 		for _, g := range goroutines {
@@ -985,12 +1020,15 @@ func wireBench(smoke bool) {
 			}
 			series = append(series, point{
 				Transport: tr, Goroutines: g, Checks: total, Batch: b,
-				OpsPerSec: ops, NsPerOp: 1e9 / ops, SpeedupX: ops / httpOps,
+				OpsPerSec: round3(ops), NsPerOp: round3(1e9 / ops), SpeedupX: round3(ops / httpOps),
 			})
-			fmt.Printf("%-11s %-12d %14.0f %10.0f %11.2fx\n",
+			fmt.Printf("%-13s %-12d %14.0f %10.0f %11.2fx\n",
 				tr, g, ops, 1e9/ops, ops/httpOps)
 		}
 	}
+	cst := ccache.Stats()
+	fmt.Printf("client cache: hits=%d misses=%d invalidations=%d epoch=%d\n",
+		cst.Hits, cst.Misses, cst.Invalidations, ccache.Epoch())
 	if smoke {
 		fmt.Println("smoke run: BENCH_wire.json not written")
 		return
@@ -1014,6 +1052,14 @@ func (b wireSysBackend) Check(session, operation, object string) bool {
 }
 
 func (b wireSysBackend) PolicyEpoch() uint64 { return b.sys.SnapshotEpoch() }
+
+// PushEpoch and CheckCacheable are the epoch-push upgrades: they let a
+// client.Cache subscribe and classify verdicts for local caching.
+func (b wireSysBackend) PushEpoch() uint64 { return b.sys.PushEpoch() }
+
+func (b wireSysBackend) CheckCacheable(session, operation, object string) (allowed, cacheable bool) {
+	return b.sys.CheckAccessTupleCacheable(session, operation, object)
+}
 
 // wireSysBatchBackend is wireSysBackend plus the batch-native upgrade:
 // CHECK_BATCH frames run one CheckAccessBatch instead of a per-tuple
@@ -1093,8 +1139,8 @@ func batchBench(smoke bool) {
 		ops := float64(totalChecks) / d.Seconds()
 		series = append(series, point{
 			Series: s, Mode: mode, FastPath: fp, Batch: batch, Groups: groups,
-			Checks: totalChecks, OpsPerSec: ops, NsPerOp: 1e9 / ops,
-			SpeedupPct: (base.Seconds()/d.Seconds() - 1) * 100,
+			Checks: totalChecks, OpsPerSec: round3(ops), NsPerOp: round3(1e9 / ops),
+			SpeedupPct: round3((base.Seconds()/d.Seconds() - 1) * 100),
 		})
 		fmt.Printf("%-7s %-13s %-9s %7d %14.0f %10.0f %11.2fx\n",
 			s, mode, fp, batch, ops, 1e9/ops, base.Seconds()/d.Seconds())
@@ -1351,7 +1397,7 @@ func batchBench(smoke bool) {
 		ops := float64(total) / bestCmp[g].Seconds()
 		compat = append(compat, wirePoint{
 			Transport: "wire-batch", Goroutines: g, Checks: total, Batch: cmpBatch,
-			OpsPerSec: ops, NsPerOp: 1e9 / ops,
+			OpsPerSec: round3(ops), NsPerOp: round3(1e9 / ops),
 		})
 		fmt.Printf("%-11s %-12d %14.0f %10.0f\n", "wire-batch", g, ops, 1e9/ops)
 	}

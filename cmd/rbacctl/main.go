@@ -7,7 +7,12 @@
 // With -wire set, the commands that the binary wire protocol carries —
 // check, check-many, ping and epoch — go over a wire connection to
 // rbacd's -wire-addr listener instead of HTTP; everything else still
-// needs the HTTP API.
+// needs the HTTP API. Adding -cached routes check and check-many
+// through the embedded decision cache (the client package): the
+// connection subscribes to epoch pushes and repeat allows within the
+// invocation are served locally, with hit/miss counters printed
+// alongside the verdicts. epoch -watch subscribes and prints every
+// pushed epoch as it arrives until interrupted.
 //
 // Commands:
 //
@@ -18,7 +23,8 @@
 //	check [-trace] <session> <operation> <object> [purpose]
 //	check-many <session> <op:obj> [<op:obj> ...]    batched checks (wire or HTTP)
 //	ping                                    wire liveness probe (wire only)
-//	epoch                                   policy snapshot epoch (wire only)
+//	epoch [-watch]                          policy snapshot epoch (wire only);
+//	                                        -watch streams epoch pushes until interrupted
 //	assign <user> <role>                    assign a role
 //	deassign <user> <role>                  remove an assignment
 //	user add <user>                         register a user
@@ -65,6 +71,7 @@ import (
 	"time"
 
 	"activerbac"
+	clientcache "activerbac/client"
 	"activerbac/internal/wire"
 )
 
@@ -73,14 +80,20 @@ func main() {
 	server := "http://localhost:8180"
 	serverSet := false
 	wireAddr := ""
-	for len(args) >= 2 {
-		if args[0] == "-server" {
+	cached := false
+	for len(args) >= 1 {
+		if args[0] == "-cached" {
+			cached = true
+			args = args[1:]
+			continue
+		}
+		if len(args) >= 2 && args[0] == "-server" {
 			server = args[1]
 			serverSet = true
 			args = args[2:]
 			continue
 		}
-		if args[0] == "-wire" {
+		if len(args) >= 2 && args[0] == "-wire" {
 			wireAddr = args[1]
 			args = args[2:]
 			continue
@@ -91,7 +104,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimSuffix(server, "/"), serverSet: serverSet, wireAddr: wireAddr}
+	c := &client{base: strings.TrimSuffix(server, "/"), serverSet: serverSet, wireAddr: wireAddr, cached: cached}
 	if err := c.dispatch(args); err != nil {
 		fmt.Fprintln(os.Stderr, "rbacctl:", err)
 		os.Exit(1)
@@ -99,18 +112,20 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] [-wire host:port] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] [-wire host:port] [-cached] <command> [args]
 commands: session new|end, activate, deactivate, check [-trace], assign, deassign,
           user add, role enable|disable, context set|get, verify,
           rules, stats, fastpath, alerts, policy get|apply, trace [id] [-n N],
           slow [-n N], health, metrics, analyze
-wire:     check [-trace], check-many <session> <op:obj>..., ping, epoch`)
+wire:     check [-trace], check-many <session> <op:obj>..., ping, epoch [-watch]
+          -cached serves check/check-many through the embedded decision cache`)
 }
 
 type client struct {
 	base      string
 	serverSet bool   // -server was given explicitly (not the default)
 	wireAddr  string // non-empty routes check/check-many/ping/epoch over wire
+	cached    bool   // -cached: check/check-many go through client.Cache
 }
 
 func (c *client) dispatch(args []string) error {
@@ -145,6 +160,9 @@ func (c *client) dispatch(args []string) error {
 			return c.checkTraced(rest[0], rest[1], rest[2])
 		}
 		if len(rest) == 3 && c.wireAddr != "" {
+			if c.cached {
+				return c.cachedCheck(rest[0], [][2]string{{rest[1], rest[2]}})
+			}
 			return c.wireCheck(rest[0], rest[1], rest[2])
 		}
 		if len(rest) == 3 || len(rest) == 4 {
@@ -160,6 +178,17 @@ func (c *client) dispatch(args []string) error {
 	case "check-many":
 		if len(rest) >= 2 {
 			if c.wireAddr != "" {
+				if c.cached {
+					pairs := make([][2]string, 0, len(rest)-1)
+					for _, p := range rest[1:] {
+						op, obj, ok := strings.Cut(p, ":")
+						if !ok {
+							return fmt.Errorf("check-many wants op:obj pairs, got %q", p)
+						}
+						pairs = append(pairs, [2]string{op, obj})
+					}
+					return c.cachedCheck(rest[0], pairs)
+				}
 				return c.wireCheckMany(rest[0], rest[1:])
 			}
 			return c.httpCheckMany(rest[0], rest[1:])
@@ -171,6 +200,9 @@ func (c *client) dispatch(args []string) error {
 	case "epoch":
 		if len(rest) == 0 {
 			return c.wireEpoch()
+		}
+		if len(rest) == 1 && rest[0] == "-watch" {
+			return c.wireEpochWatch()
 		}
 	case "assign":
 		if len(rest) == 2 {
@@ -450,6 +482,75 @@ func (c *client) wireEpoch() error {
 		return err
 	}
 	fmt.Printf("{\n  \"snapshotEpoch\": %d\n}\n", epoch)
+	return nil
+}
+
+// wireEpochWatch subscribes to epoch pushes and prints each epoch as
+// it arrives, until interrupted or the subscription drops.
+func (c *client) wireEpochWatch() error {
+	if c.wireAddr == "" {
+		return fmt.Errorf("epoch -watch needs -wire host:port (rbacd's -wire-addr listener)")
+	}
+	// The callbacks run on the connection's read goroutine and must not
+	// block: pushes are forwarded through a buffered channel and the
+	// channel send never waits (a full buffer coalesces — the watcher
+	// prints the epochs it got, never stalls the reader).
+	pushes := make(chan uint64, 64)
+	lost := make(chan struct{}, 1)
+	wc, err := wire.Dial(c.wireAddr, &wire.ClientOptions{
+		Timeout: 10 * time.Second,
+		OnEpochPush: func(epoch uint64) {
+			select {
+			case pushes <- epoch:
+			default:
+			}
+		},
+		OnSubscriptionLost: func() {
+			select {
+			case lost <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+	epoch, err := wc.Subscribe()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epoch %d (watching for pushes; interrupt to stop)\n", epoch)
+	for {
+		select {
+		case e := <-pushes:
+			fmt.Printf("epoch %d\n", e)
+		case <-lost:
+			return fmt.Errorf("subscription lost (connection dropped)")
+		}
+	}
+}
+
+// cachedCheck runs the pairs for one session through the embedded
+// decision cache: repeat allows within the invocation are served
+// locally, and the hit/miss/subscription counters are printed after
+// the verdicts.
+func (c *client) cachedCheck(session string, pairs [][2]string) error {
+	cc, err := clientcache.New(c.wireAddr, &clientcache.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer cc.Close()
+	for _, p := range pairs {
+		allowed, err := cc.Check(session, p[0], p[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s: %v\n", p[0], p[1], allowed)
+	}
+	st := cc.Stats()
+	fmt.Printf("cache: subscribed=%v epoch=%d hits=%d misses=%d\n",
+		cc.Subscribed(), cc.Epoch(), st.Hits, st.Misses)
 	return nil
 }
 

@@ -23,11 +23,15 @@
 // POST /v1/policy with 422 — on any error-severity finding.
 //
 // -wire-addr additionally serves the internal/wire binary decision
-// protocol (CHECK / CHECK_BATCH / PING / POLICY_VERSION) on a second
-// listener; -wire-max-inflight, -wire-read-timeout, -wire-write-timeout
-// and -wire-max-frame tune its per-connection backpressure. The HTTP
-// listener's own slow-client guards are -http-read-header-timeout and
-// -http-idle-timeout.
+// protocol (CHECK / CHECK_BATCH / PING / POLICY_VERSION / SUBSCRIBE)
+// on a second listener; -wire-max-inflight, -wire-read-timeout,
+// -wire-write-timeout and -wire-max-frame tune its per-connection
+// backpressure, and -wire-max-subscribers caps epoch-push
+// subscriptions (0 = unlimited). Subscribed connections receive an
+// unsolicited EPOCH_PUSH frame on every policy-epoch bump, which the
+// client package uses to invalidate its embedded decision cache. The
+// HTTP listener's own slow-client guards are -http-read-header-timeout
+// and -http-idle-timeout.
 //
 // Endpoints (all JSON unless noted):
 //
@@ -113,11 +117,12 @@ type config struct {
 	httpReadHeaderTimeout time.Duration
 	httpIdleTimeout       time.Duration
 
-	wireAddr         string
-	wireMaxInflight  int
-	wireMaxFrame     int
-	wireReadTimeout  time.Duration
-	wireWriteTimeout time.Duration
+	wireAddr           string
+	wireMaxInflight    int
+	wireMaxFrame       int
+	wireReadTimeout    time.Duration
+	wireWriteTimeout   time.Duration
+	wireMaxSubscribers int
 }
 
 func main() {
@@ -158,6 +163,8 @@ func main() {
 		"wire: per-frame read deadline doubling as idle timeout; 0 = protocol default, negative disables")
 	flag.DurationVar(&cfg.wireWriteTimeout, "wire-write-timeout", 0,
 		"wire: per-flush write deadline; 0 = protocol default, negative disables")
+	flag.IntVar(&cfg.wireMaxSubscribers, "wire-max-subscribers", 0,
+		"wire: max connections subscribed to epoch pushes; 0 = unlimited")
 	flag.Parse()
 	if cfg.policyPath == "" {
 		flag.Usage()
@@ -311,12 +318,18 @@ func run(cfg config) error {
 			return fmt.Errorf("wire listener: %w", err)
 		}
 		wireSrv = wire.NewServer(wireBackend{srv}, &wire.ServerOptions{
-			MaxFrame:     cfg.wireMaxFrame,
-			MaxInFlight:  cfg.wireMaxInflight,
-			ReadTimeout:  cfg.wireReadTimeout,
-			WriteTimeout: cfg.wireWriteTimeout,
-			Instruments:  wireInstruments(sys),
+			MaxFrame:       cfg.wireMaxFrame,
+			MaxInFlight:    cfg.wireMaxInflight,
+			ReadTimeout:    cfg.wireReadTimeout,
+			WriteTimeout:   cfg.wireWriteTimeout,
+			MaxSubscribers: cfg.wireMaxSubscribers,
+			Instruments:    wireInstruments(sys),
 		})
+		// Every push-epoch bump — hot reload, role flip, window change,
+		// session churn — fans out to subscribed wire connections so
+		// embedded client caches invalidate without polling. The hook
+		// runs under engine locks; NotifyEpoch is non-blocking.
+		sys.OnEpochBump(wireSrv.NotifyEpoch)
 		log.Printf("rbacd: wire protocol on %s", wln.Addr())
 		srv.wireReady.Store(true)
 		go func() {
@@ -342,6 +355,18 @@ func (b wireBackend) Check(session, operation, object string) bool {
 }
 
 func (b wireBackend) PolicyEpoch() uint64 { return b.srv.system().SnapshotEpoch() }
+
+// PushEpoch upgrades the backend to wire.PushBackend: SUBSCRIBE answers
+// with the engine's push epoch, which also bumps on session-grade
+// changes the policy snapshot epoch does not see.
+func (b wireBackend) PushEpoch() uint64 { return b.srv.system().PushEpoch() }
+
+// CheckCacheable upgrades the backend to wire.CacheBackend: a
+// CACHE-flagged CHECK additionally reports whether the verdict is safe
+// for an epoch-tagged client cache.
+func (b wireBackend) CheckCacheable(session, operation, object string) (allowed, cacheable bool) {
+	return b.srv.system().CheckAccessTupleCacheable(session, operation, object)
+}
 
 // CheckTraced upgrades the backend to wire.TraceBackend: a TRACE-flagged
 // CHECK runs the fully traced cascade and retains the trace under the
@@ -405,10 +430,12 @@ func wireInstruments(sys *activerbac.System) *wire.Instruments {
 		return nil
 	}
 	return &wire.Instruments{
-		Request:  func(opcode string) { o.WireRequests.With(opcode).Inc() },
-		Error:    func(opcode string) { o.WireErrors.With(opcode).Inc() },
-		Inflight: func(delta float64) { o.WireInflight.Add(delta) },
-		RTT:      func(opcode string, seconds float64) { o.WireRTT.With(opcode).Observe(seconds) },
+		Request:     func(opcode string) { o.WireRequests.With(opcode).Inc() },
+		Error:       func(opcode string) { o.WireErrors.With(opcode).Inc() },
+		Inflight:    func(delta float64) { o.WireInflight.Add(delta) },
+		RTT:         func(opcode string, seconds float64) { o.WireRTT.With(opcode).Observe(seconds) },
+		Push:        func() { o.EpochPushes.Inc() },
+		Subscribers: func(delta float64) { o.WireSubscribers.Add(delta) },
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"activerbac"
+	clientcache "activerbac/client"
 	"activerbac/internal/wire"
 )
 
@@ -83,6 +84,7 @@ func TestWireDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	wireSrv := wire.NewServer(wireBackend{srv}, nil)
+	sys.OnEpochBump(wireSrv.NotifyEpoch)
 	go wireSrv.Serve(wln)
 	defer wireSrv.Close()
 	wc, err := wire.Dial(wln.Addr().String(), &wire.ClientOptions{
@@ -92,6 +94,21 @@ func TestWireDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer wc.Close()
+
+	// The cached-client participant: one embedded decision cache shared
+	// by all workers, subscribed to epoch pushes, serving repeat allows
+	// locally. Every expect() below runs it alongside the remote paths,
+	// so a single stale locally-served allow is a unanimity failure.
+	cc, err := clientcache.New(wln.Addr().String(), &clientcache.Options{
+		Conns: 2, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if !cc.Subscribed() {
+		t.Fatal("client cache did not subscribe")
+	}
 
 	httpCheck := func(session, operation, object string) (bool, error) {
 		u := httpSrv.URL + "/v1/check?" + url.Values{
@@ -224,6 +241,31 @@ func TestWireDifferential(t *testing.T) {
 				}
 				return sid, true
 			}
+			// awaitPush fences the cached client after a mutation that
+			// flips one of this worker's own verdicts: push delivery is
+			// asynchronous, so the worker waits until the cache's epoch
+			// view has caught up with a push epoch captured AFTER the
+			// mutation. Once it has, every allow cached before the
+			// mutation carries an older tag and cannot be served — this
+			// is exactly the "every push drops the cache before the next
+			// divergent verdict" guarantee under test. (Steady-state
+			// checks need no fence: churn never changes worker verdicts,
+			// so a cached worker allow stays correct until the worker
+			// itself mutates.)
+			awaitPush := func(what string) bool {
+				target := sys.PushEpoch()
+				deadline := time.Now().Add(30 * time.Second)
+				for cc.Subscribed() && cc.Epoch() < target {
+					if time.Now().After(deadline) {
+						t.Errorf("worker %d: %s: cache epoch %d never caught up to push epoch %d",
+							w, what, cc.Epoch(), target)
+						return false
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+				return true
+			}
+
 			// expect runs the same check over every path and requires
 			// unanimity with the model.
 			expect := func(sid activerbac.SessionID, op, obj string, want bool, what string) bool {
@@ -245,9 +287,14 @@ func TestWireDifferential(t *testing.T) {
 					t.Errorf("worker %d: %s: wire batch: %v (%d verdicts)", w, what, err, len(batch))
 					return false
 				}
-				if inProc != overHTTP || inProc != overWire || inProc != batch[0] {
-					t.Errorf("worker %d: %s: verdicts diverged: in-process=%v http=%v wire=%v wire-batch=%v",
-						w, what, inProc, overHTTP, overWire, batch[0])
+				overCached, err := cc.Check(string(sid), op, obj)
+				if err != nil {
+					t.Errorf("worker %d: %s: cached client: %v", w, what, err)
+					return false
+				}
+				if inProc != overHTTP || inProc != overWire || inProc != batch[0] || inProc != overCached {
+					t.Errorf("worker %d: %s: verdicts diverged: in-process=%v http=%v wire=%v wire-batch=%v cached=%v",
+						w, what, inProc, overHTTP, overWire, batch[0], overCached)
 					return false
 				}
 				if inProc != want {
@@ -330,6 +377,9 @@ func TestWireDifferential(t *testing.T) {
 						t.Errorf("worker %d: DropActiveRole: %v", w, err)
 						return
 					}
+					if !awaitPush("role dropped") {
+						return
+					}
 					if !expect(sid, ownOp, ownObj, false, "own permission, role dropped") ||
 						!expectBatch(sid, false, "batch, role dropped") {
 						return
@@ -342,6 +392,9 @@ func TestWireDifferential(t *testing.T) {
 				if i%25 == 24 {
 					if err := sys.DeleteSession(sid); err != nil {
 						t.Errorf("worker %d: DeleteSession: %v", w, err)
+						return
+					}
+					if !awaitPush("session deleted") {
 						return
 					}
 					if !expect(sid, ownOp, ownObj, false, "own permission, session deleted") {
@@ -358,6 +411,84 @@ func TestWireDifferential(t *testing.T) {
 	workers.Wait()
 	stop.Store(true)
 	churn.Wait()
+
+	// Quiescent cached-client epilogue: with the churn stopped, prove the
+	// local serving path deterministically — under churn every epoch bump
+	// retires the whole cache, so hit timing is probabilistic above. Seed
+	// an allow, require the repeat to be served locally, then flip the
+	// role and require the push to retire the entry before the next check.
+	cacheEpilogue := func() {
+		sid, err := sys.CreateSession("u00")
+		if err != nil {
+			t.Errorf("cache epilogue: CreateSession: %v", err)
+			return
+		}
+		if err := sys.AddActiveRole("u00", sid, "W0"); err != nil {
+			t.Errorf("cache epilogue: AddActiveRole: %v", err)
+			return
+		}
+		await := func(what string) bool {
+			target := sys.PushEpoch()
+			deadline := time.Now().Add(30 * time.Second)
+			for cc.Epoch() < target {
+				if !cc.Subscribed() {
+					t.Errorf("cache epilogue: %s: subscription lost", what)
+					return false
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("cache epilogue: %s: cache epoch %d never caught up to %d", what, cc.Epoch(), target)
+					return false
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			return true
+		}
+		if !await("after session setup") {
+			return
+		}
+		before := cc.Stats()
+		for i := 0; i < 2; i++ {
+			allowed, err := cc.Check(string(sid), "op0", "obj0")
+			if err != nil || !allowed {
+				t.Errorf("cache epilogue: check %d = (%v, %v), want (true, nil)", i, allowed, err)
+				return
+			}
+		}
+		if after := cc.Stats(); after.Hits == before.Hits {
+			t.Error("cache epilogue: repeat allow was not served locally")
+			return
+		}
+		if err := sys.DropActiveRole("u00", sid, "W0"); err != nil {
+			t.Errorf("cache epilogue: DropActiveRole: %v", err)
+			return
+		}
+		if !await("after role drop") {
+			return
+		}
+		inProc := sys.CheckAccessTuple(string(sid), "op0", "obj0")
+		cached, err := cc.Check(string(sid), "op0", "obj0")
+		if err != nil {
+			t.Errorf("cache epilogue: check after drop: %v", err)
+			return
+		}
+		if inProc || cached {
+			t.Errorf("cache epilogue: verdict after role drop: in-process=%v cached=%v, want false/false (stale allow served)",
+				inProc, cached)
+		}
+	}
+	cacheEpilogue()
+
+	// The acceptance bar for the cached participant: the run must have
+	// exercised it across at least 20 policy-epoch bumps. Invalidations
+	// counts coalesced pushes observed by the cache; churn bumps the
+	// epoch every couple of milliseconds for the whole worker phase, so
+	// anything near the floor means the subscription was not live.
+	if st := cc.Stats(); st.Invalidations < 20 {
+		t.Errorf("client cache observed %d invalidations, want >= 20 epoch pushes across the churn phase", st.Invalidations)
+	} else {
+		t.Logf("client cache stats: hits=%d misses=%d invalidations=%d epoch=%d subscribed=%v",
+			st.Hits, st.Misses, st.Invalidations, cc.Epoch(), cc.Subscribed())
+	}
 
 	// Traced differential: the same check forced onto the traced cascade
 	// once per transport — a client-minted id via the X-Activerbac-Trace

@@ -89,6 +89,16 @@ type Observer struct {
 	WireErrors   *CounterVec   // activerbac_wire_errors_total{opcode}
 	WireInflight *Gauge        // activerbac_wire_inflight
 	WireRTT      *HistogramVec // activerbac_wire_rtt_seconds{opcode}
+
+	// Epoch push (counted by rbacd's wire server hooks).
+	WireSubscribers *Gauge   // activerbac_wire_subscribers
+	EpochPushes     *Counter // activerbac_epoch_pushes_total
+
+	// Embedded client cache (fed by client.Cache Instruments when an
+	// embedding process wires them to an observer).
+	ClientCacheHits          *Counter // activerbac_client_cache_hits_total
+	ClientCacheMisses        *Counter // activerbac_client_cache_misses_total
+	ClientCacheInvalidations *Counter // activerbac_client_cache_invalidations_total
 }
 
 // Stage label values of activerbac_stage_seconds.
@@ -215,6 +225,18 @@ func NewObserver(traceCapacity int) *Observer {
 			"Wire-protocol requests admitted but not yet responded to.").With(),
 		WireRTT: r.Histogram("activerbac_wire_rtt_seconds",
 			"Server-side wire round trip per opcode: frame decoded to response flushed.", nil, "opcode"),
+
+		WireSubscribers: r.Gauge("activerbac_wire_subscribers",
+			"Connections currently subscribed to epoch pushes.").With(),
+		EpochPushes: r.Counter("activerbac_epoch_pushes_total",
+			"EPOCH_PUSH frames written to subscribers (coalesced per bump burst).").With(),
+
+		ClientCacheHits: r.Counter("activerbac_client_cache_hits_total",
+			"Checks served from the embedded client decision cache.").With(),
+		ClientCacheMisses: r.Counter("activerbac_client_cache_misses_total",
+			"Client-cache checks that went to the server.").With(),
+		ClientCacheInvalidations: r.Counter("activerbac_client_cache_invalidations_total",
+			"Wholesale client-cache drops: epoch pushes plus subscription losses.").With(),
 	}
 	o.StageSeconds = r.Histogram("activerbac_stage_seconds",
 		"Decision latency attributed to one pipeline stage.", nil, "stage")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"activerbac/internal/clock"
@@ -177,6 +178,17 @@ type Engine struct {
 	env     *Env
 	obs     *obs.Observer // nil = observability off
 	fp      *FastPath     // nil = fast path off
+
+	// pushEpoch counts every change that can invalidate a cached
+	// verdict anywhere: unlike the store's policy epoch it also bumps
+	// on session-grade mutations (role drops, session deletes) and on
+	// detector/rule-pool changes. It is what epoch-push subscribers and
+	// embedded client caches key on.
+	pushEpoch atomic.Uint64
+	// pushHook, when set, is called (under the mutating component's
+	// lock — it must not block) after every pushEpoch bump with the new
+	// value; the wire server fans it out to subscribers.
+	pushHook atomic.Pointer[func(uint64)]
 }
 
 // EngineOption configures a new Engine.
@@ -241,29 +253,71 @@ func NewEngine(clk clock.Clock, opts ...EngineOption) *Engine {
 		o.Registry.OnScrape(e.collect)
 	}
 	if cfg.fastpath {
-		fp := newFastPath()
-		e.fp = fp
-		// Invalidation hooks. All three run under their component's
-		// writer lock and only touch atomics. Store mutations tell us
-		// whether the whole policy or one session moved; rule-pool and
-		// event-graph changes always invalidate wholesale. The pool hook
-		// also gates occurrence pooling on the absence of outcome
-		// listeners (audit retains occurrences, pooling would corrupt
-		// them); it fires once at install, setting the initial state.
-		e.store.SetChangeHook(func(policy bool, sid rbac.SessionID) {
+		e.fp = newFastPath()
+	}
+	fp := e.fp
+	// Change hooks. All three run under their component's writer lock
+	// and only touch atomics (the push hook must honor the same
+	// contract). They serve two consumers: the fast-path cache (when
+	// enabled — store mutations tell us whether the whole policy or one
+	// session moved; rule-pool and event-graph changes invalidate
+	// wholesale) and the push epoch, which bumps on every grade of
+	// change so epoch-push subscribers and embedded client caches are
+	// told whenever any cached verdict may have moved. The pool hook
+	// also gates occurrence pooling on the absence of outcome listeners
+	// (audit retains occurrences, pooling would corrupt them); it fires
+	// once at install, setting the initial state.
+	e.store.SetChangeHook(func(policy bool, sid rbac.SessionID) {
+		if fp != nil {
 			if policy {
 				fp.Invalidate()
 			} else {
 				fp.InvalidateSession(string(sid))
 			}
-		})
-		det.SetChangeHook(fp.Invalidate)
-		e.pool.SetChangeHook(func() {
+		}
+		e.bumpPushEpoch()
+	})
+	det.SetChangeHook(func() {
+		if fp != nil {
+			fp.Invalidate()
+		}
+		e.bumpPushEpoch()
+	})
+	e.pool.SetChangeHook(func() {
+		if fp != nil {
 			fp.Invalidate()
 			det.SetOccurrencePooling(e.pool.ListenerCount() == 0)
-		})
-	}
+		}
+		e.bumpPushEpoch()
+	})
 	return e
+}
+
+// bumpPushEpoch advances the push epoch and notifies the hook, if any.
+// Called under component writer locks: atomics and non-blocking work
+// only.
+func (e *Engine) bumpPushEpoch() {
+	epoch := e.pushEpoch.Add(1)
+	if h := e.pushHook.Load(); h != nil {
+		(*h)(epoch)
+	}
+}
+
+// PushEpoch reports the current push epoch: a monotonic counter over
+// every policy-, session-, detector- or rule-grade change that can
+// invalidate a cached verdict.
+func (e *Engine) PushEpoch() uint64 { return e.pushEpoch.Load() }
+
+// SetPushHook installs fn to be called with the new epoch after every
+// push-epoch bump. fn runs under the mutating component's lock and must
+// not block (atomics and non-blocking channel work only). Installing
+// replaces any previous hook; nil clears it.
+func (e *Engine) SetPushHook(fn func(epoch uint64)) {
+	if fn == nil {
+		e.pushHook.Store(nil)
+		return
+	}
+	e.pushHook.Store(&fn)
 }
 
 // FastPath returns the decision cache, or nil when the fast path is
@@ -279,6 +333,12 @@ func (e *Engine) cacheable(eventName string) bool {
 	sub, ok := e.det.SoleScopedSub(eventName)
 	return ok && e.pool.CacheVerdictSafe(eventName, sub)
 }
+
+// CacheableEvent reports whether eventName's verdicts depend only on
+// state the push epoch tags — the same classification the fast path
+// uses — and so are safe for an epoch-tagged client cache. It holds
+// regardless of whether the in-process fast path is enabled.
+func (e *Engine) CacheableEvent(eventName string) bool { return e.cacheable(eventName) }
 
 // Observer returns the engine's observability bundle (nil when off).
 func (e *Engine) Observer() *obs.Observer { return e.obs }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,16 @@ type ClientOptions struct {
 	MaxFrame int
 	// Timeout bounds dialing and each request round trip. Default 10s.
 	Timeout time.Duration
+	// OnEpochPush, when set, is called with the pushed epoch whenever
+	// an EPOCH_PUSH frame arrives on any pooled connection (after a
+	// Subscribe). It runs on the connection's read goroutine and must
+	// not block.
+	OnEpochPush func(epoch uint64)
+	// OnSubscriptionLost, when set, is called whenever a connection
+	// that carried a successful Subscribe dies: pushes may have been
+	// missed from that instant and any push-derived state is stale
+	// until a new Subscribe succeeds. It must not block.
+	OnSubscriptionLost func()
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -39,6 +50,19 @@ func (o ClientOptions) withDefaults() ClientOptions {
 // ErrClientClosed is returned by calls on a closed Client.
 var ErrClientClosed = errors.New("wire: client closed")
 
+// ErrBackoff is returned (wrapped) when a request lands on a dead pool
+// slot whose redial is still backing off; retry after the reported
+// wait.
+var ErrBackoff = errors.New("wire: redial backing off")
+
+// Redial backoff bounds: the first redial after a failure waits
+// redialBase, doubling per consecutive failure up to redialCap, plus
+// up to 50% jitter so pooled clients don't reconnect in lockstep.
+const (
+	redialBase = 10 * time.Millisecond
+	redialCap  = time.Second
+)
+
 // Client is a connection-pooled, pipelined wire-protocol client. All
 // methods are safe for concurrent use; concurrent calls share pooled
 // connections and their responses are correlated by request id, so no
@@ -49,12 +73,20 @@ type Client struct {
 	next   atomic.Uint32
 	closed atomic.Bool
 	slots  []*clientSlot
+	// dial is the connection factory, a field so tests can count and
+	// refuse dials; Dial installs the TCP default.
+	dial func() (net.Conn, error)
 }
 
-// clientSlot is one pool slot; the mutex covers (re)dialing only.
+// clientSlot is one pool slot; the mutex covers (re)dialing and the
+// backoff bookkeeping.
 type clientSlot struct {
 	mu sync.Mutex
 	cc *clientConn
+	// fails counts consecutive dial failures; nextDial is the earliest
+	// instant the next redial may be attempted.
+	fails    int
+	nextDial time.Time
 }
 
 // Dial builds a client for addr and eagerly dials the first pooled
@@ -66,6 +98,9 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 		o = *opts
 	}
 	c := &Client{addr: addr, opts: o.withDefaults()}
+	c.dial = func() (net.Conn, error) {
+		return net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+	}
 	c.slots = make([]*clientSlot, c.opts.Conns)
 	for i := range c.slots {
 		c.slots[i] = &clientSlot{}
@@ -141,6 +176,62 @@ func (c *Client) checkMany(reqs []CheckRequest, op byte, prefix []byte) ([]bool,
 	return verdicts, nil
 }
 
+// CheckCacheable runs one access check with the CACHE flag set: the
+// server additionally reports whether the verdict is safe for an
+// epoch-tagged local cache until the next EPOCH_PUSH.
+func (c *Client) CheckCacheable(session, operation, object string) (allowed, cacheable bool, err error) {
+	payload := AppendCheck(make([]byte, 0, 64), session, operation, object)
+	resp, err := c.roundTrip(OpCheck|CacheFlag, payload)
+	if err != nil {
+		return false, false, err
+	}
+	allowed, cacheable, cerr := ConsumeCacheVerdict(resp)
+	if cerr != nil {
+		return false, false, fmt.Errorf("wire: bad CHECK response: %w", cerr)
+	}
+	return allowed, cacheable, nil
+}
+
+// Subscribe registers one pooled connection for epoch pushes and
+// returns the push epoch current at registration. Pushes arrive via
+// ClientOptions.OnEpochPush; if the subscribed connection later dies,
+// ClientOptions.OnSubscriptionLost fires and the caller must Subscribe
+// again (redials do not re-subscribe themselves).
+func (c *Client) Subscribe() (uint64, error) {
+	slot := c.slots[int(c.next.Add(1))%len(c.slots)]
+	cc, err := c.conn(slot)
+	if err != nil {
+		return 0, err
+	}
+	// Marked before the round trip: if the connection dies mid-flight
+	// the loss callback still fires, so the caller can never believe a
+	// half-made subscription is live.
+	cc.subscribed.Store(true)
+	res, err := cc.roundTrip(OpSubscribe, nil, c.opts.Timeout)
+	if err != nil {
+		cc.subscribed.Store(false)
+		return 0, err
+	}
+	if res.op == OpError {
+		cc.subscribed.Store(false)
+		code, msg, perr := ConsumeErrorPayload(res.payload)
+		if perr != nil {
+			return 0, perr
+		}
+		return 0, &RemoteError{Code: code, Msg: msg}
+	}
+	if res.op != OpSubscribe|RespFlag {
+		cc.subscribed.Store(false)
+		return 0, fmt.Errorf("wire: response opcode %#x for SUBSCRIBE: %w", res.op, ErrBadPayload)
+	}
+	epoch, err := ConsumeEpoch(res.payload)
+	if err != nil {
+		cc.subscribed.Store(false)
+		return 0, err
+	}
+	return epoch, nil
+}
+
 // Ping round-trips an empty frame.
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(OpPing, nil)
@@ -170,7 +261,11 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// conn returns the slot's live connection, dialing if missing or dead.
+// conn returns the slot's live connection, redialing if missing or
+// dead. Redials follow an exponential backoff with jitter (capped at
+// redialCap): while the slot is backing off the call fails fast with
+// ErrBackoff instead of dialing, so a fleet of pooled clients cannot
+// hammer a restarting server with a reconnect storm.
 func (c *Client) conn(slot *clientSlot) (*clientConn, error) {
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
@@ -180,11 +275,28 @@ func (c *Client) conn(slot *clientSlot) (*clientConn, error) {
 	if cc := slot.cc; cc != nil && !cc.dead() {
 		return cc, nil
 	}
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+	if wait := time.Until(slot.nextDial); wait > 0 {
+		return nil, fmt.Errorf("wire: slot redial in %v: %w",
+			wait.Round(time.Millisecond), ErrBackoff)
+	}
+	nc, err := c.dial()
 	if err != nil {
+		slot.fails++
+		backoff := redialBase
+		for i := 1; i < slot.fails && backoff < redialCap; i++ {
+			backoff *= 2
+		}
+		if backoff > redialCap {
+			backoff = redialCap
+		}
+		backoff += time.Duration(rand.Int64N(int64(backoff)/2 + 1))
+		slot.nextDial = time.Now().Add(backoff)
 		return nil, err
 	}
-	cc := &clientConn{c: nc, pending: map[uint32]chan result{}}
+	slot.fails = 0
+	slot.nextDial = time.Time{}
+	cc := &clientConn{c: nc, pending: map[uint32]chan result{},
+		onPush: c.opts.OnEpochPush, onLost: c.opts.OnSubscriptionLost}
 	go cc.readLoop(c.opts.MaxFrame)
 	slot.cc = cc
 	return cc, nil
@@ -228,6 +340,13 @@ type result struct {
 type clientConn struct {
 	c net.Conn
 
+	// onPush and onLost are the owning client's push callbacks;
+	// subscribed marks a connection that carried a successful
+	// SUBSCRIBE, so its death reports the subscription as lost.
+	onPush     func(epoch uint64)
+	onLost     func()
+	subscribed atomic.Bool
+
 	wmu  sync.Mutex
 	wbuf []byte
 
@@ -256,6 +375,12 @@ func (cc *clientConn) fail(err error) {
 	for _, ch := range pending {
 		close(ch) // a closed channel signals "connection failed"
 	}
+	// A dead subscribed connection means pushes may have been missed
+	// from this instant; tell the owner so push-derived caches can
+	// stop serving before the gap widens.
+	if cc.subscribed.Swap(false) && cc.onLost != nil {
+		cc.onLost()
+	}
 }
 
 // readLoop delivers response frames to their waiters until the
@@ -267,6 +392,22 @@ func (cc *clientConn) readLoop(maxFrame int) {
 		if err != nil {
 			cc.fail(fmt.Errorf("wire: connection lost: %w", err))
 			return
+		}
+		if f.Op == OpEpochPush {
+			// Unsolicited server push, intercepted before the pending-id
+			// correlation (its id is always 0). A push that does not
+			// decode means invalidations may be lost: kill the
+			// connection so the subscription loss is reported rather
+			// than silently serving stale state.
+			epoch, perr := ConsumeEpoch(f.Payload)
+			if perr != nil {
+				cc.fail(fmt.Errorf("wire: bad EPOCH_PUSH payload: %w", perr))
+				return
+			}
+			if cc.onPush != nil {
+				cc.onPush(epoch)
+			}
+			continue
 		}
 		cc.mu.Lock()
 		ch, ok := cc.pending[f.ID]

@@ -24,6 +24,11 @@ func FuzzDecoder(f *testing.F) {
 	f.Add(AppendFrame(nil, OpCheck, 8, make([]byte, 300))[:40])                         // truncated payload
 	f.Add([]byte{magic0, magic1, Version})                                              // truncated header
 	f.Add([]byte{magic0, magic1, Version, OpCheck, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // huge declared length
+	f.Add(AppendFrame(nil, OpSubscribe, 9, nil))
+	f.Add(AppendFrame(nil, OpEpochPush, 0, AppendEpoch(nil, 42)))
+	f.Add(AppendFrame(nil, OpEpochPush, 0, AppendEpoch(nil, 42))[:HeaderSize+3])   // truncated push epoch
+	f.Add(AppendFrame(nil, OpCheck|CacheFlag, 10, AppendCheck(nil, "s", "r", "o"))) // CACHE-flagged check
+	f.Add(AppendFrame(nil, OpSubscribe|RespFlag|TraceFlag|CacheFlag, 11, nil))      // corrupted flag soup
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder(bytes.NewReader(data), 1<<12)
@@ -56,6 +61,8 @@ func FuzzPayloadCodecs(f *testing.F) {
 	f.Add(AppendVerdicts(nil, []bool{true, false, true}))
 	f.Add(AppendErrorPayload(nil, ErrCodeBadRequest, "bad"))
 	f.Add(AppendEpoch(nil, 99))
+	f.Add(AppendCacheVerdict(nil, true, true))
+	f.Add([]byte{7}) // cache verdict with reserved bits set
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // uvarint overflow
 
@@ -101,6 +108,13 @@ func FuzzPayloadCodecs(f *testing.F) {
 				t.Fatalf("epoch re-decode mismatch: %d -> (%d, %v)", epoch, e2, err)
 			}
 		}
+		if allowed, cacheable, err := ConsumeCacheVerdict(data); err == nil {
+			a2, c2, err := ConsumeCacheVerdict(AppendCacheVerdict(nil, allowed, cacheable))
+			if err != nil || a2 != allowed || c2 != cacheable {
+				t.Fatalf("cache-verdict re-decode mismatch: (%v %v) -> (%v %v, %v)",
+					allowed, cacheable, a2, c2, err)
+			}
+		}
 		if tid, rest, err := ConsumeTraceID(data); err == nil {
 			t2, rest2, err := ConsumeTraceID(AppendTraceID(nil, tid))
 			if err != nil || t2 != tid || len(rest2) != 0 {
@@ -114,7 +128,9 @@ func FuzzPayloadCodecs(f *testing.F) {
 }
 
 // FuzzCheckRoundTrip fuzzes the structured direction: any triple of
-// strings within the length limit must survive encode/decode exactly.
+// strings within the length limit must survive encode/decode exactly —
+// bare, framed as a CACHE-flagged CHECK, and interleaved with an
+// EPOCH_PUSH frame derived from the same input.
 func FuzzCheckRoundTrip(f *testing.F) {
 	f.Add("sid", "read", "doc")
 	f.Add("", "", "")
@@ -130,6 +146,28 @@ func FuzzCheckRoundTrip(f *testing.F) {
 		}
 		if s2 != session || op2 != operation || obj2 != object {
 			t.Fatalf("round trip (%q %q %q) -> (%q %q %q)", session, operation, object, s2, op2, obj2)
+		}
+		// The same tuple framed as a CACHE-flagged check, preceded by an
+		// unsolicited EPOCH_PUSH — the stream shape a subscribed client's
+		// reader sees — must decode back frame for frame.
+		epoch := uint64(len(session))<<32 | uint64(len(operation))<<16 | uint64(len(object))
+		stream := AppendFrame(nil, OpEpochPush, 0, AppendEpoch(nil, epoch))
+		stream = AppendFrame(stream, OpCheck|CacheFlag, 1, b)
+		dec := NewDecoder(bytes.NewReader(stream), 0)
+		push, err := dec.Next()
+		if err != nil || push.Op != OpEpochPush {
+			t.Fatalf("push frame: (%#x, %v)", push.Op, err)
+		}
+		if e2, err := ConsumeEpoch(push.Payload); err != nil || e2 != epoch {
+			t.Fatalf("push epoch = (%d, %v), want %d", e2, err, epoch)
+		}
+		chk, err := dec.Next()
+		if err != nil || chk.Op != OpCheck|CacheFlag || chk.ID != 1 {
+			t.Fatalf("check frame: (%#x id %d, %v)", chk.Op, chk.ID, err)
+		}
+		if s3, o3, b3, err := ConsumeCheck(chk.Payload); err != nil ||
+			s3 != session || o3 != operation || b3 != object {
+			t.Fatalf("framed round trip -> (%q %q %q, %v)", s3, o3, b3, err)
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"runtime"
 	"sync"
@@ -54,6 +55,31 @@ type BatchTraceBackend interface {
 	CheckBatchTraced(reqs []CheckRequest, vs []bool, tid [TraceIDSize]byte) []bool
 }
 
+// PushBackend is optionally implemented by a Backend whose epoch bumps
+// the server can push to subscribers. PushEpoch reports the current
+// push epoch — unlike PolicyEpoch it covers session-grade changes
+// (role drops, session deletes) as well as policy-grade ones, so a
+// bump means any cached verdict may have changed. The server detects
+// the upgrade once at construction; without it SUBSCRIBE answers an
+// ErrCodeUnsupported ERROR. The server owns no epoch state of its own:
+// the backend's owner calls Server.NotifyEpoch on every bump.
+type PushBackend interface {
+	Backend
+	// PushEpoch reports the current push epoch.
+	PushEpoch() uint64
+}
+
+// CacheBackend is optionally implemented by a Backend that classifies
+// verdict cacheability (the fastpath CA1 shape: the verdict depends
+// only on state tagged by the push epoch). Without it a CacheFlag
+// CHECK answers an ErrCodeUnsupported ERROR.
+type CacheBackend interface {
+	Backend
+	// CheckCacheable is Check plus whether the verdict is safe for an
+	// epoch-tagged client cache until the next push.
+	CheckCacheable(session, operation, object string) (allowed, cacheable bool)
+}
+
 // Instruments are optional transport metrics hooks; any field may be
 // nil. rbacd wires them to the activerbac_wire_* metric families.
 type Instruments struct {
@@ -70,6 +96,11 @@ type Instruments struct {
 	// decode to response write — in seconds, labelled by opcode. Wiring
 	// it costs two wall-clock reads per request.
 	RTT func(opcode string, seconds float64)
+	// Push is called once per EPOCH_PUSH frame written to a subscriber.
+	Push func()
+	// Subscribers tracks the server-wide subscriber-count delta (+1 on
+	// subscribe, -1 when a subscribed connection closes).
+	Subscribers func(delta float64)
 }
 
 // ServerOptions tunes a Server; the zero value selects the defaults.
@@ -92,6 +123,10 @@ type ServerOptions struct {
 	// CHECK_BATCH, and therefore the out-of-order window of one
 	// connection. Default min(GOMAXPROCS, MaxInFlight).
 	Workers int
+	// MaxSubscribers caps connections registered for epoch pushes;
+	// SUBSCRIBE past the cap answers an ErrCodeSubscribeLimit ERROR.
+	// <= 0 means unlimited.
+	MaxSubscribers int
 	// Instruments hooks transport metrics; nil disables.
 	Instruments *Instruments
 }
@@ -138,11 +173,17 @@ type Server struct {
 	// construction; nil serves TraceFlag requests untraced.
 	trace  TraceBackend
 	btrace BatchTraceBackend
-	opts   ServerOptions
+	// push and cache are the epoch-push upgrades, asserted once at
+	// construction; nil answers SUBSCRIBE / CacheFlag CHECKs with
+	// ErrCodeUnsupported.
+	push  PushBackend
+	cache CacheBackend
+	opts  ServerOptions
 
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
 	conns  map[*srvConn]struct{}
+	subs   map[*srvConn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -156,15 +197,35 @@ func NewServer(backend Backend, opts *ServerOptions) *Server {
 	batch, _ := backend.(BatchBackend)
 	trace, _ := backend.(TraceBackend)
 	btrace, _ := backend.(BatchTraceBackend)
+	push, _ := backend.(PushBackend)
+	cache, _ := backend.(CacheBackend)
 	return &Server{
 		backend: backend,
 		batch:   batch,
 		trace:   trace,
 		btrace:  btrace,
+		push:    push,
+		cache:   cache,
 		opts:    o.withDefaults(),
 		lns:     map[net.Listener]struct{}{},
 		conns:   map[*srvConn]struct{}{},
+		subs:    map[*srvConn]struct{}{},
 	}
+}
+
+// NotifyEpoch fans the new push epoch out to every subscribed
+// connection. Delivery is coalescing and non-blocking — each
+// subscriber holds a one-slot pending-push latch carrying only the
+// latest epoch, so a burst of bumps collapses into one frame and a
+// slow subscriber can never block the caller (it is bounded by the
+// write deadline and disconnected if it cannot drain). Safe to call
+// from policy-mutation hooks.
+func (s *Server) NotifyEpoch(epoch uint64) {
+	s.mu.Lock()
+	for sc := range s.subs {
+		sc.notifyPush(epoch)
+	}
+	s.mu.Unlock()
 }
 
 // Serve accepts connections on ln until Close or Shutdown, then
@@ -195,7 +256,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		sc := &srvConn{srv: s, c: c}
+		sc := &srvConn{srv: s, c: c, pushCh: make(chan struct{}, 1)}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -281,6 +342,22 @@ type srvConn struct {
 	// frame read fail without closing the socket, so drained responses
 	// still flush.
 	stopped atomic.Bool
+	// pushEpoch and pushCh are the pending-push latch: NotifyEpoch
+	// stores the latest epoch and arms the one-slot channel, the writer
+	// drains it and emits one EPOCH_PUSH frame. A burst of bumps
+	// between two writer wakeups collapses into one push carrying the
+	// newest epoch.
+	pushEpoch atomic.Uint64
+	pushCh    chan struct{}
+}
+
+// notifyPush latches epoch for the writer without ever blocking.
+func (sc *srvConn) notifyPush(epoch uint64) {
+	sc.pushEpoch.Store(epoch)
+	select {
+	case sc.pushCh <- struct{}{}:
+	default: // a push is already pending; it will carry the new epoch
+	}
 }
 
 // request is one decoded unit of work handed to the worker pool.
@@ -306,6 +383,9 @@ type response struct {
 var (
 	verdictAllow = []byte{1}
 	verdictDeny  = []byte{0}
+	// cacheVerdicts indexes the four CacheFlag verdict bytes by their
+	// flag-pair value (bit 0 allow, bit 1 cacheable).
+	cacheVerdicts = [4][]byte{{0}, {1}, {2}, {3}}
 )
 
 func (sc *srvConn) stopReading() {
@@ -314,15 +394,20 @@ func (sc *srvConn) stopReading() {
 }
 
 func (sc *srvConn) run() {
+	opts := sc.srv.opts
+	ins := opts.Instruments
 	defer sc.srv.wg.Done()
 	defer func() {
 		sc.srv.mu.Lock()
 		delete(sc.srv.conns, sc)
+		_, wasSub := sc.srv.subs[sc]
+		delete(sc.srv.subs, sc)
 		sc.srv.mu.Unlock()
+		if wasSub && ins != nil && ins.Subscribers != nil {
+			ins.Subscribers(-1)
+		}
 		sc.c.Close()
 	}()
-	opts := sc.srv.opts
-	ins := opts.Instruments
 
 	// sem admits at most MaxInFlight requests between decode and
 	// response write; out has the same capacity, so enqueues below
@@ -405,9 +490,16 @@ func (sc *srvConn) readLoop(sem chan struct{}, out chan<- response, work chan<- 
 		case OpPolicyVersion:
 			out <- response{op: OpPolicyVersion | RespFlag, id: f.ID,
 				payload: AppendEpoch(nil, sc.srv.backend.PolicyEpoch()), start: start}
-		case OpCheck, OpCheck | TraceFlag:
+		case OpSubscribe:
+			out <- sc.subscribe(f, start, ins)
+		case OpCheck, OpCheck | TraceFlag, OpCheck | CacheFlag:
 			payload := f.Payload
 			req := request{op: f.Op, id: f.ID, start: start}
+			if f.Op&CacheFlag != 0 && sc.srv.cache == nil {
+				out <- sc.errorResponse(f, ErrCodeUnsupported,
+					errors.New("wire: backend does not classify verdict cacheability"), ins)
+				continue
+			}
 			if f.Op&TraceFlag != 0 {
 				var err error
 				if req.tid, payload, err = ConsumeTraceID(payload); err != nil {
@@ -455,6 +547,38 @@ func (sc *srvConn) errorResponse(f Frame, code byte, err error, ins *Instruments
 	return response{op: OpError, id: f.ID, payload: AppendErrorPayload(nil, code, err.Error())}
 }
 
+// subscribe registers the connection for epoch pushes and answers with
+// the current push epoch. Registration happens before the epoch is
+// read, so a bump landing in between is delivered as a push as well —
+// the subscriber can observe an epoch twice but never miss one.
+func (sc *srvConn) subscribe(f Frame, start time.Time, ins *Instruments) response {
+	if len(f.Payload) != 0 {
+		return sc.errorResponse(f, ErrCodeBadRequest,
+			errors.New("wire: SUBSCRIBE carries no payload"), ins)
+	}
+	pb := sc.srv.push
+	if pb == nil {
+		return sc.errorResponse(f, ErrCodeUnsupported,
+			errors.New("wire: backend does not push epochs"), ins)
+	}
+	sc.srv.mu.Lock()
+	_, already := sc.srv.subs[sc]
+	if !already && sc.srv.opts.MaxSubscribers > 0 &&
+		len(sc.srv.subs) >= sc.srv.opts.MaxSubscribers {
+		limit := sc.srv.opts.MaxSubscribers
+		sc.srv.mu.Unlock()
+		return sc.errorResponse(f, ErrCodeSubscribeLimit,
+			fmt.Errorf("wire: subscriber limit %d reached", limit), ins)
+	}
+	sc.srv.subs[sc] = struct{}{}
+	sc.srv.mu.Unlock()
+	if !already && ins != nil && ins.Subscribers != nil {
+		ins.Subscribers(+1)
+	}
+	return response{op: OpSubscribe | RespFlag, id: f.ID,
+		payload: AppendEpoch(nil, pb.PushEpoch()), start: start}
+}
+
 // verdictBufPool recycles the batch verdict staging slices; workers run
 // concurrently, so the buffer cannot live on the connection.
 var verdictBufPool = sync.Pool{New: func() any {
@@ -467,8 +591,21 @@ var verdictBufPool = sync.Pool{New: func() any {
 // response payload is shaped exactly like the untraced one — the trace
 // is retained server-side under the request's id.
 func (sc *srvConn) execute(req request) response {
-	switch req.op &^ TraceFlag {
+	switch req.op &^ (TraceFlag | CacheFlag) {
 	case OpCheck:
+		if req.op&CacheFlag != 0 {
+			// readLoop admits CacheFlag only when the upgrade exists.
+			allowed, cacheable := sc.srv.cache.CheckCacheable(
+				req.check.Session, req.check.Operation, req.check.Object)
+			var v byte
+			if allowed {
+				v |= cacheVerdictAllow
+			}
+			if cacheable {
+				v |= cacheVerdictCacheable
+			}
+			return response{op: req.op | RespFlag, id: req.id, payload: cacheVerdicts[v], start: req.start}
+		}
 		allowed := false
 		if tb := sc.srv.trace; req.traced && tb != nil {
 			allowed = tb.CheckTraced(req.check.Session, req.check.Operation, req.check.Object, req.tid)
@@ -515,38 +652,60 @@ func (sc *srvConn) execute(req request) response {
 	}
 }
 
-// writeLoop serializes responses onto the socket, flushing only when
-// the queue runs dry (write coalescing across pipelined responses), and
-// releases one in-flight slot per response.
+// writeLoop serializes responses and epoch pushes onto the socket,
+// flushing only when both queues run dry (write coalescing across
+// pipelined responses), and releases one in-flight slot per response.
+// Pushes ride the same writer, so they interleave with — never
+// corrupt — pipelined responses, and a subscriber too slow to drain
+// them hits the write deadline and is disconnected like any other
+// stalled client.
 func (sc *srvConn) writeLoop(out <-chan response, sem <-chan struct{}, ins *Instruments) {
 	opts := sc.srv.opts
 	bw := bufio.NewWriterSize(sc.c, 32<<10)
 	var fbuf []byte
+	var pbuf [8]byte
 	var werr error
-	for resp := range out {
-		if werr == nil {
-			if opts.WriteTimeout > 0 {
-				sc.c.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
-			}
-			fbuf = AppendFrame(fbuf[:0], resp.op, resp.id, resp.payload)
-			if _, werr = bw.Write(fbuf); werr == nil && len(out) == 0 {
-				werr = bw.Flush()
-			}
-			if werr != nil {
-				// The socket is dead: unblock the reader (it may be
-				// parked on the in-flight cap) and discard the rest.
-				sc.c.Close()
-			}
+	write := func(op byte, id uint32, payload []byte) {
+		if werr != nil {
+			return
 		}
-		if ins != nil && ins.RTT != nil && !resp.start.IsZero() {
-			ins.RTT(OpName(resp.op), time.Since(resp.start).Seconds())
+		if opts.WriteTimeout > 0 {
+			sc.c.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
 		}
-		if ins != nil && ins.Inflight != nil {
-			ins.Inflight(-1)
+		fbuf = AppendFrame(fbuf[:0], op, id, payload)
+		if _, werr = bw.Write(fbuf); werr == nil && len(out) == 0 && len(sc.pushCh) == 0 {
+			werr = bw.Flush()
 		}
-		<-sem
+		if werr != nil {
+			// The socket is dead: unblock the reader (it may be
+			// parked on the in-flight cap) and discard the rest.
+			sc.c.Close()
+		}
 	}
-	if werr == nil {
-		bw.Flush()
+	for {
+		select {
+		case resp, ok := <-out:
+			if !ok {
+				if werr == nil {
+					bw.Flush()
+				}
+				return
+			}
+			write(resp.op, resp.id, resp.payload)
+			if ins != nil && ins.RTT != nil && !resp.start.IsZero() {
+				ins.RTT(OpName(resp.op), time.Since(resp.start).Seconds())
+			}
+			if ins != nil && ins.Inflight != nil {
+				ins.Inflight(-1)
+			}
+			<-sem
+		case <-sc.pushCh:
+			// The latch holds the newest epoch; bumps since it was armed
+			// collapsed into this one frame.
+			write(OpEpochPush, 0, AppendEpoch(pbuf[:0], sc.pushEpoch.Load()))
+			if werr == nil && ins != nil && ins.Push != nil {
+				ins.Push()
+			}
+		}
 	}
 }

@@ -25,8 +25,14 @@
 // request carries a uvarint count then that many triples; its response
 // carries the count then one verdict byte per check, in request order.
 // PING echoes its payload. POLICY_VERSION responds with the 8-byte
-// policy snapshot epoch. ERROR (0xFF, response-only) carries a code
-// byte and a message string, tagged with the failing request's id.
+// policy snapshot epoch. SUBSCRIBE (empty payload) registers the
+// connection for epoch pushes and responds with the current 8-byte push
+// epoch. EPOCH_PUSH is the one server-originated frame: unsolicited,
+// request id 0, RespFlag clear, payload the new 8-byte push epoch —
+// sent to every subscribed connection whenever a policy- or
+// session-grade change invalidates cached verdicts. ERROR (0xFF,
+// response-only) carries a code byte and a message string, tagged with
+// the failing request's id.
 //
 // CHECK and CHECK_BATCH requests may additionally set the TRACE bit
 // (0x40) on the opcode byte; the payload is then prefixed with a raw
@@ -37,6 +43,13 @@
 // response: the trace stays server-side. Within a traced CHECK_BATCH
 // only the first tuple is traced; the remainder keeps the batch-native
 // path.
+//
+// A CHECK request may instead set the CACHE bit (0x20): the request
+// payload is unchanged, but the response verdict byte becomes a flag
+// pair — bit 0 allow, bit 1 cacheable — where cacheable means the
+// verdict depends only on the published policy/session state tagged by
+// the push epoch (the fastpath CA1 classification), so an embedded
+// client cache may serve it locally until the next EPOCH_PUSH.
 //
 // # Versioning rules
 //
@@ -96,6 +109,14 @@ const (
 	// OpPolicyVersion asks for the policy snapshot epoch; the response
 	// payload is the epoch as 8 big-endian bytes.
 	OpPolicyVersion byte = 0x04
+	// OpSubscribe registers the connection for epoch pushes: empty
+	// request payload, response the current push epoch as 8 big-endian
+	// bytes. The registration lives as long as the connection.
+	OpSubscribe byte = 0x05
+	// OpEpochPush is the unsolicited server-to-client push a subscribed
+	// connection receives on every epoch bump: request id 0, RespFlag
+	// clear, payload the new push epoch as 8 big-endian bytes.
+	OpEpochPush byte = 0x06
 
 	// RespFlag marks a frame as the response to the request opcode in
 	// the low bits.
@@ -107,6 +128,13 @@ const (
 	// protocol change: servers predating it answer flagged opcodes with
 	// an UnknownOp ERROR and the connection survives.
 	TraceFlag byte = 0x40
+
+	// CacheFlag, set on a CHECK request opcode, widens the response
+	// verdict byte to a flag pair: bit 0 allow, bit 1 cacheable (safe
+	// for an epoch-tagged client cache until the next EPOCH_PUSH). Like
+	// TraceFlag this is additive: servers predating it answer with an
+	// UnknownOp ERROR and the connection survives.
+	CacheFlag byte = 0x20
 
 	// OpError is the response to a request the server could not serve:
 	// payload one code byte then a message string.
@@ -123,6 +151,11 @@ const (
 	ErrCodeBadRequest byte = 1
 	// ErrCodeUnknownOp: the request opcode is not known to this server.
 	ErrCodeUnknownOp byte = 2
+	// ErrCodeUnsupported: the opcode is known but this server's backend
+	// cannot serve it (e.g. SUBSCRIBE without a push-capable backend).
+	ErrCodeUnsupported byte = 3
+	// ErrCodeSubscribeLimit: the server's subscriber cap is reached.
+	ErrCodeSubscribeLimit byte = 4
 )
 
 // Limits.
@@ -146,13 +179,13 @@ var (
 	ErrBadPayload    = errors.New("wire: malformed payload")
 )
 
-// OpName returns the stable label of an opcode (response and trace
-// flags ignored) for metrics and logs.
+// OpName returns the stable label of an opcode (response, trace and
+// cache flags ignored) for metrics and logs.
 func OpName(op byte) string {
 	if op == OpError {
 		return "error"
 	}
-	switch op &^ (RespFlag | TraceFlag) {
+	switch op &^ (RespFlag | TraceFlag | CacheFlag) {
 	case OpCheck:
 		return "check"
 	case OpCheckBatch:
@@ -161,6 +194,10 @@ func OpName(op byte) string {
 		return "ping"
 	case OpPolicyVersion:
 		return "policy_version"
+	case OpSubscribe:
+		return "subscribe"
+	case OpEpochPush:
+		return "epoch_push"
 	}
 	return "unknown"
 }
@@ -405,17 +442,46 @@ func ConsumeErrorPayload(b []byte) (code byte, msg string, err error) {
 	return code, msg, nil
 }
 
-// AppendEpoch appends a POLICY_VERSION response payload.
+// AppendEpoch appends an 8-byte epoch payload, as carried by
+// POLICY_VERSION and SUBSCRIBE responses and EPOCH_PUSH frames.
 func AppendEpoch(dst []byte, epoch uint64) []byte {
 	return binary.BigEndian.AppendUint64(dst, epoch)
 }
 
-// ConsumeEpoch decodes a POLICY_VERSION response payload.
+// ConsumeEpoch decodes an 8-byte epoch payload.
 func ConsumeEpoch(b []byte) (uint64, error) {
 	if len(b) != 8 {
 		return 0, ErrBadPayload
 	}
 	return binary.BigEndian.Uint64(b), nil
+}
+
+// Cache-verdict flag bits, as carried in the one-byte response payload
+// of a CacheFlag CHECK.
+const (
+	cacheVerdictAllow     byte = 1 << 0
+	cacheVerdictCacheable byte = 1 << 1
+)
+
+// AppendCacheVerdict appends a CacheFlag CHECK response payload: one
+// byte with bit 0 allow, bit 1 cacheable.
+func AppendCacheVerdict(dst []byte, allowed, cacheable bool) []byte {
+	var v byte
+	if allowed {
+		v |= cacheVerdictAllow
+	}
+	if cacheable {
+		v |= cacheVerdictCacheable
+	}
+	return append(dst, v)
+}
+
+// ConsumeCacheVerdict decodes a CacheFlag CHECK response payload.
+func ConsumeCacheVerdict(b []byte) (allowed, cacheable bool, err error) {
+	if len(b) != 1 || b[0] > cacheVerdictAllow|cacheVerdictCacheable {
+		return false, false, ErrBadPayload
+	}
+	return b[0]&cacheVerdictAllow != 0, b[0]&cacheVerdictCacheable != 0, nil
 }
 
 // RemoteError is an ERROR frame surfaced to the caller.
