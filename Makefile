@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check verify-policies fuzz-wire bench-smoke bench bench-obs bench-obs-smoke bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-client bench-client-smoke bench-compare clean
+.PHONY: build test race vet lint check verify-policies fuzz-wire bench-smoke bench bench-obs bench-obs-smoke bench-fastpath bench-fastpath-smoke bench-wire bench-wire-smoke bench-batch bench-batch-smoke bench-client bench-client-smoke bench-replica bench-replica-smoke bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rbacvet ./...
 
-check: build test race vet lint verify-policies fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-client-smoke bench-batch-smoke bench-obs-smoke
+check: build test race vet lint verify-policies fuzz-wire bench-fastpath-smoke bench-wire-smoke bench-client-smoke bench-batch-smoke bench-obs-smoke bench-replica-smoke
 
 # verify-policies runs the bounded symbolic verifier over every example
 # policy. Files named *-violating.acp are seeded-unsafe fixtures and
@@ -126,6 +126,17 @@ bench-batch: build
 bench-batch-smoke: build
 	$(GO) run ./cmd/bench -exp BATCH -smoke
 
+# bench-replica regenerates the replicated-read-fleet series
+# (BENCH_replica.json): one leader streaming real wire SYNC snapshots
+# to four fixed-capacity replicas, aggregate read throughput measured
+# at fleet sizes 1/2/4 (see the capacity-model note on replicaBench).
+# The smoke variant syncs a two-replica fleet and runs one short round.
+bench-replica: build
+	$(GO) run ./cmd/bench -exp REPLICA
+
+bench-replica-smoke: build
+	$(GO) run ./cmd/bench -exp REPLICA -smoke
+
 # bench-compare diffs two benchmark JSON series benchstat-style, e.g.
 #   make bench-compare OLD=BENCH_lanes.json NEW=BENCH_fastpath.json
 OLD ?= BENCH_lanes.json
@@ -135,4 +146,4 @@ bench-compare: build
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lanes.json BENCH_obs.json BENCH_fastpath.json BENCH_wire.json verify-findings.log
+	rm -f BENCH_lanes.json BENCH_obs.json BENCH_fastpath.json BENCH_wire.json BENCH_replica.json verify-findings.log

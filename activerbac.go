@@ -200,10 +200,15 @@ func (o *Options) laneCount() int {
 // System is the assembled authorization engine. All methods are safe
 // for concurrent use.
 type System struct {
-	gen    *rulegen.Generator
+	gen   *rulegen.Generator
+	audit *store.AuditLog
+	obs   *obs.Observer // nil = observability off
+
+	// srcMu guards source. Engine state has its own locking; the policy
+	// source string needs its own because replication exports read it
+	// concurrently with ApplyPolicy, outside any caller-side swap lock.
+	srcMu  sync.RWMutex
 	source string
-	audit  *store.AuditLog
-	obs    *obs.Observer // nil = observability off
 }
 
 // Open parses a policy, builds the engine and generates the rule pool.
@@ -421,7 +426,11 @@ func (s *System) Close() error {
 }
 
 // PolicySource returns the currently loaded policy text.
-func (s *System) PolicySource() string { return s.source }
+func (s *System) PolicySource() string {
+	s.srcMu.RLock()
+	defer s.srcMu.RUnlock()
+	return s.source
+}
 
 // ---------------------------------------------------------------------------
 // Enforcement API (implements the baseline.Enforcer request surface)
@@ -736,7 +745,9 @@ func (s *System) ApplyPolicy(policySource string) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
+	s.srcMu.Lock()
 	s.source = policySource
+	s.srcMu.Unlock()
 	return rep, nil
 }
 
@@ -813,7 +824,7 @@ func (s *System) VerifyRules() []error { return s.gen.Verify() }
 
 // SaveState writes a snapshot (state + policy source) to path.
 func (s *System) SaveState(path string) error {
-	return store.SaveSnapshot(path, s.source, s.gen.Engine().Store().Snapshot())
+	return store.SaveSnapshot(path, s.PolicySource(), s.gen.Engine().Store().Snapshot())
 }
 
 // OpenSnapshot rebuilds a System from a snapshot file: the policy

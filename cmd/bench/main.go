@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bench [-exp all|F1|E1|E1P|OBS|FASTPATH|WIRE|BATCH|E2|E3|E4|E5|E6|E7|E8|E9] [-smoke]
+//	bench [-exp all|F1|E1|E1P|OBS|FASTPATH|WIRE|BATCH|REPLICA|E2|E3|E4|E5|E6|E7|E8|E9] [-smoke]
 //	bench -compare OLD.json NEW.json
 //
 // E1P additionally writes BENCH_lanes.json with the parallel-throughput
@@ -28,6 +28,10 @@
 // path against per-tuple evaluation: in-process CheckAccessBatch vs a
 // CheckAccessTuple loop (fast path off and on), and wire CHECK_BATCH
 // served by a BatchBackend vs the plain-Backend per-tuple fan-out.
+// REPLICA writes BENCH_replica.json with the replicated-read-fleet
+// series: aggregate read throughput vs replica count, each replica a
+// fixed-capacity node synced over the real wire SYNC protocol (see the
+// capacity-model note on replicaBench).
 // -compare diffs two benchmark JSON series benchstat-style.
 package main
 
@@ -63,7 +67,7 @@ import (
 var epoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, F1, E1, E1P, OBS, FASTPATH, WIRE, BATCH, E2..E9)")
+	exp := flag.String("exp", "all", "experiment to run (all, F1, E1, E1P, OBS, FASTPATH, WIRE, BATCH, REPLICA, E2..E9)")
 	smoke := flag.Bool("smoke", false, "one short round per experiment that supports it; skip JSON output")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON series: bench -compare OLD.json NEW.json")
 	flag.Parse()
@@ -90,6 +94,7 @@ func main() {
 	run("FASTPATH", func() { fastpathBench(*smoke) })
 	run("WIRE", func() { wireBench(*smoke) })
 	run("BATCH", func() { batchBench(*smoke) })
+	run("REPLICA", func() { replicaBench(*smoke) })
 	run("E2", e2)
 	run("E3", e3)
 	run("E4", e4)

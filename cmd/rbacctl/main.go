@@ -36,6 +36,7 @@
 //	stats                                   print engine counters
 //	fastpath                                print decision fast-path cache counters
 //	alerts                                  print active-security alerts
+//	replicas                                print the leader's replica registry (applied epoch, lag, connection state)
 //	policy get                              print the loaded policy
 //	policy apply <file.acp>                 swap the policy (regenerates rules)
 //	trace [id] [-n N]                       print recent decision traces, or one by id
@@ -115,8 +116,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: rbacctl [-server URL] [-wire host:port] [-cached] <command> [args]
 commands: session new|end, activate, deactivate, check [-trace], assign, deassign,
           user add, role enable|disable, context set|get, verify,
-          rules, stats, fastpath, alerts, policy get|apply, trace [id] [-n N],
-          slow [-n N], health, metrics, analyze
+          rules, stats, fastpath, alerts, replicas, policy get|apply,
+          trace [id] [-n N], slow [-n N], health, metrics, analyze
 wire:     check [-trace], check-many <session> <op:obj>..., ping, epoch [-watch]
           -cached serves check/check-many through the embedded decision cache`)
 }
@@ -241,6 +242,10 @@ func (c *client) dispatch(args []string) error {
 		}
 	case "alerts":
 		return c.get("/v1/alerts")
+	case "replicas":
+		if len(rest) == 0 {
+			return c.get("/v1/replication")
+		}
 	case "policy":
 		if len(rest) == 1 && rest[0] == "get" {
 			return c.getRaw("/v1/policy")

@@ -8,6 +8,20 @@
 //	rbacd -policy policy.acp [-addr :8180] [-audit audit.log] [-audit-sync 3s]
 //	      [-snapshot state.json] [-lanes N] [-trace-buffer 256] [-debug-addr :6060]
 //	      [-analyze off|warn|strict] [-verify off|warn|strict] [-wire-addr :8181]
+//	      [-mode leader|replica] [-leader-addr host:8181] [-replica-name NAME]
+//
+// -mode selects the replication role. A leader (the default) owns the
+// policy and serves SYNC snapshots to replicas on its wire listener; a
+// replica boots empty, pulls policy + compiled state from -leader-addr
+// (identifying itself as -replica-name in the leader's registry), and
+// serves checks from its local snapshot — every mutating endpoint
+// answers 403 and belongs at the leader. A replica's /readyz stays 503
+// until the first sync lands; on leader loss it keeps serving the
+// last-applied epoch (stale, never down) and reconnects with backoff.
+// Synced policies pass through the same -analyze/-verify gates a hot
+// reload does. In replica mode POLICY_VERSION answers with the applied
+// leader epoch, and GET /v1/replication on the leader reports each
+// replica's applied epoch, lag, last sync time and connection state.
 //
 // -analyze gates both startup and policy hot reloads on the static
 // analyzer (internal/analyze): "warn" (the default) logs every finding,
@@ -60,6 +74,7 @@
 //	GET    /v1/traces/{id}                                     -> one decision trace (ring id or 32-hex trace id)
 //	GET    /v1/slow[?n=N]                                      -> recent slow-decision captures
 //	GET    /v1/analyze                                         -> static-analysis findings
+//	GET    /v1/replication           (leader only)             -> per-replica applied epoch, lag, connection state
 //	GET    /metrics                  (Prometheus text format)  -> metric registry
 //	GET    /healthz                  (text)                    -> liveness (always 200 once serving)
 //	GET    /readyz                                             -> readiness (503 until serving cleanly)
@@ -96,6 +111,7 @@ import (
 	"time"
 
 	"activerbac"
+	"activerbac/internal/replicate"
 	"activerbac/internal/wire"
 )
 
@@ -123,6 +139,10 @@ type config struct {
 	wireReadTimeout    time.Duration
 	wireWriteTimeout   time.Duration
 	wireMaxSubscribers int
+
+	mode        string
+	leaderAddr  string
+	replicaName string
 }
 
 func main() {
@@ -165,9 +185,38 @@ func main() {
 		"wire: per-flush write deadline; 0 = protocol default, negative disables")
 	flag.IntVar(&cfg.wireMaxSubscribers, "wire-max-subscribers", 0,
 		"wire: max connections subscribed to epoch pushes; 0 = unlimited")
+	flag.StringVar(&cfg.mode, "mode", "leader",
+		"replication role: leader (owns the policy, serves SYNC) or replica (syncs from -leader-addr, read-only)")
+	flag.StringVar(&cfg.leaderAddr, "leader-addr", "",
+		"replica mode: the leader's wire listener address (required)")
+	flag.StringVar(&cfg.replicaName, "replica-name", "",
+		"replica mode: name reported to the leader's registry (default: hostname)")
 	flag.Parse()
-	if cfg.policyPath == "" {
-		flag.Usage()
+	switch cfg.mode {
+	case "leader":
+		if cfg.policyPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+	case "replica":
+		if cfg.policyPath != "" {
+			fmt.Fprintln(os.Stderr, "rbacd: replica mode syncs its policy from the leader; -policy is not allowed")
+			os.Exit(2)
+		}
+		if cfg.leaderAddr == "" {
+			fmt.Fprintln(os.Stderr, "rbacd: replica mode needs -leader-addr")
+			os.Exit(2)
+		}
+		if cfg.replicaName == "" {
+			host, err := os.Hostname()
+			if err != nil || host == "" {
+				fmt.Fprintln(os.Stderr, "rbacd: cannot derive -replica-name from hostname; set it explicitly")
+				os.Exit(2)
+			}
+			cfg.replicaName = host
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rbacd: -mode must be leader or replica (got %q)\n", cfg.mode)
 		os.Exit(2)
 	}
 	switch cfg.analyzeMode {
@@ -221,7 +270,15 @@ func run(cfg config) error {
 			log.Print("rbacd: -fastpath=on with an audit log; audited decisions bypass the cache for trail completeness")
 		}
 	}
-	sys, err := activerbac.OpenFile(cfg.policyPath, opts)
+	// A replica boots empty — its policy and state arrive over the wire
+	// from the leader; until then it is simply not ready.
+	var sys *activerbac.System
+	var err error
+	if cfg.mode == "replica" {
+		sys, err = activerbac.Open("", opts)
+	} else {
+		sys, err = activerbac.OpenFile(cfg.policyPath, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -232,9 +289,10 @@ func run(cfg config) error {
 	// Startup analysis gate: the rule pool just generated is vetted
 	// before the listener opens; strict mode refuses to serve a policy
 	// with error-severity conflicts. Warn mode serves anyway but reports
-	// the degradation through /readyz.
+	// the degradation through /readyz. A replica has nothing to vet yet:
+	// its gates run inside the sync applier, once per policy change.
 	analyzeErrors := false
-	if cfg.analyzeMode != "off" {
+	if cfg.analyzeMode != "off" && cfg.mode != "replica" {
 		findings := sys.Analyze()
 		for _, f := range findings {
 			log.Print("rbacd: analyze: ", f)
@@ -252,7 +310,7 @@ func run(cfg config) error {
 	// findings (and their counterexamples) at GET /v1/verify.
 	verifyErrors := false
 	var verifyRes activerbac.VerifyResult
-	if cfg.verifyMode != "off" {
+	if cfg.verifyMode != "off" && cfg.mode != "replica" {
 		res, err := sys.Verify(activerbac.VerifyConfig{})
 		if err != nil {
 			return fmt.Errorf("verify: %w", err)
@@ -298,9 +356,35 @@ func run(cfg config) error {
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 
 	srv := &server{sys: sys, analyzeMode: cfg.analyzeMode, verifyMode: cfg.verifyMode,
-		verifyRes: verifyRes, wireConfigured: cfg.wireAddr != ""}
+		verifyRes: verifyRes, wireConfigured: cfg.wireAddr != "", replica: cfg.mode == "replica"}
 	srv.analyzeErrors.Store(analyzeErrors)
 	srv.verifyErrors.Store(verifyErrors)
+
+	// Leader side of replication: the hub serves SYNC snapshots (one
+	// serialization per epoch however many replicas resync) and keeps
+	// the registry GET /v1/replication reports.
+	if cfg.mode == "leader" {
+		srv.hub = replicate.NewHub(sys, hubInstruments(sys))
+	}
+
+	// Replica side: the sync loop pulls snapshots from the leader and
+	// installs them through the same analyze/verify gates a hot reload
+	// passes. It starts before the listeners open — /readyz holds the
+	// traffic back until the first sync lands.
+	if cfg.mode == "replica" {
+		rep, err := replicate.StartReplica(replicate.ReplicaOptions{
+			Name:        cfg.replicaName,
+			LeaderAddr:  cfg.leaderAddr,
+			Applier:     replicaApplier{srv},
+			Instruments: replicaInstruments(sys),
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer rep.Close()
+		srv.rep = rep
+	}
 	httpSrv := &http.Server{
 		Handler: srv.routes(),
 		// Slow-client guards: a client trickling headers or parking an
@@ -317,7 +401,14 @@ func run(cfg config) error {
 		if err != nil {
 			return fmt.Errorf("wire listener: %w", err)
 		}
-		wireSrv = wire.NewServer(wireBackend{srv}, &wire.ServerOptions{
+		// A leader's backend additionally implements wire.SyncBackend and
+		// wire.ReplicaTracker, so SYNC frames reach the hub; a replica's
+		// does not, and answers SYNC with ERROR(unsupported).
+		var backend wire.Backend = wireBackend{srv}
+		if srv.hub != nil {
+			backend = leaderWireBackend{wireBackend{srv}, srv.hub}
+		}
+		wireSrv = wire.NewServer(backend, &wire.ServerOptions{
 			MaxFrame:       cfg.wireMaxFrame,
 			MaxInFlight:    cfg.wireMaxInflight,
 			ReadTimeout:    cfg.wireReadTimeout,
@@ -340,8 +431,13 @@ func run(cfg config) error {
 		}()
 	}
 
-	log.Printf("rbacd: serving on %s (policy %s, %d rules, %d lanes)",
-		ln.Addr(), cfg.policyPath, len(sys.Rules()), sys.Lanes())
+	if cfg.mode == "replica" {
+		log.Printf("rbacd: replica %q serving on %s (leader %s, %d lanes)",
+			cfg.replicaName, ln.Addr(), cfg.leaderAddr, sys.Lanes())
+	} else {
+		log.Printf("rbacd: serving on %s (policy %s, %d rules, %d lanes)",
+			ln.Addr(), cfg.policyPath, len(sys.Rules()), sys.Lanes())
+	}
 	return serve(sys, httpSrv, wireSrv, ln, done, cfg.snapshotPath)
 }
 
@@ -354,7 +450,16 @@ func (b wireBackend) Check(session, operation, object string) bool {
 	return b.srv.system().CheckAccessTuple(session, operation, object)
 }
 
-func (b wireBackend) PolicyEpoch() uint64 { return b.srv.system().SnapshotEpoch() }
+// PolicyEpoch answers POLICY_VERSION. A replica advertises the leader
+// push epoch it has applied — the number a fleet operator compares
+// across sites — instead of its local snapshot epoch, whose numbering
+// is meaningless outside this process.
+func (b wireBackend) PolicyEpoch() uint64 {
+	if rep := b.srv.rep; rep != nil {
+		return rep.AppliedEpoch()
+	}
+	return b.srv.system().SnapshotEpoch()
+}
 
 // PushEpoch upgrades the backend to wire.PushBackend: SUBSCRIBE answers
 // with the engine's push epoch, which also bumps on session-grade
@@ -420,6 +525,112 @@ var checkConvPool = sync.Pool{New: func() any {
 	b := make([]activerbac.BatchCheck, 0, 256)
 	return &b
 }}
+
+// leaderWireBackend upgrades the wire backend with the replication
+// leader's halves: wire.SyncBackend (SYNC frames stream hub snapshots)
+// and wire.ReplicaTracker (connection teardown marks the registry row
+// disconnected).
+type leaderWireBackend struct {
+	wireBackend
+	hub *replicate.Hub
+}
+
+func (b leaderWireBackend) SyncSnapshot(replica string, applied uint64) (wire.SyncState, error) {
+	return b.hub.SyncSnapshot(replica, applied)
+}
+
+func (b leaderWireBackend) ReplicaDisconnected(replica string) {
+	b.hub.ReplicaDisconnected(replica)
+}
+
+// replicaApplier installs synced snapshots on a replica. A snapshot
+// whose policy differs from the live source first passes the same
+// analyze/verify gates a hot reload does (on scratch engines); most
+// syncs carry session-grade churn under an unchanged policy and skip
+// straight to the install. The server mutex serializes installs
+// against request handling exactly like POST /v1/policy.
+type replicaApplier struct{ srv *server }
+
+func (a replicaApplier) Apply(data []byte) error {
+	s := a.srv
+	src, err := activerbac.SyncSnapshotPolicy(data)
+	if err != nil {
+		return err
+	}
+	policyChanged := src != s.system().PolicySource()
+	analyzeErrors := s.analyzeErrors.Load()
+	verifyErrors := s.verifyErrors.Load()
+	var verifyRes activerbac.VerifyResult
+	ranVerify := false
+	if policyChanged && s.analyzeMode != "off" {
+		findings, err := activerbac.AnalyzePolicy(src, time.Now())
+		if err != nil {
+			return err
+		}
+		for _, f := range findings {
+			log.Print("rbacd: analyze: ", f)
+		}
+		analyzeErrors = activerbac.HasAnalysisErrors(findings)
+		if s.analyzeMode == "strict" && analyzeErrors {
+			return errors.New("synced policy rejected by static analysis")
+		}
+	}
+	if policyChanged && s.verifyMode != "off" {
+		res, err := activerbac.VerifyPolicy(src, activerbac.VerifyConfig{})
+		if err != nil {
+			return err
+		}
+		for _, f := range res.Findings {
+			log.Print("rbacd: verify: ", f.String())
+		}
+		verifyRes, ranVerify = res, true
+		verifyErrors = activerbac.HasVerifyErrors(res.Findings)
+		if s.verifyMode == "strict" && verifyErrors {
+			return errors.New("synced policy rejected by bounded verification")
+		}
+	}
+	s.mu.Lock()
+	err = s.sys.InstallSyncSnapshot(data)
+	if err == nil && ranVerify {
+		s.verifyRes = verifyRes
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.analyzeErrors.Store(analyzeErrors)
+	s.verifyErrors.Store(verifyErrors)
+	return nil
+}
+
+// hubInstruments binds the leader hub's hooks to the activerbac_sync_*
+// families.
+func hubInstruments(sys *activerbac.System) *replicate.HubInstruments {
+	o := sys.Observer()
+	if o == nil {
+		return nil
+	}
+	return &replicate.HubInstruments{
+		Sync:        func() { o.SyncTotal.Inc() },
+		SyncBytes:   func(n float64) { o.SyncBytes.Add(n) },
+		SyncSeconds: func(s float64) { o.SyncSeconds.Observe(s) },
+	}
+}
+
+// replicaInstruments binds the replica loop's hooks to the
+// activerbac_sync_* families plus the activerbac_replica_lag gauge.
+func replicaInstruments(sys *activerbac.System) *replicate.ReplicaInstruments {
+	o := sys.Observer()
+	if o == nil {
+		return nil
+	}
+	return &replicate.ReplicaInstruments{
+		Sync:        func() { o.SyncTotal.Inc() },
+		SyncBytes:   func(n float64) { o.SyncBytes.Add(n) },
+		SyncSeconds: func(s float64) { o.SyncSeconds.Observe(s) },
+		Lag:         func(lag float64) { o.ReplicaLag.Set(lag) },
+	}
+}
 
 // wireInstruments binds the wire server's transport hooks to the
 // activerbac_wire_* metric families. rbacd always opens the System with
@@ -534,22 +745,29 @@ type server struct {
 	verifyErrors   atomic.Bool
 	wireConfigured bool
 	wireReady      atomic.Bool
+
+	// Replication role: exactly one of hub (leader) or rep (replica) is
+	// set when -mode is in play; both are assigned before any listener
+	// serves and read-only after.
+	replica bool
+	hub     *replicate.Hub
+	rep     *replicate.Replica
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.createSession)
-	mux.HandleFunc("DELETE /v1/sessions", s.deleteSession)
-	mux.HandleFunc("POST /v1/activate", s.activate)
-	mux.HandleFunc("POST /v1/deactivate", s.deactivate)
+	mux.HandleFunc("POST /v1/sessions", s.mutating(s.createSession))
+	mux.HandleFunc("DELETE /v1/sessions", s.mutating(s.deleteSession))
+	mux.HandleFunc("POST /v1/activate", s.mutating(s.activate))
+	mux.HandleFunc("POST /v1/deactivate", s.mutating(s.deactivate))
 	mux.HandleFunc("GET /v1/check", s.check)
 	mux.HandleFunc("POST /v1/check-batch", s.checkBatch)
-	mux.HandleFunc("POST /v1/assign", s.assign)
-	mux.HandleFunc("POST /v1/deassign", s.deassign)
-	mux.HandleFunc("POST /v1/users", s.addUser)
-	mux.HandleFunc("POST /v1/roles/enable", s.enableRole)
-	mux.HandleFunc("POST /v1/roles/disable", s.disableRole)
-	mux.HandleFunc("POST /v1/context", s.setContext)
+	mux.HandleFunc("POST /v1/assign", s.mutating(s.assign))
+	mux.HandleFunc("POST /v1/deassign", s.mutating(s.deassign))
+	mux.HandleFunc("POST /v1/users", s.mutating(s.addUser))
+	mux.HandleFunc("POST /v1/roles/enable", s.mutating(s.enableRole))
+	mux.HandleFunc("POST /v1/roles/disable", s.mutating(s.disableRole))
+	mux.HandleFunc("POST /v1/context", s.mutating(s.setContext))
 	mux.HandleFunc("GET /v1/context", s.getContext)
 	mux.HandleFunc("GET /v1/verify", s.verify)
 	mux.HandleFunc("GET /v1/rules", s.rules)
@@ -557,7 +775,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/fastpath", s.fastpath)
 	mux.HandleFunc("GET /v1/alerts", s.alerts)
 	mux.HandleFunc("GET /v1/policy", s.getPolicy)
-	mux.HandleFunc("POST /v1/policy", s.putPolicy)
+	mux.HandleFunc("POST /v1/policy", s.mutating(s.putPolicy))
+	mux.HandleFunc("GET /v1/replication", s.replication)
 	mux.HandleFunc("GET /v1/traces", s.traces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.traceByID)
 	mux.HandleFunc("GET /v1/slow", s.slow)
@@ -566,6 +785,31 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /readyz", s.readyz)
 	return mux
+}
+
+// mutating guards a state-changing handler: a replica's store is a
+// synced copy of the leader's, so every mutation answers 403 here and
+// belongs at the leader. On a leader it is the identity.
+func (s *server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	if !s.replica {
+		return h
+	}
+	return func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusForbidden,
+			map[string]string{"error": "replica is read-only; send mutations to the leader"})
+	}
+}
+
+// replication serves the leader's replica registry.
+func (s *server) replication(w http.ResponseWriter, _ *http.Request) {
+	if s.hub == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not a leader"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":    s.system().PushEpoch(),
+		"replicas": s.hub.Status(),
+	})
 }
 
 // request is the shared JSON request body shape.
@@ -1025,6 +1269,9 @@ func (s *server) readyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.wireConfigured && !s.wireReady.Load() {
 		problems = append(problems, "wire listener not accepting")
+	}
+	if s.rep != nil && !s.rep.Synced() {
+		problems = append(problems, "replica awaiting first sync from leader")
 	}
 	if len(problems) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "problems": problems})

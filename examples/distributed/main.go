@@ -1,8 +1,9 @@
 // Distributed enforcement: the paper's future-work item — one
-// enterprise policy enforced at several sites. Each site runs its own
-// Sentinel+ engine with its own sessions; the cluster distributes every
-// policy change, and each site regenerates its rules incrementally.
-// Content-hash versions make convergence observable.
+// enterprise policy enforced at several sites — over the real
+// replication protocol. A leader serves SYNC snapshots on a loopback
+// wire listener; two replicas bootstrap empty, pull the policy and the
+// full compiled state (sessions included), and then serve checks
+// entirely from their local snapshots, resyncing on every epoch push.
 //
 // Run with:
 //
@@ -12,10 +13,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"activerbac"
-	"activerbac/internal/cluster"
+	"activerbac/internal/replicate"
+	"activerbac/internal/wire"
 )
 
 const globalPolicy = `
@@ -28,54 +31,115 @@ user ivy: Engineer
 user omar: Auditor
 `
 
+// leaderBackend adapts the leader system + hub to the wire server's
+// optional-interface upgrades (sync, push, replica tracking).
+type leaderBackend struct {
+	sys *activerbac.System
+	hub *replicate.Hub
+}
+
+func (b leaderBackend) Check(s, op, obj string) bool { return b.sys.CheckAccessTuple(s, op, obj) }
+func (b leaderBackend) PolicyEpoch() uint64          { return b.sys.SnapshotEpoch() }
+func (b leaderBackend) PushEpoch() uint64            { return b.sys.PushEpoch() }
+func (b leaderBackend) SyncSnapshot(name string, applied uint64) (wire.SyncState, error) {
+	return b.hub.SyncSnapshot(name, applied)
+}
+func (b leaderBackend) ReplicaDisconnected(name string) { b.hub.ReplicaDisconnected(name) }
+
+// installer is the replica-side applier: verified snapshots install
+// straight through the facade (rbacd additionally gates them through
+// analyze/verify first).
+type installer struct{ sys *activerbac.System }
+
+func (i installer) Apply(data []byte) error { return i.sys.InstallSyncSnapshot(data) }
+
 func main() {
-	opts := func() *activerbac.Options {
-		return &activerbac.Options{
-			Clock: activerbac.NewSimClock(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)),
-		}
-	}
-	c, err := cluster.New("hq", globalPolicy, opts())
+	clock := activerbac.NewSimClock(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC))
+	leader, err := activerbac.Open(globalPolicy, &activerbac.Options{Clock: clock})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
-	for _, site := range []string{"eu-west", "apac"} {
-		if _, err := c.AddFollower(site, opts()); err != nil {
+	defer leader.Close()
+
+	hub := replicate.NewHub(leader, nil)
+	srv := wire.NewServer(leaderBackend{sys: leader, hub: hub}, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	leader.OnEpochBump(srv.NotifyEpoch)
+
+	// Two replica sites bootstrap empty; the first sync brings policy,
+	// assignments and sessions.
+	type site struct {
+		name string
+		sys  *activerbac.System
+		rep  *replicate.Replica
+	}
+	var sites []site
+	for _, name := range []string{"eu-west", "apac"} {
+		sys, err := activerbac.Open("", &activerbac.Options{Clock: clock})
+		if err != nil {
 			log.Fatal(err)
 		}
+		rep, err := replicate.StartReplica(replicate.ReplicaOptions{
+			Name: name, LeaderAddr: ln.Addr().String(), Applier: installer{sys},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sites = append(sites, site{name, sys, rep})
 	}
+	defer func() {
+		for _, s := range sites {
+			s.rep.Close()
+			s.sys.Close()
+		}
+	}()
 
-	fmt.Println("cluster status (policy version per site):")
-	for name, v := range c.Status() {
-		fmt.Printf("  %-8s %s\n", name, v)
+	// converged waits until every replica has applied the leader's
+	// current push epoch.
+	converged := func() {
+		target := leader.PushEpoch()
+		for _, s := range sites {
+			for s.rep.AppliedEpoch() < target {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
 	}
-	fmt.Printf("converged: %v\n\n", c.Converged())
+	converged()
 
-	// Sessions are local to each site.
-	eu, _ := c.Follower("eu-west")
-	sid, err := eu.System.CreateSession("ivy")
+	// A session created at the leader replicates: any replica can
+	// answer for it, reads scale with replica count.
+	sid, err := leader.CreateSession("ivy")
 	if err != nil {
 		log.Fatal(err)
 	}
-	must(eu.System.AddActiveRole("ivy", sid, "Engineer"))
-	fmt.Printf("ivy deploys from eu-west: %v\n",
-		eu.System.CheckAccess(sid, activerbac.Permission{Operation: "deploy", Object: "service"}))
-	fmt.Printf("the same session at hq:   %v (sessions stay local)\n\n",
-		c.Primary().System.CheckAccess(sid, activerbac.Permission{Operation: "deploy", Object: "service"}))
+	must(leader.AddActiveRole("ivy", sid, "Engineer"))
+	converged()
+	deploy := activerbac.Permission{Operation: "deploy", Object: "service"}
+	fmt.Println("ivy's leader session, checked at every site from local state:")
+	fmt.Printf("  %-8s %v\n", "leader", leader.CheckAccess(sid, deploy))
+	for _, s := range sites {
+		fmt.Printf("  %-8s %v (applied epoch %d)\n", s.name, s.sys.CheckAccess(sid, deploy), s.rep.AppliedEpoch())
+	}
 
-	// One policy edit reaches every site.
-	fmt.Println("policy change: Engineer gets a 2-activation cardinality, everywhere")
-	rep, err := c.ApplyPolicy(globalPolicy + "cardinality Engineer 2\n")
-	if err != nil {
+	// One policy edit reaches every site through one coalesced sync.
+	fmt.Println("\npolicy change: Engineer gets a 2-activation cardinality, everywhere")
+	if _, err := leader.ApplyPolicy(globalPolicy + "cardinality Engineer 2\n"); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  primary regeneration: %s\n", rep)
-	fmt.Printf("  converged: %v, new version %s\n", c.Converged(), c.Version())
-
-	// Every site's own rule pool verifies against the new policy.
-	for _, n := range c.Nodes() {
+	converged()
+	for _, s := range sites {
 		fmt.Printf("  %-8s rules=%d verified=%v\n",
-			n.Name, len(n.System.Rules()), len(n.System.VerifyRules()) == 0)
+			s.name, len(s.sys.Rules()), len(s.sys.VerifyRules()) == 0)
+	}
+
+	fmt.Println("\nleader registry (GET /v1/replication in rbacd):")
+	for _, st := range hub.Status() {
+		fmt.Printf("  %-8s applied=%d lag=%d connected=%v\n", st.Name, st.AppliedEpoch, st.Lag, st.Connected)
 	}
 }
 

@@ -99,6 +99,13 @@ type Observer struct {
 	ClientCacheHits          *Counter // activerbac_client_cache_hits_total
 	ClientCacheMisses        *Counter // activerbac_client_cache_misses_total
 	ClientCacheInvalidations *Counter // activerbac_client_cache_invalidations_total
+
+	// Replication (fed by rbacd's replicate hooks: the Hub's on a
+	// leader, the Replica's on a replica).
+	ReplicaLag  *Gauge     // activerbac_replica_lag
+	SyncTotal   *Counter   // activerbac_sync_total
+	SyncBytes   *Counter   // activerbac_sync_bytes_total
+	SyncSeconds *Histogram // activerbac_sync_seconds
 }
 
 // Stage label values of activerbac_stage_seconds.
@@ -237,6 +244,15 @@ func NewObserver(traceCapacity int) *Observer {
 			"Client-cache checks that went to the server.").With(),
 		ClientCacheInvalidations: r.Counter("activerbac_client_cache_invalidations_total",
 			"Wholesale client-cache drops: epoch pushes plus subscription losses.").With(),
+
+		ReplicaLag: r.Gauge("activerbac_replica_lag",
+			"Epoch distance between the observed leader push epoch and the locally applied one (replica mode).").With(),
+		SyncTotal: r.Counter("activerbac_sync_total",
+			"Policy-sync snapshot transfers (served on a leader, applied on a replica; acks excluded).").With(),
+		SyncBytes: r.Counter("activerbac_sync_bytes_total",
+			"Bytes of policy-sync snapshot payload transferred.").With(),
+		SyncSeconds: r.Histogram("activerbac_sync_seconds",
+			"Duration of one policy-sync transfer (serve time on a leader, transfer plus apply on a replica).", nil).With(),
 	}
 	o.StageSeconds = r.Histogram("activerbac_stage_seconds",
 		"Decision latency attributed to one pipeline stage.", nil, "stage")

@@ -90,15 +90,17 @@ func (g *Generator) Apply(newSpec *policy.Spec) (Report, error) {
 			}
 		}
 	}
-	// SoD sets: recreate changed ones (cheap, they are tiny).
-	if err := diffSoDSets(old.SSD, newSpec.SSD, st.DeleteSSD, func(s policy.SoD) error {
-		return st.CreateSSD(toSoDSet(s))
-	}); err != nil {
+	// SoD sets: delete removed or modified ones now, while the roles
+	// they reference may still exist. Creation waits until after role
+	// additions — a new set may reference a role this same apply
+	// introduces (the common case when a replica installs a full policy
+	// over an empty bootstrap system).
+	ssdCreates, err := diffSoDSets(old.SSD, newSpec.SSD, st.DeleteSSD)
+	if err != nil {
 		return rep, err
 	}
-	if err := diffSoDSets(old.DSD, newSpec.DSD, st.DeleteDSD, func(s policy.SoD) error {
-		return st.CreateDSD(toSoDSet(s))
-	}); err != nil {
+	dsdCreates, err := diffSoDSets(old.DSD, newSpec.DSD, st.DeleteDSD)
+	if err != nil {
 		return rep, err
 	}
 
@@ -132,6 +134,17 @@ func (g *Generator) Apply(newSpec *policy.Spec) (Report, error) {
 			if err := st.AddInheritance(rbac.RoleID(e.Senior), rbac.RoleID(e.Junior)); err != nil {
 				return rep, err
 			}
+		}
+	}
+	// (Re)create changed SoD sets, now that added roles exist.
+	for _, s := range ssdCreates {
+		if err := st.CreateSSD(toSoDSet(s)); err != nil {
+			return rep, err
+		}
+	}
+	for _, s := range dsdCreates {
+		if err := st.CreateDSD(toSoDSet(s)); err != nil {
+			return rep, err
 		}
 	}
 
@@ -537,9 +550,11 @@ func fingerprints(s *policy.Spec) map[string]string {
 	return out
 }
 
-// diffSoDSets recreates changed SoD relations: removed or modified sets
-// are deleted, new or modified ones created.
-func diffSoDSets(old, new []policy.SoD, del func(string) error, create func(policy.SoD) error) error {
+// diffSoDSets deletes removed or modified SoD relations and returns
+// the new or modified ones still to create — the caller creates them
+// only after role additions have landed, since a changed set may
+// reference a role the same apply introduces.
+func diffSoDSets(old, new []policy.SoD, del func(string) error) ([]policy.SoD, error) {
 	fp := func(s policy.SoD) string { return fmt.Sprintf("%d|%v", s.N, s.Roles) }
 	oldM := make(map[string]policy.SoD, len(old))
 	for _, s := range old {
@@ -554,18 +569,17 @@ func diffSoDSets(old, new []policy.SoD, del func(string) error, create func(poli
 			continue
 		}
 		if err := del(name); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	for name, s := range newM {
-		if os, ok := oldM[name]; ok && fp(os) == fp(s) {
+	var creates []policy.SoD
+	for _, s := range new {
+		if os, ok := oldM[s.Name]; ok && fp(os) == fp(s) {
 			continue
 		}
-		if err := create(s); err != nil {
-			return err
-		}
+		creates = append(creates, s)
 	}
-	return nil
+	return creates, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -25,15 +25,41 @@ type SnapshotFile struct {
 	State   rbac.Snapshot `json:"state"`
 }
 
-// SaveSnapshot writes the snapshot atomically (temp file + rename).
-func SaveSnapshot(path string, policySource string, state rbac.Snapshot) error {
+// EncodeSnapshot serializes a snapshot envelope. The same encoding
+// backs the on-disk snapshot and the wire SYNC payload, so a replica
+// installs exactly what a restart would load; rbac.Snapshot's sorted
+// field order makes the bytes — and therefore a content hash over
+// them — stable for identical state.
+func EncodeSnapshot(policySource string, state rbac.Snapshot) ([]byte, error) {
 	data, err := json.MarshalIndent(SnapshotFile{
 		Version: snapshotVersion,
 		Policy:  policySource,
 		State:   state,
 	}, "", "  ")
 	if err != nil {
-		return fmt.Errorf("store: marshal snapshot: %w", err)
+		return nil, fmt.Errorf("store: marshal snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeSnapshot parses and version-checks an encoded snapshot
+// envelope, wherever it came from (disk or a SYNC transfer).
+func DecodeSnapshot(data []byte) (*SnapshotFile, error) {
+	var f SnapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("store: snapshot version %d, want %d", f.Version, snapshotVersion)
+	}
+	return &f, nil
+}
+
+// SaveSnapshot writes the snapshot atomically (temp file + rename).
+func SaveSnapshot(path string, policySource string, state rbac.Snapshot) error {
+	data, err := EncodeSnapshot(policySource, state)
+	if err != nil {
+		return err
 	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snapshot-*")
@@ -64,12 +90,5 @@ func LoadSnapshot(path string) (*SnapshotFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: read snapshot: %w", err)
 	}
-	var f SnapshotFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("store: decode snapshot: %w", err)
-	}
-	if f.Version != snapshotVersion {
-		return nil, fmt.Errorf("store: snapshot version %d, want %d", f.Version, snapshotVersion)
-	}
-	return &f, nil
+	return DecodeSnapshot(data)
 }

@@ -151,6 +151,66 @@ func TestLoadSnapshotErrors(t *testing.T) {
 	if _, err := LoadSnapshot(wrongVer); err == nil {
 		t.Fatal("wrong version accepted")
 	}
+
+	// A file cut mid-write (crash during save) must be rejected, not
+	// half-loaded.
+	whole := filepath.Join(dir, "whole.json")
+	if err := SaveSnapshot(whole, "role PM\n", buildState(t).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(truncated, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(truncated); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+// TestEncodeDecodeSnapshot covers the byte-level halves disk
+// persistence and wire replication share: the envelope round-trips,
+// and every malformed-input class errors.
+func TestEncodeDecodeSnapshot(t *testing.T) {
+	s := buildState(t)
+	data, err := EncodeSnapshot("role PM\n", s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Policy != "role PM\n" || f.Version != snapshotVersion {
+		t.Fatalf("envelope: %+v", f)
+	}
+	restored := rbac.NewStore()
+	if err := restored.Restore(f.State); err != nil {
+		t.Fatal(err)
+	}
+
+	// Determinism: the same state encodes to the same bytes — what makes
+	// the replication protocol's content hash stable.
+	again, err := EncodeSnapshot("role PM\n", s.Snapshot())
+	if err != nil || string(again) != string(data) {
+		t.Fatalf("encode not deterministic (%v)", err)
+	}
+
+	for name, bad := range map[string][]byte{
+		"empty":        {},
+		"not json":     []byte("{nope"),
+		"wrong ver":    []byte(`{"version":99}`),
+		"truncated":    data[:len(data)/3],
+		"array body":   []byte(`[]`),
+		"null version": []byte(`{"policy":"x"}`),
+	} {
+		if _, err := DecodeSnapshot(bad); err == nil {
+			t.Fatalf("DecodeSnapshot(%s) accepted", name)
+		}
+	}
 }
 
 // --------------------------------------------------------------------------

@@ -232,6 +232,26 @@ func (c *Client) Subscribe() (uint64, error) {
 	return epoch, nil
 }
 
+// Sync pulls a policy-sync snapshot from a leader: the replica's name
+// and its applied epoch go up, the leader's epoch, content hash and
+// snapshot bytes come back. The caller verifies the hash before
+// installing anything. Replication clients must configure MaxFrame
+// well past DefaultMaxFrame (see MaxSyncData) — a full snapshot
+// legitimately outgrows a check frame — and a Timeout sized for the
+// transfer, not for a check round trip.
+func (c *Client) Sync(replica string, applied uint64) (SyncState, error) {
+	payload := AppendSyncRequest(make([]byte, 0, 32+len(replica)), replica, applied)
+	resp, err := c.roundTrip(OpSync, payload)
+	if err != nil {
+		return SyncState{}, err
+	}
+	st, err := ConsumeSyncState(resp)
+	if err != nil {
+		return SyncState{}, fmt.Errorf("wire: bad SYNC response: %w", err)
+	}
+	return st, nil
+}
+
 // Ping round-trips an empty frame.
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(OpPing, nil)

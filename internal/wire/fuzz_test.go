@@ -26,9 +26,13 @@ func FuzzDecoder(f *testing.F) {
 	f.Add([]byte{magic0, magic1, Version, OpCheck, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // huge declared length
 	f.Add(AppendFrame(nil, OpSubscribe, 9, nil))
 	f.Add(AppendFrame(nil, OpEpochPush, 0, AppendEpoch(nil, 42)))
-	f.Add(AppendFrame(nil, OpEpochPush, 0, AppendEpoch(nil, 42))[:HeaderSize+3])   // truncated push epoch
+	f.Add(AppendFrame(nil, OpEpochPush, 0, AppendEpoch(nil, 42))[:HeaderSize+3])    // truncated push epoch
 	f.Add(AppendFrame(nil, OpCheck|CacheFlag, 10, AppendCheck(nil, "s", "r", "o"))) // CACHE-flagged check
 	f.Add(AppendFrame(nil, OpSubscribe|RespFlag|TraceFlag|CacheFlag, 11, nil))      // corrupted flag soup
+	f.Add(AppendFrame(nil, OpSync, 12, AppendSyncRequest(nil, "replica-1", 7)))
+	syncSt := SyncState{Epoch: 8, Data: []byte(`{"version":1}`)}
+	f.Add(AppendFrame(nil, OpSync|RespFlag, 12, AppendSyncState(nil, syncSt)))
+	f.Add(AppendFrame(nil, OpSync|RespFlag, 13, AppendSyncState(nil, syncSt))[:HeaderSize+10]) // truncated sync state
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder(bytes.NewReader(data), 1<<12)
@@ -65,6 +69,17 @@ func FuzzPayloadCodecs(f *testing.F) {
 	f.Add([]byte{7}) // cache verdict with reserved bits set
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // uvarint overflow
+	f.Add(AppendSyncRequest(nil, "replica-1", 7))
+	syncSt := SyncState{Epoch: 9, Data: []byte(`{"version":1,"policy":""}`)}
+	for i := range syncSt.Data {
+		syncSt.Hash[0] += syncSt.Data[i] // any nonzero hash; content is opaque here
+	}
+	f.Add(AppendSyncState(nil, syncSt))
+	corrupt := AppendSyncState(nil, syncSt)
+	corrupt[8+3] ^= 0xFF // flip a hash byte: decodes fine, install must reject
+	f.Add(corrupt)
+	f.Add(AppendSyncState(nil, SyncState{Epoch: 0, Data: syncSt.Data, Hash: syncSt.Hash})) // epoch regression (new leader incarnation)
+	f.Add(AppendSyncState(nil, syncSt)[:12])                                               // truncated mid-hash
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if sess, op, obj, err := ConsumeCheck(data); err == nil {
@@ -113,6 +128,20 @@ func FuzzPayloadCodecs(f *testing.F) {
 			if err != nil || a2 != allowed || c2 != cacheable {
 				t.Fatalf("cache-verdict re-decode mismatch: (%v %v) -> (%v %v, %v)",
 					allowed, cacheable, a2, c2, err)
+			}
+		}
+		if replica, applied, err := ConsumeSyncRequest(data); err == nil {
+			r2, a2, err := ConsumeSyncRequest(AppendSyncRequest(nil, replica, applied))
+			if err != nil || r2 != replica || a2 != applied {
+				t.Fatalf("sync-request re-decode mismatch: (%q %d) -> (%q %d, %v)",
+					replica, applied, r2, a2, err)
+			}
+		}
+		if st, err := ConsumeSyncState(data); err == nil {
+			st2, err := ConsumeSyncState(AppendSyncState(nil, st))
+			if err != nil || st2.Epoch != st.Epoch || st2.Hash != st.Hash || !bytes.Equal(st2.Data, st.Data) {
+				t.Fatalf("sync-state re-decode mismatch: epoch %d hash %x %d bytes -> (epoch %d hash %x %d bytes, %v)",
+					st.Epoch, st.Hash[:4], len(st.Data), st2.Epoch, st2.Hash[:4], len(st2.Data), err)
 			}
 		}
 		if tid, rest, err := ConsumeTraceID(data); err == nil {
@@ -168,6 +197,29 @@ func FuzzCheckRoundTrip(f *testing.F) {
 		if s3, o3, b3, err := ConsumeCheck(chk.Payload); err != nil ||
 			s3 != session || o3 != operation || b3 != object {
 			t.Fatalf("framed round trip -> (%q %q %q, %v)", s3, o3, b3, err)
+		}
+		// A SYNC exchange derived from the same input: the request names a
+		// replica, the response carries the object bytes as snapshot data.
+		// Both must survive framing and re-decode exactly.
+		st := SyncState{Epoch: epoch, Data: []byte(object)}
+		st.Hash[0], st.Hash[SyncHashSize-1] = byte(epoch), byte(epoch>>8)
+		stream = AppendFrame(nil, OpSync, 2, AppendSyncRequest(nil, session, epoch))
+		stream = AppendFrame(stream, OpSync|RespFlag, 2, AppendSyncState(nil, st))
+		dec = NewDecoder(bytes.NewReader(stream), 0)
+		req, err := dec.Next()
+		if err != nil || req.Op != OpSync {
+			t.Fatalf("sync request frame: (%#x, %v)", req.Op, err)
+		}
+		if r2, a2, err := ConsumeSyncRequest(req.Payload); err != nil || r2 != session || a2 != epoch {
+			t.Fatalf("sync request -> (%q %d, %v), want (%q %d)", r2, a2, err, session, epoch)
+		}
+		resp, err := dec.Next()
+		if err != nil || resp.Op != OpSync|RespFlag {
+			t.Fatalf("sync response frame: (%#x, %v)", resp.Op, err)
+		}
+		if st2, err := ConsumeSyncState(resp.Payload); err != nil ||
+			st2.Epoch != st.Epoch || st2.Hash != st.Hash || !bytes.Equal(st2.Data, st.Data) {
+			t.Fatalf("sync state round trip: epoch %d -> (%+v, %v)", epoch, st2.Epoch, err)
 		}
 	})
 }

@@ -330,7 +330,7 @@ func TestBadPushKillsConn(t *testing.T) {
 		}
 		c.Write(AppendFrame(nil, OpSubscribe|RespFlag, f.ID, AppendEpoch(nil, 1)))
 		c.Write(AppendFrame(nil, OpEpochPush, 0, []byte{1, 2, 3})) // truncated epoch
-		dec.Next()                                                // hold the conn open until the client drops it
+		dec.Next()                                                 // hold the conn open until the client drops it
 	}()
 	lost := make(chan struct{}, 1)
 	cl, err := Dial(ln.Addr().String(), &ClientOptions{

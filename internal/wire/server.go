@@ -69,6 +69,27 @@ type PushBackend interface {
 	PushEpoch() uint64
 }
 
+// SyncBackend is optionally implemented by a Backend that can serve
+// policy-sync snapshots — the leader side of the replication protocol.
+// Without it a SYNC request answers an ErrCodeUnsupported ERROR, which
+// is how a replica discovers it dialed something that is not a leader.
+type SyncBackend interface {
+	Backend
+	// SyncSnapshot returns the current snapshot for a replica that has
+	// applied the given epoch (0 when it has never synced). The
+	// implementation owns caching — a fleet resyncing after one push
+	// should serialize once, not once per replica.
+	SyncSnapshot(replica string, applied uint64) (SyncState, error)
+}
+
+// ReplicaTracker is optionally implemented by a SyncBackend that keeps
+// a replica registry: the server reports when a connection that issued
+// SYNC requests closes, so the registry can mark the replica
+// disconnected.
+type ReplicaTracker interface {
+	ReplicaDisconnected(replica string)
+}
+
 // CacheBackend is optionally implemented by a Backend that classifies
 // verdict cacheability (the fastpath CA1 shape: the verdict depends
 // only on state tagged by the push epoch). Without it a CacheFlag
@@ -178,7 +199,12 @@ type Server struct {
 	// ErrCodeUnsupported.
 	push  PushBackend
 	cache CacheBackend
-	opts  ServerOptions
+	// syncb is the replication upgrade, asserted once at construction;
+	// nil answers SYNC with ErrCodeUnsupported. tracker is its optional
+	// replica-registry refinement.
+	syncb   SyncBackend
+	tracker ReplicaTracker
+	opts    ServerOptions
 
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
@@ -199,6 +225,8 @@ func NewServer(backend Backend, opts *ServerOptions) *Server {
 	btrace, _ := backend.(BatchTraceBackend)
 	push, _ := backend.(PushBackend)
 	cache, _ := backend.(CacheBackend)
+	syncb, _ := backend.(SyncBackend)
+	tracker, _ := backend.(ReplicaTracker)
 	return &Server{
 		backend: backend,
 		batch:   batch,
@@ -206,6 +234,8 @@ func NewServer(backend Backend, opts *ServerOptions) *Server {
 		btrace:  btrace,
 		push:    push,
 		cache:   cache,
+		syncb:   syncb,
+		tracker: tracker,
 		opts:    o.withDefaults(),
 		lns:     map[net.Listener]struct{}{},
 		conns:   map[*srvConn]struct{}{},
@@ -349,6 +379,10 @@ type srvConn struct {
 	// newest epoch.
 	pushEpoch atomic.Uint64
 	pushCh    chan struct{}
+	// replicaName is the name carried by the last SYNC request on this
+	// connection; written only by the read loop and read only after it
+	// returns (connection teardown), so it needs no lock.
+	replicaName string
 }
 
 // notifyPush latches epoch for the writer without ever blocking.
@@ -405,6 +439,9 @@ func (sc *srvConn) run() {
 		sc.srv.mu.Unlock()
 		if wasSub && ins != nil && ins.Subscribers != nil {
 			ins.Subscribers(-1)
+		}
+		if sc.replicaName != "" && sc.srv.tracker != nil {
+			sc.srv.tracker.ReplicaDisconnected(sc.replicaName)
 		}
 		sc.c.Close()
 	}()
@@ -492,6 +529,8 @@ func (sc *srvConn) readLoop(sem chan struct{}, out chan<- response, work chan<- 
 				payload: AppendEpoch(nil, sc.srv.backend.PolicyEpoch()), start: start}
 		case OpSubscribe:
 			out <- sc.subscribe(f, start, ins)
+		case OpSync:
+			out <- sc.syncResponse(f, start, ins)
 		case OpCheck, OpCheck | TraceFlag, OpCheck | CacheFlag:
 			payload := f.Payload
 			req := request{op: f.Op, id: f.ID, start: start}
@@ -577,6 +616,33 @@ func (sc *srvConn) subscribe(f Frame, start time.Time, ins *Instruments) respons
 	}
 	return response{op: OpSubscribe | RespFlag, id: f.ID,
 		payload: AppendEpoch(nil, pb.PushEpoch()), start: start}
+}
+
+// syncResponse serves one SYNC request inline on the read loop: the
+// backend caches the encoded snapshot per epoch, so the cost here is
+// one payload copy, and ordering sync responses with the frames around
+// them keeps the protocol simple. Backend failures condemn the request,
+// not the connection.
+func (sc *srvConn) syncResponse(f Frame, start time.Time, ins *Instruments) response {
+	sb := sc.srv.syncb
+	if sb == nil {
+		return sc.errorResponse(f, ErrCodeUnsupported,
+			errors.New("wire: backend does not serve policy sync"), ins)
+	}
+	replica, applied, err := ConsumeSyncRequest(f.Payload)
+	if err != nil {
+		return sc.errorResponse(f, ErrCodeBadRequest, err, ins)
+	}
+	if replica == "" {
+		return sc.errorResponse(f, ErrCodeBadRequest,
+			errors.New("wire: SYNC needs a replica name"), ins)
+	}
+	sc.replicaName = replica
+	st, err := sb.SyncSnapshot(replica, applied)
+	if err != nil {
+		return sc.errorResponse(f, ErrCodeBadRequest, err, ins)
+	}
+	return response{op: OpSync | RespFlag, id: f.ID, payload: AppendSyncState(nil, st), start: start}
 }
 
 // verdictBufPool recycles the batch verdict staging slices; workers run

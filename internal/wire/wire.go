@@ -3,8 +3,8 @@
 // authorization checks between an enforcement point and the engine at a
 // fraction of the HTTP/JSON cost. The engine's in-process check path
 // runs in nanoseconds (DESIGN §5.4); this package is the transport that
-// keeps up with it — and the substrate internal/cluster's cross-process
-// enforcement points grow onto.
+// keeps up with it — and the substrate internal/replicate's
+// leader/replica policy distribution rides on.
 //
 // # Frame layout
 //
@@ -30,9 +30,15 @@
 // epoch. EPOCH_PUSH is the one server-originated frame: unsolicited,
 // request id 0, RespFlag clear, payload the new 8-byte push epoch —
 // sent to every subscribed connection whenever a policy- or
-// session-grade change invalidates cached verdicts. ERROR (0xFF,
-// response-only) carries a code byte and a message string, tagged with
-// the failing request's id.
+// session-grade change invalidates cached verdicts. SYNC is the
+// replication pull: the request carries the replica's name and its
+// applied epoch, the response the leader's epoch, a 32-byte SHA-256 of
+// the snapshot payload, and the uvarint-length-prefixed payload itself
+// (the serialized policy source + compiled state); a replica verifies
+// the hash before installing anything, so a truncated or corrupted
+// transfer is structurally un-appliable. ERROR (0xFF, response-only)
+// carries a code byte and a message string, tagged with the failing
+// request's id.
 //
 // CHECK and CHECK_BATCH requests may additionally set the TRACE bit
 // (0x40) on the opcode byte; the payload is then prefixed with a raw
@@ -117,6 +123,11 @@ const (
 	// connection receives on every epoch bump: request id 0, RespFlag
 	// clear, payload the new push epoch as 8 big-endian bytes.
 	OpEpochPush byte = 0x06
+	// OpSync pulls a policy-sync snapshot from a leader: request payload
+	// the replica's name then its applied epoch, response payload the
+	// leader's epoch, the snapshot's SHA-256, and the length-prefixed
+	// snapshot bytes. Answered UNSUPPORTED by non-leader backends.
+	OpSync byte = 0x07
 
 	// RespFlag marks a frame as the response to the request opcode in
 	// the low bits.
@@ -167,6 +178,17 @@ const (
 	MaxBatch = 8192
 	// maxStringLen bounds one payload string; identifiers are short.
 	maxStringLen = 1 << 16
+
+	// MaxSyncData bounds the snapshot payload of one SYNC response —
+	// well past DefaultMaxFrame, because a full policy + session state
+	// snapshot legitimately outgrows a check frame. Sync endpoints must
+	// therefore configure their frame limit to at least
+	// MaxSyncData + SyncHashSize + HeaderSize + some slack.
+	MaxSyncData = 1 << 26
+
+	// SyncHashSize is the content-hash length of a SYNC response
+	// (SHA-256).
+	SyncHashSize = 32
 )
 
 // Codec errors. Decoder errors other than io errors mean the stream is
@@ -198,6 +220,8 @@ func OpName(op byte) string {
 		return "subscribe"
 	case OpEpochPush:
 		return "epoch_push"
+	case OpSync:
+		return "sync"
 	}
 	return "unknown"
 }
@@ -482,6 +506,72 @@ func ConsumeCacheVerdict(b []byte) (allowed, cacheable bool, err error) {
 		return false, false, ErrBadPayload
 	}
 	return b[0]&cacheVerdictAllow != 0, b[0]&cacheVerdictCacheable != 0, nil
+}
+
+// AppendSyncRequest appends a SYNC request payload: the replica's name
+// and the epoch it has applied (0 when it has never synced).
+func AppendSyncRequest(dst []byte, replica string, applied uint64) []byte {
+	dst = AppendString(dst, replica)
+	return AppendEpoch(dst, applied)
+}
+
+// ConsumeSyncRequest decodes a SYNC request payload; trailing bytes are
+// an error.
+func ConsumeSyncRequest(b []byte) (replica string, applied uint64, err error) {
+	replica, b, err = ConsumeString(b)
+	if err != nil {
+		return "", 0, err
+	}
+	applied, err = ConsumeEpoch(b)
+	if err != nil {
+		return "", 0, err
+	}
+	return replica, applied, nil
+}
+
+// SyncState is a SYNC response: one policy-sync snapshot pinned to the
+// push epoch it was exported at, content-addressed by its SHA-256.
+type SyncState struct {
+	Epoch uint64
+	Hash  [SyncHashSize]byte
+	Data  []byte
+}
+
+// AppendSyncState appends a SYNC response payload: the epoch, the
+// 32-byte content hash, then the uvarint-length-prefixed snapshot.
+func AppendSyncState(dst []byte, st SyncState) []byte {
+	dst = AppendEpoch(dst, st.Epoch)
+	dst = append(dst, st.Hash[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(st.Data)))
+	return append(dst, st.Data...)
+}
+
+// ConsumeSyncState decodes a SYNC response payload. The snapshot bytes
+// are copied out of b (frame payloads alias a reused decode buffer and
+// a snapshot outlives the frame that carried it); trailing bytes are an
+// error. The hash is NOT verified here — the replica applies that check
+// against the copied bytes before installing.
+func ConsumeSyncState(b []byte) (SyncState, error) {
+	var st SyncState
+	if len(b) < 8+SyncHashSize {
+		return SyncState{}, ErrBadPayload
+	}
+	var err error
+	if st.Epoch, err = ConsumeEpoch(b[:8]); err != nil {
+		return SyncState{}, err
+	}
+	copy(st.Hash[:], b[8:8+SyncHashSize])
+	rest := b[8+SyncHashSize:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 || n > MaxSyncData {
+		return SyncState{}, ErrBadPayload
+	}
+	rest = rest[w:]
+	if uint64(len(rest)) != n {
+		return SyncState{}, ErrBadPayload
+	}
+	st.Data = append([]byte(nil), rest...)
+	return st, nil
 }
 
 // RemoteError is an ERROR frame surfaced to the caller.
